@@ -1,0 +1,66 @@
+//! E7 benchmark: COBRA against the baseline protocols (PUSH, PUSH–PULL, multiple random
+//! walks, a single random walk) on an expander and on a torus of the same size.
+
+use std::time::Duration;
+
+use cobra_bench::{bench_rng, random_regular_instance, torus_instance};
+use cobra_core::baselines::{MultipleRandomWalks, PushProcess, PushPullProcess, RandomWalk};
+use cobra_core::cobra::{Branching, CobraProcess};
+use cobra_core::process::run_until_complete;
+use cobra_graph::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_protocols_on(c: &mut Criterion, group_name: &str, graph: &Graph) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let n = graph.num_vertices();
+    let walkers = (n as f64).log2().ceil() as usize;
+
+    let mut rng = bench_rng(&format!("{group_name}-cobra"));
+    group.bench_with_input(BenchmarkId::new("cobra_k2", n), graph, |b, g| {
+        b.iter(|| {
+            let mut p = CobraProcess::new(g, 0, Branching::fixed(2).expect("valid k"))
+                .expect("valid process");
+            run_until_complete(&mut p, &mut rng, 100_000_000).expect("covers")
+        })
+    });
+    let mut rng = bench_rng(&format!("{group_name}-push"));
+    group.bench_with_input(BenchmarkId::new("push", n), graph, |b, g| {
+        b.iter(|| {
+            let mut p = PushProcess::new(g, 0).expect("valid process");
+            run_until_complete(&mut p, &mut rng, 100_000_000).expect("covers")
+        })
+    });
+    let mut rng = bench_rng(&format!("{group_name}-pushpull"));
+    group.bench_with_input(BenchmarkId::new("push_pull", n), graph, |b, g| {
+        b.iter(|| {
+            let mut p = PushPullProcess::new(g, 0).expect("valid process");
+            run_until_complete(&mut p, &mut rng, 100_000_000).expect("covers")
+        })
+    });
+    let mut rng = bench_rng(&format!("{group_name}-multi"));
+    group.bench_with_input(BenchmarkId::new("multiple_walks_log_n", n), graph, |b, g| {
+        b.iter(|| {
+            let mut p = MultipleRandomWalks::new(g, 0, walkers).expect("valid process");
+            run_until_complete(&mut p, &mut rng, 100_000_000).expect("covers")
+        })
+    });
+    let mut rng = bench_rng(&format!("{group_name}-walk"));
+    group.bench_with_input(BenchmarkId::new("single_walk", n), graph, |b, g| {
+        b.iter(|| {
+            let mut p = RandomWalk::new(g, 0).expect("valid process");
+            run_until_complete(&mut p, &mut rng, 100_000_000).expect("covers")
+        })
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let expander = random_regular_instance(256, 4);
+    bench_protocols_on(c, "e7_protocols_expander_n256", &expander);
+    let torus = torus_instance(16);
+    bench_protocols_on(c, "e7_protocols_torus_16x16", &torus);
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 benchmark: cover time as a function of the expected branching factor `1 + ρ`
+//! (Theorem 3). `ρ = 0` is the slow single random walk; any constant `ρ > 0` is fast.
+
+use std::time::Duration;
+
+use cobra_bench::{bench_rng, random_regular_instance};
+use cobra_core::cobra::Branching;
+use cobra_core::cover;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_branching_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_branching_factor");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let graph = random_regular_instance(512, 3);
+    for &rho in &[0.0f64, 0.1, 0.25, 0.5, 1.0] {
+        let branching = Branching::fractional(rho).expect("valid rho");
+        let mut rng = bench_rng(&format!("rho-{rho}"));
+        group.bench_with_input(BenchmarkId::new("rho", format!("{rho:.2}")), &graph, |b, g| {
+            b.iter(|| {
+                cover::cover_time(g, 0, branching, 50_000_000, &mut rng)
+                    .expect("connected graphs are covered")
+                    .rounds
+            })
+        });
+    }
+    // The paper's k = 2 as the reference point.
+    let mut rng = bench_rng("k2");
+    group.bench_with_input(BenchmarkId::new("fixed_k", 2), &graph, |b, g| {
+        b.iter(|| {
+            cover::cover_time(g, 0, Branching::fixed(2).expect("valid k"), 1_000_000, &mut rng)
+                .expect("connected graphs are covered")
+                .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_branching_factor);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 benchmark: the exact subset dynamic programs behind the Theorem 4 duality check, and the
+//! Monte-Carlo estimators used on larger graphs.
+
+use std::time::Duration;
+
+use cobra_bench::{bench_rng, random_regular_instance};
+use cobra_core::cobra::Branching;
+use cobra_core::duality;
+use cobra_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_exact_duality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_exact_duality");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let k2 = Branching::fixed(2).expect("valid k");
+    let cycle = generators::cycle(8).expect("cycle");
+    group.bench_function("all_pairs_cycle8_t8", |b| {
+        b.iter(|| duality::verify_duality_exact(&cycle, k2, 8).expect("within exact limit"))
+    });
+    let petersen = generators::petersen().expect("petersen");
+    group.bench_function("single_pair_petersen_t6", |b| {
+        b.iter(|| {
+            duality::verify_duality_exact_for_set(&petersen, &[0], 7, k2, 6)
+                .expect("within exact limit")
+        })
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo_duality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_monte_carlo_duality");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let k2 = Branching::fixed(2).expect("valid k");
+    let graph = random_regular_instance(256, 3);
+    let mut rng = bench_rng("mc-duality");
+    group.bench_function("mc_1000_trials_t6_n256", |b| {
+        b.iter(|| {
+            duality::verify_duality_monte_carlo(&graph, &[0], 128, k2, 6, 1000, &mut rng)
+                .expect("valid configuration")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_duality, bench_monte_carlo_duality);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 benchmark: COBRA cover time as the spectral gap shrinks at fixed `n` (cycle powers and a
+//! ring of cliques). Times should increase markedly as the gap closes.
+
+use std::time::Duration;
+
+use cobra_bench::bench_rng;
+use cobra_core::cobra::Branching;
+use cobra_core::cover;
+use cobra_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gap_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_gap_sweep");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let branching = Branching::fixed(2).expect("valid k");
+    let n = 512usize;
+    for &k in &[2usize, 8, 32, 128] {
+        let graph = generators::cycle_power(n, k).expect("valid cycle power");
+        let mut rng = bench_rng(&format!("gap-{k}"));
+        group.bench_with_input(BenchmarkId::new("cycle_power", k), &graph, |b, g| {
+            b.iter(|| {
+                cover::cover_time(g, 0, branching, 10_000_000, &mut rng)
+                    .expect("connected instances are covered")
+                    .rounds
+            })
+        });
+    }
+    let ring = generators::ring_of_cliques(32, 16).expect("valid ring");
+    let mut rng = bench_rng("gap-ring");
+    group.bench_with_input(BenchmarkId::new("ring_of_cliques", 32), &ring, |b, g| {
+        b.iter(|| {
+            cover::cover_time(g, 0, branching, 10_000_000, &mut rng)
+                .expect("connected instances are covered")
+                .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_sweep);
+criterion_main!(benches);

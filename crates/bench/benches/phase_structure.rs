@@ -1,0 +1,30 @@
+//! E8 benchmark: tracing the full BIPS infection curve (whose shape exhibits the three phases
+//! of Lemmas 2–4) on expanders of increasing size.
+
+use std::time::Duration;
+
+use cobra_bench::{bench_rng, random_regular_instance};
+use cobra_core::cobra::Branching;
+use cobra_core::infection;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_infection_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_infection_curve");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let branching = Branching::fixed(2).expect("valid k");
+    for &n in &[1024usize, 4096, 16384] {
+        let graph = random_regular_instance(n, 4);
+        let mut rng = bench_rng(&format!("curve-{n}"));
+        group.bench_with_input(BenchmarkId::new("trace_full_curve", n), &graph, |b, g| {
+            b.iter(|| {
+                infection::infection_curve(g, 0, branching, 1_000_000, &mut rng)
+                    .expect("valid configuration")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infection_curve);
+criterion_main!(benches);

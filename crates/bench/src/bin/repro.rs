@@ -1,0 +1,88 @@
+//! `repro` — regenerates every experiment table of the reproduction.
+//!
+//! ```text
+//! repro                 # run every experiment with the quick preset
+//! repro --full          # run every experiment with the full preset (slow; populates EXPERIMENTS.md)
+//! repro --exp e4        # run a single experiment
+//! repro --list          # list experiments
+//! repro --seed 123      # change the master seed
+//! ```
+
+use std::process::ExitCode;
+
+use cobra_experiments::registry::{run_experiment, ExperimentId, Preset};
+
+struct Options {
+    preset: Preset,
+    seed: u64,
+    only: Option<ExperimentId>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options { preset: Preset::Quick, seed: 2016, only: None, list: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => options.preset = Preset::Full,
+            "--quick" => options.preset = Preset::Quick,
+            "--list" => options.list = true,
+            "--exp" => {
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e8)")?;
+                options.only = Some(
+                    ExperimentId::parse(&value)
+                        .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
+                );
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed requires an integer")?;
+                options.seed =
+                    value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--full|--quick] [--exp e1..e8] [--seed N] [--list]\n\
+                     regenerates the experiment tables of the COBRA/BIPS reproduction"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.list {
+        for id in ExperimentId::all() {
+            println!("{id:?}: {}", id.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<ExperimentId> = match options.only {
+        Some(id) => vec![id],
+        None => ExperimentId::all().to_vec(),
+    };
+    println!(
+        "# COBRA/BIPS reproduction — {} preset, seed {}\n",
+        match options.preset {
+            Preset::Quick => "quick",
+            Preset::Full => "full",
+        },
+        options.seed
+    );
+    for id in ids {
+        let result = run_experiment(id, options.preset, options.seed);
+        println!("{}", result.render());
+    }
+    ExitCode::SUCCESS
+}

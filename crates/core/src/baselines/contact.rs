@@ -1,0 +1,261 @@
+//! A discrete-time SIS contact process with an optional persistent source.
+//!
+//! The paper notes that COBRA/BIPS is a discrete cousin of Harris' contact process: infected
+//! vertices infect each neighbour at rate `µ` and recover at rate 1. The discrete-time
+//! approximation here proceeds in rounds: an infected vertex infects each neighbour
+//! independently with probability `infection_probability`, and then recovers with probability
+//! `recovery_probability` (unless it is the persistent source, mirroring the BVDV
+//! "persistently infected animal" scenario the paper cites). Unlike BIPS, the process can die
+//! out when no source is pinned — which is exactly the behaviour the experiments contrast.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// Parameters of the discrete SIS contact process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactParameters {
+    /// Probability that an infected vertex transmits to a given neighbour in one round.
+    pub infection_probability: f64,
+    /// Probability that an infected vertex recovers at the end of a round.
+    pub recovery_probability: f64,
+}
+
+impl ContactParameters {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if either probability is outside `[0, 1]`.
+    pub fn new(infection_probability: f64, recovery_probability: f64) -> Result<Self> {
+        for (name, p) in
+            [("infection", infection_probability), ("recovery", recovery_probability)]
+        {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!("{name} probability {p} must be in [0, 1]"),
+                });
+            }
+        }
+        Ok(ContactParameters { infection_probability, recovery_probability })
+    }
+}
+
+/// A running discrete SIS contact process.
+#[derive(Debug, Clone)]
+pub struct ContactProcess<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    persistent_source: bool,
+    parameters: ContactParameters,
+    infected: Vec<bool>,
+    next_infected: Vec<bool>,
+    num_infected: usize,
+    round: usize,
+}
+
+impl<'g> ContactProcess<'g> {
+    /// Creates a contact process started from `source`. When `persistent_source` is true the
+    /// source never recovers (the BVDV scenario); otherwise the epidemic can go extinct.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual graph/vertex validation errors.
+    pub fn new(
+        graph: &'g Graph,
+        source: VertexId,
+        parameters: ContactParameters,
+        persistent_source: bool,
+    ) -> Result<Self> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if source >= n {
+            return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
+        }
+        let mut infected = vec![false; n];
+        infected[source] = true;
+        Ok(ContactProcess {
+            graph,
+            source,
+            persistent_source,
+            parameters,
+            infected,
+            next_infected: vec![false; n],
+            num_infected: 1,
+            round: 0,
+        })
+    }
+
+    /// Number of currently infected vertices.
+    pub fn num_infected(&self) -> usize {
+        self.num_infected
+    }
+
+    /// Whether the epidemic has died out (no infected vertices left).
+    pub fn extinct(&self) -> bool {
+        self.num_infected == 0
+    }
+
+    /// The process parameters.
+    pub fn parameters(&self) -> ContactParameters {
+        self.parameters
+    }
+}
+
+impl SpreadingProcess for ContactProcess<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices();
+        self.next_infected[..n].fill(false);
+        // Transmission.
+        for u in 0..n {
+            if !self.infected[u] {
+                continue;
+            }
+            for v in self.graph.neighbor_iter(u) {
+                if !self.next_infected[v]
+                    && self.parameters.infection_probability > 0.0
+                    && rng.gen_bool(self.parameters.infection_probability)
+                {
+                    self.next_infected[v] = true;
+                }
+            }
+            // Recovery (skipped for the persistent source).
+            let recovers = (!self.persistent_source || u != self.source)
+                && self.parameters.recovery_probability > 0.0
+                && rng.gen_bool(self.parameters.recovery_probability);
+            if !recovers {
+                self.next_infected[u] = true;
+            }
+        }
+        if self.persistent_source {
+            self.next_infected[self.source] = true;
+        }
+        std::mem::swap(&mut self.infected, &mut self.next_infected);
+        self.num_infected = self.infected.iter().filter(|&&x| x).count();
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.infected
+    }
+
+    fn num_active(&self) -> usize {
+        self.num_infected
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_infected == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.infected.fill(false);
+        self.next_infected.fill(false);
+        self.infected[self.source] = true;
+        self.num_infected = 1;
+        self.round = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ContactParameters::new(0.5, 0.5).is_ok());
+        assert!(ContactParameters::new(-0.1, 0.5).is_err());
+        assert!(ContactParameters::new(0.5, 1.5).is_err());
+        assert!(ContactParameters::new(f64::NAN, 0.5).is_err());
+        let g = generators::cycle(5).unwrap();
+        let params = ContactParameters::new(0.5, 0.5).unwrap();
+        assert!(ContactProcess::new(&g, 9, params, true).is_err());
+        assert!(ContactProcess::new(&cobra_graph::Graph::default(), 0, params, true).is_err());
+    }
+
+    #[test]
+    fn persistent_source_never_recovers() {
+        let g = generators::cycle(12).unwrap();
+        let params = ContactParameters::new(0.2, 0.9).unwrap();
+        let mut process = ContactProcess::new(&g, 5, params, true).unwrap();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            process.step(&mut r);
+            assert!(process.active()[5], "persistent source must stay infected");
+            assert!(!process.extinct());
+        }
+    }
+
+    #[test]
+    fn without_a_persistent_source_the_epidemic_can_die_out() {
+        // High recovery, low transmission: extinction is essentially certain quickly.
+        let g = generators::cycle(12).unwrap();
+        let params = ContactParameters::new(0.05, 0.95).unwrap();
+        let mut extinctions = 0;
+        for seed in 0..20u64 {
+            let mut process = ContactProcess::new(&g, 0, params, false).unwrap();
+            let mut r = rng(seed);
+            for _ in 0..200 {
+                process.step(&mut r);
+                if process.extinct() {
+                    extinctions += 1;
+                    break;
+                }
+            }
+        }
+        assert!(extinctions >= 15, "only {extinctions}/20 runs went extinct");
+    }
+
+    #[test]
+    fn aggressive_parameters_infect_everything_with_a_persistent_source() {
+        let g = generators::complete(32).unwrap();
+        let params = ContactParameters::new(0.5, 0.2).unwrap();
+        let mut process = ContactProcess::new(&g, 0, params, true).unwrap();
+        let rounds = run_until_complete(&mut process, &mut rng(3), 100_000).unwrap();
+        assert!(rounds < 100);
+        assert!(process.is_complete());
+    }
+
+    #[test]
+    fn zero_infection_probability_never_spreads() {
+        let g = generators::complete(8).unwrap();
+        let params = ContactParameters::new(0.0, 0.0).unwrap();
+        let mut process = ContactProcess::new(&g, 0, params, true).unwrap();
+        let mut r = rng(4);
+        for _ in 0..20 {
+            process.step(&mut r);
+            assert_eq!(process.num_infected(), 1);
+        }
+        assert_eq!(process.parameters().infection_probability, 0.0);
+    }
+
+    #[test]
+    fn reset_restores_the_source_only() {
+        let g = generators::complete(16).unwrap();
+        let params = ContactParameters::new(0.4, 0.3).unwrap();
+        let mut process = ContactProcess::new(&g, 2, params, true).unwrap();
+        let mut r = rng(5);
+        for _ in 0..10 {
+            process.step(&mut r);
+        }
+        process.reset();
+        assert_eq!(process.num_infected(), 1);
+        assert!(process.active()[2]);
+        assert_eq!(process.round(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline information-spreading processes the paper positions COBRA against.
+//!
+//! * [`random_walk`] — a single simple random walk (`k = 1` COBRA): cover time `Ω(n log n)` on
+//!   every graph, the lower anchor of the branching-factor experiment (Theorem 3 discussion).
+//! * [`multiple_walks`] — `w` independent random walks started at the same vertex, the
+//!   classical "many random walks" comparison point ([Alon et al.; Elsässer & Sauerwald]).
+//! * [`push`] — the classical PUSH rumour-spreading protocol (every informed vertex pushes to
+//!   one random neighbour and *stays informed*), the simplest gossip model mentioned in the
+//!   paper's opening paragraph.
+//! * [`push_pull`] — the PUSH–PULL variant in which uninformed vertices also pull.
+//! * [`contact`] — a discrete-time SIS contact process with a persistent source, the epidemic
+//!   model family (Harris' contact process) that BIPS discretises.
+//!
+//! All baselines implement [`SpreadingProcess`](crate::process::SpreadingProcess) so they plug
+//! into the same measurement and experiment code as COBRA and BIPS.
+
+pub mod contact;
+pub mod multiple_walks;
+pub mod push;
+pub mod random_walk;
+
+pub use contact::ContactProcess;
+pub use multiple_walks::MultipleRandomWalks;
+pub use push::{PushProcess, PushPullProcess};
+pub use random_walk::RandomWalk;

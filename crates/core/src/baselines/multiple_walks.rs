@@ -1,0 +1,186 @@
+//! Multiple independent random walks from a common start vertex.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// `w` independent simple random walks started at the same vertex.
+///
+/// This is the classical "many random walks" setting (Alon et al., CPC 2011; Elsässer &
+/// Sauerwald, ICALP 2009) whose techniques the paper explains are *not* sufficient for COBRA
+/// because COBRA's walks are highly dependent. It serves as a communication-matched baseline:
+/// `w` walkers send `w` messages per round just like COBRA sends `≤ k·|C_t|`.
+#[derive(Debug, Clone)]
+pub struct MultipleRandomWalks<'g> {
+    graph: &'g Graph,
+    start: VertexId,
+    positions: Vec<VertexId>,
+    active: Vec<bool>,
+    visited: Vec<bool>,
+    num_visited: usize,
+    round: usize,
+}
+
+impl<'g> MultipleRandomWalks<'g> {
+    /// Creates `walkers` independent walks all starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `walkers == 0`,
+    /// [`CoreError::VertexOutOfRange`] for a bad start vertex and
+    /// [`CoreError::UnsuitableGraph`] for empty graphs or graphs with isolated vertices.
+    pub fn new(graph: &'g Graph, start: VertexId, walkers: usize) -> Result<Self> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if start >= n {
+            return Err(CoreError::VertexOutOfRange { vertex: start, num_vertices: n });
+        }
+        if walkers == 0 {
+            return Err(CoreError::InvalidParameters {
+                reason: "need at least one walker".to_string(),
+            });
+        }
+        if n > 1 {
+            if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+                return Err(CoreError::UnsuitableGraph {
+                    reason: format!("vertex {isolated} is isolated and can never be visited"),
+                });
+            }
+        }
+        let mut active = vec![false; n];
+        active[start] = true;
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        Ok(MultipleRandomWalks {
+            graph,
+            start,
+            positions: vec![start; walkers],
+            active,
+            visited,
+            num_visited: 1,
+            round: 0,
+        })
+    }
+
+    /// Number of walkers.
+    pub fn num_walkers(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Current positions of all walkers.
+    pub fn positions(&self) -> &[VertexId] {
+        &self.positions
+    }
+
+    /// Number of distinct vertices visited so far.
+    pub fn num_visited(&self) -> usize {
+        self.num_visited
+    }
+}
+
+impl SpreadingProcess for MultipleRandomWalks<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.active.fill(false);
+        for position in &mut self.positions {
+            let degree = self.graph.degree(*position);
+            if degree > 0 {
+                *position = self.graph.neighbor(*position, rng.gen_range(0..degree));
+            }
+            self.active[*position] = true;
+            if !self.visited[*position] {
+                self.visited[*position] = true;
+                self.num_visited += 1;
+            }
+        }
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_visited == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.active.fill(false);
+        self.visited.fill(false);
+        for p in &mut self.positions {
+            *p = self.start;
+        }
+        self.active[self.start] = true;
+        self.visited[self.start] = true;
+        self.num_visited = 1;
+        self.round = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let g = generators::cycle(5).unwrap();
+        assert!(MultipleRandomWalks::new(&g, 0, 0).is_err());
+        assert!(MultipleRandomWalks::new(&g, 9, 2).is_err());
+        assert!(MultipleRandomWalks::new(&cobra_graph::Graph::default(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn more_walkers_cover_faster_on_average() {
+        let g = generators::connected_random_regular(128, 3, &mut rng(1)).unwrap();
+        let mut total_1 = 0usize;
+        let mut total_8 = 0usize;
+        for seed in 0..5u64 {
+            let mut one = MultipleRandomWalks::new(&g, 0, 1).unwrap();
+            total_1 += run_until_complete(&mut one, &mut rng(10 + seed), 10_000_000).unwrap();
+            let mut eight = MultipleRandomWalks::new(&g, 0, 8).unwrap();
+            total_8 += run_until_complete(&mut eight, &mut rng(20 + seed), 10_000_000).unwrap();
+        }
+        assert!(total_8 < total_1, "8 walkers ({total_8}) should beat 1 walker ({total_1})");
+    }
+
+    #[test]
+    fn active_set_size_is_at_most_the_number_of_walkers() {
+        let g = generators::hypercube(5).unwrap();
+        let mut walks = MultipleRandomWalks::new(&g, 0, 6).unwrap();
+        let mut r = rng(2);
+        for _ in 0..50 {
+            walks.step(&mut r);
+            assert!(walks.num_active() <= 6);
+            assert!(walks.num_active() >= 1);
+            assert_eq!(walks.positions().len(), 6);
+        }
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let g = generators::petersen().unwrap();
+        let mut walks = MultipleRandomWalks::new(&g, 4, 3).unwrap();
+        let mut r = rng(3);
+        run_until_complete(&mut walks, &mut r, 100_000).unwrap();
+        walks.reset();
+        assert_eq!(walks.round(), 0);
+        assert_eq!(walks.num_visited(), 1);
+        assert!(walks.positions().iter().all(|&p| p == 4));
+        assert_eq!(walks.num_walkers(), 3);
+    }
+}

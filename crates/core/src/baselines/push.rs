@@ -1,0 +1,290 @@
+//! The PUSH and PUSH–PULL rumour-spreading protocols.
+//!
+//! PUSH is the "simplest model of information propagation" the paper's abstract refers to:
+//! every *informed* vertex pushes the rumour to one uniformly random neighbour each round and
+//! stays informed forever. It spreads in `O(log n)` rounds on good expanders but its
+//! per-round transmission count grows to `n` (every informed vertex keeps sending), whereas
+//! COBRA caps transmissions at `k` per *active* vertex and lets vertices go quiet — the
+//! trade-off the paper is about. PUSH–PULL additionally lets uninformed vertices pull from a
+//! random neighbour.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+fn validate<'g>(graph: &'g Graph, start: VertexId) -> Result<()> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+    }
+    if start >= n {
+        return Err(CoreError::VertexOutOfRange { vertex: start, num_vertices: n });
+    }
+    if n > 1 {
+        if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+            return Err(CoreError::UnsuitableGraph {
+                reason: format!("vertex {isolated} is isolated and can never be informed"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The classical PUSH protocol.
+#[derive(Debug, Clone)]
+pub struct PushProcess<'g> {
+    graph: &'g Graph,
+    start: VertexId,
+    informed: Vec<bool>,
+    num_informed: usize,
+    round: usize,
+    messages_sent: u64,
+}
+
+impl<'g> PushProcess<'g> {
+    /// Creates a PUSH process with a single initially informed vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VertexOutOfRange`] / [`CoreError::UnsuitableGraph`] as for the
+    /// other processes.
+    pub fn new(graph: &'g Graph, start: VertexId) -> Result<Self> {
+        validate(graph, start)?;
+        let mut informed = vec![false; graph.num_vertices()];
+        informed[start] = true;
+        Ok(PushProcess { graph, start, informed, num_informed: 1, round: 0, messages_sent: 0 })
+    }
+
+    /// Number of informed vertices.
+    pub fn num_informed(&self) -> usize {
+        self.num_informed
+    }
+
+    /// Total messages sent so far — the communication-cost metric compared against COBRA.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+impl SpreadingProcess for PushProcess<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices();
+        let mut newly = Vec::new();
+        for u in 0..n {
+            if !self.informed[u] {
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                continue;
+            }
+            self.messages_sent += 1;
+            let target = self.graph.neighbor(u, rng.gen_range(0..degree));
+            if !self.informed[target] {
+                newly.push(target);
+            }
+        }
+        for v in newly {
+            if !self.informed[v] {
+                self.informed[v] = true;
+                self.num_informed += 1;
+            }
+        }
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.informed
+    }
+
+    fn num_active(&self) -> usize {
+        self.num_informed
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_informed == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.informed.fill(false);
+        self.informed[self.start] = true;
+        self.num_informed = 1;
+        self.round = 0;
+        self.messages_sent = 0;
+    }
+}
+
+/// The PUSH–PULL protocol: informed vertices push and uninformed vertices pull, both to one
+/// uniformly random neighbour per round.
+#[derive(Debug, Clone)]
+pub struct PushPullProcess<'g> {
+    graph: &'g Graph,
+    start: VertexId,
+    informed: Vec<bool>,
+    num_informed: usize,
+    round: usize,
+    messages_sent: u64,
+}
+
+impl<'g> PushPullProcess<'g> {
+    /// Creates a PUSH–PULL process with a single initially informed vertex.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PushProcess::new`].
+    pub fn new(graph: &'g Graph, start: VertexId) -> Result<Self> {
+        validate(graph, start)?;
+        let mut informed = vec![false; graph.num_vertices()];
+        informed[start] = true;
+        Ok(PushPullProcess { graph, start, informed, num_informed: 1, round: 0, messages_sent: 0 })
+    }
+
+    /// Number of informed vertices.
+    pub fn num_informed(&self) -> usize {
+        self.num_informed
+    }
+
+    /// Total messages (push and pull requests) sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+impl SpreadingProcess for PushPullProcess<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices();
+        let mut newly = Vec::new();
+        for u in 0..n {
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                continue;
+            }
+            self.messages_sent += 1;
+            let partner = self.graph.neighbor(u, rng.gen_range(0..degree));
+            if self.informed[u] && !self.informed[partner] {
+                newly.push(partner);
+            } else if !self.informed[u] && self.informed[partner] {
+                newly.push(u);
+            }
+        }
+        for v in newly {
+            if !self.informed[v] {
+                self.informed[v] = true;
+                self.num_informed += 1;
+            }
+        }
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.informed
+    }
+
+    fn num_active(&self) -> usize {
+        self.num_informed
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_informed == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.informed.fill(false);
+        self.informed[self.start] = true;
+        self.num_informed = 1;
+        self.round = 0;
+        self.messages_sent = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let g = generators::cycle(4).unwrap();
+        assert!(PushProcess::new(&g, 9).is_err());
+        assert!(PushPullProcess::new(&g, 9).is_err());
+        assert!(PushProcess::new(&cobra_graph::Graph::default(), 0).is_err());
+    }
+
+    #[test]
+    fn informed_set_is_monotone_and_completes_on_expanders() {
+        let g = generators::complete(128).unwrap();
+        let mut push = PushProcess::new(&g, 0).unwrap();
+        let mut r = rng(1);
+        let mut previous = 1usize;
+        while !push.is_complete() {
+            push.step(&mut r);
+            assert!(push.num_informed() >= previous, "PUSH never forgets");
+            assert!(push.num_informed() <= 2 * previous, "PUSH at most doubles per round");
+            previous = push.num_informed();
+            assert!(push.round() < 1000, "PUSH must finish quickly on K_n");
+        }
+        assert!(push.round() < 60);
+        assert!(push.messages_sent() > 0);
+    }
+
+    #[test]
+    fn push_pull_is_at_least_as_fast_as_push_on_average() {
+        let g = generators::connected_random_regular(256, 3, &mut rng(2)).unwrap();
+        let mut push_total = 0usize;
+        let mut pushpull_total = 0usize;
+        for seed in 0..5u64 {
+            let mut push = PushProcess::new(&g, 0).unwrap();
+            push_total += run_until_complete(&mut push, &mut rng(100 + seed), 100_000).unwrap();
+            let mut pp = PushPullProcess::new(&g, 0).unwrap();
+            pushpull_total += run_until_complete(&mut pp, &mut rng(200 + seed), 100_000).unwrap();
+        }
+        assert!(
+            pushpull_total <= push_total,
+            "PUSH-PULL ({pushpull_total}) should not be slower than PUSH ({push_total})"
+        );
+    }
+
+    #[test]
+    fn push_message_count_grows_with_the_informed_set() {
+        let g = generators::complete(64).unwrap();
+        let mut push = PushProcess::new(&g, 0).unwrap();
+        let mut r = rng(3);
+        run_until_complete(&mut push, &mut r, 10_000).unwrap();
+        // Every informed vertex sends one message per round, so the total exceeds the number
+        // of rounds (which only a single-sender protocol would match).
+        assert!(push.messages_sent() as usize > push.round());
+    }
+
+    #[test]
+    fn reset_works_for_both_protocols() {
+        let g = generators::petersen().unwrap();
+        let mut r = rng(4);
+        let mut push = PushProcess::new(&g, 2).unwrap();
+        run_until_complete(&mut push, &mut r, 10_000).unwrap();
+        push.reset();
+        assert_eq!(push.num_informed(), 1);
+        assert_eq!(push.messages_sent(), 0);
+        let mut pp = PushPullProcess::new(&g, 2).unwrap();
+        run_until_complete(&mut pp, &mut r, 10_000).unwrap();
+        pp.reset();
+        assert_eq!(pp.num_informed(), 1);
+        assert_eq!(pp.round(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! A single simple random walk.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// A simple random walk used as the `k = 1` baseline.
+///
+/// Its cover time is `Ω(n log n)` on every graph and `Θ(n log n)` on expanders — the contrast
+/// that motivates COBRA's branching: a single token cannot cover in `O(log n)` rounds no matter
+/// how well the graph expands.
+#[derive(Debug, Clone)]
+pub struct RandomWalk<'g> {
+    graph: &'g Graph,
+    start: VertexId,
+    position: VertexId,
+    active: Vec<bool>,
+    visited: Vec<bool>,
+    num_visited: usize,
+    round: usize,
+}
+
+impl<'g> RandomWalk<'g> {
+    /// Creates a walk starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VertexOutOfRange`] if `start` is out of range and
+    /// [`CoreError::UnsuitableGraph`] for the empty graph or graphs with isolated vertices.
+    pub fn new(graph: &'g Graph, start: VertexId) -> Result<Self> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if start >= n {
+            return Err(CoreError::VertexOutOfRange { vertex: start, num_vertices: n });
+        }
+        if n > 1 {
+            if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+                return Err(CoreError::UnsuitableGraph {
+                    reason: format!("vertex {isolated} is isolated and can never be visited"),
+                });
+            }
+        }
+        let mut active = vec![false; n];
+        active[start] = true;
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        Ok(RandomWalk { graph, start, position: start, active, visited, num_visited: 1, round: 0 })
+    }
+
+    /// The current position of the walker.
+    pub fn position(&self) -> VertexId {
+        self.position
+    }
+
+    /// Number of distinct vertices visited so far.
+    pub fn num_visited(&self) -> usize {
+        self.num_visited
+    }
+}
+
+impl SpreadingProcess for RandomWalk<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let degree = self.graph.degree(self.position);
+        if degree > 0 {
+            let next = self.graph.neighbor(self.position, rng.gen_range(0..degree));
+            self.active[self.position] = false;
+            self.position = next;
+            self.active[next] = true;
+            if !self.visited[next] {
+                self.visited[next] = true;
+                self.num_visited += 1;
+            }
+        }
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    fn num_active(&self) -> usize {
+        1
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_visited == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.active.fill(false);
+        self.visited.fill(false);
+        self.position = self.start;
+        self.active[self.start] = true;
+        self.visited[self.start] = true;
+        self.num_visited = 1;
+        self.round = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let g = generators::cycle(5).unwrap();
+        assert!(RandomWalk::new(&g, 7).is_err());
+        assert!(RandomWalk::new(&cobra_graph::Graph::default(), 0).is_err());
+        let isolated = cobra_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(RandomWalk::new(&isolated, 0).is_err());
+    }
+
+    #[test]
+    fn walker_moves_along_edges_and_covers_small_graphs() {
+        let g = generators::petersen().unwrap();
+        let mut walk = RandomWalk::new(&g, 0).unwrap();
+        let mut r = rng(1);
+        let mut previous = walk.position();
+        for _ in 0..50 {
+            walk.step(&mut r);
+            assert!(g.has_edge(previous, walk.position()), "walk must follow edges");
+            assert_eq!(walk.num_active(), 1);
+            previous = walk.position();
+        }
+        walk.reset();
+        let rounds = run_until_complete(&mut walk, &mut r, 100_000).unwrap();
+        assert!(rounds >= 9, "needs at least n-1 steps, got {rounds}");
+    }
+
+    #[test]
+    fn cover_time_is_much_larger_than_cobra_on_expanders() {
+        let g = generators::complete(64).unwrap();
+        let mut r = rng(2);
+        let mut walk = RandomWalk::new(&g, 0).unwrap();
+        let walk_rounds = run_until_complete(&mut walk, &mut r, 1_000_000).unwrap();
+        let mut cobra =
+            crate::cobra::CobraProcess::new(&g, 0, crate::cobra::Branching::fixed(2).unwrap())
+                .unwrap();
+        let cobra_rounds = run_until_complete(&mut cobra, &mut r, 1_000_000).unwrap();
+        assert!(
+            walk_rounds > 3 * cobra_rounds,
+            "single walk ({walk_rounds}) should be far slower than COBRA ({cobra_rounds})"
+        );
+    }
+
+    #[test]
+    fn reset_restores_start() {
+        let g = generators::cycle(8).unwrap();
+        let mut walk = RandomWalk::new(&g, 3).unwrap();
+        let mut r = rng(3);
+        for _ in 0..10 {
+            walk.step(&mut r);
+        }
+        walk.reset();
+        assert_eq!(walk.position(), 3);
+        assert_eq!(walk.round(), 0);
+        assert_eq!(walk.num_visited(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! The BIPS (Biased Infection with Persistent Source) epidemic process.
+//!
+//! One round of BIPS with parameter `k` and source `v` on a graph `G = (V, E)`:
+//!
+//! 1. every vertex `u ≠ v` independently chooses `k` neighbours uniformly at random **with
+//!    replacement**;
+//! 2. `u` is infected in round `t+1` iff at least one chosen neighbour was infected in round
+//!    `t` — vertices *refresh* their state each round (an SIS-type dynamic);
+//! 3. the source `v` is infected in every round.
+//!
+//! The paper's Theorem 2 shows the whole graph is infected within `O(log n/(1-λ)³)` rounds
+//! w.h.p.; Theorem 4 shows BIPS is the time-reversal dual of COBRA. The fractional variant
+//! used by Corollary 1 (one sample always, a second with probability `ρ`) is supported through
+//! the same [`Branching`] type as COBRA.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::cobra::Branching;
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// A running BIPS process over a borrowed graph.
+///
+/// [`SpreadingProcess::active`] reports the *currently infected* set `A_t`;
+/// [`SpreadingProcess::is_complete`] holds when `A_t = V`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cobra_core::bips::BipsProcess;
+/// use cobra_core::cobra::Branching;
+/// use cobra_core::process::{run_until_complete, SpreadingProcess};
+/// use cobra_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(64)?;
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+/// let mut bips = BipsProcess::new(&g, 0, Branching::fixed(2)?)?;
+/// let rounds = run_until_complete(&mut bips, &mut rng, 1_000).expect("expanders are infected fast");
+/// assert!(rounds <= 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BipsProcess<'g> {
+    graph: &'g Graph,
+    source: VertexId,
+    branching: Branching,
+    infected: Vec<bool>,
+    next_infected: Vec<bool>,
+    num_infected: usize,
+    /// Vertices that have been infected at least once (used for "ever infected" statistics;
+    /// unlike COBRA's visited set this is *not* the completion criterion).
+    ever_infected: Vec<bool>,
+    round: usize,
+}
+
+impl<'g> BipsProcess<'g> {
+    /// Creates a BIPS process with the given persistent source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VertexOutOfRange`] if `source` is not a vertex of `graph`, and
+    /// [`CoreError::UnsuitableGraph`] if the graph is empty or (for `n > 1`) has an isolated
+    /// vertex, which could never be infected.
+    pub fn new(graph: &'g Graph, source: VertexId, branching: Branching) -> Result<Self> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if source >= n {
+            return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
+        }
+        if n > 1 {
+            if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+                return Err(CoreError::UnsuitableGraph {
+                    reason: format!("vertex {isolated} is isolated and can never be infected"),
+                });
+            }
+        }
+        let mut infected = vec![false; n];
+        infected[source] = true;
+        let mut ever_infected = vec![false; n];
+        ever_infected[source] = true;
+        Ok(BipsProcess {
+            graph,
+            source,
+            branching,
+            infected,
+            next_infected: vec![false; n],
+            num_infected: 1,
+            ever_infected,
+            round: 0,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The persistent source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The sampling parameter (`k` or the fractional `1+ρ`).
+    pub fn branching(&self) -> Branching {
+        self.branching
+    }
+
+    /// Number of currently infected vertices `|A_t|`.
+    pub fn num_infected(&self) -> usize {
+        self.num_infected
+    }
+
+    /// Whether `v` is currently infected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn is_infected(&self, v: VertexId) -> bool {
+        self.infected[v]
+    }
+
+    /// Indicator of the vertices that have been infected in at least one round so far.
+    pub fn ever_infected(&self) -> &[bool] {
+        &self.ever_infected
+    }
+
+    /// Number of samples vertex `u` draws this round.
+    fn samples_for<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.branching.sample_pushes(rng)
+    }
+}
+
+impl SpreadingProcess for BipsProcess<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices();
+        let mut count = 0usize;
+        for u in 0..n {
+            if u == self.source {
+                self.next_infected[u] = true;
+                count += 1;
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                self.next_infected[u] = false;
+                continue;
+            }
+            let samples = self.samples_for(rng);
+            let mut hit = false;
+            for _ in 0..samples {
+                let w = self.graph.neighbor(u, rng.gen_range(0..degree));
+                if self.infected[w] {
+                    hit = true;
+                    break;
+                }
+            }
+            self.next_infected[u] = hit;
+            if hit {
+                count += 1;
+                if !self.ever_infected[u] {
+                    self.ever_infected[u] = true;
+                }
+            }
+        }
+        std::mem::swap(&mut self.infected, &mut self.next_infected);
+        self.num_infected = count;
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.infected
+    }
+
+    fn num_active(&self) -> usize {
+        self.num_infected
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_infected == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.infected.fill(false);
+        self.next_infected.fill(false);
+        self.ever_infected.fill(false);
+        self.infected[self.source] = true;
+        self.ever_infected[self.source] = true;
+        self.num_infected = 1;
+        self.round = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let g = generators::cycle(6).unwrap();
+        assert!(matches!(
+            BipsProcess::new(&g, 10, Branching::fixed(2).unwrap()),
+            Err(CoreError::VertexOutOfRange { .. })
+        ));
+        let empty = cobra_graph::Graph::default();
+        assert!(matches!(
+            BipsProcess::new(&empty, 0, Branching::fixed(2).unwrap()),
+            Err(CoreError::UnsuitableGraph { .. })
+        ));
+        let isolated = cobra_graph::Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        assert!(matches!(
+            BipsProcess::new(&isolated, 0, Branching::fixed(2).unwrap()),
+            Err(CoreError::UnsuitableGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = generators::petersen().unwrap();
+        let p = BipsProcess::new(&g, 4, Branching::fixed(2).unwrap()).unwrap();
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.num_infected(), 1);
+        assert_eq!(p.num_active(), 1);
+        assert!(p.is_infected(4));
+        assert!(!p.is_infected(0));
+        assert_eq!(p.source(), 4);
+        assert!(!p.is_complete());
+        assert_eq!(p.branching(), Branching::Fixed { k: 2 });
+        assert_eq!(p.graph().num_vertices(), 10);
+    }
+
+    #[test]
+    fn source_is_always_infected() {
+        let g = generators::cycle(20).unwrap();
+        let mut p = BipsProcess::new(&g, 7, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            p.step(&mut r);
+            assert!(p.is_infected(7), "the persistent source must stay infected");
+            assert!(p.num_infected() >= 1);
+        }
+    }
+
+    #[test]
+    fn infection_can_recede_but_never_dies() {
+        // On a cycle with k = 2 the infected set fluctuates; it must never become empty and
+        // the counter must always match the indicator.
+        let g = generators::cycle(30).unwrap();
+        let mut p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(2);
+        for _ in 0..200 {
+            p.step(&mut r);
+            let recount = p.active().iter().filter(|&&x| x).count();
+            assert_eq!(recount, p.num_infected());
+            assert!(p.num_infected() >= 1);
+        }
+    }
+
+    #[test]
+    fn infects_expanders_quickly() {
+        let g = generators::complete(128).unwrap();
+        let mut p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let rounds = run_until_complete(&mut p, &mut rng(3), 10_000).unwrap();
+        assert!(rounds < 60, "complete graph should be infected in O(log n) rounds, got {rounds}");
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn ever_infected_is_monotone_superset_of_current() {
+        let g = generators::hypercube(6).unwrap();
+        let mut p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(4);
+        let mut previous = 1usize;
+        for _ in 0..60 {
+            p.step(&mut r);
+            let ever = p.ever_infected().iter().filter(|&&x| x).count();
+            assert!(ever >= previous, "ever-infected set must be monotone");
+            previous = ever;
+            for v in 0..p.num_vertices() {
+                if p.is_infected(v) {
+                    assert!(p.ever_infected()[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph_is_immediately_complete() {
+        let g = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        let p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let g = generators::petersen().unwrap();
+        let mut p = BipsProcess::new(&g, 1, Branching::fixed(2).unwrap()).unwrap();
+        run_until_complete(&mut p, &mut rng(5), 10_000).unwrap();
+        p.reset();
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.num_infected(), 1);
+        assert!(p.is_infected(1));
+        assert!(!p.is_complete());
+        assert!(run_until_complete(&mut p, &mut rng(6), 10_000).is_some());
+    }
+
+    #[test]
+    fn fractional_sampling_with_rho_zero_is_single_sample_sis() {
+        // rho = 0 means each vertex contacts exactly one neighbour; on the complete graph the
+        // infection still eventually spreads thanks to the persistent source.
+        let g = generators::complete(16).unwrap();
+        let mut p = BipsProcess::new(&g, 0, Branching::fractional(0.0).unwrap()).unwrap();
+        let rounds = run_until_complete(&mut p, &mut rng(7), 100_000);
+        assert!(rounds.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_identical_rngs() {
+        let g = generators::connected_random_regular(40, 3, &mut rng(8)).unwrap();
+        let run = |seed: u64| {
+            let mut p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+            run_until_complete(&mut p, &mut rng(seed), 100_000).unwrap()
+        };
+        assert_eq!(run(50), run(50));
+    }
+}

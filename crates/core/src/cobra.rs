@@ -1,0 +1,461 @@
+//! The COBRA (COalescing-BRAnching) random walk.
+//!
+//! One round of COBRA with branching factor `k` on a graph `G = (V, E)`:
+//!
+//! 1. every vertex in the current active set `C_t` independently chooses `k` neighbours
+//!    uniformly at random **with replacement**;
+//! 2. the chosen vertices form `C_{t+1}` — receiving the token from several senders coalesces
+//!    into a single copy;
+//! 3. a vertex that pushed in round `t` stops participating until it receives the token again.
+//!
+//! The paper's Theorem 1 concerns `k = 2`; Theorem 3 concerns the *fractional* branching
+//! factor `1 + ρ`, where each active vertex pushes once and, independently with probability
+//! `ρ`, a second time. Both are captured by [`Branching`].
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// Branching factor of a COBRA (or BIPS) process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Branching {
+    /// Push to exactly `k ≥ 1` neighbours, chosen independently with replacement.
+    /// `k = 1` degenerates to a simple random walk, `k = 2` is the paper's main setting.
+    Fixed {
+        /// Number of pushes per active vertex per round.
+        k: u32,
+    },
+    /// Push once, plus a second push independently with probability `ρ` — the expected
+    /// branching factor `1 + ρ` of Theorem 3.
+    Fractional {
+        /// Probability of the additional second push, in `[0, 1]`.
+        rho: f64,
+    },
+}
+
+impl Branching {
+    /// Fixed integer branching factor `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `k == 0`.
+    pub fn fixed(k: u32) -> Result<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidParameters {
+                reason: "branching factor k must be at least 1".to_string(),
+            });
+        }
+        Ok(Branching::Fixed { k })
+    }
+
+    /// Fractional branching factor `1 + ρ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `ρ` is not in `[0, 1]` or is not finite.
+    pub fn fractional(rho: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&rho) || !rho.is_finite() {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("rho = {rho} must be in [0, 1]"),
+            });
+        }
+        Ok(Branching::Fractional { rho })
+    }
+
+    /// Expected number of pushes per active vertex per round.
+    pub fn expected_factor(&self) -> f64 {
+        match self {
+            Branching::Fixed { k } => f64::from(*k),
+            Branching::Fractional { rho } => 1.0 + rho,
+        }
+    }
+
+    /// Samples the number of pushes an active vertex performs this round.
+    pub fn sample_pushes<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            Branching::Fixed { k } => *k,
+            Branching::Fractional { rho } => {
+                if *rho > 0.0 && rng.gen_bool(*rho) {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// A running COBRA process over a borrowed graph.
+///
+/// The process records, besides the current active set `C_t`, the set of vertices visited so
+/// far (`C_0 ∪ C_1 ∪ … ∪ C_t`); [`SpreadingProcess::is_complete`] holds once every vertex has
+/// been visited. The start vertex counts as visited at round 0 (the paper's definition takes
+/// the union from `t = 1`, which differs by at most one round and only for the start vertex).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cobra_core::cobra::{Branching, CobraProcess};
+/// use cobra_core::process::{run_until_complete, SpreadingProcess};
+/// use cobra_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(64)?;
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+/// let mut cobra = CobraProcess::new(&g, 0, Branching::fixed(2)?)?;
+/// let rounds = run_until_complete(&mut cobra, &mut rng, 1_000).expect("complete graph covers fast");
+/// assert!(rounds <= 30);
+/// assert_eq!(cobra.num_visited(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CobraProcess<'g> {
+    graph: &'g Graph,
+    starts: Vec<VertexId>,
+    branching: Branching,
+    active: Vec<bool>,
+    next_active: Vec<bool>,
+    visited: Vec<bool>,
+    num_visited: usize,
+    round: usize,
+}
+
+impl<'g> CobraProcess<'g> {
+    /// Creates a COBRA process starting from the single vertex `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VertexOutOfRange`] if `start` is not a vertex of `graph`, and
+    /// [`CoreError::UnsuitableGraph`] if the graph is empty or has an isolated vertex
+    /// (isolated vertices can never be covered, so every run would exhaust its budget).
+    pub fn new(graph: &'g Graph, start: VertexId, branching: Branching) -> Result<Self> {
+        Self::with_start_set(graph, &[start], branching)
+    }
+
+    /// Creates a COBRA process whose initial active set `C_0` is the given set of vertices.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CobraProcess::new`], plus [`CoreError::InvalidParameters`] if `starts` is
+    /// empty.
+    pub fn with_start_set(
+        graph: &'g Graph,
+        starts: &[VertexId],
+        branching: Branching,
+    ) -> Result<Self> {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if starts.is_empty() {
+            return Err(CoreError::InvalidParameters {
+                reason: "initial active set must not be empty".to_string(),
+            });
+        }
+        if let Some(&bad) = starts.iter().find(|&&v| v >= n) {
+            return Err(CoreError::VertexOutOfRange { vertex: bad, num_vertices: n });
+        }
+        if n > 1 {
+            if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+                return Err(CoreError::UnsuitableGraph {
+                    reason: format!("vertex {isolated} is isolated and can never be visited"),
+                });
+            }
+        }
+        let mut process = CobraProcess {
+            graph,
+            starts: starts.to_vec(),
+            branching,
+            active: vec![false; n],
+            next_active: vec![false; n],
+            visited: vec![false; n],
+            num_visited: 0,
+            round: 0,
+        };
+        for &v in starts {
+            if !process.active[v] {
+                process.active[v] = true;
+            }
+            if !process.visited[v] {
+                process.visited[v] = true;
+                process.num_visited += 1;
+            }
+        }
+        Ok(process)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The branching factor configuration.
+    pub fn branching(&self) -> Branching {
+        self.branching
+    }
+
+    /// Number of distinct vertices visited so far (including the start set).
+    pub fn num_visited(&self) -> usize {
+        self.num_visited
+    }
+
+    /// Indicator of the vertices visited so far.
+    pub fn visited(&self) -> &[bool] {
+        &self.visited
+    }
+
+    /// Whether `v` has been visited (received the token at least once, or was a start vertex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    pub fn is_visited(&self, v: VertexId) -> bool {
+        self.visited[v]
+    }
+}
+
+impl SpreadingProcess for CobraProcess<'_> {
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.graph.num_vertices();
+        self.next_active[..n].fill(false);
+        for u in 0..n {
+            if !self.active[u] {
+                continue;
+            }
+            let degree = self.graph.degree(u);
+            if degree == 0 {
+                continue;
+            }
+            let pushes = self.branching.sample_pushes(rng);
+            for _ in 0..pushes {
+                let target = self.graph.neighbor(u, rng.gen_range(0..degree));
+                if !self.next_active[target] {
+                    self.next_active[target] = true;
+                    if !self.visited[target] {
+                        self.visited[target] = true;
+                        self.num_visited += 1;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        self.round += 1;
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    fn is_complete(&self) -> bool {
+        self.num_visited == self.graph.num_vertices()
+    }
+
+    fn reset(&mut self) {
+        self.active.fill(false);
+        self.next_active.fill(false);
+        self.visited.fill(false);
+        for &v in &self.starts {
+            self.active[v] = true;
+            self.visited[v] = true;
+        }
+        self.num_visited = self.visited.iter().filter(|&&x| x).count();
+        self.round = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn branching_constructors_validate() {
+        assert!(Branching::fixed(0).is_err());
+        assert!(Branching::fixed(2).is_ok());
+        assert!(Branching::fractional(-0.1).is_err());
+        assert!(Branching::fractional(1.5).is_err());
+        assert!(Branching::fractional(f64::NAN).is_err());
+        assert_eq!(Branching::fixed(3).unwrap().expected_factor(), 3.0);
+        assert_eq!(Branching::fractional(0.25).unwrap().expected_factor(), 1.25);
+    }
+
+    #[test]
+    fn branching_sampling_bounds() {
+        let mut r = rng(1);
+        let fixed = Branching::fixed(2).unwrap();
+        for _ in 0..100 {
+            assert_eq!(fixed.sample_pushes(&mut r), 2);
+        }
+        let zero = Branching::fractional(0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(zero.sample_pushes(&mut r), 1);
+        }
+        let one = Branching::fractional(1.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(one.sample_pushes(&mut r), 2);
+        }
+        let half = Branching::fractional(0.5).unwrap();
+        let twos = (0..2000).filter(|_| half.sample_pushes(&mut r) == 2).count();
+        assert!((800..1200).contains(&twos), "got {twos} double pushes out of 2000");
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let g = generators::cycle(5).unwrap();
+        assert!(matches!(
+            CobraProcess::new(&g, 9, Branching::fixed(2).unwrap()),
+            Err(CoreError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            CobraProcess::with_start_set(&g, &[], Branching::fixed(2).unwrap()),
+            Err(CoreError::InvalidParameters { .. })
+        ));
+        let empty = cobra_graph::Graph::default();
+        assert!(matches!(
+            CobraProcess::new(&empty, 0, Branching::fixed(2).unwrap()),
+            Err(CoreError::UnsuitableGraph { .. })
+        ));
+        let isolated = cobra_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            CobraProcess::new(&isolated, 0, Branching::fixed(2).unwrap()),
+            Err(CoreError::UnsuitableGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_state() {
+        let g = generators::petersen().unwrap();
+        let p = CobraProcess::new(&g, 3, Branching::fixed(2).unwrap()).unwrap();
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.num_active(), 1);
+        assert_eq!(p.num_visited(), 1);
+        assert!(p.is_visited(3));
+        assert!(!p.is_visited(0));
+        assert!(!p.is_complete());
+        assert_eq!(p.branching(), Branching::Fixed { k: 2 });
+        assert_eq!(p.graph().num_vertices(), 10);
+    }
+
+    #[test]
+    fn step_keeps_active_set_within_branching_bound() {
+        // |C_{t+1}| <= k |C_t| because each active vertex pushes at most k tokens.
+        let g = generators::connected_random_regular(60, 3, &mut rng(5)).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(6);
+        let mut previous = p.num_active();
+        for _ in 0..40 {
+            p.step(&mut r);
+            let current = p.num_active();
+            assert!(current <= 2 * previous, "{current} > 2 * {previous}");
+            assert!(current >= 1, "the active set never dies out");
+            previous = current;
+        }
+    }
+
+    #[test]
+    fn visited_set_is_monotone_and_contains_active() {
+        let g = generators::hypercube(6).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(7);
+        let mut previous_visited = p.num_visited();
+        for _ in 0..50 {
+            p.step(&mut r);
+            assert!(p.num_visited() >= previous_visited);
+            previous_visited = p.num_visited();
+            for v in 0..p.num_vertices() {
+                if p.active()[v] {
+                    assert!(p.is_visited(v), "active vertex {v} must be visited");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_small_expanders_quickly() {
+        let g = generators::complete(128).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let rounds = run_until_complete(&mut p, &mut rng(8), 10_000).unwrap();
+        assert!(rounds < 60, "complete graph should cover in O(log n) rounds, took {rounds}");
+        assert!(p.is_complete());
+        assert_eq!(p.num_visited(), 128);
+    }
+
+    #[test]
+    fn k1_on_a_path_behaves_like_a_random_walk() {
+        // With k = 1 exactly one vertex is active each round (a single walker).
+        let g = generators::path(10).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fixed(1).unwrap()).unwrap();
+        let mut r = rng(9);
+        for _ in 0..200 {
+            p.step(&mut r);
+            assert_eq!(p.num_active(), 1);
+        }
+    }
+
+    #[test]
+    fn single_vertex_graph_is_immediately_complete() {
+        let g = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        let p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.num_visited(), 1);
+    }
+
+    #[test]
+    fn reset_restores_the_initial_configuration() {
+        let g = generators::petersen().unwrap();
+        let mut p = CobraProcess::new(&g, 2, Branching::fixed(2).unwrap()).unwrap();
+        run_until_complete(&mut p, &mut rng(10), 1_000).unwrap();
+        assert!(p.is_complete());
+        p.reset();
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.num_active(), 1);
+        assert_eq!(p.num_visited(), 1);
+        assert!(p.active()[2]);
+        assert!(!p.is_complete());
+        // The process still works after a reset.
+        assert!(run_until_complete(&mut p, &mut rng(11), 1_000).is_some());
+    }
+
+    #[test]
+    fn multi_vertex_start_set() {
+        let g = generators::cycle(12).unwrap();
+        let p = CobraProcess::with_start_set(&g, &[0, 6], Branching::fixed(2).unwrap()).unwrap();
+        assert_eq!(p.num_active(), 2);
+        assert_eq!(p.num_visited(), 2);
+    }
+
+    #[test]
+    fn fractional_branching_still_covers() {
+        let g = generators::connected_random_regular(64, 4, &mut rng(12)).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fractional(0.5).unwrap()).unwrap();
+        let rounds = run_until_complete(&mut p, &mut rng(13), 100_000).unwrap();
+        assert!(rounds > 0);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn deterministic_given_identical_rngs() {
+        let g = generators::connected_random_regular(40, 3, &mut rng(14)).unwrap();
+        let run = |seed: u64| {
+            let mut p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+            run_until_complete(&mut p, &mut rng(seed), 100_000).unwrap()
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

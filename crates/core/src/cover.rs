@@ -1,0 +1,257 @@
+//! Cover-time and hitting-time measurement for the COBRA process.
+//!
+//! The paper's central quantity is the cover time `cov(u)`: the number of rounds until every
+//! vertex has been visited by a COBRA process started at `u`. This module packages the
+//! measurement loops (single runs, per-vertex hitting times, growth traces) used by the
+//! experiments and benchmarks.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::cobra::{Branching, CobraProcess};
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// Outcome of a single COBRA run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverOutcome {
+    /// Round in which the last vertex was visited.
+    pub rounds: usize,
+    /// Number of vertices of the instance.
+    pub num_vertices: usize,
+}
+
+/// Runs a COBRA process from `start` until the whole graph is covered and returns the number
+/// of rounds taken.
+///
+/// # Errors
+///
+/// Returns construction errors from [`CobraProcess::new`] and
+/// [`CoreError::RoundBudgetExceeded`] if the graph is not covered within `max_rounds`
+/// (e.g. a disconnected graph, or a budget far below the true cover time).
+pub fn cover_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    start: VertexId,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<CoverOutcome> {
+    let mut process = CobraProcess::new(graph, start, branching)?;
+    match crate::process::run_until_complete(&mut process, rng, max_rounds) {
+        Some(rounds) => Ok(CoverOutcome { rounds, num_vertices: graph.num_vertices() }),
+        None => Err(CoreError::RoundBudgetExceeded { max_rounds }),
+    }
+}
+
+/// Per-vertex first-visit times of a single COBRA run.
+///
+/// `hitting[v]` is the first round in which `v` became active (`0` for the start vertex);
+/// vertices never visited within the budget get `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HittingTimes {
+    /// First-visit round per vertex.
+    pub first_visit: Vec<Option<usize>>,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl HittingTimes {
+    /// The hitting time of `target`, if it was reached.
+    pub fn hitting_time(&self, target: VertexId) -> Option<usize> {
+        self.first_visit.get(target).copied().flatten()
+    }
+
+    /// Whether every vertex was visited.
+    pub fn covered(&self) -> bool {
+        self.first_visit.iter().all(Option::is_some)
+    }
+
+    /// The cover time (maximum first-visit round), if every vertex was visited.
+    pub fn cover_time(&self) -> Option<usize> {
+        self.first_visit.iter().copied().collect::<Option<Vec<usize>>>().map(|v| {
+            v.into_iter().max().unwrap_or(0)
+        })
+    }
+}
+
+/// Runs one COBRA trajectory from the start set `starts` for at most `max_rounds` rounds (or
+/// until covered) recording each vertex's first-visit round.
+///
+/// # Errors
+///
+/// Returns construction errors from [`CobraProcess::with_start_set`].
+pub fn hitting_times<R: Rng + ?Sized>(
+    graph: &Graph,
+    starts: &[VertexId],
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<HittingTimes> {
+    let mut process = CobraProcess::with_start_set(graph, starts, branching)?;
+    let n = graph.num_vertices();
+    let mut first_visit: Vec<Option<usize>> = vec![None; n];
+    for &s in starts {
+        first_visit[s] = Some(0);
+    }
+    let mut rounds = 0usize;
+    while !process.is_complete() && rounds < max_rounds {
+        process.step(rng);
+        rounds += 1;
+        for v in 0..n {
+            if process.active()[v] && first_visit[v].is_none() {
+                first_visit[v] = Some(rounds);
+            }
+        }
+    }
+    Ok(HittingTimes { first_visit, rounds })
+}
+
+/// The growth trace of one COBRA run: number of *distinct visited* vertices after each round
+/// (index 0 is the initial state), truncated at completion or the round budget.
+///
+/// # Errors
+///
+/// Returns construction errors from [`CobraProcess::new`].
+pub fn coverage_curve<R: Rng + ?Sized>(
+    graph: &Graph,
+    start: VertexId,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    let mut process = CobraProcess::new(graph, start, branching)?;
+    let mut curve = Vec::with_capacity(max_rounds.min(1024) + 1);
+    curve.push(process.num_visited());
+    while !process.is_complete() && process.round() < max_rounds {
+        process.step(rng);
+        curve.push(process.num_visited());
+    }
+    Ok(curve)
+}
+
+/// Worst-case starting vertex: runs [`cover_time`] from every vertex (one trial each) and
+/// returns the maximum observed rounds. Intended for small graphs and unit tests; experiments
+/// aggregate many trials via the harness instead.
+///
+/// # Errors
+///
+/// Propagates the first error from [`cover_time`].
+pub fn worst_case_cover_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<usize> {
+    let mut worst = 0usize;
+    for start in graph.vertices() {
+        let outcome = cover_time(graph, start, branching, max_rounds, rng)?;
+        worst = worst.max(outcome.rounds);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    fn k2() -> Branching {
+        Branching::fixed(2).unwrap()
+    }
+
+    #[test]
+    fn cover_time_on_complete_graph_is_logarithmic() {
+        let g = generators::complete(256).unwrap();
+        let outcome = cover_time(&g, 0, k2(), 10_000, &mut rng(1)).unwrap();
+        assert_eq!(outcome.num_vertices, 256);
+        assert!(outcome.rounds >= 8, "at least log2(n) rounds are needed, got {}", outcome.rounds);
+        assert!(outcome.rounds < 80, "cover time {} should be O(log n)", outcome.rounds);
+    }
+
+    #[test]
+    fn cover_time_budget_exhaustion_is_an_error() {
+        let g = generators::cycle(64).unwrap();
+        let err = cover_time(&g, 0, k2(), 3, &mut rng(2)).unwrap_err();
+        assert_eq!(err, CoreError::RoundBudgetExceeded { max_rounds: 3 });
+    }
+
+    #[test]
+    fn cover_time_propagates_construction_errors() {
+        let g = generators::cycle(5).unwrap();
+        assert!(matches!(
+            cover_time(&g, 99, k2(), 10, &mut rng(3)),
+            Err(CoreError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn hitting_times_structure() {
+        let g = generators::complete(32).unwrap();
+        let ht = hitting_times(&g, &[0], k2(), 10_000, &mut rng(4)).unwrap();
+        assert_eq!(ht.hitting_time(0), Some(0));
+        assert!(ht.covered());
+        let cover = ht.cover_time().unwrap();
+        assert_eq!(cover, ht.rounds);
+        // Hitting times are bounded by the cover time and at least 1 for non-start vertices.
+        for v in 1..32 {
+            let h = ht.hitting_time(v).unwrap();
+            assert!(h >= 1 && h <= cover);
+        }
+        assert_eq!(ht.hitting_time(999), None);
+    }
+
+    #[test]
+    fn hitting_times_with_budget_too_small_leaves_gaps() {
+        let g = generators::cycle(40).unwrap();
+        let ht = hitting_times(&g, &[0], k2(), 2, &mut rng(5)).unwrap();
+        assert!(!ht.covered());
+        assert_eq!(ht.cover_time(), None);
+        assert_eq!(ht.rounds, 2);
+        // Vertices at distance more than 2 cannot have been reached.
+        assert_eq!(ht.hitting_time(20), None);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_ends_at_n() {
+        let g = generators::hypercube(7).unwrap();
+        let curve = coverage_curve(&g, 0, k2(), 100_000, &mut rng(6)).unwrap();
+        assert_eq!(curve[0], 1);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]), "visited count must be monotone");
+        assert_eq!(*curve.last().unwrap(), 128);
+        // Early growth is at most a doubling per round (k = 2).
+        for w in curve.windows(2) {
+            assert!(w[1] <= 2 * w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn worst_case_cover_time_dominates_a_single_run() {
+        let g = generators::petersen().unwrap();
+        let single = cover_time(&g, 0, k2(), 10_000, &mut rng(7)).unwrap().rounds;
+        let worst = worst_case_cover_time(&g, k2(), 10_000, &mut rng(7)).unwrap();
+        assert!(worst >= 1);
+        assert!(worst + 50 > single, "sanity: both quantities are in the same ballpark");
+    }
+
+    #[test]
+    fn multi_start_covers_faster_on_average_than_single_start() {
+        // Not a theorem, but overwhelmingly true on a cycle where both arcs must be traversed.
+        let g = generators::cycle(60).unwrap();
+        let trials = 10;
+        let mut single = 0usize;
+        let mut multi = 0usize;
+        for t in 0..trials {
+            single += hitting_times(&g, &[0], k2(), 100_000, &mut rng(100 + t)).unwrap().rounds;
+            multi += hitting_times(&g, &[0, 20, 40], k2(), 100_000, &mut rng(200 + t))
+                .unwrap()
+                .rounds;
+        }
+        assert!(multi < single, "three sources should cover the cycle faster ({multi} vs {single})");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for process construction and measurement.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or running spreading processes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A start or source vertex is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: usize,
+        /// Number of vertices of the graph.
+        num_vertices: usize,
+    },
+    /// The graph cannot support the requested process (empty, has an isolated vertex that can
+    /// never be reached, …).
+    UnsuitableGraph {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Invalid process parameters (zero branching factor, probability outside `[0,1]`, …).
+    InvalidParameters {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A run exceeded its round budget without completing.
+    RoundBudgetExceeded {
+        /// The budget that was exhausted.
+        max_rounds: usize,
+    },
+    /// An exact computation was requested on a graph too large for it.
+    TooLargeForExact {
+        /// Number of vertices supplied.
+        num_vertices: usize,
+        /// Largest supported size.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range for graph with {num_vertices} vertices")
+            }
+            CoreError::UnsuitableGraph { reason } => {
+                write!(f, "graph unsuitable for this process: {reason}")
+            }
+            CoreError::InvalidParameters { reason } => {
+                write!(f, "invalid process parameters: {reason}")
+            }
+            CoreError::RoundBudgetExceeded { max_rounds } => {
+                write!(f, "process did not complete within {max_rounds} rounds")
+            }
+            CoreError::TooLargeForExact { num_vertices, limit } => write!(
+                f,
+                "exact computation supports at most {limit} vertices, got {num_vertices}"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::VertexOutOfRange { vertex: 9, num_vertices: 4 }, "vertex 9 out of range"),
+            (CoreError::UnsuitableGraph { reason: "empty".into() }, "unsuitable"),
+            (CoreError::InvalidParameters { reason: "k must be positive".into() }, "invalid"),
+            (CoreError::RoundBudgetExceeded { max_rounds: 10 }, "10 rounds"),
+            (CoreError::TooLargeForExact { num_vertices: 99, limit: 12 }, "at most 12"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Infection-time measurement for the BIPS process.
+//!
+//! Mirrors [`crate::cover`] for the dual process: `infec(v)` is the first round in which the
+//! infected set equals the whole vertex set when the persistent source is `v` (Theorem 2).
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::bips::BipsProcess;
+use crate::cobra::Branching;
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// Outcome of a single BIPS run to full infection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfectionOutcome {
+    /// First round in which every vertex was infected simultaneously.
+    pub rounds: usize,
+    /// Number of vertices of the instance.
+    pub num_vertices: usize,
+}
+
+/// Runs BIPS with source `source` until the whole graph is infected, returning the round count.
+///
+/// # Errors
+///
+/// Returns construction errors from [`BipsProcess::new`] and
+/// [`CoreError::RoundBudgetExceeded`] if full infection is not reached within `max_rounds`.
+pub fn infection_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: VertexId,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<InfectionOutcome> {
+    let mut process = BipsProcess::new(graph, source, branching)?;
+    match crate::process::run_until_complete(&mut process, rng, max_rounds) {
+        Some(rounds) => Ok(InfectionOutcome { rounds, num_vertices: graph.num_vertices() }),
+        None => Err(CoreError::RoundBudgetExceeded { max_rounds }),
+    }
+}
+
+/// The growth trace of one BIPS run: `|A_t|` for `t = 0, 1, …`, truncated at full infection or
+/// the round budget.
+///
+/// # Errors
+///
+/// Returns construction errors from [`BipsProcess::new`].
+pub fn infection_curve<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: VertexId,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>> {
+    let mut process = BipsProcess::new(graph, source, branching)?;
+    let mut curve = Vec::with_capacity(max_rounds.min(1024) + 1);
+    curve.push(process.num_infected());
+    while !process.is_complete() && process.round() < max_rounds {
+        process.step(rng);
+        curve.push(process.num_infected());
+    }
+    Ok(curve)
+}
+
+/// First round at which the infected set reaches at least `fraction` of all vertices, within
+/// the budget.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameters`] if `fraction` is not in `(0, 1]`, construction
+/// errors from [`BipsProcess::new`], and [`CoreError::RoundBudgetExceeded`] if the threshold
+/// is not reached in time.
+pub fn time_to_fraction<R: Rng + ?Sized>(
+    graph: &Graph,
+    source: VertexId,
+    branching: Branching,
+    fraction: f64,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<usize> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(CoreError::InvalidParameters {
+            reason: format!("fraction {fraction} must be in (0, 1]"),
+        });
+    }
+    let mut process = BipsProcess::new(graph, source, branching)?;
+    let threshold = (fraction * graph.num_vertices() as f64).ceil() as usize;
+    if process.num_infected() >= threshold {
+        return Ok(0);
+    }
+    for round in 1..=max_rounds {
+        process.step(rng);
+        if process.num_infected() >= threshold {
+            return Ok(round);
+        }
+    }
+    Err(CoreError::RoundBudgetExceeded { max_rounds })
+}
+
+/// Worst-case source: runs [`infection_time`] from every vertex (one trial each) and returns
+/// the maximum observed rounds. Intended for small graphs and tests.
+///
+/// # Errors
+///
+/// Propagates the first error from [`infection_time`].
+pub fn worst_case_infection_time<R: Rng + ?Sized>(
+    graph: &Graph,
+    branching: Branching,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<usize> {
+    let mut worst = 0usize;
+    for source in graph.vertices() {
+        let outcome = infection_time(graph, source, branching, max_rounds, rng)?;
+        worst = worst.max(outcome.rounds);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    fn k2() -> Branching {
+        Branching::fixed(2).unwrap()
+    }
+
+    #[test]
+    fn infection_time_on_complete_graph_is_logarithmic() {
+        let g = generators::complete(256).unwrap();
+        let outcome = infection_time(&g, 0, k2(), 10_000, &mut rng(1)).unwrap();
+        assert!(outcome.rounds >= 7, "needs at least ~log2(n) rounds, got {}", outcome.rounds);
+        assert!(outcome.rounds < 100, "infection time {} should be O(log n)", outcome.rounds);
+        assert_eq!(outcome.num_vertices, 256);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error() {
+        let g = generators::cycle(50).unwrap();
+        let err = infection_time(&g, 0, k2(), 2, &mut rng(2)).unwrap_err();
+        assert_eq!(err, CoreError::RoundBudgetExceeded { max_rounds: 2 });
+    }
+
+    #[test]
+    fn infection_curve_starts_at_one_and_ends_at_n() {
+        let g = generators::hypercube(7).unwrap();
+        let curve = infection_curve(&g, 0, k2(), 100_000, &mut rng(3)).unwrap();
+        assert_eq!(curve[0], 1);
+        assert_eq!(*curve.last().unwrap(), 128);
+        // Unlike COBRA's visited set, |A_t| need not be monotone, but it is always >= 1.
+        assert!(curve.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    fn time_to_fraction_is_monotone_in_the_fraction() {
+        let g = generators::connected_random_regular(128, 4, &mut rng(4)).unwrap();
+        let t_half = time_to_fraction(&g, 0, k2(), 0.5, 100_000, &mut rng(5)).unwrap();
+        let t_nine_tenths = time_to_fraction(&g, 0, k2(), 0.9, 100_000, &mut rng(5)).unwrap();
+        assert!(t_half <= t_nine_tenths);
+        assert_eq!(time_to_fraction(&g, 0, k2(), 1.0 / 128.0, 10, &mut rng(6)).unwrap(), 0);
+    }
+
+    #[test]
+    fn time_to_fraction_validates_input() {
+        let g = generators::complete(8).unwrap();
+        assert!(matches!(
+            time_to_fraction(&g, 0, k2(), 0.0, 10, &mut rng(7)),
+            Err(CoreError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            time_to_fraction(&g, 0, k2(), 1.5, 10, &mut rng(7)),
+            Err(CoreError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn worst_case_infection_time_runs_all_sources() {
+        let g = generators::petersen().unwrap();
+        let worst = worst_case_infection_time(&g, k2(), 100_000, &mut rng(8)).unwrap();
+        assert!(worst >= 2, "even the best source needs a couple of rounds, got {worst}");
+        assert!(worst < 1000);
+    }
+
+    #[test]
+    fn infection_time_with_k1_still_terminates_on_small_expanders() {
+        let g = generators::complete(12).unwrap();
+        let outcome = infection_time(&g, 0, Branching::fixed(1).unwrap(), 1_000_000, &mut rng(9));
+        assert!(outcome.is_ok());
+    }
+}

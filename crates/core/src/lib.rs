@@ -1,0 +1,66 @@
+//! COBRA coalescing-branching random walks and the dual BIPS epidemic process.
+//!
+//! This crate is the primary contribution of the reproduction of *"The Coalescing-Branching
+//! Random Walk on Expanders and the Dual Epidemic Process"* (Cooper, Radzik, Rivera;
+//! PODC 2016). It implements, over the [`cobra_graph`] substrate:
+//!
+//! * [`cobra`] — the COBRA process: every active vertex pushes to `k` uniformly random
+//!   neighbours (with replacement), duplicates coalesce, and a vertex is active next round iff
+//!   it received a push this round. Both the paper's integer branching factor `k` and the
+//!   fractional `1+ρ` branching of Theorem 3 are supported.
+//! * [`bips`] — the dual **B**iased **I**nfection with **P**ersistent **S**ource process: a
+//!   fixed source stays infected forever and every other vertex re-samples `k` random
+//!   neighbours each round, becoming infected iff it sampled an infected neighbour.
+//! * [`duality`] — exact (small graphs) and Monte-Carlo (large graphs) verification of the
+//!   time-reversal duality of Theorem 4: `P̂(Hit_C(v) > t) = P(C ∩ A_t = ∅ | A_0 = {v})`.
+//! * [`cover`] / [`infection`] — cover-time, hitting-time and infection-time measurement,
+//!   including growth traces of the visited/infected sets.
+//! * [`growth`] — empirical verification of the one-step growth bound of Lemma 1 /
+//!   Corollary 1.
+//! * [`theory`] — the paper's round budgets (`log n/(1-λ)³`, per-phase bounds, prior-work
+//!   bounds) used for measured-vs-theory comparisons.
+//! * [`baselines`] — the processes the paper positions COBRA against: the simple random walk,
+//!   multiple independent random walks, PUSH, PUSH–PULL and a discrete SIS contact process.
+//!
+//! # Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cobra_core::cobra::{Branching, CobraProcess};
+//! use cobra_core::process::{run_until_complete, SpreadingProcess};
+//! use cobra_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let graph = generators::hypercube(7)?; // 128 vertices
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+//! let mut process = CobraProcess::new(&graph, 0, Branching::fixed(2)?)?;
+//! let rounds = run_until_complete(&mut process, &mut rng, 10_000)
+//!     .expect("an expander is covered quickly");
+//! assert!(rounds < 100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod bips;
+pub mod cobra;
+pub mod cover;
+pub mod duality;
+pub mod growth;
+pub mod infection;
+pub mod process;
+pub mod theory;
+
+mod error;
+
+pub use bips::BipsProcess;
+pub use cobra::{Branching, CobraProcess};
+pub use error::CoreError;
+pub use process::SpreadingProcess;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

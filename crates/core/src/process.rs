@@ -1,0 +1,169 @@
+//! The common interface of round-based spreading processes.
+
+use rand::Rng;
+
+/// A synchronous, round-based process spreading information (or infection) over a fixed graph.
+///
+/// All the processes in this workspace — COBRA, BIPS, PUSH, PUSH–PULL, random walks, the
+/// contact process — advance in discrete rounds over an immutable graph, maintain a set of
+/// "currently active" vertices and have a notion of completion (all vertices visited, or all
+/// vertices infected). This trait captures exactly that surface so measurement code
+/// ([`run_until_complete`], growth traces, the experiment harness) is written once.
+pub trait SpreadingProcess {
+    /// Advances the process by one round.
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Number of rounds performed so far (0 for a freshly constructed process).
+    fn round(&self) -> usize;
+
+    /// Indicator of the vertices that are active (hold the token / are infected) **in the
+    /// current round**.
+    fn active(&self) -> &[bool];
+
+    /// Number of active vertices in the current round.
+    fn num_active(&self) -> usize {
+        self.active().iter().filter(|&&a| a).count()
+    }
+
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize {
+        self.active().len()
+    }
+
+    /// Whether the process has reached its completion condition (e.g. every vertex visited at
+    /// least once for COBRA, every vertex currently infected for BIPS).
+    fn is_complete(&self) -> bool;
+
+    /// Resets the process to its initial state (round 0) so the same allocation can be reused
+    /// across Monte-Carlo trials.
+    fn reset(&mut self);
+}
+
+/// Runs `process` until [`SpreadingProcess::is_complete`] holds or `max_rounds` rounds have
+/// been executed, returning the completion round or `None` on budget exhaustion.
+///
+/// If the process is already complete, returns `Some(current round)` without stepping.
+pub fn run_until_complete<P, R>(process: &mut P, rng: &mut R, max_rounds: usize) -> Option<usize>
+where
+    P: SpreadingProcess + ?Sized,
+    R: Rng + ?Sized,
+{
+    if process.is_complete() {
+        return Some(process.round());
+    }
+    for _ in 0..max_rounds {
+        process.step(rng);
+        if process.is_complete() {
+            return Some(process.round());
+        }
+    }
+    None
+}
+
+/// Runs `process` for up to `max_rounds` rounds recording the number of active vertices after
+/// every round (index 0 holds the initial count), stopping early on completion.
+pub fn trace_active_counts<P, R>(process: &mut P, rng: &mut R, max_rounds: usize) -> Vec<usize>
+where
+    P: SpreadingProcess + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut trace = Vec::with_capacity(max_rounds + 1);
+    trace.push(process.num_active());
+    for _ in 0..max_rounds {
+        if process.is_complete() {
+            break;
+        }
+        process.step(rng);
+        trace.push(process.num_active());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    /// A deterministic fake process: one new vertex becomes active each round.
+    #[derive(Debug)]
+    struct Sweep {
+        active: Vec<bool>,
+        round: usize,
+    }
+
+    impl Sweep {
+        fn new(n: usize) -> Self {
+            let mut active = vec![false; n];
+            active[0] = true;
+            Sweep { active, round: 0 }
+        }
+    }
+
+    impl SpreadingProcess for Sweep {
+        fn step<R: Rng + ?Sized>(&mut self, _rng: &mut R) {
+            self.round += 1;
+            if self.round < self.active.len() {
+                self.active[self.round] = true;
+            }
+        }
+
+        fn round(&self) -> usize {
+            self.round
+        }
+
+        fn active(&self) -> &[bool] {
+            &self.active
+        }
+
+        fn is_complete(&self) -> bool {
+            self.active.iter().all(|&a| a)
+        }
+
+        fn reset(&mut self) {
+            let n = self.active.len();
+            self.active = vec![false; n];
+            self.active[0] = true;
+            self.round = 0;
+        }
+    }
+
+    #[test]
+    fn run_until_complete_counts_rounds() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut p = Sweep::new(5);
+        assert_eq!(p.num_vertices(), 5);
+        assert_eq!(p.num_active(), 1);
+        let rounds = run_until_complete(&mut p, &mut rng, 100).unwrap();
+        assert_eq!(rounds, 4);
+        // Already complete: returns the current round without stepping.
+        assert_eq!(run_until_complete(&mut p, &mut rng, 100), Some(4));
+    }
+
+    #[test]
+    fn run_until_complete_respects_budget() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut p = Sweep::new(10);
+        assert_eq!(run_until_complete(&mut p, &mut rng, 3), None);
+        assert_eq!(p.round(), 3);
+    }
+
+    #[test]
+    fn trace_records_initial_and_per_round_counts() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut p = Sweep::new(4);
+        let trace = trace_active_counts(&mut p, &mut rng, 100);
+        assert_eq!(trace, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut p = Sweep::new(3);
+        run_until_complete(&mut p, &mut rng, 10);
+        p.reset();
+        assert_eq!(p.round(), 0);
+        assert_eq!(p.num_active(), 1);
+        assert!(!p.is_complete());
+    }
+}

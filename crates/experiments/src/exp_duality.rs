@@ -1,0 +1,214 @@
+//! E4 — Theorem 4: the exact duality between COBRA hitting-time tails and BIPS avoidance
+//! probabilities.
+//!
+//! Two regimes:
+//!
+//! * **exact** — for every small named graph (and a couple of random ones) the full subset
+//!   dynamic programs compute both sides of the identity for all ordered vertex pairs and all
+//!   rounds up to `t_max`; the identity must hold to numerical precision;
+//! * **Monte Carlo** — on a larger random regular graph, both sides are estimated by
+//!   independent sampling and compared with a two-proportion z-test.
+
+use cobra_core::cobra::Branching;
+use cobra_core::duality;
+use cobra_graph::generators::{self, GraphFamily};
+use cobra_stats::rng::SeedSequence;
+use cobra_stats::table::{fmt_float, Table};
+
+use crate::instances::Instance;
+use crate::result::{ExperimentResult, Finding};
+
+/// Configuration of the E4 duality check.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Horizon `t_max` for the exact computation.
+    pub exact_t_max: usize,
+    /// Sizes of additional random regular graphs (3-regular) to verify exactly (each must be
+    /// at most [`cobra_core::duality::EXACT_LIMIT`]).
+    pub exact_random_sizes: Vec<usize>,
+    /// Size of the Monte-Carlo instance.
+    pub monte_carlo_n: usize,
+    /// Rounds checked by the Monte-Carlo comparison.
+    pub monte_carlo_rounds: Vec<usize>,
+    /// Trials per side for the Monte-Carlo comparison.
+    pub monte_carlo_trials: usize,
+    /// Branching factors to verify.
+    pub branchings: Vec<Branching>,
+}
+
+impl Config {
+    /// Small preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            exact_t_max: 6,
+            exact_random_sizes: vec![8],
+            monte_carlo_n: 64,
+            monte_carlo_rounds: vec![3, 6],
+            monte_carlo_trials: 2_000,
+            branchings: vec![Branching::fixed(2).expect("valid k")],
+        }
+    }
+
+    /// Full preset for the `repro` binary.
+    pub fn full() -> Self {
+        Config {
+            exact_t_max: 12,
+            exact_random_sizes: vec![8, 10, 12],
+            monte_carlo_n: 512,
+            monte_carlo_rounds: vec![2, 4, 6, 8, 12],
+            monte_carlo_trials: 20_000,
+            branchings: vec![
+                Branching::fixed(1).expect("valid k"),
+                Branching::fixed(2).expect("valid k"),
+                Branching::fixed(3).expect("valid k"),
+                Branching::fractional(0.5).expect("valid rho"),
+            ],
+        }
+    }
+}
+
+/// Runs E4 and produces its tables and findings.
+pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
+    let seq = seq.child("e4-duality");
+
+    // --- exact part ------------------------------------------------------------------------
+    let mut exact_table = Table::with_headers(
+        "E4a: exact duality check (max |P(Hit_C(v) > t) - P(C cap A_t = empty)|)",
+        &["graph", "n", "branching", "max |difference|", "comparisons"],
+    );
+    // All-pairs exact verification is exponential in n, so it is reserved for graphs with at
+    // most 8 vertices; larger exact instances (Petersen, random 3-regular graphs up to the
+    // exact limit) are spot-checked on a handful of (C, v) pairs including a non-singleton C.
+    let all_pairs: Vec<(String, cobra_graph::Graph)> = vec![
+        ("triangle".into(), generators::triangle().expect("triangle")),
+        ("path-5".into(), generators::path(5).expect("path")),
+        ("cycle-6".into(), generators::cycle(6).expect("cycle")),
+        ("diamond".into(), generators::diamond().expect("diamond")),
+        ("bull".into(), generators::bull().expect("bull")),
+        ("star-6".into(), generators::star(6).expect("star")),
+        ("cube-Q3".into(), generators::hypercube(3).expect("cube")),
+    ];
+    let mut spot_checked: Vec<(String, cobra_graph::Graph)> =
+        vec![("petersen".into(), generators::petersen().expect("petersen"))];
+    for (i, &n) in config.exact_random_sizes.iter().enumerate() {
+        let mut rng = seq.trial_rng("exact-instance", i as u64);
+        let g = generators::connected_random_regular(n, 3, &mut rng)
+            .expect("small random regular graph");
+        spot_checked.push((format!("random-3-regular-n{n}"), g));
+    }
+
+    let mut worst_exact = 0.0f64;
+    for (label, graph) in &all_pairs {
+        for &branching in &config.branchings {
+            let report = duality::verify_duality_exact(graph, branching, config.exact_t_max)
+                .expect("graphs are within the exact limit");
+            worst_exact = worst_exact.max(report.max_abs_difference);
+            exact_table.add_row(vec![
+                label.clone(),
+                graph.num_vertices().to_string(),
+                format!("{branching:?}"),
+                format!("{:.2e}", report.max_abs_difference),
+                report.comparisons.to_string(),
+            ]);
+        }
+    }
+    for (label, graph) in &spot_checked {
+        let n = graph.num_vertices();
+        // Singleton, pair and triple start sets against a far-away target.
+        let cases: Vec<(Vec<usize>, usize)> =
+            vec![(vec![0], n - 1), (vec![0, n / 2], n - 1), (vec![0, 1, n / 2], n - 2)];
+        for &branching in &config.branchings {
+            let mut worst_here = 0.0f64;
+            let mut comparisons = 0usize;
+            for (start_set, target) in &cases {
+                let report = duality::verify_duality_exact_for_set(
+                    graph,
+                    start_set,
+                    *target,
+                    branching,
+                    config.exact_t_max,
+                )
+                .expect("graphs are within the exact limit");
+                worst_here = worst_here.max(report.max_abs_difference);
+                comparisons += report.comparisons;
+            }
+            worst_exact = worst_exact.max(worst_here);
+            exact_table.add_row(vec![
+                label.clone(),
+                n.to_string(),
+                format!("{branching:?}"),
+                format!("{worst_here:.2e}"),
+                comparisons.to_string(),
+            ]);
+        }
+    }
+
+    // --- Monte-Carlo part ------------------------------------------------------------------
+    let mut mc_table = Table::with_headers(
+        "E4b: Monte-Carlo duality check on a larger expander",
+        &["n", "t", "P(Hit > t) est", "P(avoid) est", "z"],
+    );
+    let family = GraphFamily::RandomRegular { n: config.monte_carlo_n, r: 3 };
+    let instance = Instance::build(&family, &seq, 1000);
+    let mut worst_z = 0.0f64;
+    let mut mc_rng = seq.trial_rng("monte-carlo", 0);
+    for &t in &config.monte_carlo_rounds {
+        let check = duality::verify_duality_monte_carlo(
+            &instance.graph,
+            &[0],
+            instance.graph.num_vertices() / 2,
+            Branching::fixed(2).expect("valid k"),
+            t,
+            config.monte_carlo_trials,
+            &mut mc_rng,
+        )
+        .expect("valid Monte-Carlo configuration");
+        worst_z = worst_z.max(check.z_score.abs());
+        mc_table.add_row(vec![
+            config.monte_carlo_n.to_string(),
+            t.to_string(),
+            fmt_float(check.cobra_tail),
+            fmt_float(check.bips_avoidance),
+            fmt_float(check.z_score),
+        ]);
+    }
+
+    let findings = vec![
+        Finding::new(
+            "max_exact_difference",
+            worst_exact,
+            "largest absolute difference between the two sides of Theorem 4 over all exact checks",
+        ),
+        Finding::new(
+            "max_monte_carlo_z",
+            worst_z,
+            "largest |z| of the two-proportion test on the Monte-Carlo instance",
+        ),
+    ];
+
+    ExperimentResult {
+        id: "E4".into(),
+        title: "COBRA/BIPS duality".into(),
+        claim: "Theorem 4: P(Hit_C(v) > t | C_0 = C) = P(C cap A_t = empty | A_0 = {v}) for all \
+                C, v, t"
+            .into(),
+        tables: vec![exact_table, mc_table],
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duality_holds_exactly_and_statistically() {
+        let result = run(&Config::quick(), &SeedSequence::new(31));
+        assert_eq!(result.id, "E4");
+        assert_eq!(result.tables.len(), 2);
+        let exact = result.finding("max_exact_difference").unwrap().value;
+        assert!(exact < 1e-9, "exact duality violated: {exact}");
+        let z = result.finding("max_monte_carlo_z").unwrap().value;
+        assert!(z < 4.5, "Monte-Carlo duality rejected: z = {z}");
+    }
+}

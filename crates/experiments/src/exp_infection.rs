@@ -1,0 +1,186 @@
+//! E3 — Theorem 2: the BIPS infection time obeys the same `O(log n / (1-λ)³)` budget as the
+//! COBRA cover time, and the two quantities track each other on the same instances
+//! (as the duality predicts).
+//!
+//! Workload: the same expander families as E1. For every instance we measure both the BIPS
+//! infection time and the COBRA cover time and report their ratio; the headline findings are
+//! the logarithmic-fit slope of the infection time and the worst-case cover/infection ratio.
+
+use cobra_core::cobra::Branching;
+use cobra_core::{cover, infection};
+use cobra_graph::generators::GraphFamily;
+use cobra_stats::parallel::{run_measured_trials, TrialConfig};
+use cobra_stats::regression::log_fit;
+use cobra_stats::rng::SeedSequence;
+use cobra_stats::table::{fmt_float, Table};
+
+use crate::instances::Instance;
+use crate::result::{ExperimentResult, Finding};
+
+/// Configuration of the E3 sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Vertex counts of the random-regular instances.
+    pub sizes: Vec<usize>,
+    /// Degree of the random-regular instances.
+    pub degree: usize,
+    /// Whether to include the complete graph of each size.
+    pub include_complete: bool,
+    /// Monte-Carlo trials per instance.
+    pub trials: usize,
+    /// Round budget per trial.
+    pub max_rounds: usize,
+}
+
+impl Config {
+    /// Small preset for tests.
+    pub fn quick() -> Self {
+        Config {
+            sizes: vec![64, 128, 256],
+            degree: 4,
+            include_complete: true,
+            trials: 8,
+            max_rounds: 100_000,
+        }
+    }
+
+    /// Full preset for the `repro` binary.
+    pub fn full() -> Self {
+        Config {
+            sizes: vec![128, 256, 512, 1024, 2048, 4096],
+            degree: 4,
+            include_complete: true,
+            trials: 50,
+            max_rounds: 1_000_000,
+        }
+    }
+
+    fn families(&self) -> Vec<GraphFamily> {
+        let mut families = Vec::new();
+        for &n in &self.sizes {
+            families.push(GraphFamily::RandomRegular { n, r: self.degree });
+            if self.include_complete {
+                families.push(GraphFamily::Complete { n });
+            }
+        }
+        families
+    }
+}
+
+/// Runs E3 and produces its table and findings.
+pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
+    let seq = seq.child("e3-infection");
+    let instances = Instance::build_all(&config.families(), &seq);
+    let branching = Branching::fixed(2).expect("k = 2 is valid");
+
+    let mut table = Table::with_headers(
+        "E3: BIPS infection time vs COBRA cover time (k=2)",
+        &["graph", "n", "lambda", "infection mean", "cover mean", "infection/cover", "T bound"],
+    );
+
+    let mut ns = Vec::new();
+    let mut infection_means = Vec::new();
+    let mut ratios = Vec::new();
+
+    for (index, instance) in instances.iter().enumerate() {
+        let infection_label = format!("bips-{}-{}", instance.label, index);
+        let (infection_summary, _) = run_measured_trials(
+            &seq,
+            &infection_label,
+            TrialConfig::parallel(config.trials),
+            |_, rng| {
+                infection::infection_time(&instance.graph, 0, branching, config.max_rounds, rng)
+                    .map(|o| o.rounds as f64)
+                    .unwrap_or(f64::NAN)
+            },
+        );
+        let cover_label = format!("cobra-{}-{}", instance.label, index);
+        let (cover_summary, _) = run_measured_trials(
+            &seq,
+            &cover_label,
+            TrialConfig::parallel(config.trials),
+            |_, rng| {
+                cover::cover_time(&instance.graph, 0, branching, config.max_rounds, rng)
+                    .map(|o| o.rounds as f64)
+                    .unwrap_or(f64::NAN)
+            },
+        );
+        let ratio = infection_summary.mean() / cover_summary.mean();
+        table.add_row(vec![
+            instance.label.clone(),
+            instance.graph.num_vertices().to_string(),
+            fmt_float(instance.profile.lambda_abs),
+            fmt_float(infection_summary.mean()),
+            fmt_float(cover_summary.mean()),
+            fmt_float(ratio),
+            fmt_float(instance.bounds.cobra_cover),
+        ]);
+        ns.push(instance.graph.num_vertices() as f64);
+        infection_means.push(infection_summary.mean());
+        ratios.push(ratio);
+    }
+
+    let mut findings = Vec::new();
+    if let Some(fit) = log_fit(&ns, &infection_means) {
+        findings.push(Finding::new(
+            "infection_log_fit_slope",
+            fit.slope,
+            "slope of infection time ~ a + b ln n over expander instances",
+        ));
+        findings.push(Finding::new(
+            "infection_log_fit_r_squared",
+            fit.r_squared,
+            "R^2 of the logarithmic fit for the infection time",
+        ));
+    }
+    if let Some(max_ratio) = ratios.iter().cloned().reduce(f64::max) {
+        let min_ratio = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        findings.push(Finding::new(
+            "max_infection_over_cover",
+            max_ratio,
+            "largest infection/cover ratio — duality predicts the two stay within a constant factor",
+        ));
+        findings.push(Finding::new(
+            "min_infection_over_cover",
+            min_ratio,
+            "smallest infection/cover ratio",
+        ));
+    }
+
+    ExperimentResult {
+        id: "E3".into(),
+        title: "BIPS infection time on expanders".into(),
+        claim: "Theorem 2: infec(v) = O(log n/(1-lambda)^3) in expectation and w.h.p.; by \
+                Theorem 4 it is of the same order as the COBRA cover time"
+            .into(),
+        tables: vec![table],
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_theorem_2_shape() {
+        let result = run(&Config::quick(), &SeedSequence::new(23));
+        assert_eq!(result.id, "E3");
+        assert!(result.tables[0].num_rows() >= 6);
+        let slope = result.finding("infection_log_fit_slope").unwrap().value;
+        assert!(slope > 0.0 && slope < 30.0, "slope {slope}");
+        let max_ratio = result.finding("max_infection_over_cover").unwrap().value;
+        let min_ratio = result.finding("min_infection_over_cover").unwrap().value;
+        assert!(
+            max_ratio < 6.0 && min_ratio > 0.2,
+            "infection and cover times should be within a small constant factor \
+             (got {min_ratio}..{max_ratio})"
+        );
+    }
+
+    #[test]
+    fn families_include_both_sparse_and_dense_instances() {
+        let config = Config::quick();
+        assert_eq!(config.families().len(), 2 * config.sizes.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! Instance preparation shared by the experiments: build a graph family member and attach its
+//! spectral profile and theory budgets.
+
+use cobra_core::theory::TheoryBounds;
+use cobra_graph::generators::GraphFamily;
+use cobra_graph::Graph;
+use cobra_spectral::SpectralProfile;
+use cobra_stats::rng::SeedSequence;
+
+/// A fully prepared experiment instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable label (from the graph family).
+    pub label: String,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Its spectral profile (`λ`, gap, …).
+    pub profile: SpectralProfile,
+    /// The theoretical round budgets evaluated for this instance.
+    pub bounds: TheoryBounds,
+}
+
+impl Instance {
+    /// Builds the instance for a graph family, deriving generator randomness from the seed
+    /// sequence (label `"instance"`, index = a hash-stable index supplied by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family parameters are invalid or the spectral analysis fails — experiment
+    /// configurations are code, not user input, so a loud failure is the right behaviour.
+    pub fn build(family: &GraphFamily, seq: &SeedSequence, index: u64) -> Self {
+        let mut rng = seq.trial_rng("instance", index);
+        let graph = family
+            .instantiate(&mut rng)
+            .unwrap_or_else(|e| panic!("invalid experiment instance {family:?}: {e}"));
+        let profile = cobra_spectral::analyze(&graph)
+            .unwrap_or_else(|e| panic!("spectral analysis failed for {family:?}: {e}"));
+        let bounds = TheoryBounds::from_profile(&profile);
+        Instance { label: family.label(), graph, profile, bounds }
+    }
+
+    /// Builds one instance per family, with consecutive indices.
+    pub fn build_all(families: &[GraphFamily], seq: &SeedSequence) -> Vec<Instance> {
+        families
+            .iter()
+            .enumerate()
+            .map(|(i, family)| Instance::build(family, seq, i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_carry_consistent_metadata() {
+        let seq = SeedSequence::new(1);
+        let families = vec![
+            GraphFamily::Complete { n: 32 },
+            GraphFamily::RandomRegular { n: 40, r: 4 },
+            GraphFamily::Hypercube { dim: 5 },
+        ];
+        let instances = Instance::build_all(&families, &seq);
+        assert_eq!(instances.len(), 3);
+        for (instance, family) in instances.iter().zip(families.iter()) {
+            assert_eq!(instance.graph.num_vertices(), family.num_vertices());
+            assert_eq!(instance.profile.n, instance.graph.num_vertices());
+            assert_eq!(instance.bounds.n, instance.profile.n);
+            assert_eq!(instance.label, family.label());
+            assert!(instance.profile.lambda_abs <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn instance_building_is_deterministic() {
+        let seq = SeedSequence::new(9);
+        let family = GraphFamily::RandomRegular { n: 30, r: 3 };
+        let a = Instance::build(&family, &seq, 0);
+        let b = Instance::build(&family, &seq, 0);
+        assert_eq!(a.graph, b.graph);
+        let c = Instance::build(&family, &seq, 1);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment instance")]
+    fn invalid_family_panics_loudly() {
+        let seq = SeedSequence::new(1);
+        let family = GraphFamily::RandomRegular { n: 5, r: 7 };
+        let _ = Instance::build(&family, &seq, 0);
+    }
+}

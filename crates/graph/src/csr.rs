@@ -1,0 +1,435 @@
+//! Compressed sparse row (CSR) storage of an undirected simple graph.
+//!
+//! The representation is immutable: once a [`Graph`] is constructed its vertex and edge sets
+//! never change. All simulation crates treat graphs as shared, read-only topology, which makes
+//! the CSR layout ideal — neighbour lists are contiguous slices, so the hot operation of the
+//! COBRA/BIPS processes ("pick a uniformly random neighbour of `v`") is a single bounds-checked
+//! index into a slice.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{GraphError, Result};
+
+/// Identifier of a vertex: graphs are always vertex sets `{0, 1, …, n-1}`.
+pub type VertexId = usize;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Construct one with [`Graph::from_edges`], the [`GraphBuilder`](crate::GraphBuilder), or a
+/// generator from [`generators`](crate::generators).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), cobra_graph::GraphError> {
+/// use cobra_graph::Graph;
+///
+/// // A triangle.
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.regular_degree(), Some(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`. Length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-vertex sorted adjacency lists. Length `2 * m`.
+    neighbors: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Each pair `(u, v)` is interpreted as the undirected edge `{u, v}`. The edge list must
+    /// describe a *simple* graph: no self-loops and no duplicate edges (in either orientation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] for an edge `{v, v}`, and [`GraphError::DuplicateEdge`] if the
+    /// same undirected edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self> {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            let prev = *offsets.last().expect("offsets is never empty");
+            offsets.push(prev + degree[v]);
+        }
+
+        let mut neighbors = vec![0 as VertexId; 2 * edges.len()];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            neighbors[cursor[u]] = v;
+            cursor[u] += 1;
+            neighbors[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+
+        // Sort each adjacency list and detect duplicates.
+        for v in 0..n {
+            let slice = &mut neighbors[offsets[v]..offsets[v + 1]];
+            slice.sort_unstable();
+            if let Some(w) = slice.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge { u: v.min(w[0]), v: v.max(w[0]) });
+            }
+        }
+
+        Ok(Graph { offsets, neighbors })
+    }
+
+    /// Builds a graph directly from per-vertex adjacency lists.
+    ///
+    /// This is mostly useful for generators that naturally produce adjacency lists; the lists
+    /// must be symmetric (if `v ∈ adj[u]` then `u ∈ adj[v]`), loop-free and duplicate-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Graph::from_edges`], plus
+    /// [`GraphError::InvalidParameters`] if the lists are not symmetric.
+    pub fn from_adjacency(adj: &[Vec<VertexId>]) -> Result<Self> {
+        let n = adj.len();
+        let mut edges = Vec::new();
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let graph = Graph::from_edges(n, &edges)?;
+        // Verify symmetry: every directed arc must have had a mirror.
+        if graph.neighbors.len() != adj.iter().map(Vec::len).sum::<usize>() {
+            return Err(GraphError::InvalidParameters {
+                reason: "adjacency lists are not symmetric".to_string(),
+            });
+        }
+        Ok(graph)
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_vertices() == 0
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.num_vertices()`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The (sorted) neighbours of `v` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.num_vertices()`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The `i`-th neighbour of `v` (neighbours are sorted ascending).
+    ///
+    /// This is the sampling primitive used by the random processes: drawing `i` uniformly from
+    /// `0..degree(v)` yields a uniformly random neighbour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.num_vertices()` or `i >= self.degree(v)`.
+    #[inline]
+    pub fn neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        let slice = self.neighbors(v);
+        slice[i]
+    }
+
+    /// Returns `true` if `{u, v}` is an edge. Runs in `O(log deg(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`, in ascending order of `u`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over the neighbours of `v`.
+    pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        NeighborIter { inner: self.neighbors(v).iter() }
+    }
+
+    /// If every vertex has the same degree `r`, returns `Some(r)`; otherwise `None`.
+    ///
+    /// For the empty graph this returns `None`, and for a graph with isolated vertices only it
+    /// returns `Some(0)`.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let n = self.num_vertices();
+        if n == 0 {
+            return None;
+        }
+        let r = self.degree(0);
+        if self.vertices().all(|v| self.degree(v) == r) {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Minimum degree over all vertices, or `None` for the empty graph.
+    pub fn min_degree(&self) -> Option<usize> {
+        self.vertices().map(|v| self.degree(v)).min()
+    }
+
+    /// Maximum degree over all vertices, or `None` for the empty graph.
+    pub fn max_degree(&self) -> Option<usize> {
+        self.vertices().map(|v| self.degree(v)).max()
+    }
+
+    /// Average degree `2m / n`, or `None` for the empty graph.
+    pub fn average_degree(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.neighbors.len() as f64 / self.num_vertices() as f64)
+        }
+    }
+
+    /// Collects the edge list `(u, v)` with `u < v`.
+    pub fn to_edge_list(&self) -> Vec<(VertexId, VertexId)> {
+        self.edges().collect()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("regular_degree", &self.regular_degree())
+            .finish()
+    }
+}
+
+impl Default for Graph {
+    /// The empty graph (no vertices, no edges).
+    fn default() -> Self {
+        Graph { offsets: vec![0], neighbors: Vec::new() }
+    }
+}
+
+/// Iterator over the neighbours of a vertex, produced by [`Graph::neighbor_iter`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    inner: std::slice::Iter<'a, VertexId>,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for NeighborIter<'a> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).expect("triangle is a valid graph")
+    }
+
+    #[test]
+    fn triangle_basic_properties() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.regular_degree(), Some(2));
+        assert_eq!(g.min_degree(), Some(2));
+        assert_eq!(g.max_degree(), Some(2));
+        assert_eq!(g.average_degree(), Some(2.0));
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, &[(4, 0), (0, 2), (0, 1), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn neighbor_indexing_matches_slice() {
+        let g = triangle();
+        for v in g.vertices() {
+            for i in 0..g.degree(v) {
+                assert_eq!(g.neighbor(v, i), g.neighbors(v)[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_and_correct() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let edges = g.to_edge_list();
+        assert_eq!(edges.len(), 5);
+        for &(u, v) in &edges {
+            assert!(u < v);
+        }
+        // Reconstructing from the listed edges gives the same graph.
+        let g2 = Graph::from_edges(4, &edges).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Graph::from_edges(3, &[(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 });
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        let err = Graph::from_edges(3, &[(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicate_edges_in_any_orientation() {
+        let err = Graph::from_edges(3, &[(0, 1), (1, 0)]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+        let err = Graph::from_edges(3, &[(0, 1), (0, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn from_adjacency_round_trips() {
+        let g = triangle();
+        let adj: Vec<Vec<usize>> = g.vertices().map(|v| g.neighbors(v).to_vec()).collect();
+        let g2 = Graph::from_adjacency(&adj).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_adjacency_rejects_asymmetric_lists() {
+        let adj = vec![vec![1], vec![]];
+        let err = Graph::from_adjacency(&adj).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn default_graph_is_empty() {
+        let g = Graph::default();
+        assert!(g.is_empty());
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.min_degree(), None);
+        assert_eq!(g.average_degree(), None);
+    }
+
+    #[test]
+    fn graph_with_isolated_vertices() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.regular_degree(), None);
+        assert_eq!(g.min_degree(), Some(0));
+    }
+
+    #[test]
+    fn neighbor_iter_is_exact_size() {
+        let g = triangle();
+        let it = g.neighbor_iter(0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty_and_summarised() {
+        let g = triangle();
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("num_vertices"));
+        assert!(dbg.contains('3'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Elementary graph families: complete graphs, complete bipartite graphs, cycles, paths, stars.
+
+use crate::{Graph, GraphError, Result};
+
+/// The complete graph `K_n` — the best possible expander, `λ = 1/(n-1)`.
+///
+/// The paper's Theorem 1 covers the full degree range `3 ≤ r ≤ n-1`, with `K_n` (`r = n-1`)
+/// matching the `O(log n)` cover-time result of Dutta et al. for the complete graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "complete graph needs at least 1 vertex".to_string(),
+        });
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The complete bipartite graph `K_{a,b}` with parts `{0..a}` and `{a..a+b}`.
+///
+/// Bipartite graphs have `λ_n = -1`, so they fall outside the paper's hypotheses; they are
+/// included as negative test instances for the spectral tooling.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "complete bipartite graph needs both sides non-empty".to_string(),
+        });
+    }
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+/// The cycle `C_n` (2-regular, spectral gap `Θ(1/n²)`) — the canonical poor expander.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("cycle needs at least 3 vertices, got {n}"),
+        });
+    }
+    let edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The path `P_n` on `n` vertices (`n - 1` edges).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n == 0`.
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "path needs at least 1 vertex".to_string(),
+        });
+    }
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|v| (v, v + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The star `S_n` on `n` vertices: vertex 0 is the centre, vertices `1..n` are leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("star needs at least 2 vertices, got {n}"),
+        });
+    }
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn complete_graph_structure() {
+        let g = complete(7).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 21);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(ops::is_connected(&g));
+        assert_eq!(ops::diameter(&g), Some(1));
+        assert!(complete(0).is_err());
+        // K1 and K2 degenerate cases.
+        assert_eq!(complete(1).unwrap().num_edges(), 0);
+        assert_eq!(complete(2).unwrap().num_edges(), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(ops::is_bipartite(&g));
+        assert!(ops::is_connected(&g));
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert!(complete_bipartite(0, 3).is_err());
+        assert!(complete_bipartite(3, 0).is_err());
+    }
+
+    #[test]
+    fn balanced_complete_bipartite_is_regular() {
+        let g = complete_bipartite(5, 5).unwrap();
+        assert_eq!(g.regular_degree(), Some(5));
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(10).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert!(ops::is_connected(&g));
+        assert!(cycle(2).is_err());
+        assert_eq!(cycle(3).unwrap().num_edges(), 3);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(6).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert!(ops::is_connected(&g));
+        assert!(path(0).is_err());
+        assert_eq!(path(1).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(8).unwrap();
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.degree(0), 7);
+        for v in 1..8 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert!(ops::is_bipartite(&g));
+        assert!(star(1).is_err());
+    }
+}

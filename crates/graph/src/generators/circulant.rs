@@ -1,0 +1,116 @@
+//! Circulant graphs — a deterministic family with a tunable spectral gap.
+//!
+//! The gap-sweep experiment (E2) needs graphs whose second eigenvalue can be dialled while the
+//! vertex count stays fixed. Circulant graphs `C_n(1, 2, …, k)` (the `k`-th power of a cycle)
+//! do exactly that: they are `2k`-regular with eigenvalues that are partial Dirichlet kernels,
+//! so the gap grows smoothly from `Θ(1/n²)` (the plain cycle, `k = 1`) towards `Θ(1)` as
+//! `k → n/2`.
+
+use crate::{Graph, GraphBuilder, GraphError, Result};
+
+/// The circulant graph on `n` vertices with the given connection offsets.
+///
+/// Vertex `v` is adjacent to `v ± o (mod n)` for every offset `o`. Offsets must be in
+/// `1..=n/2`; the offset `n/2` (when `n` is even) contributes a single edge per vertex.
+/// Duplicate offsets are rejected so the degree is predictable.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 3`, an offset is zero or larger than
+/// `n/2`, or an offset is repeated.
+pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("circulant graph needs at least 3 vertices, got {n}"),
+        });
+    }
+    let mut seen = vec![false; n / 2 + 1];
+    for &o in offsets {
+        if o == 0 || o > n / 2 {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("circulant offset {o} must be in 1..={}", n / 2),
+            });
+        }
+        if seen[o] {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("circulant offset {o} repeated"),
+            });
+        }
+        seen[o] = true;
+    }
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..n {
+        for &o in offsets {
+            builder.add_edge(v, (v + o) % n)?;
+        }
+    }
+    builder.build()
+}
+
+/// The `k`-th power of the cycle `C_n`: circulant with offsets `1..=k`, `2k`-regular
+/// (or `(2k-1)`-regular when `n` is even and `k = n/2`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `k == 0` or `k > n/2` (see [`circulant`]).
+pub fn cycle_power(n: usize, k: usize) -> Result<Graph> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle power must be at least 1".to_string(),
+        });
+    }
+    let offsets: Vec<usize> = (1..=k).collect();
+    circulant(n, &offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn cycle_power_one_is_the_cycle() {
+        let g = cycle_power(11, 1).unwrap();
+        assert_eq!(g, crate::generators::cycle(11).unwrap());
+    }
+
+    #[test]
+    fn cycle_power_degrees() {
+        let g = cycle_power(20, 3).unwrap();
+        assert_eq!(g.regular_degree(), Some(6));
+        assert!(ops::is_connected(&g));
+        // Max power on even n folds the antipodal offset into a single edge.
+        let g = cycle_power(10, 5).unwrap();
+        assert_eq!(g.regular_degree(), Some(9));
+        assert_eq!(g, crate::generators::complete(10).unwrap());
+    }
+
+    #[test]
+    fn circulant_with_sparse_offsets() {
+        let g = circulant(12, &[1, 5]).unwrap();
+        assert_eq!(g.regular_degree(), Some(4));
+        assert!(ops::is_connected(&g));
+        assert!(g.has_edge(0, 5));
+        assert!(g.has_edge(0, 7)); // 0 - 5 mod 12
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn circulant_rejects_bad_offsets() {
+        assert!(circulant(2, &[1]).is_err());
+        assert!(circulant(10, &[0]).is_err());
+        assert!(circulant(10, &[6]).is_err());
+        assert!(circulant(10, &[2, 2]).is_err());
+        assert!(cycle_power(10, 0).is_err());
+        assert!(cycle_power(10, 6).is_err());
+    }
+
+    #[test]
+    fn disconnected_circulant_when_offsets_share_a_factor() {
+        // Offsets {2} on 10 vertices splits into odd/even cycles.
+        let g = circulant(10, &[2]).unwrap();
+        assert!(!ops::is_connected(&g));
+        let (_, count) = ops::connected_components(&g);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Composite "bad expander" families: barbells, lollipops and rings of cliques.
+//!
+//! These graphs have small cuts (bottlenecks), hence tiny spectral gaps, and provide the
+//! contrast points for the cover-time experiments: on them neither a simple random walk nor
+//! COBRA can beat the bottleneck, so the measured cover times grow polynomially in `n` rather
+//! than logarithmically.
+
+use crate::{Graph, GraphBuilder, GraphError, Result};
+
+/// The barbell graph: two cliques `K_k` joined by a single edge.
+///
+/// Vertices `0..k` form the first clique, `k..2k` the second, and the bridge is `{k-1, k}`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `k < 2`.
+pub fn barbell(k: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("barbell cliques need at least 2 vertices, got {k}"),
+        });
+    }
+    let mut builder = GraphBuilder::new(2 * k);
+    for offset in [0, k] {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                builder.add_edge(offset + u, offset + v)?;
+            }
+        }
+    }
+    builder.add_edge(k - 1, k)?;
+    builder.build()
+}
+
+/// The lollipop graph: a clique `K_k` with a path of `path_len` extra vertices attached.
+///
+/// Vertices `0..k` form the clique; vertices `k..k+path_len` form the path, attached to clique
+/// vertex `k - 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `k < 2` or `path_len == 0`.
+pub fn lollipop(k: usize, path_len: usize) -> Result<Graph> {
+    if k < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("lollipop clique needs at least 2 vertices, got {k}"),
+        });
+    }
+    if path_len == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "lollipop path must have at least 1 vertex".to_string(),
+        });
+    }
+    let n = k + path_len;
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            builder.add_edge(u, v)?;
+        }
+    }
+    builder.add_edge(k - 1, k)?;
+    for v in k..(n - 1) {
+        builder.add_edge(v, v + 1)?;
+    }
+    builder.build()
+}
+
+/// A ring of `cliques` cliques of `size` vertices each, consecutive cliques joined by one edge.
+///
+/// Clique `i` occupies vertices `i*size..(i+1)*size`; the bridge from clique `i` to clique
+/// `i+1 (mod cliques)` connects the last vertex of `i` to the first vertex of `i+1`. With many
+/// small cliques the graph behaves like a cycle (gap `Θ(1/cliques²)`), which makes the family
+/// useful for gap sweeps at (almost) constant degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `cliques < 3` or `size < 2`.
+pub fn ring_of_cliques(cliques: usize, size: usize) -> Result<Graph> {
+    if cliques < 3 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("ring of cliques needs at least 3 cliques, got {cliques}"),
+        });
+    }
+    if size < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("ring of cliques needs clique size at least 2, got {size}"),
+        });
+    }
+    let n = cliques * size;
+    let mut builder = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                builder.add_edge(base + u, base + v)?;
+            }
+        }
+        let next_base = ((c + 1) % cliques) * size;
+        builder.add_edge(base + size - 1, next_base)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(5).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 2 * 10 + 1);
+        assert!(ops::is_connected(&g));
+        assert!(g.has_edge(4, 5));
+        assert!(!g.has_edge(0, 9));
+        assert!(barbell(1).is_err());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3).unwrap();
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 6 + 1 + 2);
+        assert!(ops::is_connected(&g));
+        assert_eq!(g.degree(6), 1); // end of the path
+        assert!(lollipop(1, 3).is_err());
+        assert!(lollipop(4, 0).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 5).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 10 + 4);
+        assert!(ops::is_connected(&g));
+        // Bridge endpoints have degree size, inner vertices size - 1.
+        let stats = ops::degree_stats(&g).unwrap();
+        assert_eq!(stats.min, 4);
+        assert_eq!(stats.max, 5);
+        assert!(ring_of_cliques(2, 5).is_err());
+        assert!(ring_of_cliques(4, 1).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_has_long_diameter() {
+        let few = ring_of_cliques(3, 4).unwrap();
+        let many = ring_of_cliques(12, 4).unwrap();
+        assert!(ops::diameter(&many).unwrap() > ops::diameter(&few).unwrap());
+    }
+}

@@ -1,0 +1,86 @@
+//! The Boolean hypercube `Q_d`.
+
+use crate::{Graph, GraphError, Result};
+
+/// The `d`-dimensional Boolean hypercube `Q_d` on `2^d` vertices.
+///
+/// Vertices are bit strings of length `d` (encoded as integers); two vertices are adjacent iff
+/// they differ in exactly one bit. The graph is `d`-regular with transition-matrix eigenvalues
+/// `1 - 2i/d` (`i = 0..d`), hence `λ = 1 - 2/d`: the spectral gap shrinks with the dimension,
+/// which makes the hypercube a useful intermediate family between the complete graph and tori.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `dim == 0` or `dim >= usize::BITS`.
+pub fn hypercube(dim: u32) -> Result<Graph> {
+    if dim == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "hypercube dimension must be at least 1".to_string(),
+        });
+    }
+    if dim >= usize::BITS {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("hypercube dimension {dim} too large for this platform"),
+        });
+    }
+    let n = 1usize << dim;
+    let mut edges = Vec::with_capacity(n * dim as usize / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1usize << bit);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn q1_is_an_edge() {
+        let g = hypercube(1).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn q3_is_the_cube() {
+        let g = hypercube(3).unwrap();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(ops::is_connected(&g));
+        assert!(ops::is_bipartite(&g));
+        assert_eq!(ops::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn q10_counts() {
+        let g = hypercube(10).unwrap();
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 1024 * 10 / 2);
+        assert_eq!(g.regular_degree(), Some(10));
+        assert!(ops::is_connected(&g));
+    }
+
+    #[test]
+    fn adjacency_is_single_bit_flips() {
+        let g = hypercube(4).unwrap();
+        for v in g.vertices() {
+            for w in g.neighbor_iter(v) {
+                assert_eq!((v ^ w).count_ones(), 1, "{v} and {w} must differ in one bit");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_dimensions_rejected() {
+        assert!(hypercube(0).is_err());
+        assert!(hypercube(usize::BITS).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Generators for every graph family the COBRA/BIPS paper (and the prior work it builds on)
+//! refers to.
+//!
+//! The paper's theorems are stated for connected `r`-regular graphs parameterised by the second
+//! eigenvalue `λ` of the random-walk transition matrix. The generators here cover:
+//!
+//! * **good expanders** — complete graphs, random `r`-regular graphs (w.h.p. `λ ≈ 2√(r-1)/r`),
+//!   hypercubes, and dense circulants;
+//! * **poor expanders** — cycles, tori/grids of fixed dimension, rings of cliques, barbells and
+//!   lollipops (used for the contrast experiments and the Dutta et al. grid results);
+//! * **structured small graphs** — Petersen, complete bipartite, trees and stars, used mostly by
+//!   the exact duality checks and unit tests.
+//!
+//! Randomised generators take an explicit RNG so that experiment runs are reproducible from a
+//! master seed.
+
+mod basic;
+mod circulant;
+mod composite;
+mod hypercube;
+mod named;
+mod random;
+mod torus;
+mod trees;
+
+pub use basic::{complete, complete_bipartite, cycle, path, star};
+pub use circulant::{circulant, cycle_power};
+pub use composite::{barbell, lollipop, ring_of_cliques};
+pub use hypercube::hypercube;
+pub use named::{bull, diamond, petersen, triangle};
+pub use random::{
+    configuration_model, connected_random_regular, erdos_renyi_gnp, random_regular,
+};
+pub use torus::{grid_2d, torus, torus_2d};
+pub use trees::{balanced_tree, binary_tree, caterpillar};
+
+use crate::Result;
+
+/// A named graph family together with the parameters needed to instantiate it.
+///
+/// This is the configuration type the experiment harness serialises into result records so
+/// every measured row states exactly which graph it ran on.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum GraphFamily {
+    /// Complete graph `K_n`.
+    Complete {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Cycle `C_n`.
+    Cycle {
+        /// Number of vertices.
+        n: usize,
+    },
+    /// Hypercube `Q_d` on `2^d` vertices.
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Random `r`-regular graph, resampled until connected.
+    RandomRegular {
+        /// Number of vertices.
+        n: usize,
+        /// Degree.
+        r: usize,
+    },
+    /// `d`-dimensional torus with the given side lengths.
+    Torus {
+        /// Side length of each dimension.
+        sides: Vec<usize>,
+    },
+    /// Circulant graph on `n` vertices with offsets `1..=k` (the `k`-th power of a cycle).
+    CyclePower {
+        /// Number of vertices.
+        n: usize,
+        /// Power (half the degree).
+        k: usize,
+    },
+    /// Ring of `c` cliques of size `s` joined by single edges.
+    RingOfCliques {
+        /// Number of cliques.
+        cliques: usize,
+        /// Size of each clique.
+        size: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Instantiates the family, using `rng` for randomised families.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying generator error for invalid parameters.
+    pub fn instantiate<R: rand::Rng>(&self, rng: &mut R) -> Result<crate::Graph> {
+        match self {
+            GraphFamily::Complete { n } => complete(*n),
+            GraphFamily::Cycle { n } => cycle(*n),
+            GraphFamily::Hypercube { dim } => hypercube(*dim),
+            GraphFamily::RandomRegular { n, r } => connected_random_regular(*n, *r, rng),
+            GraphFamily::Torus { sides } => torus(sides),
+            GraphFamily::CyclePower { n, k } => cycle_power(*n, *k),
+            GraphFamily::RingOfCliques { cliques, size } => ring_of_cliques(*cliques, *size),
+        }
+    }
+
+    /// A short human-readable label used in experiment tables (e.g. `"random-4-regular"`).
+    pub fn label(&self) -> String {
+        match self {
+            GraphFamily::Complete { n } => format!("complete-K{n}"),
+            GraphFamily::Cycle { n } => format!("cycle-C{n}"),
+            GraphFamily::Hypercube { dim } => format!("hypercube-Q{dim}"),
+            GraphFamily::RandomRegular { n, r } => format!("random-{r}-regular-n{n}"),
+            GraphFamily::Torus { sides } => {
+                let dims: Vec<String> = sides.iter().map(|s| s.to_string()).collect();
+                format!("torus-{}", dims.join("x"))
+            }
+            GraphFamily::CyclePower { n, k } => format!("cycle-power-n{n}-k{k}"),
+            GraphFamily::RingOfCliques { cliques, size } => {
+                format!("ring-of-{cliques}-cliques-{size}")
+            }
+        }
+    }
+
+    /// Number of vertices the instantiated graph will have.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            GraphFamily::Complete { n } | GraphFamily::Cycle { n } => *n,
+            GraphFamily::Hypercube { dim } => 1usize << dim,
+            GraphFamily::RandomRegular { n, .. } => *n,
+            GraphFamily::Torus { sides } => sides.iter().product(),
+            GraphFamily::CyclePower { n, .. } => *n,
+            GraphFamily::RingOfCliques { cliques, size } => cliques * size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn families_instantiate_and_match_vertex_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let families = vec![
+            GraphFamily::Complete { n: 12 },
+            GraphFamily::Cycle { n: 9 },
+            GraphFamily::Hypercube { dim: 5 },
+            GraphFamily::RandomRegular { n: 30, r: 3 },
+            GraphFamily::Torus { sides: vec![4, 5] },
+            GraphFamily::CyclePower { n: 20, k: 3 },
+            GraphFamily::RingOfCliques { cliques: 4, size: 5 },
+        ];
+        for family in families {
+            let g = family.instantiate(&mut rng).unwrap();
+            assert_eq!(g.num_vertices(), family.num_vertices(), "family {family:?}");
+            assert!(crate::ops::is_connected(&g), "family {family:?} should be connected");
+            assert!(!family.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_and_descriptive() {
+        let a = GraphFamily::Complete { n: 8 }.label();
+        let b = GraphFamily::Cycle { n: 8 }.label();
+        assert_ne!(a, b);
+        assert!(a.contains('8'));
+    }
+
+    #[test]
+    fn family_serde_round_trip() {
+        let family = GraphFamily::Torus { sides: vec![8, 8, 8] };
+        let json = serde_json::to_string(&family).unwrap();
+        let back: GraphFamily = serde_json::from_str(&json).unwrap();
+        assert_eq!(family, back);
+    }
+}

@@ -1,0 +1,103 @@
+//! Small named graphs used by the exact duality checks and unit tests.
+
+use crate::{Graph, Result};
+
+/// The Petersen graph: 10 vertices, 15 edges, 3-regular, vertex-transitive, `λ = 1/3`.
+///
+/// A classic small expander; its known spectrum (`{1, 1/3 (×5), -2/3 (×4)}` for the transition
+/// matrix) makes it a precise fixture for the spectral solvers.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the other generators for uniform call sites.
+pub fn petersen() -> Result<Graph> {
+    // Outer 5-cycle 0..5, inner pentagram 5..10, spokes i -- i+5.
+    let edges = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (4, 0),
+        (5, 7),
+        (7, 9),
+        (9, 6),
+        (6, 8),
+        (8, 5),
+        (0, 5),
+        (1, 6),
+        (2, 7),
+        (3, 8),
+        (4, 9),
+    ];
+    Graph::from_edges(10, &edges)
+}
+
+/// The triangle `K_3`.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the other generators for uniform call sites.
+pub fn triangle() -> Result<Graph> {
+    Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+}
+
+/// The bull graph: a triangle with two pendant horns (5 vertices, 5 edges).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the other generators for uniform call sites.
+pub fn bull() -> Result<Graph> {
+    Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (1, 3), (2, 4)])
+}
+
+/// The diamond graph `K_4` minus one edge (4 vertices, 5 edges).
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the other generators for uniform call sites.
+pub fn diamond() -> Result<Graph> {
+    Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn petersen_is_3_regular_with_girth_5_properties() {
+        let g = petersen().unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert!(ops::is_connected(&g));
+        assert!(!ops::is_bipartite(&g));
+        assert_eq!(ops::diameter(&g), Some(2));
+        // No triangles: for every edge (u, v) the neighbourhoods intersect only in {u, v}.
+        for (u, v) in g.to_edge_list() {
+            let common = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| g.neighbors(v).contains(&w))
+                .count();
+            assert_eq!(common, 0, "edge ({u},{v}) should not lie in a triangle");
+        }
+    }
+
+    #[test]
+    fn triangle_bull_diamond_counts() {
+        let t = triangle().unwrap();
+        assert_eq!((t.num_vertices(), t.num_edges()), (3, 3));
+        let b = bull().unwrap();
+        assert_eq!((b.num_vertices(), b.num_edges()), (5, 5));
+        assert_eq!(b.degree(1), 3);
+        assert_eq!(b.degree(3), 1);
+        let d = diamond().unwrap();
+        assert_eq!((d.num_vertices(), d.num_edges()), (4, 5));
+        assert_eq!(d.degree(0), 2);
+        assert_eq!(d.degree(1), 3);
+        for g in [t, b, d] {
+            assert!(ops::is_connected(&g));
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Randomised graph generators: random regular graphs, the configuration model and
+//! Erdős–Rényi graphs.
+//!
+//! Random `r`-regular graphs are the work-horse instances of the cover-time experiments: for
+//! fixed `r ≥ 3` they are, with high probability, very good expanders (`λ → 2√(r-1)/r` by
+//! Friedman's theorem), which is exactly the regime of the paper's Theorem 1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+use crate::{ops, Graph, GraphError, Result, VertexId};
+
+/// Maximum number of restarts for the stub-matching procedure before giving up.
+const MAX_RESTARTS: usize = 1000;
+
+/// Generates a uniform-ish random simple `r`-regular graph on `n` vertices.
+///
+/// Uses the pairing (stub-matching) procedure of Steger and Wormald: each vertex gets `r`
+/// stubs; stubs are repeatedly paired uniformly at random, discarding pairs that would create a
+/// self-loop or parallel edge, restarting from scratch when the remaining stubs cannot be
+/// completed. For fixed `r` and moderate `n` this is fast and the output distribution is
+/// asymptotically uniform over simple `r`-regular graphs.
+///
+/// The result is **not** guaranteed to be connected; use [`connected_random_regular`] when the
+/// experiments require connectivity (for `r ≥ 3` a resample is almost never needed).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n * r` is odd, `r >= n`, or `n == 0`, and
+/// [`GraphError::GenerationFailed`] if the matching procedure exceeds its restart budget
+/// (practically unreachable for sensible parameters).
+pub fn random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "random regular graph needs at least 1 vertex".to_string(),
+        });
+    }
+    if r >= n {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("degree r = {r} must be smaller than n = {n}"),
+        });
+    }
+    if (n * r) % 2 != 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("n * r = {} must be even", n * r),
+        });
+    }
+    if r == 0 {
+        return Graph::from_edges(n, &[]);
+    }
+
+    for _ in 0..MAX_RESTARTS {
+        if let Some(edges) = try_regular_matching(n, r, rng) {
+            return Graph::from_edges(n, &edges);
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        reason: format!("could not realise a simple {r}-regular graph on {n} vertices"),
+    })
+}
+
+/// One attempt of the Steger–Wormald stub-matching procedure.
+fn try_regular_matching<R: Rng>(n: usize, r: usize, rng: &mut R) -> Option<Vec<(usize, usize)>> {
+    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat(v).take(r)).collect();
+    let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(n * r / 2);
+
+    while !stubs.is_empty() {
+        stubs.shuffle(rng);
+        let mut leftover = Vec::new();
+        let mut progress = false;
+        let mut i = 0;
+        while i + 1 < stubs.len() {
+            let (u, v) = (stubs[i], stubs[i + 1]);
+            let key = (u.min(v), u.max(v));
+            if u != v && !edges.contains(&key) {
+                edges.insert(key);
+                progress = true;
+            } else {
+                leftover.push(u);
+                leftover.push(v);
+            }
+            i += 2;
+        }
+        if i < stubs.len() {
+            leftover.push(stubs[i]);
+        }
+        if !progress {
+            // Check whether any valid pairing among the leftover stubs exists at all; if not,
+            // restart the whole attempt.
+            if !suitable(&leftover, &edges) {
+                return None;
+            }
+        }
+        stubs = leftover;
+    }
+    Some(edges.into_iter().collect())
+}
+
+/// Returns `true` if some pair of remaining stubs can still form a new simple edge.
+fn suitable(stubs: &[VertexId], edges: &HashSet<(usize, usize)>) -> bool {
+    if stubs.is_empty() {
+        return true;
+    }
+    let distinct: HashSet<VertexId> = stubs.iter().copied().collect();
+    let distinct: Vec<VertexId> = distinct.into_iter().collect();
+    for (i, &u) in distinct.iter().enumerate() {
+        for &v in &distinct[i + 1..] {
+            let key = (u.min(v), u.max(v));
+            if !edges.contains(&key) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Generates a **connected** random simple `r`-regular graph, resampling until connected.
+///
+/// For `r ≥ 3` a random `r`-regular graph is connected with probability `1 - O(n^{2-r})`, so a
+/// handful of attempts always suffices; the attempt budget guards against misuse with `r ≤ 2`.
+///
+/// # Errors
+///
+/// Same parameter errors as [`random_regular`], plus [`GraphError::GenerationFailed`] if no
+/// connected instance is found within the attempt budget.
+pub fn connected_random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Result<Graph> {
+    if n == 1 && r == 0 {
+        return Graph::from_edges(1, &[]);
+    }
+    const ATTEMPTS: usize = 200;
+    for _ in 0..ATTEMPTS {
+        let g = random_regular(n, r, rng)?;
+        if ops::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        reason: format!(
+            "no connected {r}-regular graph on {n} vertices found in {ATTEMPTS} attempts"
+        ),
+    })
+}
+
+/// The erased configuration model: a random simple graph whose degree sequence approximates
+/// `degrees`.
+///
+/// Stubs are paired uniformly at random; self-loops and parallel edges are **erased**, so
+/// vertices may end up with slightly smaller degree than requested (the standard "erased
+/// configuration model"). Use [`random_regular`] when an exactly regular graph is needed.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if the degree sum is odd or a degree is `>= n`.
+pub fn configuration_model<R: Rng>(degrees: &[usize], rng: &mut R) -> Result<Graph> {
+    let n = degrees.len();
+    let total: usize = degrees.iter().sum();
+    if total % 2 != 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("degree sum {total} must be even"),
+        });
+    }
+    if let Some((v, &d)) = degrees.iter().enumerate().find(|&(_, &d)| d >= n.max(1)) {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("degree {d} of vertex {v} must be smaller than n = {n}"),
+        });
+    }
+    let mut stubs: Vec<VertexId> = degrees
+        .iter()
+        .enumerate()
+        .flat_map(|(v, &d)| std::iter::repeat(v).take(d))
+        .collect();
+    stubs.shuffle(rng);
+    let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(total / 2);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v {
+            edges.insert((u.min(v), u.max(v)));
+        }
+    }
+    let edges: Vec<(usize, usize)> = edges.into_iter().collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The Erdős–Rényi random graph `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Not regular, but useful as a robustness workload for the simulators and for the BVDV herd
+/// example.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `p` is not in `[0, 1]` or is not finite.
+pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("edge probability {p} must be in [0, 1]"),
+        });
+    }
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut r = rng(1);
+        for &(n, d) in &[(10usize, 3usize), (20, 4), (50, 7), (16, 15), (64, 8)] {
+            let g = random_regular(n, d, &mut r).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.regular_degree(), Some(d), "n={n} d={d}");
+            assert_eq!(g.num_edges(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_invalid_parameters() {
+        let mut r = rng(2);
+        assert!(random_regular(0, 0, &mut r).is_err());
+        assert!(random_regular(5, 5, &mut r).is_err());
+        assert!(random_regular(5, 3, &mut r).is_err()); // odd n*r
+    }
+
+    #[test]
+    fn random_regular_zero_degree_is_edgeless() {
+        let mut r = rng(3);
+        let g = random_regular(6, 0, &mut r).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn connected_random_regular_is_connected() {
+        let mut r = rng(4);
+        for &(n, d) in &[(32usize, 3usize), (64, 4), (100, 6)] {
+            let g = connected_random_regular(n, d, &mut r).unwrap();
+            assert!(ops::is_connected(&g), "n={n} d={d}");
+            assert_eq!(g.regular_degree(), Some(d));
+        }
+    }
+
+    #[test]
+    fn connected_random_regular_single_vertex() {
+        let mut r = rng(5);
+        let g = connected_random_regular(1, 0, &mut r).unwrap();
+        assert_eq!(g.num_vertices(), 1);
+    }
+
+    #[test]
+    fn random_regular_complete_graph_case() {
+        // r = n - 1 forces the complete graph.
+        let mut r = rng(6);
+        let g = random_regular(8, 7, &mut r).unwrap();
+        assert_eq!(g, crate::generators::complete(8).unwrap());
+    }
+
+    #[test]
+    fn random_regular_is_deterministic_given_seed() {
+        let g1 = random_regular(40, 3, &mut rng(42)).unwrap();
+        let g2 = random_regular(40, 3, &mut rng(42)).unwrap();
+        assert_eq!(g1, g2);
+        let g3 = random_regular(40, 3, &mut rng(43)).unwrap();
+        assert_ne!(g1, g3, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn configuration_model_respects_even_degree_sum() {
+        let mut r = rng(7);
+        assert!(configuration_model(&[3, 2], &mut r).is_err()); // odd sum
+        assert!(configuration_model(&[5, 1, 2, 2], &mut r).is_err()); // degree >= n
+        let g = configuration_model(&[2, 2, 2, 2, 2, 2], &mut r).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        // Erased model: degrees are at most the requested ones.
+        for v in g.vertices() {
+            assert!(g.degree(v) <= 2);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut r = rng(8);
+        let empty = erdos_renyi_gnp(10, 0.0, &mut r).unwrap();
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi_gnp(10, 1.0, &mut r).unwrap();
+        assert_eq!(full, crate::generators::complete(10).unwrap());
+        assert!(erdos_renyi_gnp(10, 1.5, &mut r).is_err());
+        assert!(erdos_renyi_gnp(10, f64::NAN, &mut r).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_is_near_expectation() {
+        let mut r = rng(9);
+        let n = 200usize;
+        let p = 0.1;
+        let g = erdos_renyi_gnp(n, p, &mut r).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let measured = g.num_edges() as f64;
+        assert!(
+            (measured - expected).abs() < 5.0 * expected.sqrt(),
+            "edge count {measured} too far from expectation {expected}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Tree generators.
+//!
+//! Trees are the classical substrate of the contact-process literature the paper cites
+//! (Pemantle; Madras & Schinazi; Liggett), and they double as worst-case-ish instances for the
+//! spreading processes because of their leaves and long branches.
+
+use crate::{Graph, GraphBuilder, GraphError, Result};
+
+/// A balanced `b`-ary tree of the given `height` (a single root at height 0).
+///
+/// The tree has `(b^(height+1) - 1)/(b - 1)` vertices for `b > 1` and `height + 1` vertices for
+/// `b == 1`. Vertices are numbered in breadth-first order with the root as vertex 0.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `branching == 0` or the tree would exceed
+/// `usize` capacity.
+pub fn balanced_tree(branching: usize, height: u32) -> Result<Graph> {
+    if branching == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "balanced tree branching factor must be at least 1".to_string(),
+        });
+    }
+    // Count vertices, guarding against overflow.
+    let mut total: usize = 1;
+    let mut level_size: usize = 1;
+    for _ in 0..height {
+        level_size = level_size.checked_mul(branching).ok_or_else(|| {
+            GraphError::InvalidParameters { reason: "balanced tree too large".to_string() }
+        })?;
+        total = total.checked_add(level_size).ok_or_else(|| GraphError::InvalidParameters {
+            reason: "balanced tree too large".to_string(),
+        })?;
+    }
+    let mut builder = GraphBuilder::new(total);
+    // Children of vertex v (BFS numbering): b*v + 1 … b*v + b, as long as they are < total.
+    for v in 0..total {
+        for c in 1..=branching {
+            let child = v * branching + c;
+            if child < total {
+                builder.add_edge(v, child)?;
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A complete binary tree of the given height — shorthand for [`balanced_tree(2, height)`].
+///
+/// # Errors
+///
+/// See [`balanced_tree`].
+pub fn binary_tree(height: u32) -> Result<Graph> {
+    balanced_tree(2, height)
+}
+
+/// A caterpillar tree: a spine path of `spine` vertices, each with `legs` pendant leaves.
+///
+/// Spine vertices are `0..spine`; the legs of spine vertex `i` are
+/// `spine + i*legs .. spine + (i+1)*legs`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
+    if spine == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "caterpillar spine must have at least 1 vertex".to_string(),
+        });
+    }
+    let n = spine + spine * legs;
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..spine.saturating_sub(1) {
+        builder.add_edge(v, v + 1)?;
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            builder.add_edge(i, spine + i * legs + l)?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = binary_tree(3).unwrap();
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert!(ops::is_connected(&g));
+        assert!(ops::is_bipartite(&g));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn balanced_ternary_tree_counts() {
+        let g = balanced_tree(3, 2).unwrap();
+        assert_eq!(g.num_vertices(), 1 + 3 + 9);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn unary_tree_is_a_path() {
+        let g = balanced_tree(1, 5).unwrap();
+        assert_eq!(g, crate::generators::path(6).unwrap());
+    }
+
+    #[test]
+    fn height_zero_tree_is_a_single_vertex() {
+        let g = balanced_tree(4, 0).unwrap();
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn tree_edge_count_is_vertices_minus_one() {
+        for (b, h) in [(2u32, 4u32), (3, 3), (5, 2)] {
+            let g = balanced_tree(b as usize, h).unwrap();
+            assert_eq!(g.num_edges(), g.num_vertices() - 1);
+            assert!(ops::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 11);
+        assert!(ops::is_connected(&g));
+        assert_eq!(g.degree(0), 3); // spine end: 1 spine edge + 2 legs
+        assert_eq!(g.degree(1), 4); // interior spine: 2 spine edges + 2 legs
+        assert_eq!(g.degree(11), 1); // a leg
+        assert!(caterpillar(0, 2).is_err());
+    }
+
+    #[test]
+    fn caterpillar_without_legs_is_a_path() {
+        let g = caterpillar(6, 0).unwrap();
+        assert_eq!(g, crate::generators::path(6).unwrap());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(balanced_tree(0, 3).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Plain-text serialisation of graphs: whitespace-separated edge lists and Graphviz DOT.
+//!
+//! The experiment harness writes generated instances to disk so runs can be replayed exactly;
+//! the formats here are deliberately minimal and dependency-free.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, GraphError, Result};
+
+/// Serialises a graph as an edge list.
+///
+/// The first line is `n m`; each subsequent line is an edge `u v` with `u < v`. The format
+/// round-trips exactly through [`parse_edge_list`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), cobra_graph::GraphError> {
+/// use cobra_graph::{io, Graph};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let text = io::to_edge_list(&g);
+/// let parsed = io::parse_edge_list(&text)?;
+/// assert_eq!(g, parsed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.num_vertices(), g.num_edges());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`].
+///
+/// Blank lines and lines starting with `#` are ignored.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed headers or edge lines, and propagates
+/// [`Graph::from_edges`] errors (out-of-range endpoints, self-loops, duplicates).
+pub fn parse_edge_list(text: &str) -> Result<Graph> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (header_line, header) = lines.next().ok_or(GraphError::Parse {
+        line: 1,
+        reason: "missing header line `n m`".to_string(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_token(parts.next(), header_line, "vertex count")?;
+    let m: usize = parse_token(parts.next(), header_line, "edge count")?;
+    if parts.next().is_some() {
+        return Err(GraphError::Parse {
+            line: header_line,
+            reason: "header must contain exactly two integers".to_string(),
+        });
+    }
+
+    let mut edges = Vec::with_capacity(m);
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let u: usize = parse_token(parts.next(), line_no, "edge endpoint")?;
+        let v: usize = parse_token(parts.next(), line_no, "edge endpoint")?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                reason: "edge line must contain exactly two integers".to_string(),
+            });
+        }
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(GraphError::Parse {
+            line: header_line,
+            reason: format!("header announced {m} edges but {} were supplied", edges.len()),
+        });
+    }
+    Graph::from_edges(n, &edges)
+}
+
+fn parse_token(token: Option<&str>, line: usize, what: &str) -> Result<usize> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    token.parse::<usize>().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("invalid {what}: {token:?}"),
+    })
+}
+
+/// Renders the graph in Graphviz DOT syntax (undirected, `graph g { … }`).
+///
+/// Intended for eyeballing small instances; vertices are unlabeled beyond their index.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("graph g {\n");
+    for v in g.vertices() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::petersen().unwrap();
+        let text = to_edge_list(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn edge_list_round_trip_empty_graph() {
+        let g = Graph::default();
+        let parsed = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blank_lines() {
+        let text = "# a triangle\n\n3 3\n0 1\n# middle comment\n1 2\n0 2\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_missing_header() {
+        let err = parse_edge_list("").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_tokens() {
+        assert!(matches!(parse_edge_list("x y\n").unwrap_err(), GraphError::Parse { .. }));
+        assert!(matches!(parse_edge_list("3\n").unwrap_err(), GraphError::Parse { .. }));
+        assert!(matches!(parse_edge_list("3 1 9\n0 1\n").unwrap_err(), GraphError::Parse { .. }));
+        assert!(matches!(
+            parse_edge_list("3 1\n0 1 2\n").unwrap_err(),
+            GraphError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_edge_count_mismatch() {
+        let err = parse_edge_list("3 2\n0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_propagates_graph_errors() {
+        let err = parse_edge_list("2 1\n0 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+        let err = parse_edge_list("2 1\n1 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let g = generators::cycle(4).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("2 -- 3;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

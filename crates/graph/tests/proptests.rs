@@ -1,0 +1,128 @@
+//! Property-based tests for the graph substrate.
+
+use cobra_graph::{generators, io, ops, Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy producing an arbitrary simple graph as (n, edge list) with `3 <= n <= 40`.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n, 0..n), 0..=max_edges.min(120)).prop_map(move |pairs| {
+            let mut builder = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    builder.add_edge(u, v).expect("endpoints in range");
+                }
+            }
+            builder.build().expect("builder output is always simple")
+        })
+    })
+}
+
+proptest! {
+    /// Handshake lemma: the degree sum equals twice the edge count.
+    #[test]
+    fn handshake_lemma(g in arbitrary_graph()) {
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Adjacency is symmetric and loop-free.
+    #[test]
+    fn adjacency_symmetric_and_loop_free(g in arbitrary_graph()) {
+        for v in g.vertices() {
+            for w in g.neighbor_iter(v) {
+                prop_assert_ne!(v, w);
+                prop_assert!(g.has_edge(w, v));
+            }
+        }
+    }
+
+    /// Edge-list text round-trips to an identical graph.
+    #[test]
+    fn edge_list_round_trip(g in arbitrary_graph()) {
+        let text = io::to_edge_list(&g);
+        let back = io::parse_edge_list(&text).expect("serialised graph parses");
+        prop_assert_eq!(g, back);
+    }
+
+    /// Connected components partition the vertex set and agree with `is_connected`.
+    #[test]
+    fn components_partition_vertices(g in arbitrary_graph()) {
+        let (labels, count) = ops::connected_components(&g);
+        prop_assert_eq!(labels.len(), g.num_vertices());
+        if g.num_vertices() > 0 {
+            prop_assert!(labels.iter().all(|&l| l < count));
+            prop_assert_eq!(count == 1, ops::is_connected(&g));
+        }
+        // Every edge stays within one component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u], labels[v]);
+        }
+    }
+
+    /// The complement of the complement is the original graph.
+    #[test]
+    fn complement_involution(g in arbitrary_graph()) {
+        prop_assert_eq!(ops::complement(&ops::complement(&g)), g);
+    }
+
+    /// Random regular graphs are exactly regular, simple and of the right size.
+    #[test]
+    fn random_regular_invariants(n in 4usize..80, r in 2usize..6, seed in 0u64..1000) {
+        prop_assume!(n * r % 2 == 0);
+        prop_assume!(r < n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::random_regular(n, r, &mut rng).expect("valid parameters");
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.regular_degree(), Some(r));
+        prop_assert_eq!(g.num_edges(), n * r / 2);
+    }
+
+    /// Connected random regular graphs are connected.
+    #[test]
+    fn connected_random_regular_is_connected(n in 6usize..64, seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::connected_random_regular(n, 3, &mut rng);
+        prop_assume!(n * 3 % 2 == 0);
+        let g = g.expect("valid parameters");
+        prop_assert!(ops::is_connected(&g));
+    }
+
+    /// Torus generators produce 2d-regular connected graphs when all sides are >= 3.
+    #[test]
+    fn torus_regularity(sides in proptest::collection::vec(3usize..7, 1..4)) {
+        let g = generators::torus(&sides).expect("valid sides");
+        prop_assert_eq!(g.num_vertices(), sides.iter().product::<usize>());
+        prop_assert_eq!(g.regular_degree(), Some(2 * sides.len()));
+        prop_assert!(ops::is_connected(&g));
+    }
+
+    /// Cycle powers have the expected degree and are vertex-transitive in degree.
+    #[test]
+    fn cycle_power_degree(n in 8usize..60, k in 1usize..4) {
+        prop_assume!(k <= n / 2);
+        let g = generators::cycle_power(n, k).expect("valid parameters");
+        let expected = if n % 2 == 0 && k == n / 2 { 2 * k - 1 } else { 2 * k };
+        prop_assert_eq!(g.regular_degree(), Some(expected));
+    }
+
+    /// BFS distances satisfy the triangle inequality along edges.
+    #[test]
+    fn bfs_distances_are_1_lipschitz_along_edges(g in arbitrary_graph()) {
+        prop_assume!(g.num_vertices() > 0);
+        let dist = ops::bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            if dist[u] != usize::MAX && dist[v] != usize::MAX {
+                let du = dist[u] as isize;
+                let dv = dist[v] as isize;
+                prop_assert!((du - dv).abs() <= 1);
+            } else {
+                // If one endpoint is unreachable, both must be.
+                prop_assert_eq!(dist[u], dist[v]);
+            }
+        }
+    }
+}

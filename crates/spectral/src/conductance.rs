@@ -1,0 +1,204 @@
+//! Cut conductance, sweep cuts and the Cheeger inequality.
+//!
+//! Conductance gives a combinatorial view of expansion that complements the spectral gap: by
+//! Cheeger's inequality `(1-λ_2)/2 ≤ Φ(G) ≤ sqrt(2 (1-λ_2))`. The experiment harness uses the
+//! sweep cut of the second eigenvector both to sanity-check computed gaps and to exhibit the
+//! bottlenecks of the "bad expander" families.
+
+use cobra_graph::{Graph, VertexId};
+use rand::Rng;
+
+use crate::operator::NormalizedAdjacency;
+use crate::power::{second_eigenvector, IterationOptions};
+use crate::{Result, SpectralError};
+
+/// Conductance `Φ(S) = |∂S| / min(vol(S), vol(V\S))` of a vertex set `S`.
+///
+/// Returns `None` if `S` or its complement has zero volume (e.g. `S` empty or all of `V`).
+pub fn cut_conductance(g: &Graph, in_set: &[bool]) -> Option<f64> {
+    assert_eq!(in_set.len(), g.num_vertices(), "indicator must cover every vertex");
+    let mut vol_s = 0usize;
+    let mut vol_rest = 0usize;
+    let mut boundary = 0usize;
+    for u in g.vertices() {
+        if in_set[u] {
+            vol_s += g.degree(u);
+        } else {
+            vol_rest += g.degree(u);
+        }
+        for v in g.neighbor_iter(u) {
+            if u < v && in_set[u] != in_set[v] {
+                boundary += 1;
+            }
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(boundary as f64 / denom as f64)
+    }
+}
+
+/// Result of a sweep cut over an eigenvector ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCut {
+    /// The conductance of the best prefix cut found.
+    pub conductance: f64,
+    /// The vertices on the small-volume side of the best cut.
+    pub side: Vec<VertexId>,
+}
+
+/// Finds the minimum-conductance prefix cut of the ordering induced by `scores`
+/// (the classical spectral-partitioning sweep).
+///
+/// # Errors
+///
+/// Returns [`SpectralError::InvalidGraph`] if the graph has fewer than two vertices or no
+/// edges.
+pub fn sweep_cut(g: &Graph, scores: &[f64]) -> Result<SweepCut> {
+    let n = g.num_vertices();
+    if n < 2 || g.num_edges() == 0 {
+        return Err(SpectralError::InvalidGraph {
+            reason: "sweep cut needs at least 2 vertices and 1 edge".to_string(),
+        });
+    }
+    assert_eq!(scores.len(), n, "scores must cover every vertex");
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut in_set = vec![false; n];
+    let mut best: Option<(f64, usize)> = None;
+    for (prefix_len, &v) in order.iter().enumerate().take(n - 1) {
+        in_set[v] = true;
+        if let Some(phi) = cut_conductance(g, &in_set) {
+            if best.map_or(true, |(b, _)| phi < b) {
+                best = Some((phi, prefix_len + 1));
+            }
+        }
+    }
+    let (conductance, len) = best.ok_or_else(|| SpectralError::InvalidGraph {
+        reason: "no non-trivial cut found".to_string(),
+    })?;
+    Ok(SweepCut { conductance, side: order[..len].to_vec() })
+}
+
+/// Computes the spectral sweep-cut conductance: runs the lazy power iteration for the second
+/// eigenvector and sweeps it.
+///
+/// # Errors
+///
+/// Propagates solver errors from [`second_eigenvector`] and [`sweep_cut`].
+pub fn spectral_sweep_conductance<R: Rng>(g: &Graph, rng: &mut R) -> Result<SweepCut> {
+    let op = NormalizedAdjacency::new(g);
+    let vector = second_eigenvector(&op, IterationOptions::default(), rng)?;
+    sweep_cut(g, &vector.eigenvector)
+}
+
+/// Checks the two-sided Cheeger inequality `(1-λ₂)/2 ≤ Φ ≤ sqrt(2(1-λ₂))` for a computed
+/// conductance and second eigenvalue, returning the pair of bounds.
+pub fn cheeger_bounds(lambda_2: f64) -> (f64, f64) {
+    let gap = 1.0 - lambda_2;
+    (gap / 2.0, (2.0 * gap).max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn cut_conductance_of_barbell_bridge() {
+        let g = generators::barbell(6).unwrap();
+        let mut in_set = vec![false; 12];
+        for v in 0..6 {
+            in_set[v] = true;
+        }
+        // One bridge edge; volume of each side is 6*5 + 1 = 31.
+        let phi = cut_conductance(&g, &in_set).unwrap();
+        assert!((phi - 1.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_conductance_degenerate_sets() {
+        let g = generators::complete(5).unwrap();
+        assert_eq!(cut_conductance(&g, &[false; 5]), None);
+        assert_eq!(cut_conductance(&g, &[true; 5]), None);
+    }
+
+    #[test]
+    fn sweep_finds_the_barbell_bottleneck() {
+        let g = generators::barbell(8).unwrap();
+        let cut = spectral_sweep_conductance(&g, &mut rng()).unwrap();
+        // The optimal cut separates the two cliques: conductance 1/(8*7+1).
+        let optimal = 1.0 / 57.0;
+        assert!(
+            cut.conductance <= optimal * 1.0001,
+            "sweep conductance {} should find the bridge cut {optimal}",
+            cut.conductance
+        );
+        assert_eq!(cut.side.len(), 8, "the small side should be one clique");
+    }
+
+    #[test]
+    fn sweep_on_complete_graph_has_high_conductance() {
+        let g = generators::complete(10).unwrap();
+        let cut = spectral_sweep_conductance(&g, &mut rng()).unwrap();
+        assert!(cut.conductance > 0.5, "complete graphs have no sparse cuts");
+    }
+
+    #[test]
+    fn cheeger_inequality_holds_for_test_families() {
+        let mut r = rng();
+        let graphs = vec![
+            generators::petersen().unwrap(),
+            generators::cycle(17).unwrap(),
+            generators::hypercube(5).unwrap(),
+            generators::ring_of_cliques(6, 4).unwrap(),
+            generators::connected_random_regular(40, 3, &mut r).unwrap(),
+        ];
+        for g in graphs {
+            let eigs = crate::dense::transition_eigenvalues(&g).unwrap();
+            let lambda_2 = eigs[1];
+            let cut = spectral_sweep_conductance(&g, &mut r).unwrap();
+            let (lower, upper) = cheeger_bounds(lambda_2);
+            // The sweep cut is a real cut, so it is an upper bound on Phi(G), which is itself
+            // >= the Cheeger lower bound; and Cheeger's upper bound must dominate the optimal
+            // cut, which the sweep approximates within the sqrt factor.
+            assert!(
+                cut.conductance >= lower - 1e-9,
+                "sweep {} below Cheeger lower bound {lower}",
+                cut.conductance
+            );
+            assert!(
+                cut.conductance <= upper + 1e-9,
+                "sweep {} above Cheeger upper bound {upper} (graph {g:?})",
+                cut.conductance
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_graphs() {
+        let g = cobra_graph::Graph::from_edges(3, &[]).unwrap();
+        assert!(sweep_cut(&g, &[0.0, 0.0, 0.0]).is_err());
+        let g = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        assert!(sweep_cut(&g, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn cheeger_bounds_shape() {
+        let (lo, hi) = cheeger_bounds(0.5);
+        assert!((lo - 0.25).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+        let (lo, hi) = cheeger_bounds(1.0);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 0.0);
+    }
+}

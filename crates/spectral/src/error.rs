@@ -1,0 +1,71 @@
+//! Error type for spectral computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the spectral solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpectralError {
+    /// The graph is unsuitable for the requested analysis (empty, has isolated vertices, …).
+    InvalidGraph {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the solver.
+        solver: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual (or off-diagonal norm) at the point of failure.
+        residual: f64,
+    },
+    /// Invalid numerical parameters (non-finite tolerance, zero iteration budget, …).
+    InvalidParameters {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpectralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpectralError::InvalidGraph { reason } => {
+                write!(f, "graph unsuitable for spectral analysis: {reason}")
+            }
+            SpectralError::NoConvergence { solver, iterations, residual } => write!(
+                f,
+                "{solver} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SpectralError::InvalidParameters { reason } => {
+                write!(f, "invalid solver parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SpectralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SpectralError::NoConvergence { solver: "jacobi", iterations: 50, residual: 1e-3 };
+        let msg = err.to_string();
+        assert!(msg.contains("jacobi"));
+        assert!(msg.contains("50"));
+        let err = SpectralError::InvalidGraph { reason: "empty graph".into() };
+        assert!(err.to_string().contains("empty graph"));
+        let err = SpectralError::InvalidParameters { reason: "tolerance must be positive".into() };
+        assert!(err.to_string().contains("tolerance"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SpectralError>();
+    }
+}

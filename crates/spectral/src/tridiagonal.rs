@@ -1,0 +1,187 @@
+//! Eigenvalues of symmetric tridiagonal matrices by Sturm-sequence bisection.
+//!
+//! The Lanczos process reduces the (deflated) normalised adjacency operator to a small
+//! symmetric tridiagonal matrix; this module extracts its eigenvalues. Bisection with Sturm
+//! counts is slower than QL iteration but has no convergence edge cases, which matters more
+//! here than raw speed (the tridiagonal dimension is at most a few hundred).
+
+use crate::{Result, SpectralError};
+
+/// A symmetric tridiagonal matrix given by its diagonal and sub-diagonal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    /// Diagonal entries `d[0..n]`.
+    pub diagonal: Vec<f64>,
+    /// Sub-diagonal entries `e[0..n-1]` (`e[i]` couples rows `i` and `i+1`).
+    pub subdiagonal: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Creates a tridiagonal matrix, validating the dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpectralError::InvalidParameters`] if `subdiagonal.len() + 1 != diagonal.len()`
+    /// (except that the empty matrix takes two empty vectors) or any entry is not finite.
+    pub fn new(diagonal: Vec<f64>, subdiagonal: Vec<f64>) -> Result<Self> {
+        if diagonal.is_empty() {
+            if !subdiagonal.is_empty() {
+                return Err(SpectralError::InvalidParameters {
+                    reason: "empty diagonal with non-empty subdiagonal".to_string(),
+                });
+            }
+            return Ok(Tridiagonal { diagonal, subdiagonal });
+        }
+        if subdiagonal.len() + 1 != diagonal.len() {
+            return Err(SpectralError::InvalidParameters {
+                reason: format!(
+                    "subdiagonal length {} must be one less than diagonal length {}",
+                    subdiagonal.len(),
+                    diagonal.len()
+                ),
+            });
+        }
+        if diagonal.iter().chain(subdiagonal.iter()).any(|x| !x.is_finite()) {
+            return Err(SpectralError::InvalidParameters {
+                reason: "tridiagonal entries must be finite".to_string(),
+            });
+        }
+        Ok(Tridiagonal { diagonal, subdiagonal })
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.diagonal.len()
+    }
+
+    /// Number of eigenvalues strictly smaller than `x` (Sturm sequence count).
+    fn count_below(&self, x: f64) -> usize {
+        let n = self.dim();
+        let mut count = 0usize;
+        let mut q = 1.0f64;
+        for i in 0..n {
+            let e2 = if i == 0 { 0.0 } else { self.subdiagonal[i - 1] * self.subdiagonal[i - 1] };
+            q = self.diagonal[i] - x - if i == 0 { 0.0 } else { e2 / q };
+            if q.abs() < f64::MIN_POSITIVE.sqrt() {
+                q = -f64::MIN_POSITIVE.sqrt();
+            }
+            if q < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Gershgorin interval `[lo, hi]` guaranteed to contain every eigenvalue.
+    fn gershgorin_bounds(&self) -> (f64, f64) {
+        let n = self.dim();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let left = if i > 0 { self.subdiagonal[i - 1].abs() } else { 0.0 };
+            let right = if i + 1 < n { self.subdiagonal[i].abs() } else { 0.0 };
+            lo = lo.min(self.diagonal[i] - left - right);
+            hi = hi.max(self.diagonal[i] + left + right);
+        }
+        (lo, hi)
+    }
+
+    /// Computes all eigenvalues, sorted in descending order, to absolute accuracy ~`1e-12`
+    /// relative to the spectral radius.
+    ///
+    /// Returns an empty vector for the empty matrix.
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let n = self.dim();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = self.gershgorin_bounds();
+        let scale = hi.abs().max(lo.abs()).max(1.0);
+        let tol = 1e-13 * scale;
+        // Eigenvalue with index k (0-based, ascending order) is found by bisection on the
+        // Sturm count.
+        let mut eigs = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut a = lo - tol;
+            let mut b = hi + tol;
+            while b - a > tol {
+                let mid = 0.5 * (a + b);
+                if self.count_below(mid) > k {
+                    b = mid;
+                } else {
+                    a = mid;
+                }
+            }
+            eigs.push(0.5 * (a + b));
+        }
+        eigs.reverse();
+        eigs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(Tridiagonal::new(vec![1.0, 2.0], vec![]).is_err());
+        assert!(Tridiagonal::new(vec![], vec![1.0]).is_err());
+        assert!(Tridiagonal::new(vec![1.0, f64::NAN], vec![0.0]).is_err());
+        assert!(Tridiagonal::new(vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn empty_matrix_has_no_eigenvalues() {
+        let t = Tridiagonal::new(vec![], vec![]).unwrap();
+        assert!(t.eigenvalues().is_empty());
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_the_diagonal() {
+        let t = Tridiagonal::new(vec![3.0, -1.0, 2.0], vec![0.0, 0.0]).unwrap();
+        let eigs = t.eigenvalues();
+        assert_close(eigs[0], 3.0, 1e-10);
+        assert_close(eigs[1], 2.0, 1e-10);
+        assert_close(eigs[2], -1.0, 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_eigenvalues() {
+        // [[2, 1], [1, 2]] -> 3, 1.
+        let t = Tridiagonal::new(vec![2.0, 2.0], vec![1.0]).unwrap();
+        let eigs = t.eigenvalues();
+        assert_close(eigs[0], 3.0, 1e-10);
+        assert_close(eigs[1], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn path_graph_laplacian_like_matrix() {
+        // Tridiagonal with diagonal 0 and subdiagonal 1 (adjacency of a path P_n):
+        // eigenvalues 2 cos(pi k / (n+1)), k = 1..n.
+        let n = 12;
+        let t = Tridiagonal::new(vec![0.0; n], vec![1.0; n - 1]).unwrap();
+        let eigs = t.eigenvalues();
+        let mut expected: Vec<f64> = (1..=n)
+            .map(|k| 2.0 * (std::f64::consts::PI * k as f64 / (n as f64 + 1.0)).cos())
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (e, x) in eigs.iter().zip(expected.iter()) {
+            assert_close(*e, *x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_descending() {
+        let t = Tridiagonal::new(vec![0.5, -0.2, 0.9, 0.0], vec![0.3, 0.1, 0.4]).unwrap();
+        let eigs = t.eigenvalues();
+        for w in eigs.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert_eq!(eigs.len(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Confidence intervals for means and proportions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean or proportion).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Two-sided standard-normal quantile `z_{(1+level)/2}` by bisection on the error function.
+///
+/// Accurate to ~1e-10, which is far more than the Monte-Carlo noise it is compared against.
+pub fn normal_quantile_two_sided(level: f64) -> f64 {
+    assert!((0.0..1.0).contains(&level), "confidence level must be in [0, 1)");
+    let target = 0.5 + level / 2.0; // P(Z <= z) for the upper bound
+    // Bisection over a generous bracket.
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if standard_normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal CDF via the complementary error function (Abramowitz–Stegun 7.1.26 style
+/// rational approximation, |error| < 1.5e-7, refined by one Newton step on the density).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    // Φ(x) = 1/2 erfc(-x/√2)
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    // Numerical Recipes' erfcc: fractional error < 1.2e-7 everywhere.
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Student-t two-sided quantile, approximated by the Cornish–Fisher style expansion of the
+/// normal quantile in `1/df`. For `df ≥ 30` the normal quantile is returned directly (the
+/// experiments always run ≥ 30 trials).
+pub fn student_t_quantile_two_sided(level: f64, df: u64) -> f64 {
+    let z = normal_quantile_two_sided(level);
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df >= 30 {
+        return z;
+    }
+    let d = df as f64;
+    // Cornish–Fisher expansion: t ≈ z + (z^3+z)/(4 df) + (5z^5+16z^3+3z)/(96 df^2) + ...
+    z + (z.powi(3) + z) / (4.0 * d)
+        + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
+        + (3.0 * z.powi(7) + 19.0 * z.powi(5) + 17.0 * z.powi(3) - 15.0 * z) / (384.0 * d.powi(3))
+}
+
+/// Confidence interval for the mean of the observations in `summary`, using the Student-t
+/// critical value (falls back to the normal quantile for large samples).
+///
+/// # Panics
+///
+/// Panics if `level` is not in `[0, 1)`.
+pub fn mean_confidence_interval(summary: &Summary, level: f64) -> ConfidenceInterval {
+    let estimate = summary.mean();
+    if summary.count() < 2 {
+        return ConfidenceInterval {
+            estimate,
+            lower: f64::NEG_INFINITY,
+            upper: f64::INFINITY,
+            level,
+        };
+    }
+    let t = student_t_quantile_two_sided(level, summary.count() - 1);
+    let half = t * summary.std_error();
+    ConfidenceInterval { estimate, lower: estimate - half, upper: estimate + half, level }
+}
+
+/// Wilson score interval for a binomial proportion (`successes` out of `trials`).
+///
+/// # Panics
+///
+/// Panics if `level` is not in `[0, 1)` or `successes > trials`.
+pub fn proportion_confidence_interval(
+    successes: u64,
+    trials: u64,
+    level: f64,
+) -> ConfidenceInterval {
+    assert!(successes <= trials, "successes cannot exceed trials");
+    if trials == 0 {
+        return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 1.0, level };
+    }
+    let z = normal_quantile_two_sided(level);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ConfidenceInterval {
+        estimate: p,
+        lower: (centre - half).max(0.0),
+        upper: (centre + half).min(1.0),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert_close(standard_normal_cdf(0.0), 0.5, 1e-6);
+        assert_close(standard_normal_cdf(1.0), 0.841344746, 1e-6);
+        assert_close(standard_normal_cdf(-1.0), 0.158655254, 1e-6);
+        assert_close(standard_normal_cdf(1.959964), 0.975, 1e-6);
+        assert_close(standard_normal_cdf(3.0), 0.998650102, 1e-6);
+    }
+
+    #[test]
+    fn normal_quantiles_reference_values() {
+        assert_close(normal_quantile_two_sided(0.95), 1.959964, 1e-4);
+        assert_close(normal_quantile_two_sided(0.99), 2.575829, 1e-4);
+        assert_close(normal_quantile_two_sided(0.68268), 1.0, 1e-3);
+    }
+
+    #[test]
+    fn student_t_quantiles_are_wider_for_small_samples() {
+        let t5 = student_t_quantile_two_sided(0.95, 5);
+        let t29 = student_t_quantile_two_sided(0.95, 29);
+        let z = normal_quantile_two_sided(0.95);
+        assert!(t5 > t29);
+        assert!(t29 > z - 1e-9);
+        // Reference: t_{0.975, 5} = 2.5706.
+        assert_close(t5, 2.5706, 0.03);
+        assert_eq!(student_t_quantile_two_sided(0.95, 0), f64::INFINITY);
+        assert_close(student_t_quantile_two_sided(0.95, 100), z, 1e-9);
+    }
+
+    #[test]
+    fn mean_interval_contains_the_true_mean_of_a_clean_sample() {
+        let s: Summary = (0..100).map(|i| 10.0 + (i % 5) as f64).collect();
+        let ci = mean_confidence_interval(&s, 0.95);
+        assert!(ci.contains(s.mean()));
+        assert!(ci.contains(12.0));
+        assert!(!ci.contains(20.0));
+        assert!(ci.half_width() > 0.0);
+    }
+
+    #[test]
+    fn mean_interval_degenerate_cases() {
+        let ci = mean_confidence_interval(&Summary::new(), 0.95);
+        assert_eq!(ci.lower, f64::NEG_INFINITY);
+        assert_eq!(ci.upper, f64::INFINITY);
+        let mut s = Summary::new();
+        s.record(5.0);
+        let ci = mean_confidence_interval(&s, 0.95);
+        assert!(ci.contains(5.0));
+        assert_eq!(ci.lower, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn wilson_interval_reference() {
+        // 8 successes out of 10 at 95%: Wilson interval ~ (0.490, 0.943).
+        let ci = proportion_confidence_interval(8, 10, 0.95);
+        assert_close(ci.estimate, 0.8, 1e-12);
+        assert_close(ci.lower, 0.490, 0.01);
+        assert_close(ci.upper, 0.943, 0.01);
+        // Extremes stay within [0, 1].
+        let ci = proportion_confidence_interval(0, 10, 0.95);
+        assert_eq!(ci.estimate, 0.0);
+        assert!(ci.lower >= 0.0);
+        let ci = proportion_confidence_interval(10, 10, 0.95);
+        assert!(ci.upper <= 1.0);
+        let ci = proportion_confidence_interval(0, 0, 0.95);
+        assert_eq!((ci.lower, ci.upper), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed trials")]
+    fn wilson_interval_rejects_impossible_counts() {
+        let _ = proportion_confidence_interval(11, 10, 0.95);
+    }
+
+    #[test]
+    fn interval_serde_round_trip() {
+        let ci = proportion_confidence_interval(3, 9, 0.9);
+        let json = serde_json::to_string(&ci).unwrap();
+        let back: ConfidenceInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(ci, back);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-width histograms of round counts and other small non-negative integers.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max)` with equal-width bins, plus explicit underflow/overflow
+/// counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `min >= max`, or either bound is not finite.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(min < max, "histogram range must be non-empty");
+        assert!(min.is_finite() && max.is_finite(), "histogram bounds must be finite");
+        Histogram { min, max, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.min {
+            self.underflow += 1;
+        } else if x >= self.max {
+            self.overflow += 1;
+        } else {
+            let width = (self.max - self.min) / self.counts.len() as f64;
+            let idx = ((x - self.min) / width) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The half-open interval `[lo, hi)` covered by bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_bins()`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + i as f64 * width, self.min + (i + 1) as f64 * width)
+    }
+
+    /// Renders a simple ASCII bar chart (one line per bin), used by the example binaries.
+    pub fn render(&self, width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (c as f64 / max_count as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:8.1}, {hi:8.1})  {c:>8}  {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.record(x);
+        }
+        assert_eq!(h.num_bins(), 5);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.2] {
+            h.record(x);
+        }
+        let rendered = h.render(10);
+        assert_eq!(rendered.lines().count(), 4);
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::new(0.0, 10.0, 3);
+        h.record(2.0);
+        h.record(7.5);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic, multi-threaded Monte-Carlo trial execution.
+//!
+//! Each trial receives its own RNG derived from `(master seed, label, trial index)` via
+//! [`SeedSequence`], so the set of results is identical whether trials run sequentially or on
+//! all cores — only their order of completion differs, and the runner re-collects them in
+//! index order.
+
+use rayon::prelude::*;
+
+use crate::rng::{SeedSequence, TrialRng};
+use crate::summary::Summary;
+
+/// Configuration for a batch of Monte-Carlo trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Whether to run trials in parallel with rayon (`true` for experiments, `false` inside
+    /// doctests or when deterministic scheduling aids debugging).
+    pub parallel: bool,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig { trials: 100, parallel: true }
+    }
+}
+
+impl TrialConfig {
+    /// A sequential configuration with the given number of trials.
+    pub fn sequential(trials: usize) -> Self {
+        TrialConfig { trials, parallel: false }
+    }
+
+    /// A parallel configuration with the given number of trials.
+    pub fn parallel(trials: usize) -> Self {
+        TrialConfig { trials, parallel: true }
+    }
+}
+
+/// Runs `config.trials` independent trials of `trial`, each with its own seeded RNG, and
+/// returns the per-trial results in trial-index order.
+///
+/// The closure receives `(trial_index, rng)`.
+pub fn run_trials<T, F>(seq: &SeedSequence, label: &str, config: TrialConfig, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut TrialRng) -> T + Sync,
+{
+    if config.parallel {
+        (0..config.trials)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = seq.trial_rng(label, i as u64);
+                trial(i, &mut rng)
+            })
+            .collect()
+    } else {
+        (0..config.trials)
+            .map(|i| {
+                let mut rng = seq.trial_rng(label, i as u64);
+                trial(i, &mut rng)
+            })
+            .collect()
+    }
+}
+
+/// Runs trials producing an `f64` measurement and aggregates them into a [`Summary`],
+/// additionally returning the raw per-trial values (in trial order) for quantile analysis.
+pub fn run_measured_trials<F>(
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+    trial: F,
+) -> (Summary, Vec<f64>)
+where
+    F: Fn(usize, &mut TrialRng) -> f64 + Sync,
+{
+    let values = run_trials(seq, label, config, trial);
+    let summary: Summary = values.iter().copied().collect();
+    (summary, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn parallel_and_sequential_runs_agree_exactly() {
+        let seq = SeedSequence::new(77);
+        let work = |i: usize, rng: &mut TrialRng| -> f64 { i as f64 + rng.gen_range(0.0..1.0) };
+        let par = run_trials(&seq, "agree", TrialConfig::parallel(64), work);
+        let ser = run_trials(&seq, "agree", TrialConfig::sequential(64), work);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let seq = SeedSequence::new(1);
+        let results = run_trials(&seq, "order", TrialConfig::parallel(32), |i, _| i);
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn measured_trials_summary_matches_values() {
+        let seq = SeedSequence::new(5);
+        let (summary, values) =
+            run_measured_trials(&seq, "measure", TrialConfig::sequential(50), |_, rng| {
+                rng.gen_range(0.0..10.0)
+            });
+        assert_eq!(summary.count(), 50);
+        assert_eq!(values.len(), 50);
+        let expected: Summary = values.iter().copied().collect();
+        assert!((summary.mean() - expected.mean()).abs() < 1e-12);
+        assert!(values.iter().all(|&v| (0.0..10.0).contains(&v)));
+    }
+
+    #[test]
+    fn zero_trials_is_fine() {
+        let seq = SeedSequence::new(9);
+        let results: Vec<u32> = run_trials(&seq, "none", TrialConfig::sequential(0), |_, _| 1u32);
+        assert!(results.is_empty());
+        let (summary, values) =
+            run_measured_trials(&seq, "none", TrialConfig::parallel(0), |_, _| 1.0);
+        assert_eq!(summary.count(), 0);
+        assert!(values.is_empty());
+    }
+
+    #[test]
+    fn different_labels_change_the_draws() {
+        let seq = SeedSequence::new(3);
+        let a = run_trials(&seq, "a", TrialConfig::sequential(8), |_, rng| rng.gen::<u64>());
+        let b = run_trials(&seq, "b", TrialConfig::sequential(8), |_, rng| rng.gen::<u64>());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! The BVDV scenario the paper cites as real-world motivation for BIPS: a persistently
+//! infected animal ("PI") is introduced into an infection-free herd and keeps re-infecting its
+//! contacts, so the infection never dies out and eventually reaches every animal.
+//!
+//! The herd contact network is modelled as an Erdős–Rényi graph over pens plus a few random
+//! long-range contacts, and the run compares BIPS (persistent source) with the plain discrete
+//! SIS contact process (no persistent source), which regularly goes extinct.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example bvdv_herd
+//! ```
+
+use cobra::core::baselines::contact::{ContactParameters, ContactProcess};
+use cobra::core::bips::BipsProcess;
+use cobra::core::cobra::Branching;
+use cobra::core::process::{run_until_complete, SpreadingProcess};
+use cobra::graph::{generators, ops};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha12Rng::seed_from_u64(1997); // the year of the BVDV simulation paper
+    let herd_size = 200;
+
+    // Herd contact network: dense-ish random contacts; resample until connected so that every
+    // animal can eventually be reached.
+    let herd = loop {
+        let candidate = generators::erdos_renyi_gnp(herd_size, 0.04, &mut rng)?;
+        if ops::is_connected(&candidate) && candidate.min_degree().unwrap_or(0) >= 1 {
+            break candidate;
+        }
+    };
+    let stats = ops::degree_stats(&herd).expect("non-empty herd");
+    println!(
+        "herd contact network: {} animals, {} contacts, degree {:.1} on average (min {}, max {})",
+        herd.num_vertices(),
+        herd.num_edges(),
+        stats.mean,
+        stats.min,
+        stats.max
+    );
+
+    // One persistently infected animal (vertex 0) enters the herd: BIPS dynamics.
+    let mut bips = BipsProcess::new(&herd, 0, Branching::fixed(2)?)?;
+    let rounds = run_until_complete(&mut bips, &mut rng, 1_000_000)
+        .expect("the persistent source eventually infects the whole herd");
+    println!("BIPS (persistent PI animal): every animal infected simultaneously after {rounds} rounds");
+
+    // The same herd without a persistent source: a discrete SIS contact process that can (and
+    // usually does) die out under the same contact intensity.
+    let params = ContactParameters::new(0.08, 0.5)?;
+    let mut extinct_runs = 0;
+    let mut completed_runs = 0;
+    let trials = 50;
+    for _ in 0..trials {
+        let mut sis = ContactProcess::new(&herd, 0, params, false)?;
+        let mut outcome = "ran out of budget";
+        for _ in 0..5_000 {
+            sis.step(&mut rng);
+            if sis.extinct() {
+                extinct_runs += 1;
+                outcome = "extinct";
+                break;
+            }
+            if sis.is_complete() {
+                completed_runs += 1;
+                outcome = "fully infected";
+                break;
+            }
+        }
+        let _ = outcome;
+    }
+    println!(
+        "plain SIS without the persistent animal ({trials} runs): {extinct_runs} extinctions, \
+         {completed_runs} full infections"
+    );
+    println!(
+        "the persistent source is what turns a process that can die out into one that w.h.p. \
+         infects everyone — exactly the role it plays in the paper's analysis"
+    );
+    Ok(())
+}

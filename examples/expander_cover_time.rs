@@ -1,0 +1,67 @@
+//! Reproduces the headline of Theorem 1 interactively: sweeps the size of random `r`-regular
+//! expanders for several degrees and prints the measured COBRA cover time next to `ln n`,
+//! demonstrating that the growth is logarithmic and essentially degree-independent.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example expander_cover_time
+//! ```
+
+use cobra::core::cobra::Branching;
+use cobra::core::cover;
+use cobra::graph::generators;
+use cobra::stats::regression::log_fit;
+use cobra::stats::summary::Summary;
+use cobra::stats::table::{fmt_float, Table};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let sizes = [128usize, 256, 512, 1024, 2048];
+    let degrees = [3usize, 8, 16];
+    let trials = 15;
+
+    let mut table = Table::with_headers(
+        "COBRA (k=2) cover time on random r-regular expanders",
+        &["n", "r", "lambda", "mean cover", "cover/ln n"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+
+    for &n in &sizes {
+        for &r in &degrees {
+            if r >= n || (n * r) % 2 != 0 {
+                continue;
+            }
+            let graph = generators::connected_random_regular(n, r, &mut rng)?;
+            let profile = cobra::spectral::analyze(&graph)?;
+            let mut summary = Summary::new();
+            for _ in 0..trials {
+                let outcome =
+                    cover::cover_time(&graph, 0, Branching::fixed(2)?, 1_000_000, &mut rng)?;
+                summary.record(outcome.rounds as f64);
+            }
+            table.add_row(vec![
+                n.to_string(),
+                r.to_string(),
+                fmt_float(profile.lambda_abs),
+                fmt_float(summary.mean()),
+                fmt_float(summary.mean() / (n as f64).ln()),
+            ]);
+            xs.push(n as f64);
+            ys.push(summary.mean());
+        }
+    }
+
+    println!("{}", table.render());
+    if let Some(fit) = log_fit(&xs, &ys) {
+        println!(
+            "logarithmic fit: cover ~ {:.2} + {:.2} ln n   (R^2 = {:.3})",
+            fit.intercept, fit.slope, fit.r_squared
+        );
+        println!("Theorem 1 predicts exactly this shape: O(log n), independent of the degree.");
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! `cobra` — a reproduction of *"The Coalescing-Branching Random Walk on Expanders and the
+//! Dual Epidemic Process"* (Cooper, Radzik, Rivera; PODC 2016).
+//!
+//! This facade crate re-exports the workspace crates under one roof so applications (and the
+//! examples and integration tests in this repository) can depend on a single name:
+//!
+//! * [`graph`] — graph substrate: CSR storage, generators for every family the paper uses,
+//!   traversals and I/O ([`cobra_graph`]).
+//! * [`spectral`] — eigenvalue / spectral-gap / conductance analysis ([`cobra_spectral`]).
+//! * [`stats`] — reproducible Monte-Carlo execution, summaries, confidence intervals and
+//!   regression fits ([`cobra_stats`]).
+//! * [`core`] — the COBRA and BIPS processes, the exact duality machinery, the growth-bound
+//!   audits and the baseline protocols ([`cobra_core`]).
+//! * [`experiments`] — the E1–E8 experiment harness reproducing each theorem
+//!   ([`cobra_experiments`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cobra::core::cobra::{Branching, CobraProcess};
+//! use cobra::core::process::run_until_complete;
+//! use cobra::graph::generators;
+//! use rand::SeedableRng;
+//!
+//! // A 3-regular random expander on 512 vertices.
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(42);
+//! let graph = generators::connected_random_regular(512, 3, &mut rng)?;
+//!
+//! // Its spectral gap certifies the paper's hypothesis ...
+//! let profile = cobra::spectral::analyze(&graph)?;
+//! assert!(profile.spectral_gap() > 0.05);
+//!
+//! // ... and COBRA with k = 2 covers it in O(log n) rounds.
+//! let mut process = CobraProcess::new(&graph, 0, Branching::fixed(2)?)?;
+//! let rounds = run_until_complete(&mut process, &mut rng, 100_000).expect("covers quickly");
+//! assert!(rounds < 200);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cobra_core as core;
+pub use cobra_experiments as experiments;
+pub use cobra_graph as graph;
+pub use cobra_spectral as spectral;
+pub use cobra_stats as stats;
+
+/// The paper this workspace reproduces, for citation in downstream tools.
+pub const PAPER: &str = "Cooper, Radzik, Rivera: The Coalescing-Branching Random Walk on \
+                         Expanders and the Dual Epidemic Process, PODC 2016";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_re_exports_are_wired() {
+        let g = crate::graph::generators::petersen().expect("petersen");
+        let profile = crate::spectral::analyze(&g).expect("profile");
+        assert!((profile.lambda_abs - 2.0 / 3.0).abs() < 1e-9);
+        assert!(crate::PAPER.contains("PODC"));
+    }
+}
