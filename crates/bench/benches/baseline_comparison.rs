@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_protocols_on(c: &mut Criterion, group_name: &str, graph: &Graph) {
     let mut group = c.benchmark_group(group_name);
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let n = graph.num_vertices();
     let walkers = (n as f64).log2().ceil() as usize;
 

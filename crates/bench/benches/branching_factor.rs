@@ -10,7 +10,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_branching_factor(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_branching_factor");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let graph = random_regular_instance(512, 3);
     for &rho in &[0.0f64, 0.1, 0.25, 0.5, 1.0] {
         let branching = Branching::fractional(rho).expect("valid rho");

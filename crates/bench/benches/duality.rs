@@ -11,7 +11,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_exact_duality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_exact_duality");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let k2 = Branching::fixed(2).expect("valid k");
     let cycle = generators::cycle(8).expect("cycle");
     group.bench_function("all_pairs_cycle8_t8", |b| {
@@ -29,7 +32,10 @@ fn bench_exact_duality(c: &mut Criterion) {
 
 fn bench_monte_carlo_duality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_monte_carlo_duality");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let k2 = Branching::fixed(2).expect("valid k");
     let graph = random_regular_instance(256, 3);
     let mut rng = bench_rng("mc-duality");

@@ -11,7 +11,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_gap_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_gap_sweep");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let branching = Branching::fixed(2).expect("valid k");
     let n = 512usize;
     for &k in &[2usize, 8, 32, 128] {

@@ -10,14 +10,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_growth_bound");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let k2 = Branching::fixed(2).expect("valid k");
     let graph = random_regular_instance(1024, 4);
     let infected: Vec<usize> = (0..256).collect();
     group.bench_function("exact_expected_next_size_n1024", |b| {
-        b.iter(|| {
-            growth::exact_expected_next_size(&graph, 0, &infected, k2).expect("valid inputs")
-        })
+        b.iter(|| growth::exact_expected_next_size(&graph, 0, &infected, k2).expect("valid inputs"))
     });
     let mut rng = bench_rng("growth-trajectory");
     group.bench_function("trajectory_audit_100_rounds_n1024", |b| {

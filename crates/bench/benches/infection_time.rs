@@ -10,18 +10,25 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_infection_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_bips_infection_time");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let branching = Branching::fixed(2).expect("valid k");
     for &(n, r) in &[(256usize, 3usize), (1024, 3), (4096, 3), (1024, 8)] {
         let graph = random_regular_instance(n, r);
         let mut rng = bench_rng(&format!("infection-{n}-{r}"));
-        group.bench_with_input(BenchmarkId::new("random_regular", format!("n{n}_r{r}")), &graph, |b, g| {
-            b.iter(|| {
-                infection::infection_time(g, 0, branching, 1_000_000, &mut rng)
-                    .expect("expanders are infected")
-                    .rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_regular", format!("n{n}_r{r}")),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    infection::infection_time(g, 0, branching, 1_000_000, &mut rng)
+                        .expect("expanders are infected")
+                        .rounds
+                })
+            },
+        );
     }
     group.finish();
 }

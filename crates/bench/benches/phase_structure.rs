@@ -10,7 +10,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_infection_curve(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_infection_curve");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let branching = Branching::fixed(2).expect("valid k");
     for &n in &[1024usize, 4096, 16384] {
         let graph = random_regular_instance(n, 4);

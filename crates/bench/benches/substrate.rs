@@ -12,26 +12,33 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_generators");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for &n in &[1024usize, 8192] {
         let mut rng = bench_rng(&format!("gen-{n}"));
         group.bench_with_input(BenchmarkId::new("random_3_regular", n), &n, |b, &n| {
             b.iter(|| generators::connected_random_regular(n, 3, &mut rng).expect("valid"))
         });
     }
-    group.bench_function("hypercube_d14", |b| {
-        b.iter(|| generators::hypercube(14).expect("valid"))
-    });
-    group.bench_function("torus_64x64", |b| b.iter(|| generators::torus_2d(64, 64).expect("valid")));
+    group.bench_function("hypercube_d14", |b| b.iter(|| generators::hypercube(14).expect("valid")));
+    group
+        .bench_function("torus_64x64", |b| b.iter(|| generators::torus_2d(64, 64).expect("valid")));
     group.finish();
 }
 
 fn bench_spectral(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_spectral");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
     let small = random_regular_instance(256, 4);
     group.bench_function("dense_jacobi_n256", |b| {
-        b.iter(|| cobra_spectral::analyze_with(&small, cobra_spectral::Method::DenseJacobi).expect("ok"))
+        b.iter(|| {
+            cobra_spectral::analyze_with(&small, cobra_spectral::Method::DenseJacobi).expect("ok")
+        })
     });
     let large = random_regular_instance(4096, 4);
     group.bench_function("lanczos_n4096", |b| {

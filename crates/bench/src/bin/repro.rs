@@ -1,32 +1,63 @@
-//! `repro` — regenerates every experiment table of the reproduction.
+//! `repro` — regenerates every experiment table of the reproduction, and runs ad-hoc
+//! spec-driven measurements.
 //!
 //! ```text
-//! repro                 # run every experiment with the quick preset
-//! repro --full          # run every experiment with the full preset (slow; populates EXPERIMENTS.md)
-//! repro --exp e4        # run a single experiment
-//! repro --list          # list experiments
-//! repro --seed 123      # change the master seed
+//! repro                        # run every experiment with the quick preset
+//! repro --full                 # run every experiment with the full preset (slow)
+//! repro --exp e4               # run a single experiment
+//! repro --list                 # list experiments
+//! repro --seed 123             # change the master seed
+//!
+//! # Ad-hoc mode: measure any process on any graph, no experiment file needed.
+//! repro --process cobra:k=2 --quick
+//! repro --process bips:rho=0.5 --graph torus:sides=32x32 --trials 20
+//! repro --process push --graph random-regular:n=4096,r=4 --max-rounds 100000
+//! repro --list-processes       # show the spec syntax for every process
 //! ```
 
 use std::process::ExitCode;
 
+use cobra_core::sim::Runner;
+use cobra_core::spec::ProcessSpec;
+use cobra_experiments::driver;
 use cobra_experiments::registry::{run_experiment, ExperimentId, Preset};
+use cobra_graph::generators::GraphFamily;
+use cobra_stats::parallel::TrialConfig;
+use cobra_stats::rng::SeedSequence;
+use cobra_stats::summary::quantile;
+use cobra_stats::table::{fmt_float, Table};
 
 struct Options {
     preset: Preset,
     seed: u64,
     only: Option<ExperimentId>,
     list: bool,
+    list_processes: bool,
+    process: Option<ProcessSpec>,
+    graph: Option<GraphFamily>,
+    trials: Option<usize>,
+    max_rounds: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut options = Options { preset: Preset::Quick, seed: 2016, only: None, list: false };
+    let mut options = Options {
+        preset: Preset::Quick,
+        seed: 2016,
+        only: None,
+        list: false,
+        list_processes: false,
+        process: None,
+        graph: None,
+        trials: None,
+        max_rounds: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => options.preset = Preset::Full,
             "--quick" => options.preset = Preset::Quick,
             "--list" => options.list = true,
+            "--list-processes" => options.list_processes = true,
             "--exp" => {
                 let value = args.next().ok_or("--exp requires an experiment id (e1..e8)")?;
                 options.only = Some(
@@ -36,13 +67,38 @@ fn parse_args() -> Result<Options, String> {
             }
             "--seed" => {
                 let value = args.next().ok_or("--seed requires an integer")?;
-                options.seed =
-                    value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+                options.seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+            }
+            "--process" => {
+                let value = args.next().ok_or("--process requires a spec like cobra:k=2")?;
+                options.process =
+                    Some(value.parse().map_err(|e| format!("invalid process spec: {e}"))?);
+            }
+            "--graph" => {
+                let value =
+                    args.next().ok_or("--graph requires a spec like random-regular:n=256,r=4")?;
+                options.graph =
+                    Some(value.parse().map_err(|e| format!("invalid graph spec: {e}"))?);
+            }
+            "--trials" => {
+                let value = args.next().ok_or("--trials requires an integer")?;
+                options.trials =
+                    Some(value.parse().map_err(|_| format!("invalid trial count {value:?}"))?);
+            }
+            "--max-rounds" => {
+                let value = args.next().ok_or("--max-rounds requires an integer")?;
+                options.max_rounds =
+                    Some(value.parse().map_err(|_| format!("invalid round budget {value:?}"))?);
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full|--quick] [--exp e1..e8] [--seed N] [--list]\n\
-                     regenerates the experiment tables of the COBRA/BIPS reproduction"
+                     \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
+                     \x20      repro --list-processes\n\
+                     regenerates the experiment tables of the COBRA/BIPS reproduction, or\n\
+                     measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
+                     contact:p=0.5,q=0.2) on one graph spec (e.g. random-regular:n=256,r=4,\n\
+                     torus:sides=32x32, hypercube:d=10)"
                 );
                 std::process::exit(0);
             }
@@ -50,6 +106,63 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
+    let (default_graph, default_trials, default_rounds) = match options.preset {
+        Preset::Quick => (GraphFamily::RandomRegular { n: 256, r: 4 }, 10, 10_000_000),
+        Preset::Full => (GraphFamily::RandomRegular { n: 4096, r: 4 }, 50, 100_000_000),
+    };
+    let family = options.graph.clone().unwrap_or(default_graph);
+    let trials = options.trials.unwrap_or(default_trials);
+    let max_rounds = options.max_rounds.unwrap_or(default_rounds);
+
+    let seq = SeedSequence::new(options.seed).child("ad-hoc");
+    let mut rng = seq.trial_rng("instance", 0);
+    let graph = match family.instantiate(&mut rng) {
+        Ok(graph) => graph,
+        Err(error) => {
+            eprintln!("error: cannot build graph {family}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(error) = spec.build(&graph) {
+        eprintln!("error: cannot run {spec} on {family}: {error}");
+        return ExitCode::FAILURE;
+    }
+
+    let runner = Runner::new(max_rounds);
+    let outcomes = driver::run_spec_trials(
+        &graph,
+        spec,
+        &runner,
+        &seq,
+        &format!("{spec}@{family}"),
+        TrialConfig::parallel(trials),
+    );
+    let completed: Vec<f64> =
+        outcomes.iter().filter_map(|o| o.completion_rounds()).map(|rounds| rounds as f64).collect();
+    let summary: cobra_stats::summary::Summary = completed.iter().copied().collect();
+
+    println!("# ad-hoc run — seed {}\n", options.seed);
+    let mut table = Table::with_headers(
+        format!(
+            "{spec} on {family} ({} vertices, {trials} trials, budget {max_rounds})",
+            graph.num_vertices()
+        ),
+        &["completed", "mean rounds", "p50", "p95", "min", "max"],
+    );
+    let mean = if completed.is_empty() { f64::NAN } else { summary.mean() };
+    table.add_row(vec![
+        format!("{}/{}", completed.len(), outcomes.len()),
+        fmt_float(mean),
+        fmt_float(quantile(&completed, 0.5).unwrap_or(f64::NAN)),
+        fmt_float(quantile(&completed, 0.95).unwrap_or(f64::NAN)),
+        fmt_float(summary.min().unwrap_or(f64::NAN)),
+        fmt_float(summary.max().unwrap_or(f64::NAN)),
+    ]);
+    println!("{}", table.render());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -66,6 +179,16 @@ fn main() -> ExitCode {
             println!("{id:?}: {}", id.description());
         }
         return ExitCode::SUCCESS;
+    }
+    if options.list_processes {
+        println!("process spec syntax (see also --graph specs like random-regular:n=256,r=4):");
+        for spec in ProcessSpec::examples() {
+            println!("  {spec}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(spec) = options.process.clone() {
+        return run_ad_hoc(&options, &spec);
     }
 
     let ids: Vec<ExperimentId> = match options.only {

@@ -9,7 +9,7 @@
 //! out when no source is pinned — which is exactly the behaviour the experiments contrast.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -30,8 +30,7 @@ impl ContactParameters {
     ///
     /// Returns [`CoreError::InvalidParameters`] if either probability is outside `[0, 1]`.
     pub fn new(infection_probability: f64, recovery_probability: f64) -> Result<Self> {
-        for (name, p) in
-            [("infection", infection_probability), ("recovery", recovery_probability)]
+        for (name, p) in [("infection", infection_probability), ("recovery", recovery_probability)]
         {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(CoreError::InvalidParameters {
@@ -107,9 +106,10 @@ impl<'g> ContactProcess<'g> {
 }
 
 impl SpreadingProcess for ContactProcess<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         self.next_infected[..n].fill(false);
+        let mut count = 0usize;
         // Transmission.
         for u in 0..n {
             if !self.infected[u] {
@@ -121,21 +121,24 @@ impl SpreadingProcess for ContactProcess<'_> {
                     && rng.gen_bool(self.parameters.infection_probability)
                 {
                     self.next_infected[v] = true;
+                    count += 1;
                 }
             }
             // Recovery (skipped for the persistent source).
             let recovers = (!self.persistent_source || u != self.source)
                 && self.parameters.recovery_probability > 0.0
                 && rng.gen_bool(self.parameters.recovery_probability);
-            if !recovers {
+            if !recovers && !self.next_infected[u] {
                 self.next_infected[u] = true;
+                count += 1;
             }
         }
-        if self.persistent_source {
+        if self.persistent_source && !self.next_infected[self.source] {
             self.next_infected[self.source] = true;
+            count += 1;
         }
         std::mem::swap(&mut self.infected, &mut self.next_infected);
-        self.num_infected = self.infected.iter().filter(|&&x| x).count();
+        self.num_infected = count;
         self.round += 1;
     }
 

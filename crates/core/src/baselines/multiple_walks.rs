@@ -1,7 +1,7 @@
 //! Multiple independent random walks from a common start vertex.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -18,6 +18,7 @@ pub struct MultipleRandomWalks<'g> {
     start: VertexId,
     positions: Vec<VertexId>,
     active: Vec<bool>,
+    num_active: usize,
     visited: Vec<bool>,
     num_visited: usize,
     round: usize,
@@ -60,6 +61,7 @@ impl<'g> MultipleRandomWalks<'g> {
             start,
             positions: vec![start; walkers],
             active,
+            num_active: 1,
             visited,
             num_visited: 1,
             round: 0,
@@ -83,14 +85,18 @@ impl<'g> MultipleRandomWalks<'g> {
 }
 
 impl SpreadingProcess for MultipleRandomWalks<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         self.active.fill(false);
+        self.num_active = 0;
         for position in &mut self.positions {
             let degree = self.graph.degree(*position);
             if degree > 0 {
                 *position = self.graph.neighbor(*position, rng.gen_range(0..degree));
             }
-            self.active[*position] = true;
+            if !self.active[*position] {
+                self.active[*position] = true;
+                self.num_active += 1;
+            }
             if !self.visited[*position] {
                 self.visited[*position] = true;
                 self.num_visited += 1;
@@ -107,6 +113,10 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         &self.active
     }
 
+    fn num_active(&self) -> usize {
+        self.num_active
+    }
+
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
     }
@@ -118,6 +128,7 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
             *p = self.start;
         }
         self.active[self.start] = true;
+        self.num_active = 1;
         self.visited[self.start] = true;
         self.num_visited = 1;
         self.round = 0;

@@ -9,12 +9,12 @@
 //! random neighbour.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
-fn validate<'g>(graph: &'g Graph, start: VertexId) -> Result<()> {
+fn validate(graph: &Graph, start: VertexId) -> Result<()> {
     let n = graph.num_vertices();
     if n == 0 {
         return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
@@ -69,7 +69,7 @@ impl<'g> PushProcess<'g> {
 }
 
 impl SpreadingProcess for PushProcess<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut newly = Vec::new();
         for u in 0..n {
@@ -157,7 +157,7 @@ impl<'g> PushPullProcess<'g> {
 }
 
 impl SpreadingProcess for PushPullProcess<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut newly = Vec::new();
         for u in 0..n {

@@ -1,7 +1,7 @@
 //! A single simple random walk.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -63,7 +63,7 @@ impl<'g> RandomWalk<'g> {
 }
 
 impl SpreadingProcess for RandomWalk<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let degree = self.graph.degree(self.position);
         if degree > 0 {
             let next = self.graph.neighbor(self.position, rng.gen_range(0..degree));

@@ -14,7 +14,7 @@
 //! the same [`Branching`] type as COBRA.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::cobra::Branching;
 use crate::process::SpreadingProcess;
@@ -131,13 +131,13 @@ impl<'g> BipsProcess<'g> {
     }
 
     /// Number of samples vertex `u` draws this round.
-    fn samples_for<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+    fn samples_for(&self, rng: &mut dyn RngCore) -> u32 {
         self.branching.sample_pushes(rng)
     }
 }
 
 impl SpreadingProcess for BipsProcess<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut count = 0usize;
         for u in 0..n {

@@ -13,7 +13,7 @@
 //! `ρ`, a second time. Both are captured by [`Branching`].
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::process::SpreadingProcess;
@@ -120,6 +120,7 @@ pub struct CobraProcess<'g> {
     branching: Branching,
     active: Vec<bool>,
     next_active: Vec<bool>,
+    num_active: usize,
     visited: Vec<bool>,
     num_visited: usize,
     round: usize,
@@ -173,6 +174,7 @@ impl<'g> CobraProcess<'g> {
             branching,
             active: vec![false; n],
             next_active: vec![false; n],
+            num_active: 0,
             visited: vec![false; n],
             num_visited: 0,
             round: 0,
@@ -180,6 +182,7 @@ impl<'g> CobraProcess<'g> {
         for &v in starts {
             if !process.active[v] {
                 process.active[v] = true;
+                process.num_active += 1;
             }
             if !process.visited[v] {
                 process.visited[v] = true;
@@ -220,9 +223,10 @@ impl<'g> CobraProcess<'g> {
 }
 
 impl SpreadingProcess for CobraProcess<'_> {
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         self.next_active[..n].fill(false);
+        let mut next_count = 0usize;
         for u in 0..n {
             if !self.active[u] {
                 continue;
@@ -236,6 +240,7 @@ impl SpreadingProcess for CobraProcess<'_> {
                 let target = self.graph.neighbor(u, rng.gen_range(0..degree));
                 if !self.next_active[target] {
                     self.next_active[target] = true;
+                    next_count += 1;
                     if !self.visited[target] {
                         self.visited[target] = true;
                         self.num_visited += 1;
@@ -244,6 +249,7 @@ impl SpreadingProcess for CobraProcess<'_> {
             }
         }
         std::mem::swap(&mut self.active, &mut self.next_active);
+        self.num_active = next_count;
         self.round += 1;
     }
 
@@ -255,6 +261,10 @@ impl SpreadingProcess for CobraProcess<'_> {
         &self.active
     }
 
+    fn num_active(&self) -> usize {
+        self.num_active
+    }
+
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
     }
@@ -263,11 +273,18 @@ impl SpreadingProcess for CobraProcess<'_> {
         self.active.fill(false);
         self.next_active.fill(false);
         self.visited.fill(false);
+        self.num_active = 0;
+        self.num_visited = 0;
         for &v in &self.starts {
-            self.active[v] = true;
-            self.visited[v] = true;
+            if !self.active[v] {
+                self.active[v] = true;
+                self.num_active += 1;
+            }
+            if !self.visited[v] {
+                self.visited[v] = true;
+                self.num_visited += 1;
+            }
         }
-        self.num_visited = self.visited.iter().filter(|&&x| x).count();
         self.round = 0;
     }
 }

@@ -1,16 +1,17 @@
 //! Cover-time and hitting-time measurement for the COBRA process.
 //!
 //! The paper's central quantity is the cover time `cov(u)`: the number of rounds until every
-//! vertex has been visited by a COBRA process started at `u`. This module packages the
-//! measurement loops (single runs, per-vertex hitting times, growth traces) used by the
-//! experiments and benchmarks.
+//! vertex has been visited by a COBRA process started at `u`. The measurement helpers here
+//! are thin wrappers over the unified [`sim::Runner`](crate::sim::Runner) loop and its
+//! observers — they exist so call sites keep a COBRA-specific vocabulary (cover, hitting
+//! times, coverage curve) while the stepping logic lives in one place.
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::RngCore;
 
 use crate::cobra::{Branching, CobraProcess};
-use crate::process::SpreadingProcess;
-use crate::{CoreError, Result};
+use crate::sim::{CoverageTrace, FirstVisitTimes, Runner};
+use crate::Result;
 
 /// Outcome of a single COBRA run to completion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,18 +30,16 @@ pub struct CoverOutcome {
 /// Returns construction errors from [`CobraProcess::new`] and
 /// [`CoreError::RoundBudgetExceeded`] if the graph is not covered within `max_rounds`
 /// (e.g. a disconnected graph, or a budget far below the true cover time).
-pub fn cover_time<R: Rng + ?Sized>(
+pub fn cover_time(
     graph: &Graph,
     start: VertexId,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<CoverOutcome> {
     let mut process = CobraProcess::new(graph, start, branching)?;
-    match crate::process::run_until_complete(&mut process, rng, max_rounds) {
-        Some(rounds) => Ok(CoverOutcome { rounds, num_vertices: graph.num_vertices() }),
-        None => Err(CoreError::RoundBudgetExceeded { max_rounds }),
-    }
+    let rounds = Runner::new(max_rounds).completion_rounds(&mut process, rng)?;
+    Ok(CoverOutcome { rounds, num_vertices: graph.num_vertices() })
 }
 
 /// Per-vertex first-visit times of a single COBRA run.
@@ -68,9 +67,11 @@ impl HittingTimes {
 
     /// The cover time (maximum first-visit round), if every vertex was visited.
     pub fn cover_time(&self) -> Option<usize> {
-        self.first_visit.iter().copied().collect::<Option<Vec<usize>>>().map(|v| {
-            v.into_iter().max().unwrap_or(0)
-        })
+        self.first_visit
+            .iter()
+            .copied()
+            .collect::<Option<Vec<usize>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0))
     }
 }
 
@@ -80,30 +81,17 @@ impl HittingTimes {
 /// # Errors
 ///
 /// Returns construction errors from [`CobraProcess::with_start_set`].
-pub fn hitting_times<R: Rng + ?Sized>(
+pub fn hitting_times(
     graph: &Graph,
     starts: &[VertexId],
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<HittingTimes> {
     let mut process = CobraProcess::with_start_set(graph, starts, branching)?;
-    let n = graph.num_vertices();
-    let mut first_visit: Vec<Option<usize>> = vec![None; n];
-    for &s in starts {
-        first_visit[s] = Some(0);
-    }
-    let mut rounds = 0usize;
-    while !process.is_complete() && rounds < max_rounds {
-        process.step(rng);
-        rounds += 1;
-        for v in 0..n {
-            if process.active()[v] && first_visit[v].is_none() {
-                first_visit[v] = Some(rounds);
-            }
-        }
-    }
-    Ok(HittingTimes { first_visit, rounds })
+    let mut visits = FirstVisitTimes::new();
+    let outcome = Runner::new(max_rounds).run_observed(&mut process, rng, &mut [&mut visits]);
+    Ok(HittingTimes { first_visit: visits.into_first_visit(), rounds: outcome.rounds })
 }
 
 /// The growth trace of one COBRA run: number of *distinct visited* vertices after each round
@@ -112,21 +100,17 @@ pub fn hitting_times<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns construction errors from [`CobraProcess::new`].
-pub fn coverage_curve<R: Rng + ?Sized>(
+pub fn coverage_curve(
     graph: &Graph,
     start: VertexId,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<Vec<usize>> {
     let mut process = CobraProcess::new(graph, start, branching)?;
-    let mut curve = Vec::with_capacity(max_rounds.min(1024) + 1);
-    curve.push(process.num_visited());
-    while !process.is_complete() && process.round() < max_rounds {
-        process.step(rng);
-        curve.push(process.num_visited());
-    }
-    Ok(curve)
+    let mut coverage = CoverageTrace::new();
+    Runner::new(max_rounds).run_observed(&mut process, rng, &mut [&mut coverage]);
+    Ok(coverage.into_trace())
 }
 
 /// Worst-case starting vertex: runs [`cover_time`] from every vertex (one trial each) and
@@ -136,11 +120,11 @@ pub fn coverage_curve<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates the first error from [`cover_time`].
-pub fn worst_case_cover_time<R: Rng + ?Sized>(
+pub fn worst_case_cover_time(
     graph: &Graph,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<usize> {
     let mut worst = 0usize;
     for start in graph.vertices() {
@@ -153,6 +137,7 @@ pub fn worst_case_cover_time<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreError;
     use cobra_graph::generators;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
@@ -248,10 +233,12 @@ mod tests {
         let mut multi = 0usize;
         for t in 0..trials {
             single += hitting_times(&g, &[0], k2(), 100_000, &mut rng(100 + t)).unwrap().rounds;
-            multi += hitting_times(&g, &[0, 20, 40], k2(), 100_000, &mut rng(200 + t))
-                .unwrap()
-                .rounds;
+            multi +=
+                hitting_times(&g, &[0, 20, 40], k2(), 100_000, &mut rng(200 + t)).unwrap().rounds;
         }
-        assert!(multi < single, "three sources should cover the cycle faster ({multi} vs {single})");
+        assert!(
+            multi < single,
+            "three sources should cover the cycle faster ({multi} vs {single})"
+        );
     }
 }

@@ -331,7 +331,7 @@ pub fn estimate_cobra_hit_tail<R: Rng + ?Sized>(
     branching: Branching,
     t: usize,
     trials: usize,
-    rng: &mut R,
+    mut rng: &mut R,
 ) -> Result<f64> {
     if target >= graph.num_vertices() {
         return Err(CoreError::VertexOutOfRange {
@@ -347,7 +347,7 @@ pub fn estimate_cobra_hit_tail<R: Rng + ?Sized>(
             if hit {
                 break;
             }
-            process.step(rng);
+            process.step(&mut rng);
             if process.active()[target] {
                 hit = true;
             }
@@ -371,7 +371,7 @@ pub fn estimate_bips_avoidance<R: Rng + ?Sized>(
     branching: Branching,
     t: usize,
     trials: usize,
-    rng: &mut R,
+    mut rng: &mut R,
 ) -> Result<f64> {
     if let Some(&bad) = avoid_set.iter().find(|&&v| v >= graph.num_vertices()) {
         return Err(CoreError::VertexOutOfRange {
@@ -383,7 +383,7 @@ pub fn estimate_bips_avoidance<R: Rng + ?Sized>(
     for _ in 0..trials {
         let mut process = BipsProcess::new(graph, source, branching)?;
         for _ in 0..t {
-            process.step(rng);
+            process.step(&mut rng);
         }
         if avoid_set.iter().all(|&v| !process.is_infected(v)) {
             avoided += 1;
@@ -428,8 +428,7 @@ pub fn verify_duality_monte_carlo<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<MonteCarloDuality> {
-    let cobra_tail =
-        estimate_cobra_hit_tail(graph, start_set, target, branching, t, trials, rng)?;
+    let cobra_tail = estimate_cobra_hit_tail(graph, start_set, target, branching, t, trials, rng)?;
     let bips_avoidance =
         estimate_bips_avoidance(graph, target, start_set, branching, t, trials, rng)?;
     let pooled = (cobra_tail + bips_avoidance) / 2.0;
@@ -466,14 +465,17 @@ mod tests {
     #[test]
     fn choice_distribution_sums_to_one_and_respects_neighbourhoods() {
         let g = generators::petersen().unwrap();
-        for &branching in
-            &[k2(), Branching::fixed(1).unwrap(), Branching::fixed(3).unwrap(), Branching::fractional(0.3).unwrap()]
-        {
+        for &branching in &[
+            k2(),
+            Branching::fixed(1).unwrap(),
+            Branching::fixed(3).unwrap(),
+            Branching::fractional(0.3).unwrap(),
+        ] {
             for u in g.vertices() {
                 let dist = choice_set_distribution(&g, u, branching);
                 let total: f64 = dist.values().sum();
                 assert!((total - 1.0).abs() < 1e-12);
-                let neighbourhood = mask_of(&g.neighbors(u).to_vec());
+                let neighbourhood = mask_of(g.neighbors(u));
                 for &mask in dist.keys() {
                     assert_eq!(mask & !neighbourhood, 0, "choices must be neighbours of {u}");
                     assert!(mask != 0);
@@ -522,7 +524,11 @@ mod tests {
     fn duality_exact_on_cycle_and_path() {
         let cycle = generators::cycle(6).unwrap();
         let report = verify_duality_exact(&cycle, k2(), 10).unwrap();
-        assert!(report.max_abs_difference < 1e-10, "cycle difference {}", report.max_abs_difference);
+        assert!(
+            report.max_abs_difference < 1e-10,
+            "cycle difference {}",
+            report.max_abs_difference
+        );
 
         let path = generators::path(5).unwrap();
         let report = verify_duality_exact(&path, k2(), 10).unwrap();
@@ -545,8 +551,7 @@ mod tests {
     #[test]
     fn duality_exact_with_fractional_branching() {
         let g = generators::bull().unwrap();
-        let report =
-            verify_duality_exact(&g, Branching::fractional(0.4).unwrap(), 8).unwrap();
+        let report = verify_duality_exact(&g, Branching::fractional(0.4).unwrap(), 8).unwrap();
         assert!(report.max_abs_difference < 1e-10, "difference {}", report.max_abs_difference);
     }
 

@@ -54,10 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::RoundBudgetExceeded { max_rounds } => {
                 write!(f, "process did not complete within {max_rounds} rounds")
             }
-            CoreError::TooLargeForExact { num_vertices, limit } => write!(
-                f,
-                "exact computation supports at most {limit} vertices, got {num_vertices}"
-            ),
+            CoreError::TooLargeForExact { num_vertices, limit } => {
+                write!(f, "exact computation supports at most {limit} vertices, got {num_vertices}")
+            }
         }
     }
 }

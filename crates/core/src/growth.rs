@@ -129,8 +129,8 @@ pub fn sampled_expected_next_size<R: Rng + ?Sized>(
                 continue;
             }
             let samples = branching.sample_pushes(rng);
-            let hit = (0..samples)
-                .any(|_| is_infected[graph.neighbor(u, rng.gen_range(0..degree))]);
+            let hit =
+                (0..samples).any(|_| is_infected[graph.neighbor(u, rng.gen_range(0..degree))]);
             if hit {
                 next += 1;
             }
@@ -172,16 +172,14 @@ pub fn audit_growth_along_trajectory<R: Rng + ?Sized>(
     branching: Branching,
     lambda: f64,
     rounds: usize,
-    rng: &mut R,
+    mut rng: &mut R,
 ) -> Result<Vec<GrowthObservation>> {
     let mut process = BipsProcess::new(graph, source, branching)?;
     let n = graph.num_vertices();
     let mut observations = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let infected: Vec<VertexId> =
-            (0..n).filter(|&v| process.is_infected(v)).collect();
-        let expected_next =
-            exact_expected_next_size(graph, source, &infected, branching)?;
+        let infected: Vec<VertexId> = (0..n).filter(|&v| process.is_infected(v)).collect();
+        let expected_next = exact_expected_next_size(graph, source, &infected, branching)?;
         observations.push(GrowthObservation {
             set_size: infected.len(),
             expected_next,
@@ -190,7 +188,7 @@ pub fn audit_growth_along_trajectory<R: Rng + ?Sized>(
         if process.is_complete() {
             break;
         }
-        process.step(rng);
+        process.step(&mut rng);
     }
     Ok(observations)
 }
@@ -358,11 +356,16 @@ mod tests {
         let mut r = rng(5);
         let g = generators::connected_random_regular(96, 3, &mut r).unwrap();
         let lambda = lambda_of(&g);
-        let observations =
-            audit_growth_along_trajectory(&g, 0, k2(), lambda, 200, &mut r).unwrap();
+        let observations = audit_growth_along_trajectory(&g, 0, k2(), lambda, 200, &mut r).unwrap();
         assert!(!observations.is_empty());
         for obs in &observations {
-            assert!(obs.bound_holds(), "size {}: {} < {}", obs.set_size, obs.expected_next, obs.lower_bound);
+            assert!(
+                obs.bound_holds(),
+                "size {}: {} < {}",
+                obs.set_size,
+                obs.expected_next,
+                obs.lower_bound
+            );
         }
         // The trajectory should eventually reach large sets.
         assert!(observations.iter().map(|o| o.set_size).max().unwrap() > 48);

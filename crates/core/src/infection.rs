@@ -2,13 +2,15 @@
 //!
 //! Mirrors [`crate::cover`] for the dual process: `infec(v)` is the first round in which the
 //! infected set equals the whole vertex set when the persistent source is `v` (Theorem 2).
+//! Like the cover helpers, these wrappers delegate the stepping to the unified
+//! [`sim::Runner`](crate::sim::Runner).
 
 use cobra_graph::{Graph, VertexId};
-use rand::Rng;
+use rand::RngCore;
 
 use crate::bips::BipsProcess;
 use crate::cobra::Branching;
-use crate::process::SpreadingProcess;
+use crate::sim::{ActiveCountTrace, Runner, StopReason};
 use crate::{CoreError, Result};
 
 /// Outcome of a single BIPS run to full infection.
@@ -26,18 +28,16 @@ pub struct InfectionOutcome {
 ///
 /// Returns construction errors from [`BipsProcess::new`] and
 /// [`CoreError::RoundBudgetExceeded`] if full infection is not reached within `max_rounds`.
-pub fn infection_time<R: Rng + ?Sized>(
+pub fn infection_time(
     graph: &Graph,
     source: VertexId,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<InfectionOutcome> {
     let mut process = BipsProcess::new(graph, source, branching)?;
-    match crate::process::run_until_complete(&mut process, rng, max_rounds) {
-        Some(rounds) => Ok(InfectionOutcome { rounds, num_vertices: graph.num_vertices() }),
-        None => Err(CoreError::RoundBudgetExceeded { max_rounds }),
-    }
+    let rounds = Runner::new(max_rounds).completion_rounds(&mut process, rng)?;
+    Ok(InfectionOutcome { rounds, num_vertices: graph.num_vertices() })
 }
 
 /// The growth trace of one BIPS run: `|A_t|` for `t = 0, 1, …`, truncated at full infection or
@@ -46,21 +46,17 @@ pub fn infection_time<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns construction errors from [`BipsProcess::new`].
-pub fn infection_curve<R: Rng + ?Sized>(
+pub fn infection_curve(
     graph: &Graph,
     source: VertexId,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<Vec<usize>> {
     let mut process = BipsProcess::new(graph, source, branching)?;
-    let mut curve = Vec::with_capacity(max_rounds.min(1024) + 1);
-    curve.push(process.num_infected());
-    while !process.is_complete() && process.round() < max_rounds {
-        process.step(rng);
-        curve.push(process.num_infected());
-    }
-    Ok(curve)
+    let mut counts = ActiveCountTrace::new();
+    Runner::new(max_rounds).run_observed(&mut process, rng, &mut [&mut counts]);
+    Ok(counts.into_trace())
 }
 
 /// First round at which the infected set reaches at least `fraction` of all vertices, within
@@ -71,31 +67,20 @@ pub fn infection_curve<R: Rng + ?Sized>(
 /// Returns [`CoreError::InvalidParameters`] if `fraction` is not in `(0, 1]`, construction
 /// errors from [`BipsProcess::new`], and [`CoreError::RoundBudgetExceeded`] if the threshold
 /// is not reached in time.
-pub fn time_to_fraction<R: Rng + ?Sized>(
+pub fn time_to_fraction(
     graph: &Graph,
     source: VertexId,
     branching: Branching,
     fraction: f64,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<usize> {
-    if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(CoreError::InvalidParameters {
-            reason: format!("fraction {fraction} must be in (0, 1]"),
-        });
-    }
     let mut process = BipsProcess::new(graph, source, branching)?;
-    let threshold = (fraction * graph.num_vertices() as f64).ceil() as usize;
-    if process.num_infected() >= threshold {
-        return Ok(0);
+    let outcome = Runner::new(max_rounds).until_coverage(fraction)?.run(&mut process, rng);
+    match outcome.reason {
+        StopReason::TargetReached | StopReason::Completed => Ok(outcome.rounds),
+        StopReason::BudgetExhausted => Err(CoreError::RoundBudgetExceeded { max_rounds }),
     }
-    for round in 1..=max_rounds {
-        process.step(rng);
-        if process.num_infected() >= threshold {
-            return Ok(round);
-        }
-    }
-    Err(CoreError::RoundBudgetExceeded { max_rounds })
 }
 
 /// Worst-case source: runs [`infection_time`] from every vertex (one trial each) and returns
@@ -104,11 +89,11 @@ pub fn time_to_fraction<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates the first error from [`infection_time`].
-pub fn worst_case_infection_time<R: Rng + ?Sized>(
+pub fn worst_case_infection_time(
     graph: &Graph,
     branching: Branching,
     max_rounds: usize,
-    rng: &mut R,
+    rng: &mut dyn RngCore,
 ) -> Result<usize> {
     let mut worst = 0usize;
     for source in graph.vertices() {
@@ -179,6 +164,15 @@ mod tests {
             time_to_fraction(&g, 0, k2(), 1.5, 10, &mut rng(7)),
             Err(CoreError::InvalidParameters { .. })
         ));
+    }
+
+    #[test]
+    fn time_to_fraction_budget_exhaustion_is_an_error() {
+        let g = generators::cycle(60).unwrap();
+        assert_eq!(
+            time_to_fraction(&g, 0, k2(), 0.9, 2, &mut rng(8)),
+            Err(CoreError::RoundBudgetExceeded { max_rounds: 2 })
+        );
     }
 
     #[test]

@@ -21,8 +21,37 @@
 //!   bounds) used for measured-vs-theory comparisons.
 //! * [`baselines`] — the processes the paper positions COBRA against: the simple random walk,
 //!   multiple independent random walks, PUSH, PUSH–PULL and a discrete SIS contact process.
+//! * [`spec`] — [`ProcessSpec`]: a serializable, parseable value naming any of the seven
+//!   processes plus its parameters, instantiated against a graph as a
+//!   `Box<dyn SpreadingProcess>`.
+//! * [`sim`] — the unified [`sim::Runner`] measurement loop: stop conditions (completion,
+//!   round budget, target coverage) plus pluggable observers (active-count traces,
+//!   first-visit/cover times, growth ratios).
 //!
 //! # Quick start
+//!
+//! Every process is a value: name it in a [`ProcessSpec`] (or parse one from a string such
+//! as `"cobra:k=2"`), instantiate it against any graph, and drive it through the shared
+//! [`sim::Runner`]:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cobra_core::sim::Runner;
+//! use cobra_core::spec::ProcessSpec;
+//! use cobra_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let graph = generators::hypercube(7)?; // 128 vertices
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+//! let spec: ProcessSpec = "cobra:k=2".parse()?;
+//! let outcome = Runner::new(10_000).run_spec(&spec, &graph, &mut rng)?;
+//! assert!(outcome.completed() && outcome.rounds < 100);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Statically-typed construction still works, and [`run_until_complete`] drives any
+//! `&mut dyn SpreadingProcess`:
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +60,7 @@
 //! use cobra_graph::generators;
 //! use rand::SeedableRng;
 //!
-//! let graph = generators::hypercube(7)?; // 128 vertices
+//! let graph = generators::hypercube(7)?;
 //! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
 //! let mut process = CobraProcess::new(&graph, 0, Branching::fixed(2)?)?;
 //! let rounds = run_until_complete(&mut process, &mut rng, 10_000)
@@ -53,6 +82,8 @@ pub mod duality;
 pub mod growth;
 pub mod infection;
 pub mod process;
+pub mod sim;
+pub mod spec;
 pub mod theory;
 
 mod error;
@@ -61,6 +92,8 @@ pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
 pub use error::CoreError;
 pub use process::SpreadingProcess;
+pub use sim::{RunOutcome, Runner};
+pub use spec::ProcessSpec;
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,6 +1,6 @@
 //! The common interface of round-based spreading processes.
 
-use rand::Rng;
+use rand::RngCore;
 
 /// A synchronous, round-based process spreading information (or infection) over a fixed graph.
 ///
@@ -8,10 +8,18 @@ use rand::Rng;
 /// contact process — advance in discrete rounds over an immutable graph, maintain a set of
 /// "currently active" vertices and have a notion of completion (all vertices visited, or all
 /// vertices infected). This trait captures exactly that surface so measurement code
-/// ([`run_until_complete`], growth traces, the experiment harness) is written once.
+/// ([`run_until_complete`], growth traces, the [`sim`](crate::sim) runner, the experiment
+/// harness) is written once.
+///
+/// The trait is **object-safe**: processes are routinely handled as
+/// `Box<dyn SpreadingProcess>` so heterogeneous collections can be driven through the same
+/// loop and a [`ProcessSpec`](crate::spec::ProcessSpec) can instantiate any process by name
+/// at runtime. That is why [`step`](SpreadingProcess::step) takes `&mut dyn RngCore` instead
+/// of a generic parameter — concrete RNGs coerce at the call site
+/// (`process.step(&mut rng)`), so callers are unaffected.
 pub trait SpreadingProcess {
     /// Advances the process by one round.
-    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    fn step(&mut self, rng: &mut dyn RngCore);
 
     /// Number of rounds performed so far (0 for a freshly constructed process).
     fn round(&self) -> usize;
@@ -21,9 +29,10 @@ pub trait SpreadingProcess {
     fn active(&self) -> &[bool];
 
     /// Number of active vertices in the current round.
-    fn num_active(&self) -> usize {
-        self.active().iter().filter(|&&a| a).count()
-    }
+    ///
+    /// Implementations maintain this count incrementally, so it is `O(1)` — hot trace loops
+    /// call it every round and must not pay an `O(n)` recount of [`active`](Self::active).
+    fn num_active(&self) -> usize;
 
     /// Number of vertices of the underlying graph.
     fn num_vertices(&self) -> usize {
@@ -39,15 +48,19 @@ pub trait SpreadingProcess {
     fn reset(&mut self);
 }
 
+// `SpreadingProcess` must stay object-safe: the spec layer hands out
+// `Box<dyn SpreadingProcess>` and the runner drives `&mut dyn SpreadingProcess`.
+const _: fn(&mut dyn SpreadingProcess) = |_| {};
+
 /// Runs `process` until [`SpreadingProcess::is_complete`] holds or `max_rounds` rounds have
 /// been executed, returning the completion round or `None` on budget exhaustion.
 ///
 /// If the process is already complete, returns `Some(current round)` without stepping.
-pub fn run_until_complete<P, R>(process: &mut P, rng: &mut R, max_rounds: usize) -> Option<usize>
-where
-    P: SpreadingProcess + ?Sized,
-    R: Rng + ?Sized,
-{
+pub fn run_until_complete(
+    process: &mut dyn SpreadingProcess,
+    rng: &mut dyn RngCore,
+    max_rounds: usize,
+) -> Option<usize> {
     if process.is_complete() {
         return Some(process.round());
     }
@@ -62,11 +75,11 @@ where
 
 /// Runs `process` for up to `max_rounds` rounds recording the number of active vertices after
 /// every round (index 0 holds the initial count), stopping early on completion.
-pub fn trace_active_counts<P, R>(process: &mut P, rng: &mut R, max_rounds: usize) -> Vec<usize>
-where
-    P: SpreadingProcess + ?Sized,
-    R: Rng + ?Sized,
-{
+pub fn trace_active_counts(
+    process: &mut dyn SpreadingProcess,
+    rng: &mut dyn RngCore,
+    max_rounds: usize,
+) -> Vec<usize> {
     let mut trace = Vec::with_capacity(max_rounds + 1);
     trace.push(process.num_active());
     for _ in 0..max_rounds {
@@ -101,7 +114,7 @@ mod tests {
     }
 
     impl SpreadingProcess for Sweep {
-        fn step<R: Rng + ?Sized>(&mut self, _rng: &mut R) {
+        fn step(&mut self, _rng: &mut dyn RngCore) {
             self.round += 1;
             if self.round < self.active.len() {
                 self.active[self.round] = true;
@@ -114,6 +127,10 @@ mod tests {
 
         fn active(&self) -> &[bool] {
             &self.active
+        }
+
+        fn num_active(&self) -> usize {
+            (self.round + 1).min(self.active.len())
         }
 
         fn is_complete(&self) -> bool {
@@ -165,5 +182,14 @@ mod tests {
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_active(), 1);
         assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn the_trait_is_usable_through_a_box() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut boxed: Box<dyn SpreadingProcess> = Box::new(Sweep::new(4));
+        let rounds = run_until_complete(boxed.as_mut(), &mut rng, 100).unwrap();
+        assert_eq!(rounds, 3);
+        assert!(boxed.is_complete());
     }
 }

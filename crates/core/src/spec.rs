@@ -1,0 +1,525 @@
+//! Value-level process specifications.
+//!
+//! A [`ProcessSpec`] names any of the seven spreading processes of this workspace together
+//! with its parameters, without holding a graph. Specs are plain data: they serialize (for
+//! result records and config files), parse from a compact CLI syntax
+//! (`cobra:k=2`, `contact:p=0.5,q=0.2`), and instantiate against any [`Graph`] as a
+//! `Box<dyn SpreadingProcess>` — the registry/driver pattern that lets experiments and the
+//! `repro` binary enumerate processes from a table instead of hand-rolling one measurement
+//! loop per process type.
+//!
+//! # Spec syntax
+//!
+//! | process | syntax | notes |
+//! |---------|--------|-------|
+//! | COBRA | `cobra:k=2` or `cobra:rho=0.25` | `rho` selects the fractional branching `1+ρ` |
+//! | BIPS | `bips:k=2` or `bips:rho=0.25` | persistent-source epidemic |
+//! | single random walk | `walk` | |
+//! | multiple random walks | `multiwalk:w=8` | `w` independent walkers |
+//! | PUSH | `push` | |
+//! | PUSH–PULL | `pushpull` | `push-pull` is accepted too |
+//! | SIS contact process | `contact:p=0.5,q=0.2` | `p` infection, `q` recovery; add `transient` to let the source recover |
+//!
+//! Every process also accepts `start=<vertex>` (alias `source=`), defaulting to vertex 0.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cobra_core::spec::ProcessSpec;
+//! use cobra_core::sim::Runner;
+//! use cobra_graph::generators;
+//! use rand::SeedableRng;
+//!
+//! let spec: ProcessSpec = "cobra:k=2".parse()?;
+//! let graph = generators::complete(64)?;
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+//! let outcome = Runner::new(10_000).run_spec(&spec, &graph, &mut rng)?;
+//! assert!(outcome.completed());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use cobra_graph::{Graph, VertexId};
+use serde::{Deserialize, Serialize};
+
+use crate::baselines::contact::ContactParameters;
+use crate::baselines::{
+    ContactProcess, MultipleRandomWalks, PushProcess, PushPullProcess, RandomWalk,
+};
+use crate::bips::BipsProcess;
+use crate::cobra::{Branching, CobraProcess};
+use crate::process::SpreadingProcess;
+use crate::{CoreError, Result};
+
+/// A serializable description of any spreading process in this workspace.
+///
+/// The `start` vertex doubles as the persistent source for the epidemic processes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProcessSpec {
+    /// The COBRA coalescing-branching random walk.
+    Cobra {
+        /// Branching factor (`k` or fractional `1+ρ`).
+        branching: Branching,
+        /// Start vertex.
+        start: VertexId,
+    },
+    /// The BIPS dual epidemic process (persistent source).
+    Bips {
+        /// Sampling factor (`k` or fractional `1+ρ`).
+        branching: Branching,
+        /// The persistent source.
+        start: VertexId,
+    },
+    /// A single simple random walk.
+    RandomWalk {
+        /// Start vertex.
+        start: VertexId,
+    },
+    /// `walkers` independent random walks from a common start.
+    MultipleWalks {
+        /// Number of walkers.
+        walkers: usize,
+        /// Start vertex.
+        start: VertexId,
+    },
+    /// The PUSH rumour-spreading protocol.
+    Push {
+        /// Initially informed vertex.
+        start: VertexId,
+    },
+    /// The PUSH–PULL rumour-spreading protocol.
+    PushPull {
+        /// Initially informed vertex.
+        start: VertexId,
+    },
+    /// The discrete SIS contact process.
+    Contact {
+        /// Per-neighbour, per-round transmission probability.
+        infection: f64,
+        /// Per-round recovery probability.
+        recovery: f64,
+        /// Whether the source never recovers (the BVDV scenario; required for guaranteed
+        /// completion).
+        persistent: bool,
+        /// Source vertex.
+        start: VertexId,
+    },
+}
+
+impl ProcessSpec {
+    /// COBRA with fixed branching factor `k`, starting at vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `k == 0`.
+    pub fn cobra(k: u32) -> Result<Self> {
+        Ok(ProcessSpec::Cobra { branching: Branching::fixed(k)?, start: 0 })
+    }
+
+    /// COBRA with fractional branching `1+ρ`, starting at vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `ρ` is outside `[0, 1]`.
+    pub fn cobra_fractional(rho: f64) -> Result<Self> {
+        Ok(ProcessSpec::Cobra { branching: Branching::fractional(rho)?, start: 0 })
+    }
+
+    /// BIPS with fixed sampling factor `k`, source vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `k == 0`.
+    pub fn bips(k: u32) -> Result<Self> {
+        Ok(ProcessSpec::Bips { branching: Branching::fixed(k)?, start: 0 })
+    }
+
+    /// A single random walk from vertex 0.
+    pub fn random_walk() -> Self {
+        ProcessSpec::RandomWalk { start: 0 }
+    }
+
+    /// `walkers` independent random walks from vertex 0.
+    pub fn multiple_walks(walkers: usize) -> Self {
+        ProcessSpec::MultipleWalks { walkers, start: 0 }
+    }
+
+    /// PUSH from vertex 0.
+    pub fn push() -> Self {
+        ProcessSpec::Push { start: 0 }
+    }
+
+    /// PUSH–PULL from vertex 0.
+    pub fn push_pull() -> Self {
+        ProcessSpec::PushPull { start: 0 }
+    }
+
+    /// A persistent-source contact process from vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for probabilities outside `[0, 1]`.
+    pub fn contact(infection: f64, recovery: f64) -> Result<Self> {
+        ContactParameters::new(infection, recovery)?;
+        Ok(ProcessSpec::Contact { infection, recovery, persistent: true, start: 0 })
+    }
+
+    /// The same spec with a different start (or source) vertex.
+    #[must_use]
+    pub fn with_start(mut self, vertex: VertexId) -> Self {
+        match &mut self {
+            ProcessSpec::Cobra { start, .. }
+            | ProcessSpec::Bips { start, .. }
+            | ProcessSpec::RandomWalk { start }
+            | ProcessSpec::MultipleWalks { start, .. }
+            | ProcessSpec::Push { start }
+            | ProcessSpec::PushPull { start }
+            | ProcessSpec::Contact { start, .. } => *start = vertex,
+        }
+        self
+    }
+
+    /// The start (or source) vertex of the spec.
+    pub fn start(&self) -> VertexId {
+        match self {
+            ProcessSpec::Cobra { start, .. }
+            | ProcessSpec::Bips { start, .. }
+            | ProcessSpec::RandomWalk { start }
+            | ProcessSpec::MultipleWalks { start, .. }
+            | ProcessSpec::Push { start }
+            | ProcessSpec::PushPull { start }
+            | ProcessSpec::Contact { start, .. } => *start,
+        }
+    }
+
+    /// The canonical process name used by [`Display`](fmt::Display) and [`FromStr`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProcessSpec::Cobra { .. } => "cobra",
+            ProcessSpec::Bips { .. } => "bips",
+            ProcessSpec::RandomWalk { .. } => "walk",
+            ProcessSpec::MultipleWalks { .. } => "multiwalk",
+            ProcessSpec::Push { .. } => "push",
+            ProcessSpec::PushPull { .. } => "pushpull",
+            ProcessSpec::Contact { .. } => "contact",
+        }
+    }
+
+    /// Instantiates the process against `graph`.
+    ///
+    /// The returned box borrows the graph (processes hold `&Graph`), so it lives at most as
+    /// long as `graph`; it is `Send`, which lets Monte-Carlo drivers build one process per
+    /// parallel trial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor validation of the underlying process
+    /// ([`CoreError::VertexOutOfRange`], [`CoreError::UnsuitableGraph`],
+    /// [`CoreError::InvalidParameters`]).
+    pub fn build<'g>(&self, graph: &'g Graph) -> Result<Box<dyn SpreadingProcess + Send + 'g>> {
+        Ok(match *self {
+            ProcessSpec::Cobra { branching, start } => {
+                Box::new(CobraProcess::new(graph, start, branching)?)
+            }
+            ProcessSpec::Bips { branching, start } => {
+                Box::new(BipsProcess::new(graph, start, branching)?)
+            }
+            ProcessSpec::RandomWalk { start } => Box::new(RandomWalk::new(graph, start)?),
+            ProcessSpec::MultipleWalks { walkers, start } => {
+                Box::new(MultipleRandomWalks::new(graph, start, walkers)?)
+            }
+            ProcessSpec::Push { start } => Box::new(PushProcess::new(graph, start)?),
+            ProcessSpec::PushPull { start } => Box::new(PushPullProcess::new(graph, start)?),
+            ProcessSpec::Contact { infection, recovery, persistent, start } => {
+                Box::new(ContactProcess::new(
+                    graph,
+                    start,
+                    ContactParameters::new(infection, recovery)?,
+                    persistent,
+                )?)
+            }
+        })
+    }
+
+    /// One representative spec per process kind (used by tests and `repro --list-processes`).
+    pub fn examples() -> Vec<ProcessSpec> {
+        vec![
+            ProcessSpec::cobra(2).expect("k = 2 is valid"),
+            ProcessSpec::Cobra { branching: Branching::Fractional { rho: 0.5 }, start: 0 },
+            ProcessSpec::bips(2).expect("k = 2 is valid"),
+            ProcessSpec::random_walk(),
+            ProcessSpec::multiple_walks(8),
+            ProcessSpec::push(),
+            ProcessSpec::push_pull(),
+            ProcessSpec::contact(0.8, 0.1).expect("valid probabilities"),
+        ]
+    }
+}
+
+impl fmt::Display for ProcessSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        match self {
+            ProcessSpec::Cobra { branching, .. } | ProcessSpec::Bips { branching, .. } => {
+                match branching {
+                    Branching::Fixed { k } => parts.push(format!("k={k}")),
+                    Branching::Fractional { rho } => parts.push(format!("rho={rho}")),
+                }
+            }
+            ProcessSpec::MultipleWalks { walkers, .. } => parts.push(format!("w={walkers}")),
+            ProcessSpec::Contact { infection, recovery, persistent, .. } => {
+                parts.push(format!("p={infection}"));
+                parts.push(format!("q={recovery}"));
+                if !persistent {
+                    parts.push("transient".to_string());
+                }
+            }
+            ProcessSpec::RandomWalk { .. }
+            | ProcessSpec::Push { .. }
+            | ProcessSpec::PushPull { .. } => {}
+        }
+        if self.start() != 0 {
+            parts.push(format!("start={}", self.start()));
+        }
+        if parts.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            write!(f, "{}:{}", self.name(), parts.join(","))
+        }
+    }
+}
+
+/// Parsed `key=value` / bare-flag arguments of a spec string.
+struct SpecArgs {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl SpecArgs {
+    fn parse(text: &str) -> Result<Self> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        for token in text.split(',').filter(|t| !t.is_empty()) {
+            match token.split_once('=') {
+                Some((key, value)) => {
+                    pairs.push((key.trim().to_string(), value.trim().to_string()))
+                }
+                None => flags.push(token.trim().to_string()),
+            }
+        }
+        Ok(SpecArgs { pairs, flags })
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        let index = self.pairs.iter().position(|(k, _)| k == key)?;
+        Some(self.pairs.remove(index).1)
+    }
+
+    fn take_parsed<T: FromStr>(&mut self, key: &str) -> Result<Option<T>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| CoreError::InvalidParameters {
+                reason: format!("invalid value {raw:?} for `{key}`"),
+            }),
+        }
+    }
+
+    /// Takes a parameter that has two accepted spellings, rejecting specs that give both
+    /// (one value would be silently dropped otherwise).
+    fn take_aliased<T: FromStr>(&mut self, key: &str, alias: &str) -> Result<Option<T>> {
+        let primary = self.take_parsed(key)?;
+        let secondary = self.take_parsed(alias)?;
+        match (primary, secondary) {
+            (Some(_), Some(_)) => Err(CoreError::InvalidParameters {
+                reason: format!("specify either {key}= or {alias}=, not both"),
+            }),
+            (value, None) | (None, value) => Ok(value),
+        }
+    }
+
+    fn take_flag(&mut self, name: &str) -> bool {
+        let index = self.flags.iter().position(|f| f == name);
+        match index {
+            Some(index) => {
+                self.flags.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finish(self, spec: &str) -> Result<()> {
+        if let Some((key, _)) = self.pairs.first() {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("unknown parameter `{key}` in process spec {spec:?}"),
+            });
+        }
+        if let Some(flag) = self.flags.first() {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("unknown flag `{flag}` in process spec {spec:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ProcessSpec {
+    type Err = CoreError;
+
+    fn from_str(text: &str) -> Result<Self> {
+        let (name, rest) = match text.split_once(':') {
+            Some((name, rest)) => (name.trim(), rest),
+            None => (text.trim(), ""),
+        };
+        let mut args = SpecArgs::parse(rest)?;
+        let start: VertexId = args.take_aliased("start", "source")?.unwrap_or(0);
+        let branching = |args: &mut SpecArgs| -> Result<Branching> {
+            let k: Option<u32> = args.take_parsed("k")?;
+            let rho: Option<f64> = args.take_parsed("rho")?;
+            match (k, rho) {
+                (Some(_), Some(_)) => Err(CoreError::InvalidParameters {
+                    reason: "specify either k= or rho=, not both".to_string(),
+                }),
+                (Some(k), None) => Branching::fixed(k),
+                (None, Some(rho)) => Branching::fractional(rho),
+                (None, None) => Branching::fixed(2),
+            }
+        };
+        let spec = match name.to_ascii_lowercase().as_str() {
+            "cobra" => ProcessSpec::Cobra { branching: branching(&mut args)?, start },
+            "bips" => ProcessSpec::Bips { branching: branching(&mut args)?, start },
+            "walk" | "rw" | "random-walk" => ProcessSpec::RandomWalk { start },
+            "multiwalk" | "walks" | "multi-walk" => {
+                let walkers = args.take_aliased("w", "walkers")?.ok_or_else(|| {
+                    CoreError::InvalidParameters {
+                        reason: "multiwalk requires w=<walkers>".to_string(),
+                    }
+                })?;
+                ProcessSpec::MultipleWalks { walkers, start }
+            }
+            "push" => ProcessSpec::Push { start },
+            "pushpull" | "push-pull" => ProcessSpec::PushPull { start },
+            "contact" | "sis" => {
+                let infection = args.take_aliased("p", "infection")?.ok_or_else(|| {
+                    CoreError::InvalidParameters {
+                        reason: "contact requires p=<infection probability>".to_string(),
+                    }
+                })?;
+                let recovery = args.take_aliased("q", "recovery")?.ok_or_else(|| {
+                    CoreError::InvalidParameters {
+                        reason: "contact requires q=<recovery probability>".to_string(),
+                    }
+                })?;
+                ContactParameters::new(infection, recovery)?;
+                let persistent = !args.take_flag("transient");
+                ProcessSpec::Contact { infection, recovery, persistent, start }
+            }
+            other => {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!(
+                        "unknown process {other:?} (expected cobra, bips, walk, multiwalk, \
+                         push, pushpull or contact)"
+                    ),
+                })
+            }
+        };
+        args.finish(text)?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for spec in ProcessSpec::examples() {
+            let text = spec.to_string();
+            let back: ProcessSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(spec, back, "round trip through {text:?}");
+        }
+        // Non-default start vertices survive too.
+        let spec = ProcessSpec::cobra(3).unwrap().with_start(7);
+        assert_eq!(spec.to_string(), "cobra:k=3,start=7");
+        assert_eq!(spec.to_string().parse::<ProcessSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in ProcessSpec::examples() {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ProcessSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back, "serde round trip through {json}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_defaults() {
+        assert_eq!("cobra".parse::<ProcessSpec>().unwrap(), ProcessSpec::cobra(2).unwrap());
+        assert_eq!(
+            "cobra:rho=0.25".parse::<ProcessSpec>().unwrap(),
+            ProcessSpec::cobra_fractional(0.25).unwrap()
+        );
+        assert_eq!("rw".parse::<ProcessSpec>().unwrap(), ProcessSpec::random_walk());
+        assert_eq!("push-pull".parse::<ProcessSpec>().unwrap(), ProcessSpec::push_pull());
+        assert_eq!(
+            "multiwalk:walkers=4".parse::<ProcessSpec>().unwrap(),
+            ProcessSpec::multiple_walks(4)
+        );
+        assert_eq!(
+            "bips:k=2,source=3".parse::<ProcessSpec>().unwrap(),
+            ProcessSpec::bips(2).unwrap().with_start(3)
+        );
+        let contact: ProcessSpec = "sis:p=0.3,q=0.7,transient".parse().unwrap();
+        assert_eq!(
+            contact,
+            ProcessSpec::Contact { infection: 0.3, recovery: 0.7, persistent: false, start: 0 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!("frisbee".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=0".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=2,rho=0.5".parse::<ProcessSpec>().is_err());
+        assert!("bips:k=2,start=1,source=5".parse::<ProcessSpec>().is_err());
+        assert!("multiwalk:w=4,walkers=9".parse::<ProcessSpec>().is_err());
+        assert!("contact:p=0.3,infection=0.4,q=0.5".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=two".parse::<ProcessSpec>().is_err());
+        assert!("cobra:z=1".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=2,bogusflag".parse::<ProcessSpec>().is_err());
+        assert!("multiwalk".parse::<ProcessSpec>().is_err());
+        assert!("contact:p=0.5".parse::<ProcessSpec>().is_err());
+        assert!("contact:p=1.5,q=0.5".parse::<ProcessSpec>().is_err());
+    }
+
+    #[test]
+    fn build_instantiates_every_process() {
+        let graph = generators::complete(16).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        for spec in ProcessSpec::examples() {
+            let mut process = spec.build(&graph).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(process.num_vertices(), 16);
+            assert_eq!(process.num_active(), 1);
+            let rounds = run_until_complete(process.as_mut(), &mut rng, 100_000);
+            assert!(rounds.is_some(), "{spec} failed to complete on K_16");
+        }
+    }
+
+    #[test]
+    fn build_propagates_validation_errors() {
+        let graph = generators::complete(4).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap().with_start(9);
+        assert!(matches!(spec.build(&graph), Err(CoreError::VertexOutOfRange { .. })));
+        let empty = cobra_graph::Graph::default();
+        assert!(ProcessSpec::push().build(&empty).is_err());
+    }
+}

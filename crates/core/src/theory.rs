@@ -38,11 +38,7 @@ impl TheoryBounds {
         let gap = 1.0 - lambda;
         let (cobra_cover, phase, small_set_phase) = if gap > 0.0 {
             let m = 4000.0 * log_n / (1.0 - lambda * lambda).max(f64::MIN_POSITIVE);
-            (
-                log_n / gap.powi(3),
-                log_n / gap,
-                13.0 * m / gap + 24.0 * 3.0 * log_n / (gap * gap),
-            )
+            (log_n / gap.powi(3), log_n / gap, 13.0 * m / gap + 24.0 * 3.0 * log_n / (gap * gap))
         } else {
             (f64::INFINITY, f64::INFINITY, f64::INFINITY)
         };
@@ -110,7 +106,9 @@ mod tests {
         // For constant gap the new bound log n / (1-λ)³ is asymptotically smaller than log² n.
         let small = TheoryBounds::from_lambda(1 << 10, 0.5);
         let large = TheoryBounds::from_lambda(1 << 20, 0.5);
-        assert!(small.cobra_cover / small.dutta_expander > large.cobra_cover / large.dutta_expander);
+        assert!(
+            small.cobra_cover / small.dutta_expander > large.cobra_cover / large.dutta_expander
+        );
         assert!(large.cobra_cover < large.dutta_expander);
     }
 

@@ -9,20 +9,23 @@
 //!   law `cover ≈ a·n^b`; Dutta et al. predict `b ≈ 1/d = 0.5` (up to poly-log factors),
 //!   in sharp contrast with the logarithmic growth of E1.
 //! * **E7b (protocol comparison)** — on one expander and one torus of comparable size: cover
-//!   time and total messages for COBRA (k=2), PUSH, PUSH–PULL, `⌈log₂ n⌉` independent random
-//!   walks, and a single random walk.
+//!   time for COBRA (k=2), PUSH, PUSH–PULL, `⌈log₂ n⌉` independent random walks, and a single
+//!   random walk.
+//!
+//! E7b is the showcase of the spec-driven harness: the protocol column set is literally a
+//! `Vec<(label, ProcessSpec)>` table, and every cell is measured by the same
+//! [`driver::measure_completion_rounds`] call — no per-protocol measurement loops.
 
-use cobra_core::baselines::{MultipleRandomWalks, PushProcess, PushPullProcess, RandomWalk};
-use cobra_core::cobra::{Branching, CobraProcess};
-use cobra_core::process::run_until_complete;
+use cobra_core::sim::Runner;
+use cobra_core::spec::ProcessSpec;
 use cobra_core::theory;
 use cobra_graph::generators::GraphFamily;
-use cobra_graph::Graph;
-use cobra_stats::parallel::{run_measured_trials, TrialConfig};
+use cobra_stats::parallel::TrialConfig;
 use cobra_stats::regression::power_law_fit;
 use cobra_stats::rng::SeedSequence;
 use cobra_stats::table::{fmt_float, Table};
 
+use crate::driver;
 use crate::instances::Instance;
 use crate::result::{ExperimentResult, Finding};
 
@@ -56,30 +59,24 @@ impl Config {
     }
 }
 
-/// Measures one protocol's cover time (mean over trials) on a graph.
-fn protocol_cover<F>(
-    seq: &SeedSequence,
-    label: &str,
-    trials: usize,
-    max_rounds: usize,
-    make: F,
-) -> f64
-where
-    F: Fn() -> Box<dyn FnMut(&mut cobra_stats::rng::TrialRng) -> f64 + Send> + Sync,
-{
-    let (summary, _) =
-        run_measured_trials(seq, label, TrialConfig::parallel(trials), |_, rng| {
-            let mut runner = make();
-            runner(rng)
-        });
-    let _ = max_rounds;
-    summary.mean()
+/// The E7b protocol table: column label + the spec measured under it.
+fn protocol_table_for(n: usize) -> Vec<(&'static str, ProcessSpec)> {
+    let walkers = (n as f64).log2().ceil() as usize;
+    vec![
+        ("COBRA k=2", ProcessSpec::cobra(2).expect("k = 2 is valid")),
+        ("PUSH", ProcessSpec::push()),
+        ("PUSH-PULL", ProcessSpec::push_pull()),
+        ("log n walks", ProcessSpec::multiple_walks(walkers.max(1))),
+        ("1 walk", ProcessSpec::random_walk()),
+    ]
 }
 
 /// Runs E7 and produces its tables and findings.
 pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     let seq = seq.child("e7-baselines");
-    let branching = Branching::fixed(2).expect("k = 2 is valid");
+    let runner = Runner::new(config.max_rounds);
+    let trials = TrialConfig::parallel(config.trials);
+    let cobra = ProcessSpec::cobra(2).expect("k = 2 is valid");
 
     // --- E7a: grid scaling -------------------------------------------------------------------
     let mut grid_table = Table::with_headers(
@@ -91,15 +88,13 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     for &side in &config.torus_sides {
         let family = GraphFamily::Torus { sides: vec![side, side] };
         let instance = Instance::build(&family, &seq, side as u64);
-        let (summary, _) = run_measured_trials(
+        let (summary, _) = driver::measure_completion_rounds(
+            &instance.graph,
+            &cobra,
+            &runner,
             &seq,
             &format!("torus-{side}"),
-            TrialConfig::parallel(config.trials),
-            |_, rng| {
-                cobra_core::cover::cover_time(&instance.graph, 0, branching, config.max_rounds, rng)
-                    .map(|o| o.rounds as f64)
-                    .unwrap_or(f64::NAN)
-            },
+            trials,
         );
         let n = side * side;
         grid_table.add_row(vec![
@@ -115,78 +110,45 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     let grid_fit = power_law_fit(&ns, &covers);
 
     // --- E7b: protocol comparison --------------------------------------------------------------
-    let mut protocol_table = Table::with_headers(
-        "E7b: protocols at a glance (mean cover rounds)",
-        &["graph", "COBRA k=2", "PUSH", "PUSH-PULL", "log n walks", "1 walk"],
-    );
-    let expander_family =
-        GraphFamily::RandomRegular { n: config.comparison_n, r: 4 };
+    let protocols = protocol_table_for(config.comparison_n);
+    let mut protocol_table =
+        Table::with_headers("E7b: protocols at a glance (mean cover rounds)", &{
+            let mut headers = vec!["graph"];
+            headers.extend(protocols.iter().map(|(label, _)| *label));
+            headers
+        });
     let side = (config.comparison_n as f64).sqrt().round() as usize;
-    let torus_family = GraphFamily::Torus { sides: vec![side, side] };
-    let mut expander_vs_torus: Vec<(String, Graph)> = Vec::new();
-    let expander = Instance::build(&expander_family, &seq, 77);
-    expander_vs_torus.push((expander.label.clone(), expander.graph.clone()));
-    let torus = Instance::build(&torus_family, &seq, 78);
-    expander_vs_torus.push((torus.label.clone(), torus.graph.clone()));
+    let expander =
+        Instance::build(&GraphFamily::RandomRegular { n: config.comparison_n, r: 4 }, &seq, 77);
+    let torus = Instance::build(&GraphFamily::Torus { sides: vec![side, side] }, &seq, 78);
 
     let mut cobra_expander = f64::NAN;
     let mut push_expander = f64::NAN;
     let mut single_walk_expander = f64::NAN;
-    for (label, graph) in &expander_vs_torus {
-        let walkers = (graph.num_vertices() as f64).log2().ceil() as usize;
-        let max_rounds = config.max_rounds;
-        let cobra_mean = protocol_cover(&seq, &format!("cobra-{label}"), config.trials, max_rounds, || {
-            let graph = graph.clone();
-            Box::new(move |rng| {
-                let mut p = CobraProcess::new(&graph, 0, branching).expect("valid process");
-                run_until_complete(&mut p, rng, max_rounds).map_or(f64::NAN, |r| r as f64)
-            })
-        });
-        let push_mean = protocol_cover(&seq, &format!("push-{label}"), config.trials, max_rounds, || {
-            let graph = graph.clone();
-            Box::new(move |rng| {
-                let mut p = PushProcess::new(&graph, 0).expect("valid process");
-                run_until_complete(&mut p, rng, max_rounds).map_or(f64::NAN, |r| r as f64)
-            })
-        });
-        let push_pull_mean =
-            protocol_cover(&seq, &format!("pushpull-{label}"), config.trials, max_rounds, || {
-                let graph = graph.clone();
-                Box::new(move |rng| {
-                    let mut p = PushPullProcess::new(&graph, 0).expect("valid process");
-                    run_until_complete(&mut p, rng, max_rounds).map_or(f64::NAN, |r| r as f64)
-                })
-            });
-        let multi_mean =
-            protocol_cover(&seq, &format!("multiwalk-{label}"), config.trials, max_rounds, || {
-                let graph = graph.clone();
-                Box::new(move |rng| {
-                    let mut p =
-                        MultipleRandomWalks::new(&graph, 0, walkers).expect("valid process");
-                    run_until_complete(&mut p, rng, max_rounds).map_or(f64::NAN, |r| r as f64)
-                })
-            });
-        let walk_mean =
-            protocol_cover(&seq, &format!("walk-{label}"), config.trials, max_rounds, || {
-                let graph = graph.clone();
-                Box::new(move |rng| {
-                    let mut p = RandomWalk::new(&graph, 0).expect("valid process");
-                    run_until_complete(&mut p, rng, max_rounds).map_or(f64::NAN, |r| r as f64)
-                })
-            });
-        if label == &expander_vs_torus[0].0 {
-            cobra_expander = cobra_mean;
-            push_expander = push_mean;
-            single_walk_expander = walk_mean;
+    for instance in [&expander, &torus] {
+        let mut row = vec![instance.label.clone()];
+        for (_, spec) in &protocols {
+            let (summary, _) = driver::measure_completion_rounds(
+                &instance.graph,
+                spec,
+                &runner,
+                &seq,
+                &format!("{}-{}", spec.name(), instance.label),
+                trials,
+            );
+            row.push(fmt_float(summary.mean()));
+            if std::ptr::eq(instance, &expander) {
+                // Key the headline findings off the spec itself, not the display label, so
+                // renaming a column cannot silently detach them.
+                match spec {
+                    ProcessSpec::Cobra { .. } => cobra_expander = summary.mean(),
+                    ProcessSpec::Push { .. } => push_expander = summary.mean(),
+                    ProcessSpec::RandomWalk { .. } => single_walk_expander = summary.mean(),
+                    _ => {}
+                }
+            }
         }
-        protocol_table.add_row(vec![
-            label.clone(),
-            fmt_float(cobra_mean),
-            fmt_float(push_mean),
-            fmt_float(push_pull_mean),
-            fmt_float(multi_mean),
-            fmt_float(walk_mean),
-        ]);
+        protocol_table.add_row(row);
     }
 
     let mut findings = Vec::new();
@@ -253,5 +215,17 @@ mod tests {
             push_ratio > 0.3 && push_ratio < 10.0,
             "COBRA and PUSH should be within a small factor on expanders, got {push_ratio}"
         );
+    }
+
+    #[test]
+    fn the_protocol_table_is_spec_driven() {
+        let protocols = protocol_table_for(1024);
+        assert_eq!(protocols.len(), 5);
+        // The multiwalk column scales with log2(n).
+        assert_eq!(protocols[3].1, ProcessSpec::multiple_walks(10));
+        // Every spec round-trips through its CLI syntax, so tables can be quoted in docs.
+        for (_, spec) in protocols {
+            assert_eq!(spec.to_string().parse::<ProcessSpec>().unwrap(), spec);
+        }
     }
 }

@@ -36,13 +36,7 @@ pub struct Config {
 impl Config {
     /// Small preset for tests.
     pub fn quick() -> Self {
-        Config {
-            n: 128,
-            degree: 3,
-            rhos: vec![0.0, 0.25, 1.0],
-            trials: 6,
-            max_rounds: 2_000_000,
-        }
+        Config { n: 128, degree: 3, rhos: vec![0.0, 0.25, 1.0], trials: 6, max_rounds: 2_000_000 }
     }
 
     /// Full preset for the `repro` binary.
@@ -110,11 +104,8 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
              closes with any constant rho > 0",
         ));
     }
-    let worst_positive_rho = means
-        .iter()
-        .filter(|(rho, _)| *rho > 0.0)
-        .map(|(_, m)| m / k2_mean)
-        .fold(0.0f64, f64::max);
+    let worst_positive_rho =
+        means.iter().filter(|(rho, _)| *rho > 0.0).map(|(_, m)| m / k2_mean).fold(0.0f64, f64::max);
     findings.push(Finding::new(
         "max_positive_rho_penalty",
         worst_positive_rho,

@@ -8,15 +8,16 @@
 //! is good, i.e. the growth is logarithmic) and the spread of the normalised ratio
 //! `cover / ln n` across degrees (the claim is that the degree barely matters).
 
-use cobra_core::cobra::Branching;
-use cobra_core::cover;
+use cobra_core::sim::Runner;
+use cobra_core::spec::ProcessSpec;
 use cobra_graph::generators::GraphFamily;
-use cobra_stats::parallel::{run_measured_trials, TrialConfig};
+use cobra_stats::parallel::TrialConfig;
 use cobra_stats::regression::log_fit;
 use cobra_stats::rng::SeedSequence;
 use cobra_stats::summary::quantile;
 use cobra_stats::table::{fmt_float, Table};
 
+use crate::driver;
 use crate::instances::Instance;
 use crate::result::{ExperimentResult, Finding};
 
@@ -89,22 +90,21 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
         &["graph", "n", "degree", "lambda", "mean", "p95", "mean/ln n", "T=ln n/(1-l)^3"],
     );
 
-    let branching = Branching::fixed(2).expect("k = 2 is valid");
+    let spec = ProcessSpec::cobra(2).expect("k = 2 is valid");
+    let runner = Runner::new(config.max_rounds);
     let mut log_xs = Vec::new();
     let mut log_ys = Vec::new();
     let mut normalised_ratios = Vec::new();
 
     for (index, instance) in instances.iter().enumerate() {
         let label = format!("{}-{}", instance.label, index);
-        let (summary, values) = run_measured_trials(
+        let (summary, values) = driver::measure_completion_rounds(
+            &instance.graph,
+            &spec,
+            &runner,
             &seq,
             &label,
             TrialConfig::parallel(config.trials),
-            |_, rng| {
-                cover::cover_time(&instance.graph, 0, branching, config.max_rounds, rng)
-                    .map(|o| o.rounds as f64)
-                    .unwrap_or(f64::NAN)
-            },
         );
         let p95 = quantile(&values, 0.95).unwrap_or(f64::NAN);
         let n = instance.graph.num_vertices();
@@ -113,10 +113,7 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
         table.add_row(vec![
             instance.label.clone(),
             n.to_string(),
-            instance
-                .profile
-                .regular_degree
-                .map_or_else(|| "-".to_string(), |d| d.to_string()),
+            instance.profile.regular_degree.map_or_else(|| "-".to_string(), |d| d.to_string()),
             fmt_float(instance.profile.lambda_abs),
             fmt_float(summary.mean()),
             fmt_float(p95),

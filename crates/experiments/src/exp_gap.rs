@@ -71,8 +71,7 @@ impl Config {
         families.extend(
             self.rings.iter().map(|&(cliques, size)| GraphFamily::RingOfCliques { cliques, size }),
         );
-        families
-            .extend(self.torus_sides.iter().map(|&s| GraphFamily::Torus { sides: vec![s, s] }));
+        families.extend(self.torus_sides.iter().map(|&s| GraphFamily::Torus { sides: vec![s, s] }));
         families
     }
 }
@@ -94,16 +93,12 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
 
     for (index, instance) in instances.iter().enumerate() {
         let label = format!("{}-{}", instance.label, index);
-        let (summary, _) = run_measured_trials(
-            &seq,
-            &label,
-            TrialConfig::parallel(config.trials),
-            |_, rng| {
+        let (summary, _) =
+            run_measured_trials(&seq, &label, TrialConfig::parallel(config.trials), |_, rng| {
                 cover::cover_time(&instance.graph, 0, branching, config.max_rounds, rng)
                     .map(|o| o.rounds as f64)
                     .unwrap_or(f64::NAN)
-            },
-        );
+            });
         let gap = instance.profile.spectral_gap();
         let bound = instance.bounds.cobra_cover;
         let ratio = summary.mean() / bound;
@@ -162,7 +157,10 @@ mod tests {
         let corr = result.finding("gap_cover_correlation").expect("correlation").value;
         assert!(corr > 0.5, "cover time should correlate with 1/gap, got {corr}");
         let max_ratio = result.finding("max_cover_over_bound").expect("ratio").value;
-        assert!(max_ratio < 10.0, "the theory bound should not be exceeded wildly, got {max_ratio}");
+        assert!(
+            max_ratio < 10.0,
+            "the theory bound should not be exceeded wildly, got {max_ratio}"
+        );
     }
 
     #[test]

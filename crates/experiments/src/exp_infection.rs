@@ -6,14 +6,15 @@
 //! infection time and the COBRA cover time and report their ratio; the headline findings are
 //! the logarithmic-fit slope of the infection time and the worst-case cover/infection ratio.
 
-use cobra_core::cobra::Branching;
-use cobra_core::{cover, infection};
+use cobra_core::sim::Runner;
+use cobra_core::spec::ProcessSpec;
 use cobra_graph::generators::GraphFamily;
-use cobra_stats::parallel::{run_measured_trials, TrialConfig};
+use cobra_stats::parallel::TrialConfig;
 use cobra_stats::regression::log_fit;
 use cobra_stats::rng::SeedSequence;
 use cobra_stats::table::{fmt_float, Table};
 
+use crate::driver;
 use crate::instances::Instance;
 use crate::result::{ExperimentResult, Finding};
 
@@ -71,7 +72,10 @@ impl Config {
 pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     let seq = seq.child("e3-infection");
     let instances = Instance::build_all(&config.families(), &seq);
-    let branching = Branching::fixed(2).expect("k = 2 is valid");
+    let bips = ProcessSpec::bips(2).expect("k = 2 is valid");
+    let cobra = ProcessSpec::cobra(2).expect("k = 2 is valid");
+    let runner = Runner::new(config.max_rounds);
+    let trials = TrialConfig::parallel(config.trials);
 
     let mut table = Table::with_headers(
         "E3: BIPS infection time vs COBRA cover time (k=2)",
@@ -83,27 +87,21 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     let mut ratios = Vec::new();
 
     for (index, instance) in instances.iter().enumerate() {
-        let infection_label = format!("bips-{}-{}", instance.label, index);
-        let (infection_summary, _) = run_measured_trials(
+        let (infection_summary, _) = driver::measure_completion_rounds(
+            &instance.graph,
+            &bips,
+            &runner,
             &seq,
-            &infection_label,
-            TrialConfig::parallel(config.trials),
-            |_, rng| {
-                infection::infection_time(&instance.graph, 0, branching, config.max_rounds, rng)
-                    .map(|o| o.rounds as f64)
-                    .unwrap_or(f64::NAN)
-            },
+            &format!("bips-{}-{}", instance.label, index),
+            trials,
         );
-        let cover_label = format!("cobra-{}-{}", instance.label, index);
-        let (cover_summary, _) = run_measured_trials(
+        let (cover_summary, _) = driver::measure_completion_rounds(
+            &instance.graph,
+            &cobra,
+            &runner,
             &seq,
-            &cover_label,
-            TrialConfig::parallel(config.trials),
-            |_, rng| {
-                cover::cover_time(&instance.graph, 0, branching, config.max_rounds, rng)
-                    .map(|o| o.rounds as f64)
-                    .unwrap_or(f64::NAN)
-            },
+            &format!("cobra-{}-{}", instance.label, index),
+            trials,
         );
         let ratio = infection_summary.mean() / cover_summary.mean();
         table.add_row(vec![

@@ -71,10 +71,7 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
             infection::infection_curve(&instance.graph, 0, branching, config.max_rounds, rng)
                 .expect("valid BIPS configuration");
         let first_at = |threshold: usize| -> f64 {
-            curve
-                .iter()
-                .position(|&size| size >= threshold)
-                .map_or(f64::NAN, |round| round as f64)
+            curve.iter().position(|&size| size >= threshold).map_or(f64::NAN, |round| round as f64)
         };
         (first_at(phase1_threshold), first_at(phase2_threshold), first_at(n))
     });

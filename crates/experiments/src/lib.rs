@@ -21,11 +21,18 @@
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`
 //! binary to regenerate the EXPERIMENTS.md numbers).
+//!
+//! Measurements are **spec-driven**: experiments describe the processes they compare as
+//! [`cobra_core::spec::ProcessSpec`] values (see the protocol table of [`exp_baselines`]) and
+//! hand them to [`driver`], which instantiates one `Box<dyn SpreadingProcess>` per trial and
+//! drives it through the shared [`cobra_core::sim::Runner`] under
+//! `cobra_stats::parallel::run_trials`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod driver;
 pub mod exp_baselines;
 pub mod exp_branching;
 pub mod exp_cover;

@@ -94,7 +94,9 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         (ExperimentId::E3, Preset::Quick) => {
             exp_infection::run(&exp_infection::Config::quick(), &seq)
         }
-        (ExperimentId::E3, Preset::Full) => exp_infection::run(&exp_infection::Config::full(), &seq),
+        (ExperimentId::E3, Preset::Full) => {
+            exp_infection::run(&exp_infection::Config::full(), &seq)
+        }
         (ExperimentId::E4, Preset::Quick) => exp_duality::run(&exp_duality::Config::quick(), &seq),
         (ExperimentId::E4, Preset::Full) => exp_duality::run(&exp_duality::Config::full(), &seq),
         (ExperimentId::E5, Preset::Quick) => exp_growth::run(&exp_growth::Config::quick(), &seq),
@@ -102,11 +104,15 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         (ExperimentId::E6, Preset::Quick) => {
             exp_branching::run(&exp_branching::Config::quick(), &seq)
         }
-        (ExperimentId::E6, Preset::Full) => exp_branching::run(&exp_branching::Config::full(), &seq),
+        (ExperimentId::E6, Preset::Full) => {
+            exp_branching::run(&exp_branching::Config::full(), &seq)
+        }
         (ExperimentId::E7, Preset::Quick) => {
             exp_baselines::run(&exp_baselines::Config::quick(), &seq)
         }
-        (ExperimentId::E7, Preset::Full) => exp_baselines::run(&exp_baselines::Config::full(), &seq),
+        (ExperimentId::E7, Preset::Full) => {
+            exp_baselines::run(&exp_baselines::Config::full(), &seq)
+        }
         (ExperimentId::E8, Preset::Quick) => exp_phases::run(&exp_phases::Config::quick(), &seq),
         (ExperimentId::E8, Preset::Full) => exp_phases::run(&exp_phases::Config::full(), &seq),
     }

@@ -65,10 +65,16 @@ impl GraphBuilder {
     /// [`GraphError::SelfLoop`] if `u == v`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<&mut Self> {
         if u >= self.num_vertices {
-            return Err(GraphError::VertexOutOfRange { vertex: u, num_vertices: self.num_vertices });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                num_vertices: self.num_vertices,
+            });
         }
         if v >= self.num_vertices {
-            return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: self.num_vertices });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.num_vertices,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });

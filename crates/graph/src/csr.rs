@@ -71,9 +71,9 @@ impl Graph {
 
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
-        for v in 0..n {
+        for &deg in &degree {
             let prev = *offsets.last().expect("offsets is never empty");
-            offsets.push(prev + degree[v]);
+            offsets.push(prev + deg);
         }
 
         let mut neighbors = vec![0 as VertexId; 2 * edges.len()];

@@ -28,13 +28,13 @@ pub use circulant::{circulant, cycle_power};
 pub use composite::{barbell, lollipop, ring_of_cliques};
 pub use hypercube::hypercube;
 pub use named::{bull, diamond, petersen, triangle};
-pub use random::{
-    configuration_model, connected_random_regular, erdos_renyi_gnp, random_regular,
-};
+pub use random::{configuration_model, connected_random_regular, erdos_renyi_gnp, random_regular};
 pub use torus::{grid_2d, torus, torus_2d};
 pub use trees::{balanced_tree, binary_tree, caterpillar};
 
-use crate::Result;
+use std::fmt;
+
+use crate::{GraphError, Result};
 
 /// A named graph family together with the parameters needed to instantiate it.
 ///
@@ -135,6 +135,112 @@ impl GraphFamily {
     }
 }
 
+/// Canonical CLI syntax for graph families (`Display` emits it, `FromStr` parses it):
+///
+/// | family | syntax |
+/// |--------|--------|
+/// | complete graph | `complete:n=64` |
+/// | cycle | `cycle:n=64` |
+/// | hypercube | `hypercube:d=7` |
+/// | random regular | `random-regular:n=256,r=4` |
+/// | torus | `torus:sides=16x16` (any dimension: `8x8x8`) |
+/// | cycle power | `cycle-power:n=64,k=3` |
+/// | ring of cliques | `ring-of-cliques:c=8,s=6` |
+impl fmt::Display for GraphFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphFamily::Complete { n } => write!(f, "complete:n={n}"),
+            GraphFamily::Cycle { n } => write!(f, "cycle:n={n}"),
+            GraphFamily::Hypercube { dim } => write!(f, "hypercube:d={dim}"),
+            GraphFamily::RandomRegular { n, r } => write!(f, "random-regular:n={n},r={r}"),
+            GraphFamily::Torus { sides } => {
+                let dims: Vec<String> = sides.iter().map(usize::to_string).collect();
+                write!(f, "torus:sides={}", dims.join("x"))
+            }
+            GraphFamily::CyclePower { n, k } => write!(f, "cycle-power:n={n},k={k}"),
+            GraphFamily::RingOfCliques { cliques, size } => {
+                write!(f, "ring-of-cliques:c={cliques},s={size}")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for GraphFamily {
+    type Err = GraphError;
+
+    fn from_str(text: &str) -> Result<Self> {
+        let invalid = |reason: String| GraphError::InvalidParameters { reason };
+        let (name, rest) = match text.split_once(':') {
+            Some((name, rest)) => (name.trim(), rest),
+            None => (text.trim(), ""),
+        };
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for token in rest.split(',').filter(|t| !t.is_empty()) {
+            let (key, value) = token.split_once('=').ok_or_else(|| {
+                invalid(format!("expected key=value, found {token:?} in graph spec {text:?}"))
+            })?;
+            pairs.push((key.trim(), value.trim()));
+        }
+        let mut take = |key: &str| -> Option<&str> {
+            let index = pairs.iter().position(|(k, _)| *k == key)?;
+            Some(pairs.remove(index).1)
+        };
+        let parse_usize = |key: &str, raw: &str| -> Result<usize> {
+            raw.parse().map_err(|_| invalid(format!("invalid value {raw:?} for `{key}`")))
+        };
+        let require = |key: &str, value: Option<&str>| -> Result<String> {
+            value
+                .map(str::to_string)
+                .ok_or_else(|| invalid(format!("graph spec {text:?} requires {key}=<value>")))
+        };
+        let family = match name.to_ascii_lowercase().as_str() {
+            "complete" | "kn" => {
+                GraphFamily::Complete { n: parse_usize("n", &require("n", take("n"))?)? }
+            }
+            "cycle" | "cn" => {
+                GraphFamily::Cycle { n: parse_usize("n", &require("n", take("n"))?)? }
+            }
+            "hypercube" | "qd" => {
+                let raw = require("d", take("d").or_else(|| take("dim")))?;
+                let dim = raw
+                    .parse::<u32>()
+                    .map_err(|_| invalid(format!("invalid value {raw:?} for `d`")))?;
+                GraphFamily::Hypercube { dim }
+            }
+            "random-regular" | "regular" | "rr" => GraphFamily::RandomRegular {
+                n: parse_usize("n", &require("n", take("n"))?)?,
+                r: parse_usize("r", &require("r", take("r"))?)?,
+            },
+            "torus" | "grid" => {
+                let raw = require("sides", take("sides"))?;
+                let sides = raw
+                    .split('x')
+                    .map(|side| parse_usize("sides", side))
+                    .collect::<Result<Vec<usize>>>()?;
+                GraphFamily::Torus { sides }
+            }
+            "cycle-power" => GraphFamily::CyclePower {
+                n: parse_usize("n", &require("n", take("n"))?)?,
+                k: parse_usize("k", &require("k", take("k"))?)?,
+            },
+            "ring-of-cliques" => GraphFamily::RingOfCliques {
+                cliques: parse_usize("c", &require("c", take("c").or_else(|| take("cliques")))?)?,
+                size: parse_usize("s", &require("s", take("s").or_else(|| take("size")))?)?,
+            },
+            other => {
+                return Err(invalid(format!(
+                    "unknown graph family {other:?} (expected complete, cycle, hypercube, \
+                     random-regular, torus, cycle-power or ring-of-cliques)"
+                )))
+            }
+        };
+        if let Some((key, _)) = pairs.first() {
+            return Err(invalid(format!("unknown parameter `{key}` in graph spec {text:?}")));
+        }
+        Ok(family)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +281,44 @@ mod tests {
         let json = serde_json::to_string(&family).unwrap();
         let back: GraphFamily = serde_json::from_str(&json).unwrap();
         assert_eq!(family, back);
+    }
+
+    #[test]
+    fn family_display_parse_round_trip() {
+        let families = vec![
+            GraphFamily::Complete { n: 12 },
+            GraphFamily::Cycle { n: 9 },
+            GraphFamily::Hypercube { dim: 5 },
+            GraphFamily::RandomRegular { n: 30, r: 3 },
+            GraphFamily::Torus { sides: vec![4, 5, 6] },
+            GraphFamily::CyclePower { n: 20, k: 3 },
+            GraphFamily::RingOfCliques { cliques: 4, size: 5 },
+        ];
+        for family in families {
+            let text = family.to_string();
+            let back: GraphFamily = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(family, back, "round trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn family_parse_accepts_aliases_and_rejects_junk() {
+        assert_eq!(
+            "rr:n=64,r=4".parse::<GraphFamily>().unwrap(),
+            GraphFamily::RandomRegular { n: 64, r: 4 }
+        );
+        assert_eq!(
+            "grid:sides=8x8".parse::<GraphFamily>().unwrap(),
+            GraphFamily::Torus { sides: vec![8, 8] }
+        );
+        assert_eq!(
+            "hypercube:dim=6".parse::<GraphFamily>().unwrap(),
+            GraphFamily::Hypercube { dim: 6 }
+        );
+        assert!("mystery:n=3".parse::<GraphFamily>().is_err());
+        assert!("complete".parse::<GraphFamily>().is_err());
+        assert!("complete:n=abc".parse::<GraphFamily>().is_err());
+        assert!("complete:n=4,bogus=1".parse::<GraphFamily>().is_err());
+        assert!("torus:sides=4xsix".parse::<GraphFamily>().is_err());
     }
 }

@@ -75,11 +75,7 @@ mod tests {
         assert_eq!(ops::diameter(&g), Some(2));
         // No triangles: for every edge (u, v) the neighbourhoods intersect only in {u, v}.
         for (u, v) in g.to_edge_list() {
-            let common = g
-                .neighbors(u)
-                .iter()
-                .filter(|&&w| g.neighbors(v).contains(&w))
-                .count();
+            let common = g.neighbors(u).iter().filter(|&&w| g.neighbors(v).contains(&w)).count();
             assert_eq!(common, 0, "edge ({u},{v}) should not lie in a triangle");
         }
     }

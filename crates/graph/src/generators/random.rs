@@ -41,7 +41,7 @@ pub fn random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Result<Graph> 
             reason: format!("degree r = {r} must be smaller than n = {n}"),
         });
     }
-    if (n * r) % 2 != 0 {
+    if !(n * r).is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: format!("n * r = {} must be even", n * r),
         });
@@ -62,7 +62,7 @@ pub fn random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Result<Graph> 
 
 /// One attempt of the Steger–Wormald stub-matching procedure.
 fn try_regular_matching<R: Rng>(n: usize, r: usize, rng: &mut R) -> Option<Vec<(usize, usize)>> {
-    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat(v).take(r)).collect();
+    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, r)).collect();
     let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(n * r / 2);
 
     while !stubs.is_empty() {
@@ -155,7 +155,7 @@ pub fn connected_random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Resu
 pub fn configuration_model<R: Rng>(degrees: &[usize], rng: &mut R) -> Result<Graph> {
     let n = degrees.len();
     let total: usize = degrees.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: format!("degree sum {total} must be even"),
         });
@@ -165,11 +165,8 @@ pub fn configuration_model<R: Rng>(degrees: &[usize], rng: &mut R) -> Result<Gra
             reason: format!("degree {d} of vertex {v} must be smaller than n = {n}"),
         });
     }
-    let mut stubs: Vec<VertexId> = degrees
-        .iter()
-        .enumerate()
-        .flat_map(|(v, &d)| std::iter::repeat(v).take(d))
-        .collect();
+    let mut stubs: Vec<VertexId> =
+        degrees.iter().enumerate().flat_map(|(v, &d)| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
     let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(total / 2);
     for pair in stubs.chunks_exact(2) {

@@ -22,7 +22,7 @@ pub fn torus(sides: &[usize]) -> Result<Graph> {
             reason: "torus needs at least one dimension".to_string(),
         });
     }
-    if sides.iter().any(|&s| s == 0) {
+    if sides.contains(&0) {
         return Err(GraphError::InvalidParameters {
             reason: "torus side lengths must be positive".to_string(),
         });

@@ -49,10 +49,9 @@ pub fn parse_edge_list(text: &str) -> Result<Graph> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    let (header_line, header) = lines.next().ok_or(GraphError::Parse {
-        line: 1,
-        reason: "missing header line `n m`".to_string(),
-    })?;
+    let (header_line, header) = lines
+        .next()
+        .ok_or(GraphError::Parse { line: 1, reason: "missing header line `n m`".to_string() })?;
     let mut parts = header.split_whitespace();
     let n: usize = parse_token(parts.next(), header_line, "vertex count")?;
     let m: usize = parse_token(parts.next(), header_line, "edge count")?;
@@ -86,14 +85,11 @@ pub fn parse_edge_list(text: &str) -> Result<Graph> {
 }
 
 fn parse_token(token: Option<&str>, line: usize, what: &str) -> Result<usize> {
-    let token = token.ok_or_else(|| GraphError::Parse {
-        line,
-        reason: format!("missing {what}"),
-    })?;
-    token.parse::<usize>().map_err(|_| GraphError::Parse {
-        line,
-        reason: format!("invalid {what}: {token:?}"),
-    })
+    let token =
+        token.ok_or_else(|| GraphError::Parse { line, reason: format!("missing {what}") })?;
+    token
+        .parse::<usize>()
+        .map_err(|_| GraphError::Parse { line, reason: format!("invalid {what}: {token:?}") })
 }
 
 /// Renders the graph in Graphviz DOT syntax (undirected, `graph g { … }`).
@@ -150,10 +146,7 @@ mod tests {
         assert!(matches!(parse_edge_list("x y\n").unwrap_err(), GraphError::Parse { .. }));
         assert!(matches!(parse_edge_list("3\n").unwrap_err(), GraphError::Parse { .. }));
         assert!(matches!(parse_edge_list("3 1 9\n0 1\n").unwrap_err(), GraphError::Parse { .. }));
-        assert!(matches!(
-            parse_edge_list("3 1\n0 1 2\n").unwrap_err(),
-            GraphError::Parse { .. }
-        ));
+        assert!(matches!(parse_edge_list("3 1\n0 1 2\n").unwrap_err(), GraphError::Parse { .. }));
     }
 
     #[test]

@@ -184,8 +184,7 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
     let min = *degrees.iter().min().expect("non-empty");
     let max = *degrees.iter().max().expect("non-empty");
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let variance =
-        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let variance = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     Some(DegreeStats { min, max, mean, variance, is_regular: min == max })
 }
 
@@ -242,9 +241,9 @@ pub fn core_numbers(g: &Graph) -> Vec<usize> {
         bins[d] += 1;
     }
     let mut start = 0usize;
-    for d in 0..=max_deg {
-        let count = bins[d];
-        bins[d] = start;
+    for bin in bins.iter_mut().take(max_deg + 1) {
+        let count = *bin;
+        *bin = start;
         start += count;
     }
     let mut pos = vec![0usize; n];
@@ -389,15 +388,12 @@ mod tests {
     #[test]
     fn core_numbers_on_clique_plus_pendant() {
         // K4 on {0,1,2,3} plus a pendant vertex 4 attached to 0.
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 4)])
+            .unwrap();
         let core = core_numbers(&g);
         assert_eq!(core[4], 1);
-        for v in 0..4 {
-            assert_eq!(core[v], 3, "vertex {v} should be in the 3-core");
+        for (v, &number) in core.iter().enumerate().take(4) {
+            assert_eq!(number, 3, "vertex {v} should be in the 3-core");
         }
     }
 

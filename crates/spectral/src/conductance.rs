@@ -72,7 +72,7 @@ pub fn sweep_cut(g: &Graph, scores: &[f64]) -> Result<SweepCut> {
     for (prefix_len, &v) in order.iter().enumerate().take(n - 1) {
         in_set[v] = true;
         if let Some(phi) = cut_conductance(g, &in_set) {
-            if best.map_or(true, |(b, _)| phi < b) {
+            if best.is_none_or(|(b, _)| phi < b) {
                 best = Some((phi, prefix_len + 1));
             }
         }
@@ -117,9 +117,7 @@ mod tests {
     fn cut_conductance_of_barbell_bridge() {
         let g = generators::barbell(6).unwrap();
         let mut in_set = vec![false; 12];
-        for v in 0..6 {
-            in_set[v] = true;
-        }
+        in_set[..6].fill(true);
         // One bridge edge; volume of each side is 6*5 + 1 = 31.
         let phi = cut_conductance(&g, &in_set).unwrap();
         assert!((phi - 1.0 / 31.0).abs() < 1e-12);

@@ -134,11 +134,7 @@ pub fn extreme_eigenvalues<R: Rng>(
         // Ritz values are still inner bounds of the true eigenvalues — good enough for the
         // experiment harness, which only needs lambda to a few significant digits.
         if converged || beta < 1e-14 || step + 1 == max_dim || basis.len() >= n - 1 {
-            return Ok(ExtremeEigenvalues {
-                lambda_2: hi,
-                lambda_min: lo,
-                dimension: basis.len(),
-            });
+            return Ok(ExtremeEigenvalues { lambda_2: hi, lambda_min: lo, dimension: basis.len() });
         }
         betas.push(beta);
         std::mem::swap(&mut v, &mut w);

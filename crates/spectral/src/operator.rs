@@ -52,12 +52,12 @@ impl<'a> NormalizedAdjacency<'a> {
         let n = self.dim();
         assert_eq!(x.len(), n, "input vector has wrong length");
         assert_eq!(out.len(), n, "output vector has wrong length");
-        for u in 0..n {
+        for (u, out_u) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for v in self.graph.neighbor_iter(u) {
                 acc += self.inv_sqrt_deg[v] * x[v];
             }
-            out[u] = acc * self.inv_sqrt_deg[u];
+            *out_u = acc * self.inv_sqrt_deg[u];
         }
     }
 
@@ -143,9 +143,9 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         let mut sparse_out = vec![0.0; n];
         op.apply(&x, &mut sparse_out);
-        for i in 0..n {
+        for (i, &sparse_i) in sparse_out.iter().enumerate() {
             let dense_out: f64 = (0..n).map(|j| dense.get(i, j) * x[j]).sum();
-            assert!((sparse_out[i] - dense_out).abs() < 1e-12);
+            assert!((sparse_i - dense_out).abs() < 1e-12);
         }
     }
 

@@ -70,7 +70,8 @@ const DENSE_LIMIT: usize = 512;
 /// Returns [`SpectralError::InvalidGraph`] for empty or single-vertex graphs and propagates
 /// solver failures.
 pub fn analyze(g: &Graph) -> Result<SpectralProfile> {
-    let method = if g.num_vertices() <= DENSE_LIMIT { Method::DenseJacobi } else { Method::Lanczos };
+    let method =
+        if g.num_vertices() <= DENSE_LIMIT { Method::DenseJacobi } else { Method::Lanczos };
     analyze_with(g, method)
 }
 
@@ -191,8 +192,9 @@ mod tests {
 
     #[test]
     fn disconnected_graph_profile_has_unit_lambda() {
-        let g = cobra_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g =
+            cobra_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+                .unwrap();
         let p = analyze(&g).unwrap();
         assert!(!p.connected);
         assert!((p.lambda_abs - 1.0).abs() < 1e-9, "second component contributes eigenvalue 1");

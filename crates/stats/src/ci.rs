@@ -35,7 +35,7 @@ impl ConfidenceInterval {
 pub fn normal_quantile_two_sided(level: f64) -> f64 {
     assert!((0.0..1.0).contains(&level), "confidence level must be in [0, 1)");
     let target = 0.5 + level / 2.0; // P(Z <= z) for the upper bound
-    // Bisection over a generous bracket.
+                                    // Bisection over a generous bracket.
     let (mut lo, mut hi) = (0.0f64, 10.0f64);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -67,9 +67,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

@@ -87,10 +87,7 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
             let bar_len = (c as f64 / max_count as f64 * width as f64).round() as usize;
-            out.push_str(&format!(
-                "[{lo:8.1}, {hi:8.1})  {c:>8}  {}\n",
-                "#".repeat(bar_len)
-            ));
+            out.push_str(&format!("[{lo:8.1}, {hi:8.1})  {c:>8}  {}\n", "#".repeat(bar_len)));
         }
         out
     }

@@ -139,8 +139,11 @@ mod tests {
     #[test]
     fn noisy_linear_data_has_high_r_squared() {
         let x: Vec<f64> = (1..=50).map(|i| i as f64).collect();
-        let y: Vec<f64> =
-            x.iter().enumerate().map(|(i, &v)| 1.0 + 0.5 * v + ((i * 7) % 3) as f64 * 0.1).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 1.0 + 0.5 * v + ((i * 7) % 3) as f64 * 0.1)
+            .collect();
         let fit = linear_fit(&x, &y).unwrap();
         assert_close(fit.slope, 0.5, 0.01);
         assert!(fit.r_squared > 0.99);

@@ -49,9 +49,9 @@ impl SeedSequence {
 }
 
 impl Default for SeedSequence {
-    /// A fixed, documented default master seed (`0xC0B2A_2016`, a nod to the paper's venue year).
+    /// A fixed, documented default master seed (`0xC0B2A2016`, a nod to the paper's venue year).
     fn default() -> Self {
-        SeedSequence::new(0xC0B2A_2016)
+        SeedSequence::new(0x000C_0B2A_2016)
     }
 }
 
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn default_master_seed_is_fixed() {
-        assert_eq!(SeedSequence::default().master(), 0xC0B2A_2016);
+        assert_eq!(SeedSequence::default().master(), 0x000C_0B2A_2016);
     }
 
     #[test]

@@ -70,20 +70,17 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, (h, a))| pad(h, widths[i], *a))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().enumerate().map(|(i, (h, a))| pad(h, widths[i], *a)).collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| pad(c, widths[i], self.columns[i].1))
-                .collect();
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| pad(c, widths[i], self.columns[i].1)).collect();
             let _ = writeln!(out, "{}", cells.join("  "));
         }
         out
@@ -92,8 +89,7 @@ impl Table {
     /// Renders the table as CSV (header + rows), with minimal quoting of commas.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let header: Vec<String> =
-            self.columns.iter().map(|(h, _)| csv_escape(h)).collect();
+        let header: Vec<String> = self.columns.iter().map(|(h, _)| csv_escape(h)).collect();
         let _ = writeln!(out, "{}", header.join(","));
         for row in &self.rows {
             let cells: Vec<String> = row.iter().map(|c| csv_escape(c)).collect();
@@ -179,7 +175,7 @@ mod tests {
         assert_eq!(fmt_float(0.0), "0");
         assert_eq!(fmt_float(12345.6), "12346");
         assert_eq!(fmt_float(42.25), "42.2");
-        assert_eq!(fmt_float(3.14159), "3.142");
+        assert_eq!(fmt_float(6.54321), "6.543");
         assert_eq!(fmt_float(0.00002), "2.00e-5");
         assert_eq!(fmt_float(f64::INFINITY), "inf");
     }

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bips = BipsProcess::new(&herd, 0, Branching::fixed(2)?)?;
     let rounds = run_until_complete(&mut bips, &mut rng, 1_000_000)
         .expect("the persistent source eventually infects the whole herd");
-    println!("BIPS (persistent PI animal): every animal infected simultaneously after {rounds} rounds");
+    println!(
+        "BIPS (persistent PI animal): every animal infected simultaneously after {rounds} rounds"
+    );
 
     // The same herd without a persistent source: a discrete SIS contact process that can (and
     // usually does) die out under the same contact intensity.

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cobra_tail = duality::exact_cobra_hit_tail(&petersen, &[0], 7, k2, 8)?;
     let bips_avoid = duality::exact_bips_avoidance(&petersen, 7, &[0], k2, 8)?;
     println!("Petersen graph, C = {{0}}, v = 7:");
-    println!("{:>3}  {:>22}  {:>22}  {:>10}", "t", "P(Hit_C(v) > t)", "P(C cap A_t = empty)", "|diff|");
+    println!(
+        "{:>3}  {:>22}  {:>22}  {:>10}",
+        "t", "P(Hit_C(v) > t)", "P(C cap A_t = empty)", "|diff|"
+    );
     for (t, (a, b)) in cobra_tail.iter().zip(bips_avoid.iter()).enumerate() {
         println!("{t:>3}  {a:>22.12}  {b:>22.12}  {:>10.2e}", (a - b).abs());
     }

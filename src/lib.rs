@@ -16,10 +16,16 @@
 //!
 //! # Quick start
 //!
+//! Processes are *values*: a [`core::spec::ProcessSpec`] names any of the seven spreading
+//! processes (COBRA, BIPS, random walks, PUSH, PUSH–PULL, the contact process) plus its
+//! parameters, parses from a compact CLI syntax, and instantiates against any graph as a
+//! `Box<dyn SpreadingProcess>`. The shared [`core::sim::Runner`] drives any of them with
+//! composable stop conditions and observers:
+//!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use cobra::core::cobra::{Branching, CobraProcess};
-//! use cobra::core::process::run_until_complete;
+//! use cobra::core::sim::Runner;
+//! use cobra::core::spec::ProcessSpec;
 //! use cobra::graph::generators;
 //! use rand::SeedableRng;
 //!
@@ -32,12 +38,16 @@
 //! assert!(profile.spectral_gap() > 0.05);
 //!
 //! // ... and COBRA with k = 2 covers it in O(log n) rounds.
-//! let mut process = CobraProcess::new(&graph, 0, Branching::fixed(2)?)?;
-//! let rounds = run_until_complete(&mut process, &mut rng, 100_000).expect("covers quickly");
-//! assert!(rounds < 200);
+//! let spec: ProcessSpec = "cobra:k=2".parse()?;
+//! let outcome = Runner::new(100_000).run_spec(&spec, &graph, &mut rng)?;
+//! assert!(outcome.completed() && outcome.rounds < 200);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same spec syntax powers `repro --process cobra:k=2 --graph torus:sides=32x32` for
+//! ad-hoc measurements, and experiment tables are literally `Vec<(label, ProcessSpec)>`
+//! driven through `cobra::experiments::driver`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_comparison-ac5dffd251fd22c0.d: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-ac5dffd251fd22c0.rmeta: crates/bench/benches/baseline_comparison.rs Cargo.toml
+
+crates/bench/benches/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/branching_factor-c075d458f7efb652.d: crates/bench/benches/branching_factor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbranching_factor-c075d458f7efb652.rmeta: crates/bench/benches/branching_factor.rs Cargo.toml
+
+crates/bench/benches/branching_factor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

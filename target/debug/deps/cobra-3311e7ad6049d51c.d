@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cobra-3311e7ad6049d51c.d: src/lib.rs
+
+/root/repo/target/debug/deps/cobra-3311e7ad6049d51c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cobra-340e205f748b0e0c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra-340e205f748b0e0c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cobra-b805657b95b785fb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcobra-b805657b95b785fb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcobra-b805657b95b785fb.rmeta: src/lib.rs
+
+src/lib.rs:

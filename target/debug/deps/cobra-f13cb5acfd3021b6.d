@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cobra-f13cb5acfd3021b6.d: src/lib.rs
+
+/root/repo/target/debug/deps/cobra-f13cb5acfd3021b6: src/lib.rs
+
+src/lib.rs:

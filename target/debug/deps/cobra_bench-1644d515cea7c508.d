@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cobra_bench-1644d515cea7c508.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_bench-1644d515cea7c508.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cobra_bench-292cce5b74181667.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_bench-292cce5b74181667.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cobra_bench-69cdeb6915f58402.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcobra_bench-69cdeb6915f58402.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcobra_bench-69cdeb6915f58402.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

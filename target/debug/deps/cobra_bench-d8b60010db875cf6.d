@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cobra_bench-d8b60010db875cf6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cobra_bench-d8b60010db875cf6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

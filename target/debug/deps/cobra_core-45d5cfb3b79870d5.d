@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cobra_core-45d5cfb3b79870d5.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libcobra_core-45d5cfb3b79870d5.rlib: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+/root/repo/target/debug/deps/libcobra_core-45d5cfb3b79870d5.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/contact.rs:
+crates/core/src/baselines/multiple_walks.rs:
+crates/core/src/baselines/push.rs:
+crates/core/src/baselines/random_walk.rs:
+crates/core/src/bips.rs:
+crates/core/src/cobra.rs:
+crates/core/src/cover.rs:
+crates/core/src/duality.rs:
+crates/core/src/growth.rs:
+crates/core/src/infection.rs:
+crates/core/src/process.rs:
+crates/core/src/theory.rs:
+crates/core/src/error.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/cobra_core-643b1d60cfd4aa24.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/sim.rs crates/core/src/spec.rs crates/core/src/theory.rs crates/core/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_core-643b1d60cfd4aa24.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/sim.rs crates/core/src/spec.rs crates/core/src/theory.rs crates/core/src/error.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/contact.rs:
+crates/core/src/baselines/multiple_walks.rs:
+crates/core/src/baselines/push.rs:
+crates/core/src/baselines/random_walk.rs:
+crates/core/src/bips.rs:
+crates/core/src/cobra.rs:
+crates/core/src/cover.rs:
+crates/core/src/duality.rs:
+crates/core/src/growth.rs:
+crates/core/src/infection.rs:
+crates/core/src/process.rs:
+crates/core/src/sim.rs:
+crates/core/src/spec.rs:
+crates/core/src/theory.rs:
+crates/core/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cobra_experiments-d6901e5260e45705.d: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs
+
+/root/repo/target/debug/deps/cobra_experiments-d6901e5260e45705: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/driver.rs:
+crates/experiments/src/exp_baselines.rs:
+crates/experiments/src/exp_branching.rs:
+crates/experiments/src/exp_cover.rs:
+crates/experiments/src/exp_duality.rs:
+crates/experiments/src/exp_gap.rs:
+crates/experiments/src/exp_growth.rs:
+crates/experiments/src/exp_infection.rs:
+crates/experiments/src/exp_phases.rs:
+crates/experiments/src/instances.rs:
+crates/experiments/src/registry.rs:
+crates/experiments/src/result.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cobra_experiments-f8d10f29c812fa90.d: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_experiments-f8d10f29c812fa90.rmeta: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/driver.rs:
+crates/experiments/src/exp_baselines.rs:
+crates/experiments/src/exp_branching.rs:
+crates/experiments/src/exp_cover.rs:
+crates/experiments/src/exp_duality.rs:
+crates/experiments/src/exp_gap.rs:
+crates/experiments/src/exp_growth.rs:
+crates/experiments/src/exp_infection.rs:
+crates/experiments/src/exp_phases.rs:
+crates/experiments/src/instances.rs:
+crates/experiments/src/registry.rs:
+crates/experiments/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

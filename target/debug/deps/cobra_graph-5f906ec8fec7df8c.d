@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cobra_graph-5f906ec8fec7df8c.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/basic.rs crates/graph/src/generators/circulant.rs crates/graph/src/generators/composite.rs crates/graph/src/generators/hypercube.rs crates/graph/src/generators/named.rs crates/graph/src/generators/random.rs crates/graph/src/generators/torus.rs crates/graph/src/generators/trees.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+/root/repo/target/debug/deps/libcobra_graph-5f906ec8fec7df8c.rlib: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/basic.rs crates/graph/src/generators/circulant.rs crates/graph/src/generators/composite.rs crates/graph/src/generators/hypercube.rs crates/graph/src/generators/named.rs crates/graph/src/generators/random.rs crates/graph/src/generators/torus.rs crates/graph/src/generators/trees.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+/root/repo/target/debug/deps/libcobra_graph-5f906ec8fec7df8c.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/basic.rs crates/graph/src/generators/circulant.rs crates/graph/src/generators/composite.rs crates/graph/src/generators/hypercube.rs crates/graph/src/generators/named.rs crates/graph/src/generators/random.rs crates/graph/src/generators/torus.rs crates/graph/src/generators/trees.rs crates/graph/src/io.rs crates/graph/src/ops.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/basic.rs:
+crates/graph/src/generators/circulant.rs:
+crates/graph/src/generators/composite.rs:
+crates/graph/src/generators/hypercube.rs:
+crates/graph/src/generators/named.rs:
+crates/graph/src/generators/random.rs:
+crates/graph/src/generators/torus.rs:
+crates/graph/src/generators/trees.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:

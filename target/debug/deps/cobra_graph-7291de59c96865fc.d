@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/cobra_graph-7291de59c96865fc.d: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/basic.rs crates/graph/src/generators/circulant.rs crates/graph/src/generators/composite.rs crates/graph/src/generators/hypercube.rs crates/graph/src/generators/named.rs crates/graph/src/generators/random.rs crates/graph/src/generators/torus.rs crates/graph/src/generators/trees.rs crates/graph/src/io.rs crates/graph/src/ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_graph-7291de59c96865fc.rmeta: crates/graph/src/lib.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/error.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/basic.rs crates/graph/src/generators/circulant.rs crates/graph/src/generators/composite.rs crates/graph/src/generators/hypercube.rs crates/graph/src/generators/named.rs crates/graph/src/generators/random.rs crates/graph/src/generators/torus.rs crates/graph/src/generators/trees.rs crates/graph/src/io.rs crates/graph/src/ops.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/basic.rs:
+crates/graph/src/generators/circulant.rs:
+crates/graph/src/generators/composite.rs:
+crates/graph/src/generators/hypercube.rs:
+crates/graph/src/generators/named.rs:
+crates/graph/src/generators/random.rs:
+crates/graph/src/generators/torus.rs:
+crates/graph/src/generators/trees.rs:
+crates/graph/src/io.rs:
+crates/graph/src/ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cobra_spectral-a2658c778b2976ec.d: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_spectral-a2658c778b2976ec.rmeta: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs Cargo.toml
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/conductance.rs:
+crates/spectral/src/dense.rs:
+crates/spectral/src/lanczos.rs:
+crates/spectral/src/mixing.rs:
+crates/spectral/src/operator.rs:
+crates/spectral/src/power.rs:
+crates/spectral/src/profile.rs:
+crates/spectral/src/tridiagonal.rs:
+crates/spectral/src/error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

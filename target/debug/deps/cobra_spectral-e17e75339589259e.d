@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cobra_spectral-e17e75339589259e.d: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs
+
+/root/repo/target/debug/deps/libcobra_spectral-e17e75339589259e.rlib: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs
+
+/root/repo/target/debug/deps/libcobra_spectral-e17e75339589259e.rmeta: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/conductance.rs:
+crates/spectral/src/dense.rs:
+crates/spectral/src/lanczos.rs:
+crates/spectral/src/mixing.rs:
+crates/spectral/src/operator.rs:
+crates/spectral/src/power.rs:
+crates/spectral/src/profile.rs:
+crates/spectral/src/tridiagonal.rs:
+crates/spectral/src/error.rs:

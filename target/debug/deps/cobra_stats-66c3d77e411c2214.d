@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cobra_stats-66c3d77e411c2214.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcobra_stats-66c3d77e411c2214.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/parallel.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cobra_stats-ddef5e256bddd971.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libcobra_stats-ddef5e256bddd971.rlib: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libcobra_stats-ddef5e256bddd971.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/parallel.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

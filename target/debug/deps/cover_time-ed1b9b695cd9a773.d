@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cover_time-ed1b9b695cd9a773.d: crates/bench/benches/cover_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcover_time-ed1b9b695cd9a773.rmeta: crates/bench/benches/cover_time.rs Cargo.toml
+
+crates/bench/benches/cover_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/duality-23599388b3d6b463.d: tests/duality.rs
+
+/root/repo/target/debug/deps/duality-23599388b3d6b463: tests/duality.rs
+
+tests/duality.rs:

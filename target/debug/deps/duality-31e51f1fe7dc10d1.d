@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/duality-31e51f1fe7dc10d1.d: crates/bench/benches/duality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libduality-31e51f1fe7dc10d1.rmeta: crates/bench/benches/duality.rs Cargo.toml
+
+crates/bench/benches/duality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/duality-342a9c71be57cf59.d: tests/duality.rs
+
+/root/repo/target/debug/deps/duality-342a9c71be57cf59: tests/duality.rs
+
+tests/duality.rs:

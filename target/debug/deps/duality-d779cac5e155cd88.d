@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/duality-d779cac5e155cd88.d: tests/duality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libduality-d779cac5e155cd88.rmeta: tests/duality.rs Cargo.toml
+
+tests/duality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

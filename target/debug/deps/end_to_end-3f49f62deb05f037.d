@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f49f62deb05f037.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f49f62deb05f037: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-eb3ee01e15328510.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-eb3ee01e15328510: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gap_sweep-f94730f1a3bc6945.d: crates/bench/benches/gap_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgap_sweep-f94730f1a3bc6945.rmeta: crates/bench/benches/gap_sweep.rs Cargo.toml
+
+crates/bench/benches/gap_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

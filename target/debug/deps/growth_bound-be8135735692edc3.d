@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/growth_bound-be8135735692edc3.d: crates/bench/benches/growth_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrowth_bound-be8135735692edc3.rmeta: crates/bench/benches/growth_bound.rs Cargo.toml
+
+crates/bench/benches/growth_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/infection_time-085936f918ffef88.d: crates/bench/benches/infection_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinfection_time-085936f918ffef88.rmeta: crates/bench/benches/infection_time.rs Cargo.toml
+
+crates/bench/benches/infection_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

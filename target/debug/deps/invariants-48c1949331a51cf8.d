@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-48c1949331a51cf8.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-48c1949331a51cf8: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-b4ff3237524d630c.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-b4ff3237524d630c: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-d1e0dfe794345607.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-d1e0dfe794345607.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

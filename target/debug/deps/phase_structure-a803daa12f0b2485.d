@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phase_structure-a803daa12f0b2485.d: crates/bench/benches/phase_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphase_structure-a803daa12f0b2485.rmeta: crates/bench/benches/phase_structure.rs Cargo.toml
+
+crates/bench/benches/phase_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

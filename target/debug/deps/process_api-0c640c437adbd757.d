@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/process_api-0c640c437adbd757.d: tests/process_api.rs
+
+/root/repo/target/debug/deps/process_api-0c640c437adbd757: tests/process_api.rs
+
+tests/process_api.rs:

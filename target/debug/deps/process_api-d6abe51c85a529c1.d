@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/process_api-d6abe51c85a529c1.d: tests/process_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprocess_api-d6abe51c85a529c1.rmeta: tests/process_api.rs Cargo.toml
+
+tests/process_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cc5bdf4c9415efbb.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cc5bdf4c9415efbb: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fc39d17c0e0ea269.d: crates/graph/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fc39d17c0e0ea269.rmeta: crates/graph/tests/proptests.rs Cargo.toml
+
+crates/graph/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-56fdf208101aa73a.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-56fdf208101aa73a.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-56fdf208101aa73a.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-8925ee9216d4f86a.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-8925ee9216d4f86a.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-b047a187997f422b.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b047a187997f422b.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b047a187997f422b.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

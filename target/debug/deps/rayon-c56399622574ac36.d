@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-c56399622574ac36.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-c56399622574ac36.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

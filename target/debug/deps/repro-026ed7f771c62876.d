@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-026ed7f771c62876.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-026ed7f771c62876: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

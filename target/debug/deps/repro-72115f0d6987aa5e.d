@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-72115f0d6987aa5e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-72115f0d6987aa5e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-3e40bfb672fe7157.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3e40bfb672fe7157.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-d34182029a22b523.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-d34182029a22b523.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

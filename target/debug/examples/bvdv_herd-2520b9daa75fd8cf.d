@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bvdv_herd-2520b9daa75fd8cf.d: examples/bvdv_herd.rs
+
+/root/repo/target/debug/examples/bvdv_herd-2520b9daa75fd8cf: examples/bvdv_herd.rs
+
+examples/bvdv_herd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bvdv_herd-bed0f3c1ec524523.d: examples/bvdv_herd.rs
+
+/root/repo/target/debug/examples/bvdv_herd-bed0f3c1ec524523: examples/bvdv_herd.rs
+
+examples/bvdv_herd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bvdv_herd-e8fd8a185092fc7e.d: examples/bvdv_herd.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbvdv_herd-e8fd8a185092fc7e.rmeta: examples/bvdv_herd.rs Cargo.toml
+
+examples/bvdv_herd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/duality_check-642d81fd7830b461.d: examples/duality_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libduality_check-642d81fd7830b461.rmeta: examples/duality_check.rs Cargo.toml
+
+examples/duality_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duality_check-70a781e043e156ea.d: examples/duality_check.rs
+
+/root/repo/target/debug/examples/duality_check-70a781e043e156ea: examples/duality_check.rs
+
+examples/duality_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duality_check-86762436d2eec5a2.d: examples/duality_check.rs
+
+/root/repo/target/debug/examples/duality_check-86762436d2eec5a2: examples/duality_check.rs
+
+examples/duality_check.rs:

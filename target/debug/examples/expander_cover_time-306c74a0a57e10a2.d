@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expander_cover_time-306c74a0a57e10a2.d: examples/expander_cover_time.rs
+
+/root/repo/target/debug/examples/expander_cover_time-306c74a0a57e10a2: examples/expander_cover_time.rs
+
+examples/expander_cover_time.rs:

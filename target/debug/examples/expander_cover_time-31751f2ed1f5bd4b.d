@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expander_cover_time-31751f2ed1f5bd4b.d: examples/expander_cover_time.rs
+
+/root/repo/target/debug/examples/expander_cover_time-31751f2ed1f5bd4b: examples/expander_cover_time.rs
+
+examples/expander_cover_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/expander_cover_time-b2b13f31d5f28e12.d: examples/expander_cover_time.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexpander_cover_time-b2b13f31d5f28e12.rmeta: examples/expander_cover_time.rs Cargo.toml
+
+examples/expander_cover_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

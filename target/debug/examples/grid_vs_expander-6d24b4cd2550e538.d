@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_vs_expander-6d24b4cd2550e538.d: examples/grid_vs_expander.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_vs_expander-6d24b4cd2550e538.rmeta: examples/grid_vs_expander.rs Cargo.toml
+
+examples/grid_vs_expander.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

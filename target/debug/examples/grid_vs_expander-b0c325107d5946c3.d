@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_vs_expander-b0c325107d5946c3.d: examples/grid_vs_expander.rs
+
+/root/repo/target/debug/examples/grid_vs_expander-b0c325107d5946c3: examples/grid_vs_expander.rs
+
+examples/grid_vs_expander.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_vs_expander-dcfe8e03ab75efe5.d: examples/grid_vs_expander.rs
+
+/root/repo/target/debug/examples/grid_vs_expander-dcfe8e03ab75efe5: examples/grid_vs_expander.rs
+
+examples/grid_vs_expander.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-87177ba0288adb00.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-87177ba0288adb00: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c2158ee3a3db5104.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c2158ee3a3db5104: examples/quickstart.rs
+
+examples/quickstart.rs:

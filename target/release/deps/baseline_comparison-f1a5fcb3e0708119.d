@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_comparison-f1a5fcb3e0708119.d: crates/bench/benches/baseline_comparison.rs
+
+/root/repo/target/release/deps/baseline_comparison-f1a5fcb3e0708119: crates/bench/benches/baseline_comparison.rs
+
+crates/bench/benches/baseline_comparison.rs:

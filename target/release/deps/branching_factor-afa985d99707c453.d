@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/branching_factor-afa985d99707c453.d: crates/bench/benches/branching_factor.rs
+
+/root/repo/target/release/deps/branching_factor-afa985d99707c453: crates/bench/benches/branching_factor.rs
+
+crates/bench/benches/branching_factor.rs:

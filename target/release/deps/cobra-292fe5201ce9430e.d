@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cobra-292fe5201ce9430e.d: src/lib.rs
+
+/root/repo/target/release/deps/cobra-292fe5201ce9430e: src/lib.rs
+
+src/lib.rs:

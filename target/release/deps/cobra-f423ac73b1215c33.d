@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cobra-f423ac73b1215c33.d: src/lib.rs
+
+/root/repo/target/release/deps/libcobra-f423ac73b1215c33.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcobra-f423ac73b1215c33.rmeta: src/lib.rs
+
+src/lib.rs:

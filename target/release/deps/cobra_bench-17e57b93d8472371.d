@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cobra_bench-17e57b93d8472371.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcobra_bench-17e57b93d8472371.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcobra_bench-17e57b93d8472371.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cobra_bench-7ab3d21c914e53c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/cobra_bench-7ab3d21c914e53c9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

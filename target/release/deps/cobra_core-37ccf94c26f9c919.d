@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/cobra_core-37ccf94c26f9c919.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/sim.rs crates/core/src/spec.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+/root/repo/target/release/deps/libcobra_core-37ccf94c26f9c919.rlib: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/sim.rs crates/core/src/spec.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+/root/repo/target/release/deps/libcobra_core-37ccf94c26f9c919.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/contact.rs crates/core/src/baselines/multiple_walks.rs crates/core/src/baselines/push.rs crates/core/src/baselines/random_walk.rs crates/core/src/bips.rs crates/core/src/cobra.rs crates/core/src/cover.rs crates/core/src/duality.rs crates/core/src/growth.rs crates/core/src/infection.rs crates/core/src/process.rs crates/core/src/sim.rs crates/core/src/spec.rs crates/core/src/theory.rs crates/core/src/error.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/contact.rs:
+crates/core/src/baselines/multiple_walks.rs:
+crates/core/src/baselines/push.rs:
+crates/core/src/baselines/random_walk.rs:
+crates/core/src/bips.rs:
+crates/core/src/cobra.rs:
+crates/core/src/cover.rs:
+crates/core/src/duality.rs:
+crates/core/src/growth.rs:
+crates/core/src/infection.rs:
+crates/core/src/process.rs:
+crates/core/src/sim.rs:
+crates/core/src/spec.rs:
+crates/core/src/theory.rs:
+crates/core/src/error.rs:

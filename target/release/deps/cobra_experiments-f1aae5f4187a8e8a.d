@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/cobra_experiments-f1aae5f4187a8e8a.d: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs
+
+/root/repo/target/release/deps/libcobra_experiments-f1aae5f4187a8e8a.rlib: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs
+
+/root/repo/target/release/deps/libcobra_experiments-f1aae5f4187a8e8a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/driver.rs crates/experiments/src/exp_baselines.rs crates/experiments/src/exp_branching.rs crates/experiments/src/exp_cover.rs crates/experiments/src/exp_duality.rs crates/experiments/src/exp_gap.rs crates/experiments/src/exp_growth.rs crates/experiments/src/exp_infection.rs crates/experiments/src/exp_phases.rs crates/experiments/src/instances.rs crates/experiments/src/registry.rs crates/experiments/src/result.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/driver.rs:
+crates/experiments/src/exp_baselines.rs:
+crates/experiments/src/exp_branching.rs:
+crates/experiments/src/exp_cover.rs:
+crates/experiments/src/exp_duality.rs:
+crates/experiments/src/exp_gap.rs:
+crates/experiments/src/exp_growth.rs:
+crates/experiments/src/exp_infection.rs:
+crates/experiments/src/exp_phases.rs:
+crates/experiments/src/instances.rs:
+crates/experiments/src/registry.rs:
+crates/experiments/src/result.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cobra_spectral-a7b944f3eaa31939.d: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs
+
+/root/repo/target/release/deps/cobra_spectral-a7b944f3eaa31939: crates/spectral/src/lib.rs crates/spectral/src/conductance.rs crates/spectral/src/dense.rs crates/spectral/src/lanczos.rs crates/spectral/src/mixing.rs crates/spectral/src/operator.rs crates/spectral/src/power.rs crates/spectral/src/profile.rs crates/spectral/src/tridiagonal.rs crates/spectral/src/error.rs
+
+crates/spectral/src/lib.rs:
+crates/spectral/src/conductance.rs:
+crates/spectral/src/dense.rs:
+crates/spectral/src/lanczos.rs:
+crates/spectral/src/mixing.rs:
+crates/spectral/src/operator.rs:
+crates/spectral/src/power.rs:
+crates/spectral/src/profile.rs:
+crates/spectral/src/tridiagonal.rs:
+crates/spectral/src/error.rs:

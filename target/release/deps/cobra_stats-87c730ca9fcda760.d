@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cobra_stats-87c730ca9fcda760.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libcobra_stats-87c730ca9fcda760.rlib: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libcobra_stats-87c730ca9fcda760.rmeta: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/parallel.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

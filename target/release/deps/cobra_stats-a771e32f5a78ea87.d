@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cobra_stats-a771e32f5a78ea87.d: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/cobra_stats-a771e32f5a78ea87: crates/stats/src/lib.rs crates/stats/src/ci.rs crates/stats/src/histogram.rs crates/stats/src/parallel.rs crates/stats/src/regression.rs crates/stats/src/rng.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/ci.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/parallel.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/rng.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

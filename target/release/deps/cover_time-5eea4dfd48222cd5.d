@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cover_time-5eea4dfd48222cd5.d: crates/bench/benches/cover_time.rs
+
+/root/repo/target/release/deps/cover_time-5eea4dfd48222cd5: crates/bench/benches/cover_time.rs
+
+crates/bench/benches/cover_time.rs:

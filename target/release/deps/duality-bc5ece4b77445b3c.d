@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/duality-bc5ece4b77445b3c.d: crates/bench/benches/duality.rs
+
+/root/repo/target/release/deps/duality-bc5ece4b77445b3c: crates/bench/benches/duality.rs
+
+crates/bench/benches/duality.rs:

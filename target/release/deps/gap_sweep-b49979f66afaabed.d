@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gap_sweep-b49979f66afaabed.d: crates/bench/benches/gap_sweep.rs
+
+/root/repo/target/release/deps/gap_sweep-b49979f66afaabed: crates/bench/benches/gap_sweep.rs
+
+crates/bench/benches/gap_sweep.rs:

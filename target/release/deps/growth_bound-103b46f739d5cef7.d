@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/growth_bound-103b46f739d5cef7.d: crates/bench/benches/growth_bound.rs
+
+/root/repo/target/release/deps/growth_bound-103b46f739d5cef7: crates/bench/benches/growth_bound.rs
+
+crates/bench/benches/growth_bound.rs:

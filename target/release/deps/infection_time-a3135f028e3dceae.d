@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/infection_time-a3135f028e3dceae.d: crates/bench/benches/infection_time.rs
+
+/root/repo/target/release/deps/infection_time-a3135f028e3dceae: crates/bench/benches/infection_time.rs
+
+crates/bench/benches/infection_time.rs:

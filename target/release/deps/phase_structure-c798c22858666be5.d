@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phase_structure-c798c22858666be5.d: crates/bench/benches/phase_structure.rs
+
+/root/repo/target/release/deps/phase_structure-c798c22858666be5: crates/bench/benches/phase_structure.rs
+
+crates/bench/benches/phase_structure.rs:

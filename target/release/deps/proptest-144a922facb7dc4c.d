@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-144a922facb7dc4c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-144a922facb7dc4c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-144a922facb7dc4c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-589c91192c680b4a.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-589c91192c680b4a.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-589c91192c680b4a.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

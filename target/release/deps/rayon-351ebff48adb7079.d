@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-351ebff48adb7079.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-351ebff48adb7079.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-351ebff48adb7079.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-79052538329ff918.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-79052538329ff918: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

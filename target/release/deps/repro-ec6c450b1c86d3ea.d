@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ec6c450b1c86d3ea.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ec6c450b1c86d3ea: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

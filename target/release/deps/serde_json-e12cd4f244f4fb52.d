@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-e12cd4f244f4fb52.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e12cd4f244f4fb52.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e12cd4f244f4fb52.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-33a217113f8d871b.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-33a217113f8d871b: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

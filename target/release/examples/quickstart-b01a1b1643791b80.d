@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b01a1b1643791b80.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b01a1b1643791b80: examples/quickstart.rs
+
+examples/quickstart.rs:

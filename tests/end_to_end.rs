@@ -34,7 +34,12 @@ fn expander_pipeline_respects_theorem_1_budget() {
     // The measured cover time must sit below the Theorem 1 budget and be a small multiple of
     // ln n (the instance has a constant spectral gap).
     let ci = mean_confidence_interval(&summary, 0.99);
-    assert!(ci.upper < bounds.cobra_cover, "measured {} vs budget {}", ci.upper, bounds.cobra_cover);
+    assert!(
+        ci.upper < bounds.cobra_cover,
+        "measured {} vs budget {}",
+        ci.upper,
+        bounds.cobra_cover
+    );
     assert!(summary.mean() < 12.0 * (512f64).ln(), "mean {} not O(log n)-like", summary.mean());
     assert!(summary.mean() >= (512f64).log2(), "cannot beat the doubling lower bound");
 }
@@ -57,9 +62,15 @@ fn cover_and_infection_times_are_comparable_across_graph_families() {
                     .rounds as f64,
             );
             infection_sum.record(
-                infection::infection_time(&graph, 0, Branching::fixed(2).unwrap(), 1_000_000, &mut r)
-                    .unwrap()
-                    .rounds as f64,
+                infection::infection_time(
+                    &graph,
+                    0,
+                    Branching::fixed(2).unwrap(),
+                    1_000_000,
+                    &mut r,
+                )
+                .unwrap()
+                .rounds as f64,
             );
         }
         let ratio = infection_sum.mean() / cover_sum.mean();
@@ -72,9 +83,11 @@ fn cover_and_infection_times_are_comparable_across_graph_families() {
 
 #[test]
 fn grid_is_polynomially_slower_than_expander_of_equal_size() {
+    // 32x32 rather than 24x24: the sqrt(n)-vs-log(n) separation needs a little room before
+    // the factor-2 assertion below is robust to seed luck over only 8 trials.
     let mut r = rng(3);
-    let n = 24 * 24;
-    let torus = generators::torus_2d(24, 24).unwrap();
+    let n = 32 * 32;
+    let torus = generators::torus_2d(32, 32).unwrap();
     let expander = generators::connected_random_regular(n, 4, &mut r).unwrap();
     let mut torus_sum = Summary::new();
     let mut expander_sum = Summary::new();

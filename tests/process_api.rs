@@ -1,0 +1,114 @@
+//! Regression tests for the object-safe process API: `ProcessSpec` values instantiate every
+//! process as `Box<dyn SpreadingProcess>`, heterogeneous collections run through the shared
+//! measurement entry points, and spec round-trips hold through the public facade crate.
+
+use cobra::core::process::{run_until_complete, SpreadingProcess};
+use cobra::core::sim::{ActiveCountTrace, Runner, StopReason};
+use cobra::core::spec::ProcessSpec;
+use cobra::graph::generators;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn rng(seed: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(seed)
+}
+
+/// One spec per process implementation — seven processes, eight specs (both COBRA
+/// branching modes).
+fn all_process_specs() -> Vec<ProcessSpec> {
+    vec![
+        ProcessSpec::cobra(2).unwrap(),
+        ProcessSpec::cobra_fractional(0.5).unwrap(),
+        ProcessSpec::bips(2).unwrap(),
+        ProcessSpec::random_walk(),
+        ProcessSpec::multiple_walks(6),
+        ProcessSpec::push(),
+        ProcessSpec::push_pull(),
+        // Aggressive parameters with a persistent source, so completion is fast and certain.
+        ProcessSpec::contact(0.8, 0.1).unwrap(),
+    ]
+}
+
+#[test]
+fn heterogeneous_boxed_processes_run_to_completion() {
+    let graph = generators::complete(24).unwrap();
+    let mut processes: Vec<Box<dyn SpreadingProcess + Send + '_>> = all_process_specs()
+        .iter()
+        .map(|spec| spec.build(&graph).expect("every spec builds on K_24"))
+        .collect();
+    assert_eq!(processes.len(), 8);
+    let mut r = rng(1);
+    for process in &mut processes {
+        assert_eq!(process.round(), 0);
+        assert_eq!(process.num_active(), 1);
+        let rounds = run_until_complete(process.as_mut(), &mut r, 1_000_000)
+            .expect("every process completes on a small complete graph");
+        assert!(process.is_complete());
+        assert_eq!(process.round(), rounds);
+    }
+    // The same boxes are reusable after reset — Monte-Carlo loops rely on this.
+    for process in &mut processes {
+        process.reset();
+        assert_eq!(process.round(), 0);
+        assert!(!process.is_complete());
+    }
+}
+
+#[test]
+fn the_shared_runner_drives_every_spec() {
+    let graph = generators::complete(24).unwrap();
+    let runner = Runner::new(1_000_000);
+    let mut r = rng(2);
+    for spec in all_process_specs() {
+        let outcome = runner.run_spec(&spec, &graph, &mut r).expect("spec builds");
+        assert_eq!(outcome.reason, StopReason::Completed, "{spec} must complete");
+        assert_eq!(outcome.num_vertices, 24);
+        assert!(outcome.rounds > 0);
+    }
+}
+
+#[test]
+fn cached_active_counts_match_a_recount_through_dyn() {
+    let graph = generators::connected_random_regular(40, 3, &mut rng(3)).unwrap();
+    let mut r = rng(4);
+    for spec in all_process_specs() {
+        let mut process = spec.build(&graph).expect("spec builds");
+        for _ in 0..25 {
+            process.step(&mut r);
+            let recount = process.active().iter().filter(|&&a| a).count();
+            assert_eq!(
+                process.num_active(),
+                recount,
+                "{spec}: cached num_active diverged from the active indicator at round {}",
+                process.round()
+            );
+        }
+    }
+}
+
+#[test]
+fn observers_work_on_dynamically_built_processes() {
+    let graph = generators::complete(32).unwrap();
+    let mut r = rng(5);
+    for spec in all_process_specs() {
+        let mut process = spec.build(&graph).expect("spec builds");
+        let mut trace = ActiveCountTrace::new();
+        let outcome =
+            Runner::new(1_000_000).run_observed(process.as_mut(), &mut r, &mut [&mut trace]);
+        assert!(outcome.completed(), "{spec} must complete");
+        assert_eq!(trace.trace().len(), outcome.rounds + 1);
+        assert_eq!(trace.trace()[0], 1, "{spec} starts with one active vertex");
+    }
+}
+
+#[test]
+fn spec_round_trips_through_text_and_json() {
+    for spec in all_process_specs() {
+        let text = spec.to_string();
+        let reparsed: ProcessSpec = text.parse().expect("canonical syntax parses");
+        assert_eq!(reparsed, spec, "CLI round trip through {text:?}");
+        let json = serde_json::to_string(&spec).unwrap();
+        let deserialized: ProcessSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(deserialized, spec, "serde round trip through {json}");
+    }
+}

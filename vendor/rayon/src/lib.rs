@@ -1,0 +1,131 @@
+//! Offline stand-in for `rayon` exposing the slice of the API this workspace uses:
+//! `(a..b).into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The implementation is real data parallelism — the index range is split into contiguous
+//! chunks, one per available core, executed on scoped OS threads, and the results are
+//! reassembled in index order so the output is identical to a sequential run.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! The traits a `use rayon::prelude::*` caller expects in scope.
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// A parallel iterator over a `usize` range.
+#[derive(Debug, Clone)]
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl RangeParIter {
+    /// Maps each index through `op` (executed in parallel at collection time).
+    pub fn map<T, F>(self, op: F) -> MapParIter<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        MapParIter { range: self.range, op }
+    }
+}
+
+/// The result of [`RangeParIter::map`].
+#[derive(Debug, Clone)]
+pub struct MapParIter<F> {
+    range: Range<usize>,
+    op: F,
+}
+
+impl<F> MapParIter<F> {
+    /// Executes the map in parallel and collects the results in index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromParallelIterator<T>,
+    {
+        C::from_par_iter(par_map_range(self.range, &self.op))
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in index order.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// The number of worker threads to use.
+fn thread_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    cores.min(jobs).max(1)
+}
+
+fn par_map_range<T, F>(range: Range<usize>, op: &F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    let jobs = range.len();
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let threads = thread_count(jobs);
+    if threads == 1 {
+        return range.map(op).collect();
+    }
+    let chunk = jobs.div_ceil(threads);
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (index, slice) in slots.chunks_mut(chunk).enumerate() {
+            let base = range.start + index * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(op(base + offset));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every index was computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<u8> = (5..5).into_par_iter().map(|_| 1u8).collect();
+        assert!(out.is_empty());
+    }
+}

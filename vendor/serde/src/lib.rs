@@ -1,0 +1,317 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access, so the workspace vendors a small
+//! self-describing serialization framework under the `serde` name: types serialize into a
+//! JSON-like [`Value`] tree and deserialize back out of one. The `#[derive(Serialize,
+//! Deserialize)]` macros (re-exported from the vendored `serde_derive`) support exactly the
+//! shapes this workspace uses — non-generic structs with named fields, and enums with unit
+//! and struct variants (externally tagged, like upstream serde's default representation).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like self-describing value tree — the data model of this vendored serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (stored as `f64`; integers up to 2^53 round-trip exactly).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map with string keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a field in an object's entries — used by the derive-generated code.
+pub fn object_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the [`Value`] data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can deserialize themselves out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if `value` does not have the expected shape.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value
+                    .as_f64()
+                    .ok_or_else(|| Error::custom(concat!("expected number for ", stringify!($t))))?;
+                if x.fract() != 0.0 || x < 0.0 || x > <$t>::MAX as f64 {
+                    return Err(Error::custom(format!(
+                        "number {x} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value
+                    .as_f64()
+                    .ok_or_else(|| Error::custom(concat!("expected number for ", stringify!($t))))?;
+                if x.fract() != 0.0 || x < <$t>::MIN as f64 || x > <$t>::MAX as f64 {
+                    return Err(Error::custom(format!(
+                        "number {x} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(*self)
+        } else {
+            // JSON has no NaN/inf; mirror serde_json's lossy `null` encoding.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(x) => Ok(*x),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        f64::from(*self).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array().ok_or_else(|| Error::custom("expected 2-element array"))?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(f64::deserialize(&f64::NAN.serialize()).unwrap().is_nan());
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        let v: Vec<usize> = Vec::deserialize(&vec![1usize, 2, 3].serialize()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let none: Option<u32> = Deserialize::deserialize(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn out_of_range_numbers_are_rejected() {
+        assert!(u8::deserialize(&Value::Number(300.0)).is_err());
+        assert!(u32::deserialize(&Value::Number(-1.0)).is_err());
+        assert!(usize::deserialize(&Value::Number(1.5)).is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let entries = vec![("a".to_string(), Value::Number(1.0))];
+        assert!(object_field(&entries, "a").is_ok());
+        assert!(object_field(&entries, "b").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote` — the build container
+//! has no network access). Supported shapes, which cover every derived type in this
+//! workspace:
+//!
+//! * non-generic `struct`s with named fields;
+//! * non-generic `enum`s whose variants are unit variants or struct variants.
+//!
+//! Field *types* never need to be parsed: the generated code delegates every field to
+//! `::serde::Serialize` / `::serde::Deserialize`, so only field and variant names are read
+//! from the token stream. Unsupported shapes (tuple structs, generics) panic at expansion
+//! time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, field names for a struct variant.
+    fields: Option<Vec<String>>,
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) and visibility modifiers.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body: a bracketed group.
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute body after `#`, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                iter.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type,` field lists, recording only the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: everything up to the next top-level comma. Groups are single
+        // tokens, so nested commas (e.g. in tuples) never appear at this level, and the
+        // only same-level commas inside a type occur between `<` and `>` of a generic
+        // argument list, which we track by angle-bracket depth.
+        let mut angle_depth = 0i32;
+        for token in iter.by_ref() {
+            match &token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let group = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!("peeked a group"),
+                };
+                Some(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive does not support tuple variant `{name}`")
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        // Optional trailing comma (and discriminants are unsupported, so `,` or end).
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    variants
+}
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("vendored serde_derive does not support generic type `{name}`")
+        }
+        other => panic!(
+            "expected braced body for `{name}` (tuple/unit structs unsupported), found {other:?}"
+        ),
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    TypeDef { name, kind }
+}
+
+fn generate_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{\n"
+    ));
+    match &def.kind {
+        Kind::Struct(fields) => {
+            out.push_str(" ::serde::Value::Object(vec![\n");
+            for field in fields {
+                out.push_str(&format!(
+                    " (String::from(\"{field}\"), ::serde::Serialize::serialize(&self.{field})),\n"
+                ));
+            }
+            out.push_str(" ])\n");
+        }
+        Kind::Enum(variants) => {
+            out.push_str(" match self {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    None => out.push_str(&format!(
+                        " {name}::{vname} => ::serde::Value::String(String::from(\"{vname}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        out.push_str(&format!(" {name}::{vname} {{ {bindings} }} => "));
+                        out.push_str("::serde::Value::Object(vec![(");
+                        out.push_str(&format!(
+                            "String::from(\"{vname}\"), ::serde::Value::Object(vec![\n"
+                        ));
+                        for field in fields {
+                            out.push_str(&format!(
+                                " (String::from(\"{field}\"), ::serde::Serialize::serialize({field})),\n"
+                            ));
+                        }
+                        out.push_str(" ]))]),\n");
+                    }
+                }
+            }
+            out.push_str(" }\n");
+        }
+    }
+    out.push_str(" }\n}\n");
+    out
+}
+
+fn generate_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    ));
+    match &def.kind {
+        Kind::Struct(fields) => {
+            out.push_str(&format!(
+                " let entries = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for struct {name}\"))?;\n"
+            ));
+            out.push_str(&format!(" Ok({name} {{\n"));
+            for field in fields {
+                out.push_str(&format!(
+                    " {field}: ::serde::Deserialize::deserialize(\
+                     ::serde::object_field(entries, \"{field}\")?)?,\n"
+                ));
+            }
+            out.push_str(" })\n");
+        }
+        Kind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| v.fields.is_none()).collect();
+            let with_fields: Vec<&Variant> =
+                variants.iter().filter(|v| v.fields.is_some()).collect();
+            if !unit.is_empty() {
+                out.push_str(" if let Some(tag) = value.as_str() {\n return match tag {\n");
+                for variant in &unit {
+                    let vname = &variant.name;
+                    out.push_str(&format!(" \"{vname}\" => Ok({name}::{vname}),\n"));
+                }
+                out.push_str(&format!(
+                    " other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n }};\n }}\n"
+                ));
+            }
+            if with_fields.is_empty() {
+                out.push_str(&format!(
+                    " Err(::serde::Error::custom(\"expected string tag for enum {name}\"))\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    " let entries = value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for enum {name}\"))?;\n \
+                     if entries.len() != 1 {{\n return Err(::serde::Error::custom(\
+                     \"expected single-key object for enum {name}\"));\n }}\n \
+                     let (tag, inner) = &entries[0];\n match tag.as_str() {{\n"
+                ));
+                for variant in &with_fields {
+                    let vname = &variant.name;
+                    let fields = variant.fields.as_ref().expect("struct variant");
+                    out.push_str(&format!(
+                        " \"{vname}\" => {{\n let fields = inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for variant {vname}\"))?;\n \
+                         Ok({name}::{vname} {{\n"
+                    ));
+                    for field in fields {
+                        out.push_str(&format!(
+                            " {field}: ::serde::Deserialize::deserialize(\
+                             ::serde::object_field(fields, \"{field}\")?)?,\n"
+                        ));
+                    }
+                    out.push_str(" })\n },\n");
+                }
+                out.push_str(&format!(
+                    " other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{other}}` of {name}\"))),\n }}\n"
+                ));
+            }
+        }
+    }
+    out.push_str(" }\n}\n");
+    out
+}
+
+/// Derives the vendored `serde::Serialize` for structs with named fields and
+/// unit/struct-variant enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    generate_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` for structs with named fields and
+/// unit/struct-variant enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    generate_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
