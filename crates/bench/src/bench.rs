@@ -1,0 +1,361 @@
+//! The `repro bench` harness: wall-clock measurement of the sparse-frontier engine against
+//! the retained dense reference engine, per `(process, graph)` pair.
+//!
+//! Every entry runs the *same* seeded trials through both engines (the engines are
+//! RNG-equivalent, so each trial pair executes the identical trajectory and the comparison is
+//! work-for-work). The output is a rendered table plus a JSON report (`BENCH_cover.json` by
+//! convention) so the performance trajectory of the repository is tracked from PR to PR —
+//! CI regenerates the quick report on every run.
+
+use std::time::Instant;
+
+use cobra_core::reference;
+use cobra_core::spec::ProcessSpec;
+use cobra_core::SpreadingProcess;
+use cobra_graph::generators::GraphFamily;
+use cobra_graph::Graph;
+use cobra_stats::rng::SeedSequence;
+use cobra_stats::table::{fmt_float, Table};
+use serde::{Deserialize, Serialize};
+
+/// One `(process, graph)` measurement of the bench matrix.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// The process under measurement.
+    pub spec: ProcessSpec,
+    /// The instance family.
+    pub family: GraphFamily,
+    /// Trials per engine.
+    pub trials: usize,
+    /// Round budget per trial (entries are sized to complete well within it).
+    pub max_rounds: usize,
+    /// When set, a trial stops once `num_active >= ceil(fraction · n)` instead of at
+    /// completion — the growth-phase (E3/E7-style) measurement where the active set is still
+    /// sparse.
+    pub until_fraction: Option<f64>,
+}
+
+impl BenchEntry {
+    fn new(spec: &str, family: &str, trials: usize, max_rounds: usize) -> Self {
+        BenchEntry {
+            spec: spec.parse().expect("bench matrix specs are valid"),
+            family: family.parse().expect("bench matrix graph specs are valid"),
+            trials,
+            max_rounds,
+            until_fraction: None,
+        }
+    }
+
+    fn until(mut self, fraction: f64) -> Self {
+        self.until_fraction = Some(fraction);
+        self
+    }
+
+    fn goal_active(&self, n: usize) -> Option<usize> {
+        self.until_fraction.map(|fraction| (fraction * n as f64).ceil() as usize)
+    }
+
+    fn label(&self) -> String {
+        match self.until_fraction {
+            Some(fraction) => format!("{}@{}→{:.0}%", self.spec, self.family, fraction * 100.0),
+            None => format!("{}@{}", self.spec, self.family),
+        }
+    }
+}
+
+/// The built-in measurement matrix.
+///
+/// Two kinds of entries per regime of the paper:
+///
+/// * **full-completion trials** (cover/infection time) — for the saturating processes
+///   (COBRA `k = 2`, PUSH, BIPS) these are dominated by neighbour sampling over an active
+///   set of `Θ(n)` vertices, which both engines perform identically, so the speedup mostly
+///   reflects the removed dense scans (modest);
+/// * **growth-phase trials** (`→x%` rows, stopping at a small active fraction) — the
+///   single-active-vertex regime the paper analyses, where the dense engine pays `Θ(n)` per
+///   round against the frontier engine's `O(|C_t|·k)`; this is where the asymptotic win
+///   shows as an order of magnitude.
+///
+/// The quick preset is CI-sized (a few seconds of simulation); the full preset extends the
+/// sweep to 10⁶-vertex instances.
+pub fn matrix(full: bool) -> Vec<BenchEntry> {
+    let mut entries = vec![
+        // The headline instance: single-source COBRA k=2 on random-regular:n=100000,r=8 —
+        // once as a full cover trial, once stopped in the sparse growth phase.
+        BenchEntry::new("cobra:k=2", "random-regular:n=100000,r=8", 20, 10_000),
+        BenchEntry::new("cobra:k=2", "random-regular:n=100000,r=8", 200, 10_000).until(0.02),
+        BenchEntry::new("cobra:k=2", "torus:sides=100x100", 10, 1_000_000),
+        BenchEntry::new("push", "random-regular:n=100000,r=8", 10, 10_000),
+        BenchEntry::new("push", "random-regular:n=100000,r=8", 200, 10_000).until(0.02),
+        BenchEntry::new("multiwalk:w=16", "random-regular:n=100000,r=8", 3, 10_000_000),
+        BenchEntry::new("walk", "random-regular:n=2000,r=8", 5, 100_000_000),
+        BenchEntry::new("bips:k=2", "random-regular:n=10000,r=8", 10, 10_000),
+        BenchEntry::new("contact:p=0.5,q=0.05", "random-regular:n=10000,r=8", 5, 100_000),
+    ];
+    if full {
+        entries.extend([
+            BenchEntry::new("cobra:k=2", "random-regular:n=1000000,r=8", 5, 10_000),
+            BenchEntry::new("cobra:k=2", "random-regular:n=1000000,r=8", 50, 10_000).until(0.01),
+            BenchEntry::new("cobra:rho=0.5", "random-regular:n=1000000,r=8", 3, 100_000),
+            BenchEntry::new("push", "random-regular:n=1000000,r=8", 3, 10_000),
+            BenchEntry::new("cobra:k=2", "torus:sides=316x316", 5, 1_000_000),
+            BenchEntry::new("multiwalk:w=64", "random-regular:n=1000000,r=8", 1, 100_000_000),
+        ]);
+    }
+    entries
+}
+
+/// Measured numbers for one matrix entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Canonical process spec string.
+    pub process: String,
+    /// Canonical graph spec string.
+    pub graph: String,
+    /// `"complete"` for run-to-completion trials, `"active>=x%"` for growth-phase trials.
+    pub goal: String,
+    /// Number of vertices of the instance.
+    pub n: usize,
+    /// Trials measured per engine.
+    pub trials: usize,
+    /// Trials that reached completion within the budget (identical for both engines).
+    pub completed: usize,
+    /// Mean executed rounds per trial.
+    pub mean_rounds: f64,
+    /// Total frontier-engine wall clock over all trials, in milliseconds.
+    pub frontier_ms: f64,
+    /// Total dense-engine wall clock over all trials, in milliseconds.
+    pub dense_ms: f64,
+    /// Frontier-engine throughput in simulated rounds per second.
+    pub frontier_rounds_per_sec: f64,
+    /// Dense-engine throughput in simulated rounds per second.
+    pub dense_rounds_per_sec: f64,
+    /// `dense_ms / frontier_ms` — how much faster the frontier engine is.
+    pub speedup: f64,
+}
+
+/// The full bench report written to `BENCH_cover.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Master seed the trials derived from.
+    pub seed: u64,
+    /// Whether the full (10⁶-vertex) matrix ran.
+    pub full: bool,
+    /// One record per matrix entry.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Renders the report as the table `repro bench` prints.
+    pub fn render(&self) -> String {
+        let mut table = Table::with_headers(
+            format!(
+                "repro bench — frontier vs dense engine, seed {} ({} preset)",
+                self.seed,
+                if self.full { "full" } else { "quick" }
+            ),
+            &[
+                "process",
+                "graph",
+                "goal",
+                "n",
+                "trials",
+                "mean rounds",
+                "frontier ms",
+                "dense ms",
+                "speedup",
+                "frontier rounds/s",
+            ],
+        );
+        for record in &self.records {
+            table.add_row(vec![
+                record.process.clone(),
+                record.graph.clone(),
+                record.goal.clone(),
+                record.n.to_string(),
+                format!("{}/{}", record.completed, record.trials),
+                fmt_float(record.mean_rounds),
+                fmt_float(record.frontier_ms),
+                fmt_float(record.dense_ms),
+                format!("{:.1}x", record.speedup),
+                fmt_float(record.frontier_rounds_per_sec),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Drives one engine for one trial, returning executed rounds and whether it reached the
+/// goal (completion, or the active-fraction target for growth-phase entries).
+fn run_frontier(
+    process: &mut dyn SpreadingProcess,
+    rng: &mut dyn rand::RngCore,
+    max_rounds: usize,
+    goal_active: Option<usize>,
+) -> (usize, bool) {
+    let reached = |p: &dyn SpreadingProcess| goal_active.is_some_and(|goal| p.num_active() >= goal);
+    for _ in 0..max_rounds {
+        if process.is_complete() || reached(process) {
+            return (process.round(), true);
+        }
+        process.step(rng);
+    }
+    (process.round(), process.is_complete() || reached(process))
+}
+
+fn run_dense(
+    process: &mut dyn reference::DenseProcess,
+    rng: &mut dyn rand::RngCore,
+    max_rounds: usize,
+    goal_active: Option<usize>,
+) -> (usize, bool) {
+    let reached =
+        |p: &dyn reference::DenseProcess| goal_active.is_some_and(|goal| p.num_active() >= goal);
+    for _ in 0..max_rounds {
+        if process.is_complete() || reached(process) {
+            return (process.round(), true);
+        }
+        process.step(rng);
+    }
+    (process.round(), process.is_complete() || reached(process))
+}
+
+/// Measures one matrix entry on an already-built graph.
+///
+/// Both engines replay exactly the same seeded trials; the per-trial round counts are
+/// asserted identical, so every bench run doubles as an engine-equivalence check.
+///
+/// # Panics
+///
+/// Panics if the spec does not build on the graph or the engines diverge (both indicate a
+/// bug, not bad user input).
+pub fn measure_entry(entry: &BenchEntry, graph: &Graph, seq: &SeedSequence) -> BenchRecord {
+    let label = entry.label();
+    let goal_active = entry.goal_active(graph.num_vertices());
+    let mut total_rounds = 0usize;
+    let mut completed = 0usize;
+    let mut frontier_ms = 0.0f64;
+    let mut dense_ms = 0.0f64;
+
+    for trial in 0..entry.trials {
+        let mut frontier_rng = seq.trial_rng(&label, trial as u64);
+        let mut dense_rng = seq.trial_rng(&label, trial as u64);
+
+        let mut frontier = entry.spec.build(graph).expect("bench specs build");
+        let start = Instant::now();
+        let (frontier_rounds, frontier_done) =
+            run_frontier(frontier.as_mut(), &mut frontier_rng, entry.max_rounds, goal_active);
+        frontier_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        let mut dense = reference::build_dense(&entry.spec, graph).expect("bench specs build");
+        let start = Instant::now();
+        let (dense_rounds, dense_done) =
+            run_dense(dense.as_mut(), &mut dense_rng, entry.max_rounds, goal_active);
+        dense_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            (frontier_rounds, frontier_done),
+            (dense_rounds, dense_done),
+            "engine divergence on {label} trial {trial}"
+        );
+        total_rounds += frontier_rounds;
+        completed += usize::from(frontier_done);
+    }
+
+    BenchRecord {
+        process: entry.spec.to_string(),
+        graph: entry.family.to_string(),
+        goal: match entry.until_fraction {
+            Some(fraction) => format!("active>={:.0}%", fraction * 100.0),
+            None => "complete".to_string(),
+        },
+        n: graph.num_vertices(),
+        trials: entry.trials,
+        completed,
+        mean_rounds: total_rounds as f64 / entry.trials.max(1) as f64,
+        frontier_ms,
+        dense_ms,
+        frontier_rounds_per_sec: total_rounds as f64 / (frontier_ms / 1e3).max(f64::MIN_POSITIVE),
+        dense_rounds_per_sec: total_rounds as f64 / (dense_ms / 1e3).max(f64::MIN_POSITIVE),
+        speedup: dense_ms / frontier_ms.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Runs the whole matrix, printing a progress line per entry through `progress`.
+pub fn run_matrix(full: bool, seed: u64, mut progress: impl FnMut(&BenchRecord)) -> BenchReport {
+    let seq = SeedSequence::new(seed).child("bench");
+    let mut records = Vec::new();
+    for (index, entry) in matrix(full).iter().enumerate() {
+        let mut instance_rng = seq.trial_rng("instance", index as u64);
+        let graph =
+            entry.family.instantiate(&mut instance_rng).expect("bench matrix families instantiate");
+        let record = measure_entry(entry, &graph, &seq);
+        progress(&record);
+        records.push(record);
+    }
+    BenchReport { schema: "cobra-bench-v1".to_string(), seed, full, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_matrix_parses_and_the_full_preset_reaches_a_million_vertices() {
+        let quick = matrix(false);
+        assert!(!quick.is_empty());
+        assert!(quick.iter().all(|e| e.trials > 0 && e.max_rounds > 0));
+        // The acceptance instance leads the matrix.
+        assert_eq!(quick[0].spec.to_string(), "cobra:k=2");
+        assert_eq!(quick[0].family.to_string(), "random-regular:n=100000,r=8");
+        let full = matrix(true);
+        assert!(full.len() > quick.len());
+        assert!(full.iter().any(|e| e.family.num_vertices() >= 1_000_000));
+    }
+
+    #[test]
+    fn measuring_a_small_entry_produces_consistent_numbers() {
+        let entry = BenchEntry::new("cobra:k=2", "complete:n=64", 3, 10_000);
+        let seq = SeedSequence::new(7).child("bench-test");
+        let graph = entry.family.instantiate(&mut seq.trial_rng("instance", 0)).unwrap();
+        let record = measure_entry(&entry, &graph, &seq);
+        assert_eq!(record.n, 64);
+        assert_eq!(record.trials, 3);
+        assert_eq!(record.completed, 3, "COBRA completes on K_64");
+        assert!(record.mean_rounds > 0.0);
+        assert!(record.frontier_ms >= 0.0 && record.dense_ms >= 0.0);
+        assert!(record.speedup > 0.0);
+    }
+
+    #[test]
+    fn reports_serialize_and_render() {
+        let report = BenchReport {
+            schema: "cobra-bench-v1".to_string(),
+            seed: 1,
+            full: false,
+            records: vec![BenchRecord {
+                process: "cobra:k=2".into(),
+                graph: "complete:n=8".into(),
+                goal: "complete".into(),
+                n: 8,
+                trials: 1,
+                completed: 1,
+                mean_rounds: 4.0,
+                frontier_ms: 0.1,
+                dense_ms: 0.5,
+                frontier_rounds_per_sec: 40_000.0,
+                dense_rounds_per_sec: 8_000.0,
+                speedup: 5.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].process, "cobra:k=2");
+        let rendered = report.render();
+        assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("5.0x"));
+    }
+}

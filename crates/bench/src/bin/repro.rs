@@ -13,6 +13,11 @@
 //! repro --process bips:rho=0.5 --graph torus:sides=32x32 --trials 20
 //! repro --process push --graph random-regular:n=4096,r=4 --max-rounds 100000
 //! repro --list-processes       # show the spec syntax for every process
+//!
+//! # Bench mode: wall-clock the frontier engine vs the dense reference engine and track
+//! # the numbers in BENCH_cover.json (the --full matrix reaches 10^6-vertex instances).
+//! repro bench --quick --json BENCH_cover.json
+//! repro bench --full --json BENCH_cover.json --seed 2016
 //! ```
 
 use std::process::ExitCode;
@@ -33,6 +38,8 @@ struct Options {
     only: Option<ExperimentId>,
     list: bool,
     list_processes: bool,
+    bench: bool,
+    json: Option<String>,
     process: Option<ProcessSpec>,
     graph: Option<GraphFamily>,
     trials: Option<usize>,
@@ -46,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
         only: None,
         list: false,
         list_processes: false,
+        bench: false,
+        json: None,
         process: None,
         graph: None,
         trials: None,
@@ -54,6 +63,11 @@ fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "bench" => options.bench = true,
+            "--json" => {
+                let value = args.next().ok_or("--json requires an output path")?;
+                options.json = Some(value);
+            }
             "--full" => options.preset = Preset::Full,
             "--quick" => options.preset = Preset::Quick,
             "--list" => options.list = true,
@@ -94,11 +108,14 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "usage: repro [--full|--quick] [--exp e1..e8] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
+                     \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
                      \x20      repro --list-processes\n\
-                     regenerates the experiment tables of the COBRA/BIPS reproduction, or\n\
+                     regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
                      contact:p=0.5,q=0.2) on one graph spec (e.g. random-regular:n=256,r=4,\n\
-                     torus:sides=32x32, hypercube:d=10)"
+                     torus:sides=32x32, hypercube:d=10), or — with `bench` — wall-clocks the\n\
+                     sparse-frontier engine against the dense reference engine per\n\
+                     (process, graph) pair and writes the JSON perf trajectory"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +182,43 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_bench(options: &Options) -> ExitCode {
+    let full = options.preset == Preset::Full;
+    eprintln!(
+        "# repro bench — {} matrix, seed {} (frontier vs dense engine)",
+        if full { "full" } else { "quick" },
+        options.seed
+    );
+    let report = cobra_bench::bench::run_matrix(full, options.seed, |record| {
+        eprintln!(
+            "  measured {} on {} [{}] ({} trials): {:.1}ms frontier vs {:.1}ms dense ({:.1}x)",
+            record.process,
+            record.graph,
+            record.goal,
+            record.trials,
+            record.frontier_ms,
+            record.dense_ms,
+            record.speedup
+        );
+    });
+    println!("{}", report.render());
+    if let Some(path) = &options.json {
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(json) => json,
+            Err(error) => {
+                eprintln!("error: cannot serialize bench report: {error:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(error) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(options) => options,
@@ -174,6 +228,30 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.bench {
+        // The bench matrix is fixed so its JSON trajectory stays comparable across runs;
+        // reject flags that would otherwise be silently ignored.
+        if options.process.is_some()
+            || options.graph.is_some()
+            || options.only.is_some()
+            || options.trials.is_some()
+            || options.max_rounds.is_some()
+            || options.list
+            || options.list_processes
+        {
+            eprintln!(
+                "error: `repro bench` runs a fixed matrix; --process/--graph/--exp/--trials/\
+                 --max-rounds/--list are not applicable (supported: --quick|--full, --seed, \
+                 --json)"
+            );
+            return ExitCode::FAILURE;
+        }
+        return run_bench(&options);
+    }
+    if options.json.is_some() {
+        eprintln!("error: --json is only produced by `repro bench`");
+        return ExitCode::FAILURE;
+    }
     if options.list {
         for id in ExperimentId::all() {
             println!("{id:?}: {}", id.description());

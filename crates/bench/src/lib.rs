@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
+
 use cobra_graph::generators;
 use cobra_graph::Graph;
 use cobra_stats::rng::{SeedSequence, TrialRng};

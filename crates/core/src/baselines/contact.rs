@@ -7,8 +7,11 @@
 //! `recovery_probability` (unless it is the persistent source, mirroring the BVDV
 //! "persistently infected animal" scenario the paper cites). Unlike BIPS, the process can die
 //! out when no source is pinned — which is exactly the behaviour the experiments contrast.
+//!
+//! Transmission is push-style, so a round iterates the explicit infected frontier and costs
+//! `O(Σ_{u ∈ A_t} deg(u) + n/64)` — independent of how many vertices are *healthy*.
 
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 
 use crate::process::SpreadingProcess;
@@ -49,9 +52,12 @@ pub struct ContactProcess<'g> {
     source: VertexId,
     persistent_source: bool,
     parameters: ContactParameters,
-    infected: Vec<bool>,
-    next_infected: Vec<bool>,
-    num_infected: usize,
+    infected: VertexBitset,
+    /// `A_t` as an ascending list — the frontier the transmission loop iterates.
+    frontier: Vec<VertexId>,
+    /// Scratch for `A_{t+1}`; all-clear between steps.
+    next_infected: VertexBitset,
+    newly: Vec<VertexId>,
     round: usize,
 }
 
@@ -75,28 +81,29 @@ impl<'g> ContactProcess<'g> {
         if source >= n {
             return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
         }
-        let mut infected = vec![false; n];
-        infected[source] = true;
+        let mut infected = VertexBitset::new(n);
+        infected.insert(source);
         Ok(ContactProcess {
             graph,
             source,
             persistent_source,
             parameters,
             infected,
-            next_infected: vec![false; n],
-            num_infected: 1,
+            frontier: vec![source],
+            next_infected: VertexBitset::new(n),
+            newly: vec![source],
             round: 0,
         })
     }
 
     /// Number of currently infected vertices.
     pub fn num_infected(&self) -> usize {
-        self.num_infected
+        self.frontier.len()
     }
 
     /// Whether the epidemic has died out (no infected vertices left).
     pub fn extinct(&self) -> bool {
-        self.num_infected == 0
+        self.frontier.is_empty()
     }
 
     /// The process parameters.
@@ -107,38 +114,42 @@ impl<'g> ContactProcess<'g> {
 
 impl SpreadingProcess for ContactProcess<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.num_vertices();
-        self.next_infected[..n].fill(false);
-        let mut count = 0usize;
-        // Transmission.
-        for u in 0..n {
-            if !self.infected[u] {
-                continue;
-            }
+        self.newly.clear();
+        // The frontier is ascending, so transmission/recovery draws happen in the dense
+        // engine's vertex order and the RNG streams stay identical.
+        for &u in &self.frontier {
             for v in self.graph.neighbor_iter(u) {
-                if !self.next_infected[v]
+                if !self.next_infected.contains(v)
                     && self.parameters.infection_probability > 0.0
                     && rng.gen_bool(self.parameters.infection_probability)
                 {
-                    self.next_infected[v] = true;
-                    count += 1;
+                    self.next_infected.insert(v);
+                    if !self.infected.contains(v) {
+                        self.newly.push(v);
+                    }
                 }
             }
             // Recovery (skipped for the persistent source).
             let recovers = (!self.persistent_source || u != self.source)
                 && self.parameters.recovery_probability > 0.0
                 && rng.gen_bool(self.parameters.recovery_probability);
-            if !recovers && !self.next_infected[u] {
-                self.next_infected[u] = true;
-                count += 1;
+            if !recovers {
+                // `u` was infected this round, so surviving is never a new activation.
+                self.next_infected.insert(u);
             }
         }
-        if self.persistent_source && !self.next_infected[self.source] {
-            self.next_infected[self.source] = true;
-            count += 1;
+        if self.persistent_source && self.next_infected.insert(self.source) {
+            // Unreachable when the source started infected, but kept for state safety: a
+            // re-pinned source that was healthy this round is a genuine activation.
+            if !self.infected.contains(self.source) {
+                self.newly.push(self.source);
+            }
         }
+        // Erase A_t through its own member list, swap, re-materialise the frontier.
+        self.infected.clear_list(&self.frontier);
         std::mem::swap(&mut self.infected, &mut self.next_infected);
-        self.num_infected = count;
+        self.frontier.clear();
+        self.infected.collect_into(&mut self.frontier);
         self.round += 1;
     }
 
@@ -146,23 +157,35 @@ impl SpreadingProcess for ContactProcess<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.infected
     }
 
     fn num_active(&self) -> usize {
-        self.num_infected
+        self.frontier.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.frontier {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
-        self.num_infected == self.graph.num_vertices()
+        self.frontier.len() == self.graph.num_vertices()
     }
 
     fn reset(&mut self) {
-        self.infected.fill(false);
-        self.next_infected.fill(false);
-        self.infected[self.source] = true;
-        self.num_infected = 1;
+        self.infected.clear_list(&self.frontier);
+        self.frontier.clear();
+        self.infected.insert(self.source);
+        self.frontier.push(self.source);
+        self.newly.clear();
+        self.newly.push(self.source);
         self.round = 0;
     }
 }
@@ -199,7 +222,7 @@ mod tests {
         let mut r = rng(1);
         for _ in 0..100 {
             process.step(&mut r);
-            assert!(process.active()[5], "persistent source must stay infected");
+            assert!(process.active().contains(5), "persistent source must stay infected");
             assert!(!process.extinct());
         }
     }
@@ -235,6 +258,21 @@ mod tests {
     }
 
     #[test]
+    fn frontier_stays_in_sync_with_the_bitset() {
+        let g = generators::hypercube(5).unwrap();
+        let params = ContactParameters::new(0.3, 0.4).unwrap();
+        let mut process = ContactProcess::new(&g, 0, params, true).unwrap();
+        let mut r = rng(8);
+        for _ in 0..50 {
+            process.step(&mut r);
+            let mut listed = Vec::new();
+            process.for_each_active(&mut |v| listed.push(v));
+            assert_eq!(listed, process.active().iter().collect::<Vec<_>>());
+            assert_eq!(process.num_infected(), process.active().count());
+        }
+    }
+
+    #[test]
     fn zero_infection_probability_never_spreads() {
         let g = generators::complete(8).unwrap();
         let params = ContactParameters::new(0.0, 0.0).unwrap();
@@ -258,7 +296,8 @@ mod tests {
         }
         process.reset();
         assert_eq!(process.num_infected(), 1);
-        assert!(process.active()[2]);
+        assert!(process.active().contains(2));
         assert_eq!(process.round(), 0);
+        assert_eq!(process.newly_activated(), &[2]);
     }
 }

@@ -1,7 +1,7 @@
 //! Multiple independent random walks from a common start vertex.
 
-use cobra_graph::{Graph, VertexId};
-use rand::{Rng, RngCore};
+use cobra_graph::{Graph, VertexBitset, VertexId};
+use rand::RngCore;
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -12,14 +12,22 @@ use crate::{CoreError, Result};
 /// Sauerwald, ICALP 2009) whose techniques the paper explains are *not* sufficient for COBRA
 /// because COBRA's walks are highly dependent. It serves as a communication-matched baseline:
 /// `w` walkers send `w` messages per round just like COBRA sends `≤ k·|C_t|`.
+///
+/// A round costs `O(w)`: walker moves plus dirty-list maintenance of the occupancy bitset —
+/// never an `O(n)` rescan, which matters because the cover time is `Θ(n log n / w)` rounds.
 #[derive(Debug, Clone)]
 pub struct MultipleRandomWalks<'g> {
     graph: &'g Graph,
     start: VertexId,
     positions: Vec<VertexId>,
-    active: Vec<bool>,
-    num_active: usize,
-    visited: Vec<bool>,
+    /// Occupied vertices this round; members listed in `active_list`.
+    active: VertexBitset,
+    active_list: Vec<VertexId>,
+    /// Scratch occupancy; its stale bits are exactly `next_list` between steps.
+    next_active: VertexBitset,
+    next_list: Vec<VertexId>,
+    newly: Vec<VertexId>,
+    visited: VertexBitset,
     num_visited: usize,
     round: usize,
 }
@@ -52,16 +60,19 @@ impl<'g> MultipleRandomWalks<'g> {
                 });
             }
         }
-        let mut active = vec![false; n];
-        active[start] = true;
-        let mut visited = vec![false; n];
-        visited[start] = true;
+        let mut active = VertexBitset::new(n);
+        active.insert(start);
+        let mut visited = VertexBitset::new(n);
+        visited.insert(start);
         Ok(MultipleRandomWalks {
             graph,
             start,
             positions: vec![start; walkers],
             active,
-            num_active: 1,
+            active_list: vec![start],
+            next_active: VertexBitset::new(n),
+            next_list: Vec::new(),
+            newly: vec![start],
             visited,
             num_visited: 1,
             round: 0,
@@ -86,22 +97,27 @@ impl<'g> MultipleRandomWalks<'g> {
 
 impl SpreadingProcess for MultipleRandomWalks<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
-        self.active.fill(false);
-        self.num_active = 0;
-        for position in &mut self.positions {
-            let degree = self.graph.degree(*position);
-            if degree > 0 {
-                *position = self.graph.neighbor(*position, rng.gen_range(0..degree));
+        // Erase the two-rounds-old occupancy through its dirty list.
+        self.next_active.clear_list(&self.next_list);
+        self.next_list.clear();
+        self.newly.clear();
+        for i in 0..self.positions.len() {
+            if let Some(next) = self.graph.sample_neighbor(self.positions[i], rng) {
+                self.positions[i] = next;
             }
-            if !self.active[*position] {
-                self.active[*position] = true;
-                self.num_active += 1;
-            }
-            if !self.visited[*position] {
-                self.visited[*position] = true;
-                self.num_visited += 1;
+            let p = self.positions[i];
+            if self.next_active.insert(p) {
+                self.next_list.push(p);
+                if !self.active.contains(p) {
+                    self.newly.push(p);
+                }
+                if self.visited.insert(p) {
+                    self.num_visited += 1;
+                }
             }
         }
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        std::mem::swap(&mut self.active_list, &mut self.next_list);
         self.round += 1;
     }
 
@@ -109,12 +125,22 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.active
     }
 
     fn num_active(&self) -> usize {
-        self.num_active
+        self.active_list.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.active_list {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
@@ -122,14 +148,19 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
     }
 
     fn reset(&mut self) {
-        self.active.fill(false);
-        self.visited.fill(false);
+        self.active.clear_list(&self.active_list);
+        self.next_active.clear_list(&self.next_list);
+        self.active_list.clear();
+        self.next_list.clear();
+        self.visited.clear();
         for p in &mut self.positions {
             *p = self.start;
         }
-        self.active[self.start] = true;
-        self.num_active = 1;
-        self.visited[self.start] = true;
+        self.active.insert(self.start);
+        self.active_list.push(self.start);
+        self.visited.insert(self.start);
+        self.newly.clear();
+        self.newly.push(self.start);
         self.num_visited = 1;
         self.round = 0;
     }
@@ -179,6 +210,11 @@ mod tests {
             assert!(walks.num_active() <= 6);
             assert!(walks.num_active() >= 1);
             assert_eq!(walks.positions().len(), 6);
+            assert_eq!(walks.active().count(), walks.num_active());
+            // Every occupied vertex is a walker position and vice versa.
+            for &p in walks.positions() {
+                assert!(walks.active().contains(p));
+            }
         }
     }
 
@@ -193,5 +229,8 @@ mod tests {
         assert_eq!(walks.num_visited(), 1);
         assert!(walks.positions().iter().all(|&p| p == 4));
         assert_eq!(walks.num_walkers(), 3);
+        assert_eq!(walks.newly_activated(), &[4]);
+        // The process still runs correctly after the reset.
+        assert!(run_until_complete(&mut walks, &mut r, 100_000).is_some());
     }
 }

@@ -7,9 +7,14 @@
 //! COBRA caps transmissions at `k` per *active* vertex and lets vertices go quiet — the
 //! trade-off the paper is about. PUSH–PULL additionally lets uninformed vertices pull from a
 //! random neighbour.
+//!
+//! Both processes reuse scratch buffers across rounds (no per-round allocation) and iterate
+//! an explicit informed list: a PUSH round costs `O(|informed| + n/64)`, not `O(n)`.
+//! PUSH–PULL inherently scans all `n` vertices (uninformed vertices pull too — that is the
+//! protocol), but its delta/list bookkeeping keeps observers `O(|delta|)`.
 
-use cobra_graph::{Graph, VertexId};
-use rand::{Rng, RngCore};
+use cobra_graph::{sample, Graph, VertexBitset, VertexId};
+use rand::RngCore;
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -37,8 +42,11 @@ fn validate(graph: &Graph, start: VertexId) -> Result<()> {
 pub struct PushProcess<'g> {
     graph: &'g Graph,
     start: VertexId,
-    informed: Vec<bool>,
-    num_informed: usize,
+    informed: VertexBitset,
+    /// The informed set as an ascending list — the frontier every round iterates.
+    informed_list: Vec<VertexId>,
+    /// Vertices informed by the last step (scratch reused across rounds).
+    newly: Vec<VertexId>,
     round: usize,
     messages_sent: u64,
 }
@@ -52,14 +60,22 @@ impl<'g> PushProcess<'g> {
     /// other processes.
     pub fn new(graph: &'g Graph, start: VertexId) -> Result<Self> {
         validate(graph, start)?;
-        let mut informed = vec![false; graph.num_vertices()];
-        informed[start] = true;
-        Ok(PushProcess { graph, start, informed, num_informed: 1, round: 0, messages_sent: 0 })
+        let mut informed = VertexBitset::new(graph.num_vertices());
+        informed.insert(start);
+        Ok(PushProcess {
+            graph,
+            start,
+            informed,
+            informed_list: vec![start],
+            newly: vec![start],
+            round: 0,
+            messages_sent: 0,
+        })
     }
 
     /// Number of informed vertices.
     pub fn num_informed(&self) -> usize {
-        self.num_informed
+        self.informed_list.len()
     }
 
     /// Total messages sent so far — the communication-cost metric compared against COBRA.
@@ -70,27 +86,26 @@ impl<'g> PushProcess<'g> {
 
 impl SpreadingProcess for PushProcess<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.num_vertices();
-        let mut newly = Vec::new();
-        for u in 0..n {
-            if !self.informed[u] {
-                continue;
-            }
-            let degree = self.graph.degree(u);
-            if degree == 0 {
+        self.newly.clear();
+        // The informed set is monotone, so targets can be marked immediately: no push
+        // decision in this round depends on the informed state, and marking eagerly
+        // deduplicates `newly` for free (the dense engine's deferred application with its
+        // double `!informed` check produces the identical set).
+        for &u in &self.informed_list {
+            let neighbors = self.graph.neighbors(u);
+            if neighbors.is_empty() {
                 continue;
             }
             self.messages_sent += 1;
-            let target = self.graph.neighbor(u, rng.gen_range(0..degree));
-            if !self.informed[target] {
-                newly.push(target);
+            let target =
+                *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+            if self.informed.insert(target) {
+                self.newly.push(target);
             }
         }
-        for v in newly {
-            if !self.informed[v] {
-                self.informed[v] = true;
-                self.num_informed += 1;
-            }
+        if !self.newly.is_empty() {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
         }
         self.round += 1;
     }
@@ -99,22 +114,35 @@ impl SpreadingProcess for PushProcess<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.informed
     }
 
     fn num_active(&self) -> usize {
-        self.num_informed
+        self.informed_list.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.informed_list {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
-        self.num_informed == self.graph.num_vertices()
+        self.informed_list.len() == self.graph.num_vertices()
     }
 
     fn reset(&mut self) {
-        self.informed.fill(false);
-        self.informed[self.start] = true;
-        self.num_informed = 1;
+        self.informed.clear_list(&self.informed_list);
+        self.informed_list.clear();
+        self.informed.insert(self.start);
+        self.informed_list.push(self.start);
+        self.newly.clear();
+        self.newly.push(self.start);
         self.round = 0;
         self.messages_sent = 0;
     }
@@ -126,8 +154,11 @@ impl SpreadingProcess for PushProcess<'_> {
 pub struct PushPullProcess<'g> {
     graph: &'g Graph,
     start: VertexId,
-    informed: Vec<bool>,
-    num_informed: usize,
+    informed: VertexBitset,
+    informed_list: Vec<VertexId>,
+    /// Contact candidates of the current round (may contain duplicates; scratch reused).
+    contacts: Vec<VertexId>,
+    newly: Vec<VertexId>,
     round: usize,
     messages_sent: u64,
 }
@@ -140,14 +171,23 @@ impl<'g> PushPullProcess<'g> {
     /// Same as [`PushProcess::new`].
     pub fn new(graph: &'g Graph, start: VertexId) -> Result<Self> {
         validate(graph, start)?;
-        let mut informed = vec![false; graph.num_vertices()];
-        informed[start] = true;
-        Ok(PushPullProcess { graph, start, informed, num_informed: 1, round: 0, messages_sent: 0 })
+        let mut informed = VertexBitset::new(graph.num_vertices());
+        informed.insert(start);
+        Ok(PushPullProcess {
+            graph,
+            start,
+            informed,
+            informed_list: vec![start],
+            contacts: Vec::new(),
+            newly: vec![start],
+            round: 0,
+            messages_sent: 0,
+        })
     }
 
     /// Number of informed vertices.
     pub fn num_informed(&self) -> usize {
-        self.num_informed
+        self.informed_list.len()
     }
 
     /// Total messages (push and pull requests) sent so far.
@@ -159,25 +199,32 @@ impl<'g> PushPullProcess<'g> {
 impl SpreadingProcess for PushPullProcess<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
-        let mut newly = Vec::new();
+        // Every vertex contacts a partner based on the *start-of-round* informed state, so
+        // application must be deferred — collect candidates first, then mark.
+        self.contacts.clear();
         for u in 0..n {
-            let degree = self.graph.degree(u);
-            if degree == 0 {
+            let neighbors = self.graph.neighbors(u);
+            if neighbors.is_empty() {
                 continue;
             }
             self.messages_sent += 1;
-            let partner = self.graph.neighbor(u, rng.gen_range(0..degree));
-            if self.informed[u] && !self.informed[partner] {
-                newly.push(partner);
-            } else if !self.informed[u] && self.informed[partner] {
-                newly.push(u);
+            let partner =
+                *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+            if self.informed.contains(u) && !self.informed.contains(partner) {
+                self.contacts.push(partner);
+            } else if !self.informed.contains(u) && self.informed.contains(partner) {
+                self.contacts.push(u);
             }
         }
-        for v in newly {
-            if !self.informed[v] {
-                self.informed[v] = true;
-                self.num_informed += 1;
+        self.newly.clear();
+        for &v in &self.contacts {
+            if self.informed.insert(v) {
+                self.newly.push(v);
             }
+        }
+        if !self.newly.is_empty() {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
         }
         self.round += 1;
     }
@@ -186,22 +233,35 @@ impl SpreadingProcess for PushPullProcess<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.informed
     }
 
     fn num_active(&self) -> usize {
-        self.num_informed
+        self.informed_list.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.informed_list {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
-        self.num_informed == self.graph.num_vertices()
+        self.informed_list.len() == self.graph.num_vertices()
     }
 
     fn reset(&mut self) {
-        self.informed.fill(false);
-        self.informed[self.start] = true;
-        self.num_informed = 1;
+        self.informed.clear_list(&self.informed_list);
+        self.informed_list.clear();
+        self.informed.insert(self.start);
+        self.informed_list.push(self.start);
+        self.newly.clear();
+        self.newly.push(self.start);
         self.round = 0;
         self.messages_sent = 0;
     }
@@ -237,11 +297,25 @@ mod tests {
             push.step(&mut r);
             assert!(push.num_informed() >= previous, "PUSH never forgets");
             assert!(push.num_informed() <= 2 * previous, "PUSH at most doubles per round");
+            assert_eq!(push.num_informed(), previous + push.newly_activated().len());
             previous = push.num_informed();
             assert!(push.round() < 1000, "PUSH must finish quickly on K_n");
         }
         assert!(push.round() < 60);
         assert!(push.messages_sent() > 0);
+    }
+
+    #[test]
+    fn informed_list_stays_in_sync_with_the_bitset() {
+        let g = generators::hypercube(5).unwrap();
+        let mut push = PushProcess::new(&g, 7).unwrap();
+        let mut r = rng(9);
+        for _ in 0..20 {
+            push.step(&mut r);
+            let mut listed = Vec::new();
+            push.for_each_active(&mut |v| listed.push(v));
+            assert_eq!(listed, push.active().iter().collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -281,6 +355,7 @@ mod tests {
         push.reset();
         assert_eq!(push.num_informed(), 1);
         assert_eq!(push.messages_sent(), 0);
+        assert_eq!(push.newly_activated(), &[2]);
         let mut pp = PushPullProcess::new(&g, 2).unwrap();
         run_until_complete(&mut pp, &mut r, 10_000).unwrap();
         pp.reset();

@@ -1,7 +1,7 @@
 //! A single simple random walk.
 
-use cobra_graph::{Graph, VertexId};
-use rand::{Rng, RngCore};
+use cobra_graph::{Graph, VertexBitset, VertexId};
+use rand::RngCore;
 
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
@@ -10,14 +10,15 @@ use crate::{CoreError, Result};
 ///
 /// Its cover time is `Ω(n log n)` on every graph and `Θ(n log n)` on expanders — the contrast
 /// that motivates COBRA's branching: a single token cannot cover in `O(log n)` rounds no matter
-/// how well the graph expands.
+/// how well the graph expands. A step is `O(1)`: one buffered neighbour sample, two bit flips.
 #[derive(Debug, Clone)]
 pub struct RandomWalk<'g> {
     graph: &'g Graph,
     start: VertexId,
     position: VertexId,
-    active: Vec<bool>,
-    visited: Vec<bool>,
+    active: VertexBitset,
+    newly: Vec<VertexId>,
+    visited: VertexBitset,
     num_visited: usize,
     round: usize,
 }
@@ -44,11 +45,20 @@ impl<'g> RandomWalk<'g> {
                 });
             }
         }
-        let mut active = vec![false; n];
-        active[start] = true;
-        let mut visited = vec![false; n];
-        visited[start] = true;
-        Ok(RandomWalk { graph, start, position: start, active, visited, num_visited: 1, round: 0 })
+        let mut active = VertexBitset::new(n);
+        active.insert(start);
+        let mut visited = VertexBitset::new(n);
+        visited.insert(start);
+        Ok(RandomWalk {
+            graph,
+            start,
+            position: start,
+            active,
+            newly: vec![start],
+            visited,
+            num_visited: 1,
+            round: 0,
+        })
     }
 
     /// The current position of the walker.
@@ -64,14 +74,14 @@ impl<'g> RandomWalk<'g> {
 
 impl SpreadingProcess for RandomWalk<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
-        let degree = self.graph.degree(self.position);
-        if degree > 0 {
-            let next = self.graph.neighbor(self.position, rng.gen_range(0..degree));
-            self.active[self.position] = false;
+        self.newly.clear();
+        if let Some(next) = self.graph.sample_neighbor(self.position, rng) {
+            // Simple graphs have no self-loops, so the walker always moves.
+            self.active.remove(self.position);
             self.position = next;
-            self.active[next] = true;
-            if !self.visited[next] {
-                self.visited[next] = true;
+            self.active.insert(next);
+            self.newly.push(next);
+            if self.visited.insert(next) {
                 self.num_visited += 1;
             }
         }
@@ -82,7 +92,7 @@ impl SpreadingProcess for RandomWalk<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.active
     }
 
@@ -90,16 +100,26 @@ impl SpreadingProcess for RandomWalk<'_> {
         1
     }
 
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        f(self.position);
+    }
+
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
     }
 
     fn reset(&mut self) {
-        self.active.fill(false);
-        self.visited.fill(false);
+        self.active.remove(self.position);
+        self.visited.clear();
         self.position = self.start;
-        self.active[self.start] = true;
-        self.visited[self.start] = true;
+        self.active.insert(self.start);
+        self.visited.insert(self.start);
+        self.newly.clear();
+        self.newly.push(self.start);
         self.num_visited = 1;
         self.round = 0;
     }
@@ -136,6 +156,8 @@ mod tests {
             walk.step(&mut r);
             assert!(g.has_edge(previous, walk.position()), "walk must follow edges");
             assert_eq!(walk.num_active(), 1);
+            assert_eq!(walk.active().iter().collect::<Vec<_>>(), vec![walk.position()]);
+            assert_eq!(walk.newly_activated(), &[walk.position()]);
             previous = walk.position();
         }
         walk.reset();
@@ -171,5 +193,6 @@ mod tests {
         assert_eq!(walk.position(), 3);
         assert_eq!(walk.round(), 0);
         assert_eq!(walk.num_visited(), 1);
+        assert!(walk.active().contains(3));
     }
 }

@@ -12,9 +12,19 @@
 //! w.h.p.; Theorem 4 shows BIPS is the time-reversal dual of COBRA. The fractional variant
 //! used by Corollary 1 (one sample always, a second with probability `ρ`) is supported through
 //! the same [`Branching`] type as COBRA.
+//!
+//! # Cost model
+//!
+//! BIPS is a *pull* process: **every** vertex re-samples every round regardless of the
+//! infected set, so a round is inherently `Θ(n·k)` RNG draws — there is no sparse frontier to
+//! exploit on the sampling side (unlike COBRA/PUSH, where only active vertices touch the
+//! RNG). The frontier bookkeeping here ([`SpreadingProcess::newly_activated`], the ascending
+//! infected list behind [`SpreadingProcess::for_each_active`]) still matters: it lets
+//! observers and the growth audits consume the infected set in `O(|A_t|)` instead of
+//! rescanning `n` slots per round.
 
-use cobra_graph::{Graph, VertexId};
-use rand::{Rng, RngCore};
+use cobra_graph::{sample, Graph, VertexBitset, VertexId};
+use rand::RngCore;
 
 use crate::cobra::Branching;
 use crate::process::SpreadingProcess;
@@ -48,12 +58,17 @@ pub struct BipsProcess<'g> {
     graph: &'g Graph,
     source: VertexId,
     branching: Branching,
-    infected: Vec<bool>,
-    next_infected: Vec<bool>,
-    num_infected: usize,
+    infected: VertexBitset,
+    /// `A_t` as an ascending vertex list (kept in sync with `infected`).
+    infected_list: Vec<VertexId>,
+    /// Scratch for `A_{t+1}`; its stale bits are exactly `next_list` between steps.
+    next_infected: VertexBitset,
+    next_list: Vec<VertexId>,
+    /// `A_t \ A_{t-1}` after a step; `[source]` after construction/reset.
+    newly: Vec<VertexId>,
     /// Vertices that have been infected at least once (used for "ever infected" statistics;
     /// unlike COBRA's visited set this is *not* the completion criterion).
-    ever_infected: Vec<bool>,
+    ever_infected: VertexBitset,
     round: usize,
 }
 
@@ -80,17 +95,19 @@ impl<'g> BipsProcess<'g> {
                 });
             }
         }
-        let mut infected = vec![false; n];
-        infected[source] = true;
-        let mut ever_infected = vec![false; n];
-        ever_infected[source] = true;
+        let mut infected = VertexBitset::new(n);
+        infected.insert(source);
+        let mut ever_infected = VertexBitset::new(n);
+        ever_infected.insert(source);
         Ok(BipsProcess {
             graph,
             source,
             branching,
             infected,
-            next_infected: vec![false; n],
-            num_infected: 1,
+            infected_list: vec![source],
+            next_infected: VertexBitset::new(n),
+            next_list: Vec::new(),
+            newly: vec![source],
             ever_infected,
             round: 0,
         })
@@ -113,7 +130,7 @@ impl<'g> BipsProcess<'g> {
 
     /// Number of currently infected vertices `|A_t|`.
     pub fn num_infected(&self) -> usize {
-        self.num_infected
+        self.infected_list.len()
     }
 
     /// Whether `v` is currently infected.
@@ -122,54 +139,52 @@ impl<'g> BipsProcess<'g> {
     ///
     /// Panics if `v` is not a vertex of the graph.
     pub fn is_infected(&self, v: VertexId) -> bool {
-        self.infected[v]
+        self.infected.contains(v)
     }
 
-    /// Indicator of the vertices that have been infected in at least one round so far.
-    pub fn ever_infected(&self) -> &[bool] {
+    /// The set of vertices that have been infected in at least one round so far.
+    pub fn ever_infected(&self) -> &VertexBitset {
         &self.ever_infected
-    }
-
-    /// Number of samples vertex `u` draws this round.
-    fn samples_for(&self, rng: &mut dyn RngCore) -> u32 {
-        self.branching.sample_pushes(rng)
     }
 }
 
 impl SpreadingProcess for BipsProcess<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
-        let mut count = 0usize;
+        // Erase the two-rounds-old state through its dirty list; the scratch is now all-clear.
+        self.next_infected.clear_list(&self.next_list);
+        self.next_list.clear();
+        self.newly.clear();
         for u in 0..n {
             if u == self.source {
-                self.next_infected[u] = true;
-                count += 1;
+                self.next_infected.insert(u);
+                self.next_list.push(u);
                 continue;
             }
-            let degree = self.graph.degree(u);
-            if degree == 0 {
-                self.next_infected[u] = false;
+            let neighbors = self.graph.neighbors(u);
+            if neighbors.is_empty() {
                 continue;
             }
-            let samples = self.samples_for(rng);
+            let samples = self.branching.sample_pushes(rng);
             let mut hit = false;
             for _ in 0..samples {
-                let w = self.graph.neighbor(u, rng.gen_range(0..degree));
-                if self.infected[w] {
+                let w = *sample::sample_slice(neighbors, rng).expect("neighbour slice non-empty");
+                if self.infected.contains(w) {
                     hit = true;
                     break;
                 }
             }
-            self.next_infected[u] = hit;
             if hit {
-                count += 1;
-                if !self.ever_infected[u] {
-                    self.ever_infected[u] = true;
+                self.next_infected.insert(u);
+                self.next_list.push(u);
+                if !self.infected.contains(u) {
+                    self.newly.push(u);
                 }
+                self.ever_infected.insert(u);
             }
         }
         std::mem::swap(&mut self.infected, &mut self.next_infected);
-        self.num_infected = count;
+        std::mem::swap(&mut self.infected_list, &mut self.next_list);
         self.round += 1;
     }
 
@@ -177,25 +192,39 @@ impl SpreadingProcess for BipsProcess<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.infected
     }
 
     fn num_active(&self) -> usize {
-        self.num_infected
+        self.infected_list.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.infected_list {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
-        self.num_infected == self.graph.num_vertices()
+        self.infected_list.len() == self.graph.num_vertices()
     }
 
     fn reset(&mut self) {
-        self.infected.fill(false);
-        self.next_infected.fill(false);
-        self.ever_infected.fill(false);
-        self.infected[self.source] = true;
-        self.ever_infected[self.source] = true;
-        self.num_infected = 1;
+        self.infected.clear_list(&self.infected_list);
+        self.next_infected.clear_list(&self.next_list);
+        self.infected_list.clear();
+        self.next_list.clear();
+        self.ever_infected.clear();
+        self.infected.insert(self.source);
+        self.infected_list.push(self.source);
+        self.ever_infected.insert(self.source);
+        self.newly.clear();
+        self.newly.push(self.source);
         self.round = 0;
     }
 }
@@ -238,6 +267,7 @@ mod tests {
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_infected(), 1);
         assert_eq!(p.num_active(), 1);
+        assert_eq!(p.newly_activated(), &[4]);
         assert!(p.is_infected(4));
         assert!(!p.is_infected(0));
         assert_eq!(p.source(), 4);
@@ -261,15 +291,27 @@ mod tests {
     #[test]
     fn infection_can_recede_but_never_dies() {
         // On a cycle with k = 2 the infected set fluctuates; it must never become empty and
-        // the counter must always match the indicator.
+        // the counter must always match the bitset.
         let g = generators::cycle(30).unwrap();
         let mut p = BipsProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
         let mut r = rng(2);
         for _ in 0..200 {
             p.step(&mut r);
-            let recount = p.active().iter().filter(|&&x| x).count();
-            assert_eq!(recount, p.num_infected());
+            assert_eq!(p.active().count(), p.num_infected());
             assert!(p.num_infected() >= 1);
+        }
+    }
+
+    #[test]
+    fn infected_list_matches_bitset_in_ascending_order() {
+        let g = generators::hypercube(5).unwrap();
+        let mut p = BipsProcess::new(&g, 3, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(9);
+        for _ in 0..30 {
+            p.step(&mut r);
+            let mut listed = Vec::new();
+            p.for_each_active(&mut |v| listed.push(v));
+            assert_eq!(listed, p.active().iter().collect::<Vec<_>>());
         }
     }
 
@@ -290,13 +332,11 @@ mod tests {
         let mut previous = 1usize;
         for _ in 0..60 {
             p.step(&mut r);
-            let ever = p.ever_infected().iter().filter(|&&x| x).count();
+            let ever = p.ever_infected().count();
             assert!(ever >= previous, "ever-infected set must be monotone");
             previous = ever;
-            for v in 0..p.num_vertices() {
-                if p.is_infected(v) {
-                    assert!(p.ever_infected()[v]);
-                }
+            for v in p.active().iter() {
+                assert!(p.ever_infected().contains(v));
             }
         }
     }
@@ -317,6 +357,7 @@ mod tests {
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_infected(), 1);
         assert!(p.is_infected(1));
+        assert_eq!(p.newly_activated(), &[1]);
         assert!(!p.is_complete());
         assert!(run_until_complete(&mut p, &mut rng(6), 10_000).is_some());
     }

@@ -11,8 +11,18 @@
 //! The paper's Theorem 1 concerns `k = 2`; Theorem 3 concerns the *fractional* branching
 //! factor `1 + ρ`, where each active vertex pushes once and, independently with probability
 //! `ρ`, a second time. Both are captured by [`Branching`].
+//!
+//! # Cost model
+//!
+//! A round iterates the explicit frontier `C_t` (a sorted `Vec<VertexId>`), performs
+//! `k` buffered neighbour samples per member, test-and-sets targets in a scratch
+//! [`VertexBitset`], erases the old active set through the frontier (dirty-list clearing) and
+//! re-materialises the next frontier from the scratch bitset — `O(|C_t|·k + n/64)` total,
+//! instead of the `O(n)` full-vertex scan of a dense engine. The frontier is kept in
+//! ascending vertex order so the RNG draw sequence is *identical* to the dense reference
+//! engine in [`crate::reference`] (property-tested).
 
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{sample, Graph, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
@@ -118,10 +128,15 @@ pub struct CobraProcess<'g> {
     graph: &'g Graph,
     starts: Vec<VertexId>,
     branching: Branching,
-    active: Vec<bool>,
-    next_active: Vec<bool>,
-    num_active: usize,
-    visited: Vec<bool>,
+    /// Bitset view of `C_t`; always in sync with `frontier`.
+    active: VertexBitset,
+    /// `C_t` as an explicit, ascending vertex list — the set the step iterates.
+    frontier: Vec<VertexId>,
+    /// Scratch target set for `C_{t+1}`; all-clear between steps.
+    next_active: VertexBitset,
+    /// `C_t \ C_{t-1}` after a step; the start set after construction/reset.
+    newly: Vec<VertexId>,
+    visited: VertexBitset,
     num_visited: usize,
     round: usize,
 }
@@ -172,23 +187,15 @@ impl<'g> CobraProcess<'g> {
             graph,
             starts: starts.to_vec(),
             branching,
-            active: vec![false; n],
-            next_active: vec![false; n],
-            num_active: 0,
-            visited: vec![false; n],
+            active: VertexBitset::new(n),
+            frontier: Vec::new(),
+            next_active: VertexBitset::new(n),
+            newly: Vec::new(),
+            visited: VertexBitset::new(n),
             num_visited: 0,
             round: 0,
         };
-        for &v in starts {
-            if !process.active[v] {
-                process.active[v] = true;
-                process.num_active += 1;
-            }
-            if !process.visited[v] {
-                process.visited[v] = true;
-                process.num_visited += 1;
-            }
-        }
+        process.reset();
         Ok(process)
     }
 
@@ -207,8 +214,8 @@ impl<'g> CobraProcess<'g> {
         self.num_visited
     }
 
-    /// Indicator of the vertices visited so far.
-    pub fn visited(&self) -> &[bool] {
+    /// The set of vertices visited so far.
+    pub fn visited(&self) -> &VertexBitset {
         &self.visited
     }
 
@@ -218,38 +225,40 @@ impl<'g> CobraProcess<'g> {
     ///
     /// Panics if `v` is not a vertex of the graph.
     pub fn is_visited(&self, v: VertexId) -> bool {
-        self.visited[v]
+        self.visited.contains(v)
     }
 }
 
 impl SpreadingProcess for CobraProcess<'_> {
     fn step(&mut self, rng: &mut dyn RngCore) {
-        let n = self.graph.num_vertices();
-        self.next_active[..n].fill(false);
-        let mut next_count = 0usize;
-        for u in 0..n {
-            if !self.active[u] {
-                continue;
-            }
-            let degree = self.graph.degree(u);
-            if degree == 0 {
+        self.newly.clear();
+        // The frontier is ascending, so the RNG draw order matches the dense engine's
+        // 0..n scan exactly.
+        for &u in &self.frontier {
+            let neighbors = self.graph.neighbors(u);
+            if neighbors.is_empty() {
                 continue;
             }
             let pushes = self.branching.sample_pushes(rng);
             for _ in 0..pushes {
-                let target = self.graph.neighbor(u, rng.gen_range(0..degree));
-                if !self.next_active[target] {
-                    self.next_active[target] = true;
-                    next_count += 1;
-                    if !self.visited[target] {
-                        self.visited[target] = true;
+                let target =
+                    *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+                if self.next_active.insert(target) {
+                    if !self.active.contains(target) {
+                        self.newly.push(target);
+                    }
+                    if self.visited.insert(target) {
                         self.num_visited += 1;
                     }
                 }
             }
         }
+        // Erase C_t through its own member list, then swap buffers: the erased bitset
+        // becomes the all-clear scratch for the next round.
+        self.active.clear_list(&self.frontier);
         std::mem::swap(&mut self.active, &mut self.next_active);
-        self.num_active = next_count;
+        self.frontier.clear();
+        self.active.collect_into(&mut self.frontier);
         self.round += 1;
     }
 
@@ -257,12 +266,22 @@ impl SpreadingProcess for CobraProcess<'_> {
         self.round
     }
 
-    fn active(&self) -> &[bool] {
+    fn active(&self) -> &VertexBitset {
         &self.active
     }
 
     fn num_active(&self) -> usize {
-        self.num_active
+        self.frontier.len()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        &self.newly
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        for &v in &self.frontier {
+            f(v);
+        }
     }
 
     fn is_complete(&self) -> bool {
@@ -270,21 +289,20 @@ impl SpreadingProcess for CobraProcess<'_> {
     }
 
     fn reset(&mut self) {
-        self.active.fill(false);
-        self.next_active.fill(false);
-        self.visited.fill(false);
-        self.num_active = 0;
+        self.active.clear_list(&self.frontier);
+        self.frontier.clear();
+        self.visited.clear();
+        self.newly.clear();
         self.num_visited = 0;
         for &v in &self.starts {
-            if !self.active[v] {
-                self.active[v] = true;
-                self.num_active += 1;
+            if self.active.insert(v) {
+                self.newly.push(v);
             }
-            if !self.visited[v] {
-                self.visited[v] = true;
+            if self.visited.insert(v) {
                 self.num_visited += 1;
             }
         }
+        self.active.collect_into(&mut self.frontier);
         self.round = 0;
     }
 }
@@ -362,6 +380,7 @@ mod tests {
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_active(), 1);
         assert_eq!(p.num_visited(), 1);
+        assert_eq!(p.newly_activated(), &[3]);
         assert!(p.is_visited(3));
         assert!(!p.is_visited(0));
         assert!(!p.is_complete());
@@ -381,7 +400,26 @@ mod tests {
             let current = p.num_active();
             assert!(current <= 2 * previous, "{current} > 2 * {previous}");
             assert!(current >= 1, "the active set never dies out");
+            assert_eq!(p.active().count(), current, "bitset and frontier agree");
             previous = current;
+        }
+    }
+
+    #[test]
+    fn newly_activated_is_exactly_the_set_difference() {
+        let g = generators::hypercube(5).unwrap();
+        let mut p = CobraProcess::new(&g, 0, Branching::fixed(2).unwrap()).unwrap();
+        let mut r = rng(17);
+        let mut previous = p.active().clone();
+        for _ in 0..30 {
+            p.step(&mut r);
+            let mut expected: Vec<usize> =
+                p.active().iter().filter(|&v| !previous.contains(v)).collect();
+            expected.sort_unstable();
+            let mut newly = p.newly_activated().to_vec();
+            newly.sort_unstable();
+            assert_eq!(newly, expected);
+            previous = p.active().clone();
         }
     }
 
@@ -395,10 +433,8 @@ mod tests {
             p.step(&mut r);
             assert!(p.num_visited() >= previous_visited);
             previous_visited = p.num_visited();
-            for v in 0..p.num_vertices() {
-                if p.active()[v] {
-                    assert!(p.is_visited(v), "active vertex {v} must be visited");
-                }
+            for v in p.active().iter() {
+                assert!(p.is_visited(v), "active vertex {v} must be visited");
             }
         }
     }
@@ -443,7 +479,8 @@ mod tests {
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_active(), 1);
         assert_eq!(p.num_visited(), 1);
-        assert!(p.active()[2]);
+        assert!(p.active().contains(2));
+        assert_eq!(p.newly_activated(), &[2]);
         assert!(!p.is_complete());
         // The process still works after a reset.
         assert!(run_until_complete(&mut p, &mut rng(11), 1_000).is_some());
@@ -455,6 +492,9 @@ mod tests {
         let p = CobraProcess::with_start_set(&g, &[0, 6], Branching::fixed(2).unwrap()).unwrap();
         assert_eq!(p.num_active(), 2);
         assert_eq!(p.num_visited(), 2);
+        let mut frontier = Vec::new();
+        p.for_each_active(&mut |v| frontier.push(v));
+        assert_eq!(frontier, vec![0, 6]);
     }
 
     #[test]

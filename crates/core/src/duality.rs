@@ -31,7 +31,15 @@ pub const EXACT_LIMIT: usize = 14;
 /// Bitmask representation of a vertex subset (vertex `i` ↔ bit `i`).
 type Mask = u32;
 
+// The DP masks silently wrap (`1 << v` for `v >= Mask::BITS`) beyond the mask width, so the
+// practical DP limit must never be raised past it without also widening `Mask`.
+const _: () = assert!(EXACT_LIMIT <= Mask::BITS as usize);
+
 fn mask_of(vertices: &[VertexId]) -> Mask {
+    debug_assert!(
+        vertices.iter().all(|&v| v < Mask::BITS as usize),
+        "mask_of called with a vertex beyond Mask::BITS — validate_exact must run first"
+    );
     vertices.iter().fold(0, |m, &v| m | (1 << v))
 }
 
@@ -39,6 +47,17 @@ fn validate_exact(graph: &Graph) -> Result<()> {
     let n = graph.num_vertices();
     if n == 0 {
         return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+    }
+    // Guard the mask construction explicitly: `1 << v` on `Mask` would silently wrap for
+    // vertices at or beyond the mask width, corrupting every subset in the DP.
+    if n > Mask::BITS as usize {
+        return Err(CoreError::InvalidParameters {
+            reason: format!(
+                "graph has {n} vertices but the exact duality DP masks hold at most {} \
+                 (and the practical DP limit is {EXACT_LIMIT})",
+                Mask::BITS
+            ),
+        });
     }
     if n > EXACT_LIMIT {
         return Err(CoreError::TooLargeForExact { num_vertices: n, limit: EXACT_LIMIT });
@@ -342,13 +361,13 @@ pub fn estimate_cobra_hit_tail<R: Rng + ?Sized>(
     let mut not_hit = 0usize;
     for _ in 0..trials {
         let mut process = CobraProcess::with_start_set(graph, start_set, branching)?;
-        let mut hit = process.active()[target];
+        let mut hit = process.active().contains(target);
         for _ in 0..t {
             if hit {
                 break;
             }
             process.step(&mut rng);
-            if process.active()[target] {
+            if process.active().contains(target) {
                 hit = true;
             }
         }
@@ -562,6 +581,25 @@ mod tests {
         assert!(report.max_abs_difference < 1e-10, "difference {}", report.max_abs_difference);
         let report = verify_duality_exact_for_set(&g, &[0, 2, 5], 3, k2(), 10).unwrap();
         assert!(report.max_abs_difference < 1e-10);
+    }
+
+    #[test]
+    fn exact_rejects_graphs_beyond_the_mask_width() {
+        // 1 << v would silently wrap for v >= Mask::BITS; the guard must reject such graphs
+        // with a parameter error (not the softer "too large for exact" budget error).
+        let beyond_mask = generators::cycle(Mask::BITS as usize + 8).unwrap();
+        for result in [
+            verify_duality_exact(&beyond_mask, k2(), 2).map(|_| ()),
+            exact_cobra_hit_tail(&beyond_mask, &[0], 1, k2(), 2).map(|_| ()),
+            exact_bips_avoidance(&beyond_mask, 0, &[1], k2(), 2).map(|_| ()),
+        ] {
+            match result {
+                Err(CoreError::InvalidParameters { reason }) => {
+                    assert!(reason.contains("mask"), "unexpected reason: {reason}");
+                }
+                other => panic!("expected the mask-width guard to fire, got {other:?}"),
+            }
+        }
     }
 
     #[test]

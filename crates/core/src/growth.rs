@@ -12,7 +12,7 @@
 //! infected set (a sum of independent Bernoulli means — no sampling needed), estimates it by
 //! Monte Carlo as a cross-check, and evaluates the theoretical lower bound.
 
-use cobra_graph::{Graph, VertexId};
+use cobra_graph::{sample, Graph, VertexId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -124,13 +124,13 @@ pub fn sampled_expected_next_size<R: Rng + ?Sized>(
                 next += 1;
                 continue;
             }
-            let degree = graph.degree(u);
-            if degree == 0 {
+            let neighbors = graph.neighbors(u);
+            if neighbors.is_empty() {
                 continue;
             }
             let samples = branching.sample_pushes(rng);
-            let hit =
-                (0..samples).any(|_| is_infected[graph.neighbor(u, rng.gen_range(0..degree))]);
+            let hit = (0..samples)
+                .any(|_| is_infected[*sample::sample_slice(neighbors, rng).expect("non-empty")]);
             if hit {
                 next += 1;
             }
@@ -178,7 +178,9 @@ pub fn audit_growth_along_trajectory<R: Rng + ?Sized>(
     let n = graph.num_vertices();
     let mut observations = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let infected: Vec<VertexId> = (0..n).filter(|&v| process.is_infected(v)).collect();
+        // O(|A_t|) via the frontier list instead of an O(n) indicator scan.
+        let mut infected: Vec<VertexId> = Vec::with_capacity(process.num_infected());
+        process.for_each_active(&mut |v| infected.push(v));
         let expected_next = exact_expected_next_size(graph, source, &infected, branching)?;
         observations.push(GrowthObservation {
             set_size: infected.len(),

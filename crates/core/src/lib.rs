@@ -27,6 +27,33 @@
 //! * [`sim`] — the unified [`sim::Runner`] measurement loop: stop conditions (completion,
 //!   round budget, target coverage) plus pluggable observers (active-count traces,
 //!   first-visit/cover times, growth ratios).
+//! * [`reference`] — the retained dense-scan engines, used as the executable specification
+//!   the frontier engines are property-tested against and as the baseline `repro bench`
+//!   measures speedups over.
+//!
+//! # The sparse-frontier engine
+//!
+//! The paper's regime of interest starts from a *single* active vertex and runs
+//! `Θ(log n)`–`Θ(n log n)` rounds, so per-round costs dominate everything. All processes and
+//! observers therefore follow a shared cost model:
+//!
+//! * a process `step` iterates an **explicit frontier** (the current active set as a vertex
+//!   list, ascending) and touches scratch state through a word-level
+//!   [`VertexBitset`](cobra_graph::VertexBitset) — `O(|A_t| · k + n/64)` per round for the
+//!   push-style processes (COBRA, PUSH, contact, walks) instead of an `O(n)` dense scan.
+//!   Scratch sets are erased through **dirty lists** (`clear_list`), never `fill(false)`.
+//!   BIPS and the pull half of PUSH–PULL are inherently `Θ(n)` per round (every vertex
+//!   re-samples — that *is* the protocol), but share the same bookkeeping;
+//! * neighbour sampling is one `next_u64` per draw via the Lemire-style
+//!   [`sample_neighbor`](cobra_graph::Graph::sample_neighbor) /
+//!   [`sample::sample_slice`](cobra_graph::sample::sample_slice) reduction;
+//! * observers consume the per-round **delta**
+//!   [`newly_activated`](process::SpreadingProcess::newly_activated) in `O(|delta|)`, plus
+//!   the `O(1)` [`num_active`](process::SpreadingProcess::num_active) counter.
+//!
+//! Frontier iteration deliberately preserves the dense engines' ascending vertex order, so a
+//! frontier process driven by a seeded RNG reproduces the corresponding [`reference`] engine
+//! bit for bit — a property the test suite enforces for all seven processes.
 //!
 //! # Quick start
 //!
@@ -82,6 +109,7 @@ pub mod duality;
 pub mod growth;
 pub mod infection;
 pub mod process;
+pub mod reference;
 pub mod sim;
 pub mod spec;
 pub mod theory;

@@ -1,5 +1,6 @@
 //! The common interface of round-based spreading processes.
 
+use cobra_graph::{VertexBitset, VertexId};
 use rand::RngCore;
 
 /// A synchronous, round-based process spreading information (or infection) over a fixed graph.
@@ -10,6 +11,23 @@ use rand::RngCore;
 /// vertices infected). This trait captures exactly that surface so measurement code
 /// ([`run_until_complete`], growth traces, the [`sim`](crate::sim) runner, the experiment
 /// harness) is written once.
+///
+/// # Sparse-frontier contract
+///
+/// The trait is designed so that *observing* a process costs work proportional to what the
+/// process actually did, never `O(n)` per round:
+///
+/// * [`active`](SpreadingProcess::active) exposes the current active set as a word-level
+///   [`VertexBitset`] — membership tests are `O(1)` and full iteration is
+///   `O(n/64 + |active|)`;
+/// * [`newly_activated`](SpreadingProcess::newly_activated) is the per-round **delta**
+///   `A_t \ A_{t-1}`: observers that track first visits or cumulative coverage consume it in
+///   `O(|delta|)`;
+/// * [`num_active`](SpreadingProcess::num_active) stays an `O(1)` cached counter.
+///
+/// Implementations in this crate also keep their *stepping* cost proportional to the frontier
+/// (`O(|A_t| · k)` per round for the push-style processes) by iterating explicit frontier
+/// vectors and erasing scratch bitsets through dirty lists instead of `fill(false)`.
 ///
 /// The trait is **object-safe**: processes are routinely handled as
 /// `Box<dyn SpreadingProcess>` so heterogeneous collections can be driven through the same
@@ -24,15 +42,32 @@ pub trait SpreadingProcess {
     /// Number of rounds performed so far (0 for a freshly constructed process).
     fn round(&self) -> usize;
 
-    /// Indicator of the vertices that are active (hold the token / are infected) **in the
-    /// current round**.
-    fn active(&self) -> &[bool];
+    /// The set of vertices that are active (hold the token / are infected) **in the current
+    /// round**, as a word-level bitset.
+    fn active(&self) -> &VertexBitset;
 
     /// Number of active vertices in the current round.
     ///
     /// Implementations maintain this count incrementally, so it is `O(1)` — hot trace loops
     /// call it every round and must not pay an `O(n)` recount of [`active`](Self::active).
     fn num_active(&self) -> usize;
+
+    /// The vertices that became active in the most recent state transition: after
+    /// [`step`](Self::step) this is `A_t \ A_{t-1}` (in unspecified order); after
+    /// construction or [`reset`](Self::reset) it is the initial active set.
+    ///
+    /// This is the delta that lets observers run in `O(|delta|)` per round instead of
+    /// rescanning all `n` vertices. Vertices that were active, went inactive and became
+    /// active again later re-appear in the delta of the round that re-activated them.
+    fn newly_activated(&self) -> &[VertexId];
+
+    /// Calls `f` for every currently active vertex.
+    ///
+    /// The default iterates [`active`](Self::active) in `O(n/64 + |active|)`; processes that
+    /// maintain an explicit frontier list override this with an `O(|active|)` walk.
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        self.active().for_each(f);
+    }
 
     /// Number of vertices of the underlying graph.
     fn num_vertices(&self) -> usize {
@@ -101,23 +136,26 @@ mod tests {
     /// A deterministic fake process: one new vertex becomes active each round.
     #[derive(Debug)]
     struct Sweep {
-        active: Vec<bool>,
+        active: VertexBitset,
+        newly: Vec<VertexId>,
         round: usize,
     }
 
     impl Sweep {
         fn new(n: usize) -> Self {
-            let mut active = vec![false; n];
-            active[0] = true;
-            Sweep { active, round: 0 }
+            let mut active = VertexBitset::new(n);
+            active.insert(0);
+            Sweep { active, newly: vec![0], round: 0 }
         }
     }
 
     impl SpreadingProcess for Sweep {
         fn step(&mut self, _rng: &mut dyn RngCore) {
             self.round += 1;
+            self.newly.clear();
             if self.round < self.active.len() {
-                self.active[self.round] = true;
+                self.active.insert(self.round);
+                self.newly.push(self.round);
             }
         }
 
@@ -125,7 +163,7 @@ mod tests {
             self.round
         }
 
-        fn active(&self) -> &[bool] {
+        fn active(&self) -> &VertexBitset {
             &self.active
         }
 
@@ -133,14 +171,19 @@ mod tests {
             (self.round + 1).min(self.active.len())
         }
 
+        fn newly_activated(&self) -> &[VertexId] {
+            &self.newly
+        }
+
         fn is_complete(&self) -> bool {
-            self.active.iter().all(|&a| a)
+            self.active.count() == self.active.len()
         }
 
         fn reset(&mut self) {
-            let n = self.active.len();
-            self.active = vec![false; n];
-            self.active[0] = true;
+            self.active.clear();
+            self.active.insert(0);
+            self.newly.clear();
+            self.newly.push(0);
             self.round = 0;
         }
     }
@@ -151,6 +194,7 @@ mod tests {
         let mut p = Sweep::new(5);
         assert_eq!(p.num_vertices(), 5);
         assert_eq!(p.num_active(), 1);
+        assert_eq!(p.newly_activated(), &[0]);
         let rounds = run_until_complete(&mut p, &mut rng, 100).unwrap();
         assert_eq!(rounds, 4);
         // Already complete: returns the current round without stepping.
@@ -163,6 +207,7 @@ mod tests {
         let mut p = Sweep::new(10);
         assert_eq!(run_until_complete(&mut p, &mut rng, 3), None);
         assert_eq!(p.round(), 3);
+        assert_eq!(p.newly_activated(), &[3]);
     }
 
     #[test]
@@ -174,6 +219,17 @@ mod tests {
     }
 
     #[test]
+    fn default_for_each_active_iterates_the_bitset() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut p = Sweep::new(6);
+        p.step(&mut rng);
+        p.step(&mut rng);
+        let mut seen = Vec::new();
+        p.for_each_active(&mut |v| seen.push(v));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
     fn reset_restores_initial_state() {
         let mut rng = ChaCha12Rng::seed_from_u64(0);
         let mut p = Sweep::new(3);
@@ -181,6 +237,7 @@ mod tests {
         p.reset();
         assert_eq!(p.round(), 0);
         assert_eq!(p.num_active(), 1);
+        assert_eq!(p.newly_activated(), &[0]);
         assert!(!p.is_complete());
     }
 

@@ -15,11 +15,18 @@
 //! any process — including ones instantiated dynamically from a
 //! [`ProcessSpec`](crate::spec::ProcessSpec) — and plugs directly into
 //! `cobra_stats::parallel::run_trials` closures for deterministic parallel Monte-Carlo.
+//!
+//! Observers are **delta-driven**: per round they consume
+//! [`newly_activated`](SpreadingProcess::newly_activated) (`O(|delta|)`) and the `O(1)`
+//! [`num_active`](SpreadingProcess::num_active) counter — never a full `O(n)` rescan of the
+//! active set. The only full-set walk is the single
+//! [`for_each_active`](SpreadingProcess::for_each_active) at `on_start`, which costs
+//! `O(|A_0|)` for the frontier processes.
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use cobra_graph::Graph;
+use cobra_graph::{Graph, VertexBitset};
 
 use crate::process::SpreadingProcess;
 use crate::spec::ProcessSpec;
@@ -272,26 +279,30 @@ impl FirstVisitTimes {
             .collect::<Option<Vec<usize>>>()
             .map(|times| times.into_iter().max().unwrap_or(0))
     }
-
-    fn record(&mut self, process: &dyn SpreadingProcess) {
-        let round = process.round();
-        for (slot, &active) in self.first_visit.iter_mut().zip(process.active()) {
-            if slot.is_none() && active {
-                *slot = Some(round);
-            }
-        }
-    }
 }
 
 impl Observer for FirstVisitTimes {
     fn on_start(&mut self, process: &dyn SpreadingProcess) {
         self.first_visit.clear();
         self.first_visit.resize(process.num_vertices(), None);
-        self.record(process);
+        let round = process.round();
+        let slots = &mut self.first_visit;
+        process.for_each_active(&mut |v| {
+            if slots[v].is_none() {
+                slots[v] = Some(round);
+            }
+        });
     }
 
     fn on_round(&mut self, process: &dyn SpreadingProcess) {
-        self.record(process);
+        // O(|delta|): only vertices that just became active can gain a first-visit time.
+        let round = process.round();
+        for &v in process.newly_activated() {
+            let slot = &mut self.first_visit[v];
+            if slot.is_none() {
+                *slot = Some(round);
+            }
+        }
     }
 }
 
@@ -299,7 +310,7 @@ impl Observer for FirstVisitTimes {
 /// `trace()[t]` = `|C_0 ∪ … ∪ C_t|`.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageTrace {
-    seen: Vec<bool>,
+    seen: Option<VertexBitset>,
     num_seen: usize,
     trace: Vec<usize>,
 }
@@ -319,29 +330,31 @@ impl CoverageTrace {
     pub fn into_trace(self) -> Vec<usize> {
         self.trace
     }
-
-    fn absorb(&mut self, process: &dyn SpreadingProcess) {
-        for (seen, &active) in self.seen.iter_mut().zip(process.active()) {
-            if active && !*seen {
-                *seen = true;
-                self.num_seen += 1;
-            }
-        }
-        self.trace.push(self.num_seen);
-    }
 }
 
 impl Observer for CoverageTrace {
     fn on_start(&mut self, process: &dyn SpreadingProcess) {
-        self.seen.clear();
-        self.seen.resize(process.num_vertices(), false);
+        let mut seen = VertexBitset::new(process.num_vertices());
         self.num_seen = 0;
         self.trace.clear();
-        self.absorb(process);
+        process.for_each_active(&mut |v| {
+            if seen.insert(v) {
+                self.num_seen += 1;
+            }
+        });
+        self.seen = Some(seen);
+        self.trace.push(self.num_seen);
     }
 
     fn on_round(&mut self, process: &dyn SpreadingProcess) {
-        self.absorb(process);
+        // O(|delta|): the cumulative union only grows by newly activated vertices.
+        let seen = self.seen.as_mut().expect("on_start ran before on_round");
+        for &v in process.newly_activated() {
+            if seen.insert(v) {
+                self.num_seen += 1;
+            }
+        }
+        self.trace.push(self.num_seen);
     }
 }
 
@@ -563,6 +576,90 @@ mod tests {
             );
             assert_eq!(counts.trace().len(), outcome.rounds + 1, "observer must self-reset");
         }
+    }
+
+    #[test]
+    fn observers_never_rescan_the_active_set() {
+        use cobra_graph::{VertexBitset, VertexId};
+        use std::cell::Cell;
+
+        /// Counts how often observers touch the full active set. The sparse-frontier contract
+        /// is that per-round observation is O(|delta|): `active()` must never be called and
+        /// `for_each_active` only during `on_start` — in particular on every round where
+        /// fewer than n/64 vertices changed (here: all of them), no observer may iterate the
+        /// full vertex set.
+        struct Instrumented<'g> {
+            inner: crate::cobra::CobraProcess<'g>,
+            active_calls: Cell<usize>,
+            sweeps: Cell<usize>,
+        }
+
+        impl SpreadingProcess for Instrumented<'_> {
+            fn step(&mut self, rng: &mut dyn RngCore) {
+                self.inner.step(rng)
+            }
+            fn round(&self) -> usize {
+                self.inner.round()
+            }
+            fn active(&self) -> &VertexBitset {
+                self.active_calls.set(self.active_calls.get() + 1);
+                self.inner.active()
+            }
+            fn num_active(&self) -> usize {
+                self.inner.num_active()
+            }
+            fn newly_activated(&self) -> &[VertexId] {
+                self.inner.newly_activated()
+            }
+            fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+                self.sweeps.set(self.sweeps.get() + 1);
+                self.inner.for_each_active(f)
+            }
+            fn num_vertices(&self) -> usize {
+                self.inner.num_vertices()
+            }
+            fn is_complete(&self) -> bool {
+                self.inner.is_complete()
+            }
+            fn reset(&mut self) {
+                self.inner.reset()
+            }
+        }
+
+        let graph = {
+            let mut gen_rng = rng(20);
+            cobra_graph::generators::connected_random_regular(512, 4, &mut gen_rng).unwrap()
+        };
+        let inner =
+            crate::cobra::CobraProcess::new(&graph, 0, crate::cobra::Branching::fixed(2).unwrap())
+                .unwrap();
+        let mut process = Instrumented { inner, active_calls: Cell::new(0), sweeps: Cell::new(0) };
+        let mut counts = ActiveCountTrace::new();
+        let mut visits = FirstVisitTimes::new();
+        let mut coverage = CoverageTrace::new();
+        let mut growth = GrowthRatios::new();
+        let mut fractions = FractionTimes::new(&[0.5]).unwrap();
+        let outcome = Runner::new(100_000).run_observed(
+            &mut process,
+            &mut rng(21),
+            &mut [&mut counts, &mut visits, &mut coverage, &mut growth, &mut fractions],
+        );
+        assert!(outcome.completed());
+        assert!(outcome.rounds > 0);
+        assert_eq!(
+            process.active_calls.get(),
+            0,
+            "no observer (or runner loop) may rescan the dense active set"
+        );
+        assert_eq!(
+            process.sweeps.get(),
+            2,
+            "only FirstVisitTimes and CoverageTrace walk the O(|A_0|) initial set, once each"
+        );
+        // The delta-driven traces are still complete and correct.
+        assert_eq!(counts.trace().len(), outcome.rounds + 1);
+        assert!(visits.covered());
+        assert_eq!(*coverage.trace().last().unwrap(), 512);
     }
 
     #[test]

@@ -49,9 +49,13 @@ impl Config {
     }
 
     /// Full preset used by the `repro` binary.
+    ///
+    /// The sweep tops out at 16384 vertices because every instance also runs a spectral
+    /// analysis; the frontier engine itself is benchmarked up to 10⁶ vertices by
+    /// `repro bench --full`, which skips the eigenvalue computation.
     pub fn full() -> Self {
         Config {
-            sizes: vec![128, 256, 512, 1024, 2048, 4096, 8192],
+            sizes: vec![128, 256, 512, 1024, 2048, 4096, 8192, 16384],
             degrees: vec![3, 4, 8, 16],
             include_dense_families: true,
             trials: 50,
@@ -68,7 +72,11 @@ impl Config {
                 }
             }
             if self.include_dense_families {
-                families.push(GraphFamily::Complete { n });
+                // K_n storage is Θ(n²); cap it so the large sparse sweep sizes don't drag in
+                // multi-gigabyte complete graphs.
+                if n <= 8192 {
+                    families.push(GraphFamily::Complete { n });
+                }
                 let dim = (n as f64).log2().round() as u32;
                 if 1usize << dim == n {
                     families.push(GraphFamily::Hypercube { dim });

@@ -1,0 +1,305 @@
+//! A word-level bitset over vertex ids — the active-set substrate of the sparse-frontier
+//! simulation engine.
+//!
+//! The spreading processes in `cobra_core` maintain "which vertices are active" sets whose
+//! size is usually far below `n` (the paper's regime starts from a *single* active vertex).
+//! [`VertexBitset`] stores such a set as `⌈n/64⌉` machine words, giving:
+//!
+//! * `O(1)` [`insert`](VertexBitset::insert) / [`contains`](VertexBitset::contains) /
+//!   [`remove`](VertexBitset::remove) with the insert reporting whether the bit was new —
+//!   the exact test-and-set the coalescing step of COBRA performs per push;
+//! * **dirty-list clearing** ([`clear_list`](VertexBitset::clear_list)): a frontier that
+//!   knows its members erases itself in `O(|frontier|)` instead of the `O(n)` `fill(false)`
+//!   a dense `Vec<bool>` needs;
+//! * ascending-order iteration ([`iter`](VertexBitset::iter),
+//!   [`collect_into`](VertexBitset::collect_into)) in `O(n/64 + |set|)` via per-word
+//!   `trailing_zeros`, which is what lets the frontier engine reproduce the dense engine's
+//!   vertex visit order (and therefore its RNG draw order) without an `O(|set| log |set|)`
+//!   sort.
+
+use std::fmt;
+
+use crate::VertexId;
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// A fixed-capacity set of vertex ids `0..len`, stored one bit per vertex.
+///
+/// # Example
+///
+/// ```
+/// use cobra_graph::VertexBitset;
+///
+/// let mut set = VertexBitset::new(100);
+/// assert!(set.insert(7));
+/// assert!(!set.insert(7)); // already present
+/// assert!(set.insert(64));
+/// assert_eq!(set.count(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![7, 64]);
+/// set.clear_list(&[7, 64]);
+/// assert!(set.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct VertexBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VertexBitset {
+    /// An empty set over the vertex domain `0..len`.
+    pub fn new(len: usize) -> Self {
+        VertexBitset { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Size of the vertex domain (`n`), **not** the number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `v` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        assert!(v < self.len, "vertex {v} out of range for bitset of {} vertices", self.len);
+        self.words[v / WORD_BITS] & (1u64 << (v % WORD_BITS)) != 0
+    }
+
+    /// Inserts `v`, returning `true` if it was **not** already present (test-and-set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!(v < self.len, "vertex {v} out of range for bitset of {} vertices", self.len);
+        let word = &mut self.words[v / WORD_BITS];
+        let bit = 1u64 << (v % WORD_BITS);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `v`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        assert!(v < self.len, "vertex {v} out of range for bitset of {} vertices", self.len);
+        let word = &mut self.words[v / WORD_BITS];
+        let bit = 1u64 << (v % WORD_BITS);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
+
+    /// Clears every bit (`O(n/64)` memset).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Clears exactly the listed vertices in `O(|list|)` — the dirty-list idiom: a frontier
+    /// erases itself without touching the other `n - |list|` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed vertex is out of range.
+    pub fn clear_list(&mut self, list: &[VertexId]) {
+        for &v in list {
+            assert!(v < self.len, "vertex {v} out of range for bitset of {} vertices", self.len);
+            self.words[v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+        }
+    }
+
+    /// Number of vertices in the set (`O(n/64)` popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set in ascending vertex order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Appends the members in ascending order to `out` (`O(n/64 + |set|)`), without clearing
+    /// `out` first. This is how the frontier engine materialises the next round's frontier.
+    pub fn collect_into(&self, out: &mut Vec<VertexId>) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(i * WORD_BITS + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Calls `f` for every member in ascending order.
+    pub fn for_each(&self, f: &mut dyn FnMut(VertexId)) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(i * WORD_BITS + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Expands to a dense `Vec<bool>` indicator (for tests and dense-engine comparisons).
+    pub fn to_indicator(&self) -> Vec<bool> {
+        let mut dense = vec![false; self.len];
+        self.for_each(&mut |v| dense[v] = true);
+        dense
+    }
+
+    /// Builds the set holding exactly the `true` positions of a dense indicator.
+    pub fn from_indicator(dense: &[bool]) -> Self {
+        let mut set = VertexBitset::new(dense.len());
+        for (v, &on) in dense.iter().enumerate() {
+            if on {
+                set.insert(v);
+            }
+        }
+        set
+    }
+}
+
+impl fmt::Debug for VertexBitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VertexBitset")
+            .field("len", &self.len)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// Ascending iterator over the members of a [`VertexBitset`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * WORD_BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut set = VertexBitset::new(130);
+        assert_eq!(set.len(), 130);
+        assert!(set.is_empty());
+        for v in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!set.contains(v));
+            assert!(set.insert(v), "first insert of {v}");
+            assert!(!set.insert(v), "second insert of {v}");
+            assert!(set.contains(v));
+        }
+        assert_eq!(set.count(), 8);
+        assert!(set.remove(64));
+        assert!(!set.remove(64));
+        assert!(!set.contains(64));
+        assert_eq!(set.count(), 7);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut set = VertexBitset::new(200);
+        let members = [199usize, 0, 64, 3, 127, 128, 65];
+        for &v in &members {
+            set.insert(v);
+        }
+        let mut sorted = members.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(set.iter().collect::<Vec<_>>(), sorted);
+        let mut collected = Vec::new();
+        set.collect_into(&mut collected);
+        assert_eq!(collected, sorted);
+        let mut visited = Vec::new();
+        set.for_each(&mut |v| visited.push(v));
+        assert_eq!(visited, sorted);
+    }
+
+    #[test]
+    fn clear_list_only_clears_listed_bits() {
+        let mut set = VertexBitset::new(100);
+        for v in [2usize, 40, 41, 99] {
+            set.insert(v);
+        }
+        set.clear_list(&[40, 99]);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![2, 41]);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.count(), 0);
+    }
+
+    #[test]
+    fn indicator_conversions_roundtrip() {
+        let dense = vec![true, false, false, true, true, false, true];
+        let set = VertexBitset::from_indicator(&dense);
+        assert_eq!(set.to_indicator(), dense);
+        assert_eq!(set.count(), 4);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 3, 4, 6]);
+    }
+
+    #[test]
+    fn empty_domain_is_fine() {
+        let set = VertexBitset::new(0);
+        assert_eq!(set.len(), 0);
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+        assert_eq!(set.to_indicator(), Vec::<bool>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_panics_out_of_range() {
+        let set = VertexBitset::new(10);
+        let _ = set.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_panics_out_of_range() {
+        let mut set = VertexBitset::new(64);
+        set.insert(64);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let mut a = VertexBitset::new(70);
+        a.insert(69);
+        let b = a.clone();
+        assert_eq!(a, b);
+        a.remove(69);
+        assert_ne!(a, b);
+    }
+}

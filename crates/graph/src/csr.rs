@@ -184,6 +184,26 @@ impl Graph {
         slice[i]
     }
 
+    /// Draws a uniformly random neighbour of `v`, or `None` if `v` is isolated.
+    ///
+    /// One `next_u64` draw per sample via the Lemire-style reduction of
+    /// [`sample::uniform_index`](crate::sample::uniform_index); isolated vertices consume no
+    /// randomness. Processes that push several times from the same vertex should buffer
+    /// [`neighbors`](Self::neighbors) once and use
+    /// [`sample::sample_slice`](crate::sample::sample_slice) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.num_vertices()`.
+    #[inline]
+    pub fn sample_neighbor<R: rand::RngCore + ?Sized>(
+        &self,
+        v: VertexId,
+        rng: &mut R,
+    ) -> Option<VertexId> {
+        crate::sample::sample_slice(self.neighbors(v), rng).copied()
+    }
+
     /// Returns `true` if `{u, v}` is an edge. Runs in `O(log deg(u))`.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if u >= self.num_vertices() || v >= self.num_vertices() {

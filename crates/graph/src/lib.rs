@@ -5,7 +5,13 @@
 //! undirected graphs. This crate provides:
 //!
 //! * a compact, immutable [`Graph`] representation (CSR adjacency) optimised for the
-//!   "sample a uniform random neighbour" operation the processes perform billions of times,
+//!   "sample a uniform random neighbour" operation the processes perform billions of times —
+//!   [`Graph::sample_neighbor`] and the [`sample`] module turn one 64-bit RNG draw into a
+//!   neighbour via a Lemire-style widening multiply (no division, no rejection),
+//! * [`VertexBitset`] — the word-level vertex-set substrate of the sparse-frontier
+//!   simulation engine: `O(1)` test-and-set, `O(|set|)` dirty-list clearing and
+//!   `O(n/64 + |set|)` ascending iteration, so active sets cost what they hold rather than
+//!   `O(n)` per round,
 //! * a mutable [`GraphBuilder`] for incremental construction,
 //! * deterministic and randomised [`generators`] for every graph family the paper (and the
 //!   prior work it compares against) discusses: complete graphs, random `r`-regular graphs,
@@ -32,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bitset;
 mod builder;
 mod csr;
 mod error;
@@ -39,7 +46,9 @@ mod error;
 pub mod generators;
 pub mod io;
 pub mod ops;
+pub mod sample;
 
+pub use bitset::{Iter as VertexBitsetIter, VertexBitset};
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter, VertexId};
 pub use error::GraphError;

@@ -1,0 +1,95 @@
+//! Bounded uniform sampling — the single hottest operation of every spreading process.
+//!
+//! All seven processes of the workspace repeatedly do "pick a uniformly random neighbour of
+//! `v`". [`uniform_index`] is the shared primitive: a Lemire-style bounded reduction that
+//! turns one 64-bit RNG draw into an index below `bound` with a single widening multiply —
+//! no division, no rejection loop, and bias below `2^-64` for every realistic degree. It
+//! consumes exactly one `next_u64` per sample, which keeps the frontier engine's RNG stream
+//! aligned with the retained dense reference engine (whose `gen_range(0..degree)` performs
+//! the identical reduction).
+
+use rand::RngCore;
+
+use crate::VertexId;
+
+/// Draws a uniform index in `0..bound` from one `next_u64` via widening multiply.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+#[inline]
+pub fn uniform_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    assert!(bound > 0, "cannot sample an index below 0");
+    ((u128::from(rng.next_u64()) * bound as u128) >> 64) as usize
+}
+
+/// Draws a uniform element of `slice`, or `None` if it is empty.
+///
+/// This is the buffered form of [`Graph::sample_neighbor`](crate::Graph::sample_neighbor):
+/// callers that push `k` times from the same vertex fetch the neighbour slice once and
+/// sample it repeatedly without re-touching the CSR offsets.
+#[inline]
+pub fn sample_slice<'a, R: RngCore + ?Sized>(
+    slice: &'a [VertexId],
+    rng: &mut R,
+) -> Option<&'a VertexId> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[uniform_index(rng, slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn indices_stay_in_bounds_and_cover_the_range() {
+        let mut rng = Fixed(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = uniform_index(&mut rng, 7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws should hit all 7 buckets");
+    }
+
+    #[test]
+    fn matches_the_vendored_gen_range_reduction() {
+        // The frontier/dense RNG-equivalence guarantee rests on this: one next_u64 put
+        // through uniform_index must equal the same draw through rand's gen_range.
+        for seed in 0..50u64 {
+            let mut a = Fixed(seed);
+            let mut b = Fixed(seed);
+            for bound in [1usize, 2, 3, 8, 1000] {
+                assert_eq!(uniform_index(&mut a, bound), rand::Rng::gen_range(&mut b, 0..bound));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_slice_handles_empty_and_singleton() {
+        let mut rng = Fixed(1);
+        assert_eq!(sample_slice::<Fixed>(&[], &mut rng), None);
+        assert_eq!(sample_slice(&[42], &mut rng), Some(&42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn zero_bound_panics() {
+        uniform_index(&mut Fixed(1), 0);
+    }
+}

@@ -49,7 +49,7 @@ proptest! {
         for _ in 0..60 {
             process.step(&mut rng);
             prop_assert!(process.is_infected(source));
-            let recount = process.active().iter().filter(|&&x| x).count();
+            let recount = process.active().count();
             prop_assert_eq!(recount, process.num_infected());
             if process.is_complete() {
                 prop_assert_eq!(process.num_infected(), n);

@@ -75,13 +75,16 @@ fn cached_active_counts_match_a_recount_through_dyn() {
         let mut process = spec.build(&graph).expect("spec builds");
         for _ in 0..25 {
             process.step(&mut r);
-            let recount = process.active().iter().filter(|&&a| a).count();
+            let recount = process.active().count();
             assert_eq!(
                 process.num_active(),
                 recount,
-                "{spec}: cached num_active diverged from the active indicator at round {}",
+                "{spec}: cached num_active diverged from the active bitset at round {}",
                 process.round()
             );
+            let mut walked = 0usize;
+            process.for_each_active(&mut |_| walked += 1);
+            assert_eq!(walked, recount, "{spec}: for_each_active disagrees with the bitset");
         }
     }
 }
