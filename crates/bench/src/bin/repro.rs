@@ -12,6 +12,8 @@
 //! repro --process cobra:k=2 --quick
 //! repro --process bips:rho=0.5 --graph torus:sides=32x32 --trials 20
 //! repro --process push --graph random-regular:n=4096,r=4 --max-rounds 100000
+//! repro --process cobra:k=2+drop=0.1+crash=5% --quick     # fault injection
+//! repro --process cobra:k=2+churn=64 --trials 20          # graph churn (fresh graph/trial)
 //! repro --list-processes       # show the spec syntax for every process
 //!
 //! # Bench mode: wall-clock the frontier engine vs the dense reference engine and track
@@ -46,7 +48,7 @@ struct Options {
     max_rounds: Option<usize>,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
     let mut options = Options {
         preset: Preset::Quick,
         seed: 2016,
@@ -60,7 +62,7 @@ fn parse_args() -> Result<Options, String> {
         trials: None,
         max_rounds: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "bench" => options.bench = true,
@@ -73,7 +75,7 @@ fn parse_args() -> Result<Options, String> {
             "--list" => options.list = true,
             "--list-processes" => options.list_processes = true,
             "--exp" => {
-                let value = args.next().ok_or("--exp requires an experiment id (e1..e8)")?;
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e9)")?;
                 options.only = Some(
                     ExperimentId::parse(&value)
                         .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
@@ -106,16 +108,18 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full|--quick] [--exp e1..e8] [--seed N] [--list]\n\
+                    "usage: repro [--full|--quick] [--exp e1..e9] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
                      \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
                      \x20      repro --list-processes\n\
                      regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
-                     contact:p=0.5,q=0.2) on one graph spec (e.g. random-regular:n=256,r=4,\n\
-                     torus:sides=32x32, hypercube:d=10), or — with `bench` — wall-clocks the\n\
-                     sparse-frontier engine against the dense reference engine per\n\
-                     (process, graph) pair and writes the JSON perf trajectory"
+                     contact:p=0.5,q=0.2, with optional fault clauses like\n\
+                     cobra:k=2+drop=0.1+crash=5%+churn=64) on one graph spec\n\
+                     (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
+                     barbell:k=32), or — with `bench` — wall-clocks the sparse-frontier engine\n\
+                     against the dense reference engine per (process, graph) pair and writes\n\
+                     the JSON perf trajectory"
                 );
                 std::process::exit(0);
             }
@@ -123,6 +127,63 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+/// Rejects flag combinations where a flag would otherwise be silently ignored — every mode
+/// (bench / ad-hoc `--process` / experiment) accepts a different subset.
+fn mode_conflicts(options: &Options) -> Result<(), String> {
+    if options.bench {
+        // The bench matrix is fixed so its JSON trajectory stays comparable across runs.
+        if options.process.is_some()
+            || options.graph.is_some()
+            || options.only.is_some()
+            || options.trials.is_some()
+            || options.max_rounds.is_some()
+            || options.list
+            || options.list_processes
+        {
+            return Err("`repro bench` runs a fixed matrix; --process/--graph/--exp/--trials/\
+                 --max-rounds/--list are not applicable (supported: --quick|--full, --seed, \
+                 --json)"
+                .to_string());
+        }
+        return Ok(());
+    }
+    if options.json.is_some() {
+        return Err("--json is only produced by `repro bench`".to_string());
+    }
+    if options.list || options.list_processes {
+        if options.list && options.list_processes {
+            return Err("--list and --list-processes are separate listings; pick one".to_string());
+        }
+        if options.process.is_some()
+            || options.only.is_some()
+            || options.graph.is_some()
+            || options.trials.is_some()
+            || options.max_rounds.is_some()
+        {
+            return Err("--list/--list-processes only print a listing; \
+                 --process/--exp/--graph/--trials/--max-rounds are not applicable"
+                .to_string());
+        }
+        return Ok(());
+    }
+    if options.process.is_some() {
+        if options.only.is_some() {
+            return Err("--process runs ad-hoc mode, which ignores experiment ids; drop either \
+                 --exp or --process"
+                .to_string());
+        }
+        return Ok(());
+    }
+    // Experiment mode: trial counts and instances come from the preset.
+    if options.graph.is_some() || options.trials.is_some() || options.max_rounds.is_some() {
+        return Err("--graph/--trials/--max-rounds only apply to ad-hoc --process runs; \
+             experiment mode takes its instances and trial counts from the preset \
+             (--quick|--full)"
+            .to_string());
+    }
+    Ok(())
 }
 
 fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
@@ -143,20 +204,31 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Err(error) = spec.build(&graph) {
+    // Churn re-instantiates the family mid-run, so churned specs get a fresh graph per
+    // trial through the fault-aware driver; everything else shares one instance. Either
+    // way, validate here (churned specs against a churn-stripped build on the sample
+    // instance) so user input fails with a message instead of panicking mid-trial.
+    let churned = spec.fault_plan().and_then(|plan| plan.churn).is_some();
+    let validation_spec = if churned { spec.clone().with_churn(None) } else { spec.clone() };
+    if let Err(error) = validation_spec.build(&graph) {
         eprintln!("error: cannot run {spec} on {family}: {error}");
         return ExitCode::FAILURE;
     }
 
     let runner = Runner::new(max_rounds);
-    let outcomes = driver::run_spec_trials(
-        &graph,
-        spec,
-        &runner,
-        &seq,
-        &format!("{spec}@{family}"),
-        TrialConfig::parallel(trials),
-    );
+    let label = format!("{spec}@{family}");
+    let outcomes = if churned {
+        driver::run_adverse_trials(
+            &family,
+            spec,
+            &runner,
+            &seq,
+            &label,
+            TrialConfig::parallel(trials),
+        )
+    } else {
+        driver::run_spec_trials(&graph, spec, &runner, &seq, &label, TrialConfig::parallel(trials))
+    };
     let completed: Vec<f64> =
         outcomes.iter().filter_map(|o| o.completion_rounds()).map(|rounds| rounds as f64).collect();
     let summary: cobra_stats::summary::Summary = completed.iter().copied().collect();
@@ -164,7 +236,8 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
     println!("# ad-hoc run — seed {}\n", options.seed);
     let mut table = Table::with_headers(
         format!(
-            "{spec} on {family} ({} vertices, {trials} trials, budget {max_rounds})",
+            "{spec} on {family}{} ({} vertices, {trials} trials, budget {max_rounds})",
+            if churned { " [fresh instance per trial + churn]" } else { "" },
             graph.num_vertices()
         ),
         &["completed", "mean rounds", "p50", "p95", "min", "max"],
@@ -220,37 +293,20 @@ fn run_bench(options: &Options) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let options = match parse_args() {
+    let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
+    if let Err(message) = mode_conflicts(&options) {
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
+    }
 
     if options.bench {
-        // The bench matrix is fixed so its JSON trajectory stays comparable across runs;
-        // reject flags that would otherwise be silently ignored.
-        if options.process.is_some()
-            || options.graph.is_some()
-            || options.only.is_some()
-            || options.trials.is_some()
-            || options.max_rounds.is_some()
-            || options.list
-            || options.list_processes
-        {
-            eprintln!(
-                "error: `repro bench` runs a fixed matrix; --process/--graph/--exp/--trials/\
-                 --max-rounds/--list are not applicable (supported: --quick|--full, --seed, \
-                 --json)"
-            );
-            return ExitCode::FAILURE;
-        }
         return run_bench(&options);
-    }
-    if options.json.is_some() {
-        eprintln!("error: --json is only produced by `repro bench`");
-        return ExitCode::FAILURE;
     }
     if options.list {
         for id in ExperimentId::all() {
@@ -286,4 +342,78 @@ fn main() -> ExitCode {
         println!("{}", result.render());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options_for(args: &[&str]) -> Options {
+        parse_args(args.iter().map(|s| s.to_string()))
+            .unwrap_or_else(|e| panic!("{args:?} should parse: {e}"))
+    }
+
+    fn conflict(args: &[&str]) -> Result<(), String> {
+        mode_conflicts(&options_for(args))
+    }
+
+    #[test]
+    fn compatible_flag_sets_pass() {
+        assert!(conflict(&[]).is_ok());
+        assert!(conflict(&["--exp", "e9", "--full", "--seed", "7"]).is_ok());
+        assert!(conflict(&["--process", "cobra:k=2", "--trials", "3"]).is_ok());
+        assert!(conflict(&["--process", "cobra:k=2+drop=0.1", "--graph", "star:n=16"]).is_ok());
+        assert!(conflict(&["bench", "--quick", "--json", "out.json"]).is_ok());
+        assert!(conflict(&["--list"]).is_ok());
+        assert!(conflict(&["--list-processes"]).is_ok());
+    }
+
+    #[test]
+    fn ad_hoc_mode_rejects_experiment_ids() {
+        // Regression: `--process … --exp e4` used to silently ignore --exp.
+        let error = conflict(&["--process", "cobra:k=2", "--exp", "e4"]).unwrap_err();
+        assert!(error.contains("--exp"), "{error}");
+    }
+
+    #[test]
+    fn experiment_mode_rejects_ad_hoc_tuning_flags() {
+        // Regression: experiment mode used to silently ignore --trials/--max-rounds/--graph.
+        for args in [
+            &["--exp", "e4", "--trials", "9"][..],
+            &["--exp", "e4", "--max-rounds", "100"][..],
+            &["--max-rounds", "100"][..],
+            &["--exp", "e4", "--graph", "star:n=16"][..],
+        ] {
+            let error = conflict(args).unwrap_err();
+            assert!(error.contains("--process"), "{args:?}: {error}");
+        }
+    }
+
+    #[test]
+    fn list_modes_reject_flags_they_would_ignore() {
+        assert!(conflict(&["--list", "--process", "cobra:k=2"]).is_err());
+        assert!(conflict(&["--list", "--exp", "e4"]).is_err());
+        assert!(conflict(&["--list-processes", "--trials", "4"]).is_err());
+        assert!(conflict(&["--list", "--list-processes"]).is_err());
+    }
+
+    #[test]
+    fn bench_mode_still_rejects_everything_else() {
+        assert!(conflict(&["bench", "--exp", "e4"]).is_err());
+        assert!(conflict(&["bench", "--process", "cobra:k=2"]).is_err());
+        assert!(conflict(&["bench", "--trials", "4"]).is_err());
+        assert!(conflict(&["--json", "out.json"]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_arguments() {
+        let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        assert!(parse(&["--exp", "e10"]).is_err());
+        assert!(parse(&["--process", "frisbee"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+drop=2"]).is_err());
+        assert!(parse(&["--graph", "mystery:n=2"]).is_err());
+        assert!(parse(&["--trials", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--exp"]).is_err());
+    }
 }

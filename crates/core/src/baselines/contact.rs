@@ -14,6 +14,7 @@
 use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -113,19 +114,22 @@ impl<'g> ContactProcess<'g> {
 }
 
 impl SpreadingProcess for ContactProcess<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
+        // An i.i.d.-dropped transmission composes into one Bernoulli draw with the
+        // effective probability p(1-f); with f = 0 the stream is untouched.
+        let transmit = self.parameters.infection_probability * (1.0 - faults.drop_probability());
         // The frontier is ascending, so transmission/recovery draws happen in the dense
         // engine's vertex order and the RNG streams stay identical.
         for &u in &self.frontier {
-            for v in self.graph.neighbor_iter(u) {
-                if !self.next_infected.contains(v)
-                    && self.parameters.infection_probability > 0.0
-                    && rng.gen_bool(self.parameters.infection_probability)
-                {
-                    self.next_infected.insert(v);
-                    if !self.infected.contains(v) {
-                        self.newly.push(v);
+            // A crashed vertex stays ill without infecting anyone (recovery still applies).
+            if !faults.is_crashed(u) {
+                for v in self.graph.neighbor_iter(u) {
+                    if !self.next_infected.contains(v) && transmit > 0.0 && rng.gen_bool(transmit) {
+                        self.next_infected.insert(v);
+                        if !self.infected.contains(v) {
+                            self.newly.push(v);
+                        }
                     }
                 }
             }
@@ -177,6 +181,24 @@ impl SpreadingProcess for ContactProcess<'_> {
 
     fn is_complete(&self) -> bool {
         self.frontier.len() == self.graph.num_vertices()
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        self.infected.clear_list(&self.frontier);
+        self.frontier.clear();
+        self.newly.clear();
+        for &v in active {
+            if self.infected.insert(v) {
+                self.newly.push(v);
+            }
+        }
+        if self.persistent_source && self.infected.insert(self.source) {
+            self.newly.push(self.source);
+        }
+        self.infected.collect_into(&mut self.frontier);
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

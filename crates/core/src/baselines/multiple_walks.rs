@@ -3,6 +3,7 @@
 use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -96,14 +97,17 @@ impl<'g> MultipleRandomWalks<'g> {
 }
 
 impl SpreadingProcess for MultipleRandomWalks<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         // Erase the two-rounds-old occupancy through its dirty list.
         self.next_active.clear_list(&self.next_list);
         self.next_list.clear();
         self.newly.clear();
         for i in 0..self.positions.len() {
-            if let Some(next) = self.graph.sample_neighbor(self.positions[i], rng) {
-                self.positions[i] = next;
+            // A walker on a crashed vertex is stuck; a dropped move stays in place.
+            if !faults.is_crashed(self.positions[i]) && !faults.drops(rng) {
+                if let Some(next) = self.graph.sample_neighbor(self.positions[i], rng) {
+                    self.positions[i] = next;
+                }
             }
             let p = self.positions[i];
             if self.next_active.insert(p) {
@@ -145,6 +149,47 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
 
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
+    }
+
+    fn coverage(&self) -> Option<&VertexBitset> {
+        Some(&self.visited)
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        if active.is_empty() {
+            return Err(CoreError::InvalidParameters {
+                reason: "multiple walks adopt at least one active vertex, got none".to_string(),
+            });
+        }
+        self.active.clear_list(&self.active_list);
+        self.next_active.clear_list(&self.next_list);
+        self.active_list.clear();
+        self.next_list.clear();
+        self.newly.clear();
+        self.visited.clear();
+        // The occupancy set does not record multiplicity, so walkers spread round-robin
+        // over the adopted positions — the nearest faithful configuration.
+        for (i, p) in self.positions.iter_mut().enumerate() {
+            *p = active[i % active.len()];
+        }
+        for &v in active {
+            if self.active.insert(v) {
+                self.newly.push(v);
+            }
+        }
+        self.active.collect_into(&mut self.active_list);
+        if let Some(seen) = coverage {
+            seen.for_each(&mut |v| {
+                self.visited.insert(v);
+            });
+        }
+        for &v in active {
+            self.visited.insert(v);
+        }
+        self.num_visited = self.visited.count();
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -16,6 +16,7 @@
 use cobra_graph::{sample, Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -85,18 +86,26 @@ impl<'g> PushProcess<'g> {
 }
 
 impl SpreadingProcess for PushProcess<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // The informed set is monotone, so targets can be marked immediately: no push
         // decision in this round depends on the informed state, and marking eagerly
         // deduplicates `newly` for free (the dense engine's deferred application with its
         // double `!informed` check produces the identical set).
         for &u in &self.informed_list {
+            // A crashed vertex knows the rumour but never sends it.
+            if faults.is_crashed(u) {
+                continue;
+            }
             let neighbors = self.graph.neighbors(u);
             if neighbors.is_empty() {
                 continue;
             }
             self.messages_sent += 1;
+            // The message is sent (and counted) but lost in flight.
+            if faults.drops(rng) {
+                continue;
+            }
             let target =
                 *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
             if self.informed.insert(target) {
@@ -134,6 +143,21 @@ impl SpreadingProcess for PushProcess<'_> {
 
     fn is_complete(&self) -> bool {
         self.informed_list.len() == self.graph.num_vertices()
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        self.informed.clear_list(&self.informed_list);
+        self.informed_list.clear();
+        self.newly.clear();
+        for &v in active {
+            if self.informed.insert(v) {
+                self.newly.push(v);
+            }
+        }
+        self.informed.collect_into(&mut self.informed_list);
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -197,7 +221,7 @@ impl<'g> PushPullProcess<'g> {
 }
 
 impl SpreadingProcess for PushPullProcess<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         let n = self.graph.num_vertices();
         // Every vertex contacts a partner based on the *start-of-round* informed state, so
         // application must be deferred — collect candidates first, then mark.
@@ -210,9 +234,17 @@ impl SpreadingProcess for PushPullProcess<'_> {
             self.messages_sent += 1;
             let partner =
                 *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+            // Crash disables transmission only: a crashed vertex neither pushes the rumour
+            // nor answers a pull, but it can still receive and still request.
             if self.informed.contains(u) && !self.informed.contains(partner) {
-                self.contacts.push(partner);
-            } else if !self.informed.contains(u) && self.informed.contains(partner) {
+                if !faults.is_crashed(u) && !faults.drops(rng) {
+                    self.contacts.push(partner);
+                }
+            } else if !self.informed.contains(u)
+                && self.informed.contains(partner)
+                && !faults.is_crashed(partner)
+                && !faults.drops(rng)
+            {
                 self.contacts.push(u);
             }
         }
@@ -253,6 +285,21 @@ impl SpreadingProcess for PushPullProcess<'_> {
 
     fn is_complete(&self) -> bool {
         self.informed_list.len() == self.graph.num_vertices()
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        self.informed.clear_list(&self.informed_list);
+        self.informed_list.clear();
+        self.newly.clear();
+        for &v in active {
+            if self.informed.insert(v) {
+                self.newly.push(v);
+            }
+        }
+        self.informed.collect_into(&mut self.informed_list);
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -3,6 +3,7 @@
 use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -73,8 +74,14 @@ impl<'g> RandomWalk<'g> {
 }
 
 impl SpreadingProcess for RandomWalk<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
+        // A crashed vertex never relays: a walker standing on one is stuck there forever.
+        // A dropped move message leaves the token in place for this round.
+        if faults.is_crashed(self.position) || faults.drops(rng) {
+            self.round += 1;
+            return;
+        }
         if let Some(next) = self.graph.sample_neighbor(self.position, rng) {
             // Simple graphs have no self-loops, so the walker always moves.
             self.active.remove(self.position);
@@ -110,6 +117,35 @@ impl SpreadingProcess for RandomWalk<'_> {
 
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
+    }
+
+    fn coverage(&self) -> Option<&VertexBitset> {
+        Some(&self.visited)
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        let &position = active.first().ok_or_else(|| CoreError::InvalidParameters {
+            reason: "a random walk adopts exactly one active vertex, got none".to_string(),
+        })?;
+        self.active.remove(self.position);
+        self.position = position;
+        self.active.insert(position);
+        self.newly.clear();
+        self.newly.push(position);
+        self.visited.clear();
+        match coverage {
+            Some(seen) => seen.for_each(&mut |v| {
+                self.visited.insert(v);
+            }),
+            None => {
+                self.visited.insert(position);
+            }
+        }
+        self.visited.insert(position);
+        self.num_visited = self.visited.count();
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

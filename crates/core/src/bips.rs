@@ -27,6 +27,7 @@ use cobra_graph::{sample, Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
 use crate::cobra::Branching;
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -149,7 +150,7 @@ impl<'g> BipsProcess<'g> {
 }
 
 impl SpreadingProcess for BipsProcess<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         let n = self.graph.num_vertices();
         // Erase the two-rounds-old state through its dirty list; the scratch is now all-clear.
         self.next_infected.clear_list(&self.next_list);
@@ -169,7 +170,9 @@ impl SpreadingProcess for BipsProcess<'_> {
             let mut hit = false;
             for _ in 0..samples {
                 let w = *sample::sample_slice(neighbors, rng).expect("neighbour slice non-empty");
-                if self.infected.contains(w) {
+                // A crashed vertex never relays: its infection is invisible to samplers.
+                // The drop draw only happens for a would-be-successful transmission.
+                if self.infected.contains(w) && !faults.is_crashed(w) && !faults.drops(rng) {
                     hit = true;
                     break;
                 }
@@ -212,6 +215,29 @@ impl SpreadingProcess for BipsProcess<'_> {
 
     fn is_complete(&self) -> bool {
         self.infected_list.len() == self.graph.num_vertices()
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        self.infected.clear_list(&self.infected_list);
+        self.next_infected.clear_list(&self.next_list);
+        self.infected_list.clear();
+        self.next_list.clear();
+        self.newly.clear();
+        for &v in active {
+            if self.infected.insert(v) {
+                self.newly.push(v);
+                self.ever_infected.insert(v);
+            }
+        }
+        // The persistent source is infected in every round by definition.
+        if self.infected.insert(self.source) {
+            self.newly.push(self.source);
+            self.ever_infected.insert(self.source);
+        }
+        self.infected.collect_into(&mut self.infected_list);
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

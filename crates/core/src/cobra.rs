@@ -26,6 +26,7 @@ use cobra_graph::{sample, Graph, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::StepFaults;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -230,17 +231,25 @@ impl<'g> CobraProcess<'g> {
 }
 
 impl SpreadingProcess for CobraProcess<'_> {
-    fn step(&mut self, rng: &mut dyn RngCore) {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // The frontier is ascending, so the RNG draw order matches the dense engine's
         // 0..n scan exactly.
         for &u in &self.frontier {
+            // A crashed vertex holds the token but never relays it.
+            if faults.is_crashed(u) {
+                continue;
+            }
             let neighbors = self.graph.neighbors(u);
             if neighbors.is_empty() {
                 continue;
             }
             let pushes = self.branching.sample_pushes(rng);
             for _ in 0..pushes {
+                // The drop decision precedes the target draw: a lost push samples nothing.
+                if faults.drops(rng) {
+                    continue;
+                }
                 let target =
                     *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
                 if self.next_active.insert(target) {
@@ -286,6 +295,36 @@ impl SpreadingProcess for CobraProcess<'_> {
 
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
+    }
+
+    fn coverage(&self) -> Option<&VertexBitset> {
+        Some(&self.visited)
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        crate::process::validate_adopted_state(self.graph.num_vertices(), active, coverage)?;
+        self.active.clear_list(&self.frontier);
+        self.frontier.clear();
+        self.visited.clear();
+        self.newly.clear();
+        self.num_visited = 0;
+        for &v in active {
+            if self.active.insert(v) {
+                self.newly.push(v);
+            }
+        }
+        self.active.collect_into(&mut self.frontier);
+        match coverage {
+            Some(seen) => seen.for_each(&mut |v| {
+                self.visited.insert(v);
+            }),
+            None => active.iter().for_each(|&v| {
+                self.visited.insert(v);
+            }),
+        }
+        self.num_visited = self.visited.count();
+        self.round = 0;
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,769 @@
+//! Fault injection: run any spreading process over an adversarial network.
+//!
+//! The paper motivates COBRA as *robust* information propagation, and Theorem 3's fractional
+//! branching factor `1+ρ` is structurally the same object as COBRA `k = 2` whose pushes are
+//! dropped i.i.d. by a lossy network: a push survives with probability `1−f`, so the expected
+//! effective branching is `k(1−f)`. This module turns that observation into a workload layer
+//! every process can run under:
+//!
+//! * **message drop** — each transmission is lost independently with probability `f`;
+//! * **vertex crash** — a crashed vertex still *receives* (it can be covered/infected) but
+//!   never relays: it sends no pushes, its infection is invisible to BIPS samplers, a walker
+//!   standing on it is stuck. Crash sets are explicit (persistent across trials) or sampled
+//!   per trial;
+//! * **edge churn** — the graph is re-instantiated from its random family every `T` rounds
+//!   while the process state (active set + coverage) migrates to the new instance.
+//!
+//! The correspondence to Theorem 3 is deliberately *not* exact: under `1+ρ` branching a
+//! vertex always performs at least one push, while under i.i.d. drop *both* of COBRA's
+//! pushes can be lost (probability `f²` per vertex per round), so the active set can shrink
+//! and even die out. Experiment E9 measures how much that costs.
+//!
+//! # Architecture
+//!
+//! Faults are applied *inside* each process step: [`SpreadingProcess::step_faulted`] receives
+//! a [`StepFaults`] view (drop probability + crashed set) and every process consults it at
+//! its transmission points. The [`FaultedProcess`] wrapper owns a [`FaultPlan`], resolves the
+//! crash set (sampling it from the trial RNG on first use) and forwards every step — so the
+//! `Runner`, all observers and `driver::run_spec_trials` drive a faulted process exactly like
+//! a bare one. A benign plan (`drop = 0`, no crashes) draws no extra randomness, which keeps
+//! the wrapped process bit-for-bit identical to the bare process under the same seeded RNG
+//! (property-tested in `tests/fault_equivalence.rs`).
+//!
+//! Churn cannot be expressed by a wrapper over a process that borrows one fixed graph;
+//! [`run_churned`] owns the segment loop instead: it re-instantiates the
+//! [`GraphFamily`](cobra_graph::generators::GraphFamily) every `T` rounds and migrates the
+//! process state through [`SpreadingProcess::adopt_state`].
+//!
+//! # Spec syntax
+//!
+//! Fault clauses are appended to any process spec with `+`:
+//!
+//! ```text
+//! cobra:k=2+drop=0.1              10% i.i.d. message drop
+//! cobra:k=2+crash=5%              5% of the vertices crash (sampled per trial, start excluded)
+//! push+crash=12                   12 random vertices crash
+//! bips:k=2+crash=v3;v8            vertices 3 and 8 crash (persistent across trials)
+//! cobra:k=2+drop=0.1+churn=64     drop plus graph re-instantiation every 64 rounds
+//! ```
+
+use std::fmt;
+
+use cobra_graph::generators::GraphFamily;
+use cobra_graph::{sample, VertexBitset, VertexId};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+use crate::process::SpreadingProcess;
+use crate::sim::{RunOutcome, Runner, StopReason};
+use crate::spec::ProcessSpec;
+use crate::{CoreError, Result};
+
+/// How the crashed-vertex set of a [`FaultPlan`] is chosen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum CrashSpec {
+    /// No crashed vertices.
+    #[default]
+    None,
+    /// A fraction of the vertex set, sampled uniformly per trial (spec syntax `crash=5%`).
+    /// The process start vertex is excluded so runs do not fail trivially.
+    Percent {
+        /// Percentage of vertices to crash, in `[0, 100]`.
+        percent: f64,
+    },
+    /// A fixed number of vertices, sampled uniformly per trial (spec syntax `crash=12`).
+    /// The process start vertex is excluded.
+    Count {
+        /// Number of vertices to crash.
+        count: usize,
+    },
+    /// An explicit vertex list (spec syntax `crash=v3;v8`): the same set in every trial.
+    Vertices {
+        /// The crashed vertices.
+        vertices: Vec<VertexId>,
+    },
+}
+
+impl CrashSpec {
+    /// Whether the spec names no crashed vertices at all.
+    pub fn is_none(&self) -> bool {
+        match self {
+            CrashSpec::None => true,
+            CrashSpec::Percent { percent } => *percent == 0.0,
+            CrashSpec::Count { count } => *count == 0,
+            CrashSpec::Vertices { vertices } => vertices.is_empty(),
+        }
+    }
+
+    /// Number of vertices to crash on a graph with `n` vertices.
+    fn resolve_count(&self, n: usize) -> usize {
+        match self {
+            CrashSpec::None => 0,
+            CrashSpec::Percent { percent } => ((percent / 100.0) * n as f64).round() as usize,
+            CrashSpec::Count { count } => *count,
+            CrashSpec::Vertices { vertices } => vertices.len(),
+        }
+    }
+}
+
+/// A serializable description of per-round adversity, attached to a
+/// [`ProcessSpec`](crate::spec::ProcessSpec) with `+` clauses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Probability that any single transmission is lost (`drop=f`), in `[0, 1]`.
+    pub drop: f64,
+    /// The crashed-vertex set.
+    pub crash: CrashSpec,
+    /// Re-instantiate the graph family every this many rounds (`churn=T`).
+    pub churn: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with only i.i.d. message drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] unless `0 ≤ f ≤ 1`.
+    pub fn with_drop(f: f64) -> Result<Self> {
+        let plan = FaultPlan { drop: f, ..FaultPlan::default() };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Whether the plan injects no faults (`drop = 0`, no crashes, no churn).
+    pub fn is_benign(&self) -> bool {
+        self.drop == 0.0 && self.crash.is_none() && self.churn.is_none()
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for a drop probability outside `[0, 1]`, a
+    /// crash percentage outside `[0, 100]` or a churn period of zero.
+    pub fn validate(&self) -> Result<()> {
+        if !self.drop.is_finite() || !(0.0..=1.0).contains(&self.drop) {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("drop probability {} must be in [0, 1]", self.drop),
+            });
+        }
+        if let CrashSpec::Percent { percent } = self.crash {
+            if !percent.is_finite() || !(0.0..=100.0).contains(&percent) {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!("crash percentage {percent} must be in [0, 100]"),
+                });
+            }
+        }
+        if self.churn == Some(0) {
+            return Err(CoreError::InvalidParameters {
+                reason: "churn period must be at least 1 round".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Parses a `+`-joined clause list (`drop=0.1+crash=5%+churn=64`; crash values may be
+    /// a percentage, a count like `crash=12`, or an explicit list `crash=v3;v8`) into a
+    /// validated plan, rejecting unknown, malformed and duplicate clauses — including a
+    /// duplicate of the explicitly-supported `drop=0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for unknown, malformed, duplicate or
+    /// out-of-range clauses.
+    pub fn parse_clauses(text: &str) -> Result<Self> {
+        let invalid = |reason: String| CoreError::InvalidParameters { reason };
+        let mut plan = FaultPlan::none();
+        let (mut seen_drop, mut seen_crash, mut seen_churn) = (false, false, false);
+        for clause in text.split('+') {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| invalid(format!("fault clause {clause:?} must be key=value")))?;
+            match key.trim() {
+                "drop" => {
+                    if seen_drop {
+                        return Err(invalid("drop= given twice".to_string()));
+                    }
+                    seen_drop = true;
+                    plan.drop = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid(format!("invalid drop probability {value:?}")))?;
+                }
+                "crash" => {
+                    if seen_crash {
+                        return Err(invalid("crash= given twice".to_string()));
+                    }
+                    seen_crash = true;
+                    let value = value.trim();
+                    plan.crash = if let Some(percent) = value.strip_suffix('%') {
+                        CrashSpec::Percent {
+                            percent: percent.parse().map_err(|_| {
+                                invalid(format!("invalid crash percentage {value:?}"))
+                            })?,
+                        }
+                    } else if value.starts_with('v') || value.contains(';') {
+                        let vertices = value
+                            .split(';')
+                            .map(|token| {
+                                token.trim().trim_start_matches('v').parse().map_err(|_| {
+                                    invalid(format!("invalid crash vertex {token:?} in {value:?}"))
+                                })
+                            })
+                            .collect::<Result<Vec<VertexId>>>()?;
+                        CrashSpec::Vertices { vertices }
+                    } else {
+                        CrashSpec::Count {
+                            count: value
+                                .parse()
+                                .map_err(|_| invalid(format!("invalid crash count {value:?}")))?,
+                        }
+                    };
+                }
+                "churn" => {
+                    if seen_churn {
+                        return Err(invalid("churn= given twice".to_string()));
+                    }
+                    seen_churn = true;
+                    plan.churn = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| invalid(format!("invalid churn period {value:?}")))?,
+                    );
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "unknown fault clause `{other}` (expected drop=, crash= or churn=)"
+                    )))
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Emits the `+`-joined clause form **without** a leading `+` (e.g. `drop=0.1+crash=5%`).
+/// A benign plan renders as `drop=0` so that `spec+clauses` always round-trips.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.drop != 0.0 {
+            parts.push(format!("drop={}", self.drop));
+        }
+        match &self.crash {
+            CrashSpec::None => {}
+            CrashSpec::Percent { percent } => parts.push(format!("crash={percent}%")),
+            CrashSpec::Count { count } => parts.push(format!("crash={count}")),
+            CrashSpec::Vertices { vertices } => {
+                let list: Vec<String> = vertices.iter().map(|v| format!("v{v}")).collect();
+                parts.push(format!("crash={}", list.join(";")));
+            }
+        }
+        if let Some(period) = self.churn {
+            parts.push(format!("churn={period}"));
+        }
+        if parts.is_empty() {
+            parts.push("drop=0".to_string());
+        }
+        write!(f, "{}", parts.join("+"))
+    }
+}
+
+/// The per-round fault view a process consults inside
+/// [`step_faulted`](SpreadingProcess::step_faulted).
+///
+/// The two queries are free of side effects when the fault is absent: with `drop = 0`,
+/// [`drops`](StepFaults::drops) returns `false` **without touching the RNG**, and with no
+/// crash set [`is_crashed`](StepFaults::is_crashed) is a constant `false` — which is what
+/// makes a zero-fault wrapper bit-identical to the bare process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepFaults<'a> {
+    drop: f64,
+    crashed: Option<&'a VertexBitset>,
+}
+
+impl<'a> StepFaults<'a> {
+    /// The fault-free view used by the default [`SpreadingProcess::step`].
+    pub const NONE: StepFaults<'static> = StepFaults { drop: 0.0, crashed: None };
+
+    /// A view with the given drop probability and crashed set.
+    pub fn new(drop: f64, crashed: Option<&'a VertexBitset>) -> Self {
+        StepFaults { drop, crashed }
+    }
+
+    /// The i.i.d. per-transmission drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop
+    }
+
+    /// The crashed set, if any.
+    pub fn crashed_set(&self) -> Option<&'a VertexBitset> {
+        self.crashed
+    }
+
+    /// Whether this view injects no faults.
+    pub fn is_benign(&self) -> bool {
+        self.drop == 0.0 && self.crashed.is_none()
+    }
+
+    /// Whether vertex `v` has crashed (never relays).
+    #[inline]
+    pub fn is_crashed(&self, v: VertexId) -> bool {
+        self.crashed.is_some_and(|set| set.contains(v))
+    }
+
+    /// Samples whether one transmission is lost. Draws from `rng` only when the drop
+    /// probability is positive.
+    #[inline]
+    pub fn drops(&self, rng: &mut dyn RngCore) -> bool {
+        self.drop > 0.0 && rng.gen_bool(self.drop)
+    }
+}
+
+/// Wraps any boxed process so it steps under a [`FaultPlan`]'s drop and crash faults.
+///
+/// The wrapper is itself a [`SpreadingProcess`], so the `Runner`, every observer and the
+/// Monte-Carlo driver handle it exactly like a bare process. Sampled crash sets
+/// ([`CrashSpec::Percent`] / [`CrashSpec::Count`]) are drawn from the step RNG on first use
+/// — i.e. per trial, since drivers build one process per trial — always excluding the
+/// protected start vertex. Explicit sets are validated and fixed at construction.
+///
+/// Churn is *not* handled here (a wrapper cannot re-instantiate a graph its inner process
+/// borrows); use [`run_churned`]. Construction therefore rejects plans with `churn=`.
+pub struct FaultedProcess<'g> {
+    inner: Box<dyn SpreadingProcess + Send + 'g>,
+    drop: f64,
+    crash: CrashSpec,
+    protect: VertexId,
+    crashed: Option<VertexBitset>,
+    crash_resolved: bool,
+}
+
+impl fmt::Debug for FaultedProcess<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultedProcess")
+            .field("drop", &self.drop)
+            .field("crash", &self.crash)
+            .field("protect", &self.protect)
+            .field("crashed", &self.crashed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> FaultedProcess<'g> {
+    /// Wraps `inner` under `plan`, protecting `protect` (the start/source vertex) from
+    /// sampled crash sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for an invalid plan or one with `churn=`
+    /// (see [`run_churned`]), and [`CoreError::VertexOutOfRange`] if an explicit crash list
+    /// names a vertex outside the graph.
+    pub fn new(
+        inner: Box<dyn SpreadingProcess + Send + 'g>,
+        plan: &FaultPlan,
+        protect: VertexId,
+    ) -> Result<Self> {
+        plan.validate()?;
+        if plan.churn.is_some() {
+            return Err(CoreError::InvalidParameters {
+                reason: "churn= re-instantiates the graph and cannot run on a fixed instance; \
+                         drive the spec through fault::run_churned (repro ad-hoc mode does \
+                         this automatically)"
+                    .to_string(),
+            });
+        }
+        let n = inner.num_vertices();
+        // A crash count beyond the eligible population (everything but the protected
+        // start) would be silently clamped at sampling time; reject it loudly instead,
+        // matching the percentage bound.
+        if let CrashSpec::Count { count } = plan.crash {
+            let eligible = n.saturating_sub(1);
+            if count > eligible {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!(
+                        "crash={count} exceeds the {eligible} crashable vertices (graph has \
+                         {n}, the start vertex never crashes)"
+                    ),
+                });
+            }
+        }
+        let mut crashed = None;
+        let mut crash_resolved = false;
+        if let CrashSpec::Vertices { vertices } = &plan.crash {
+            let mut set = VertexBitset::new(n);
+            for &v in vertices {
+                if v >= n {
+                    return Err(CoreError::VertexOutOfRange { vertex: v, num_vertices: n });
+                }
+                set.insert(v);
+            }
+            crashed = Some(set);
+            crash_resolved = true;
+        } else if plan.crash.is_none() {
+            crash_resolved = true;
+        }
+        Ok(FaultedProcess {
+            inner,
+            drop: plan.drop,
+            crash: plan.crash.clone(),
+            protect,
+            crashed,
+            crash_resolved,
+        })
+    }
+
+    /// The resolved crashed set (`None` until a sampled set is drawn at the first step).
+    pub fn crashed(&self) -> Option<&VertexBitset> {
+        self.crashed.as_ref()
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &dyn SpreadingProcess {
+        self.inner.as_ref()
+    }
+
+    /// Samples the crash set on first use (per trial): `resolve_count` distinct vertices,
+    /// uniform over `V \ {protect}`, via a partial Fisher–Yates shuffle.
+    fn resolve_crashes(&mut self, rng: &mut dyn RngCore) {
+        if self.crash_resolved {
+            return;
+        }
+        self.crash_resolved = true;
+        let n = self.inner.num_vertices();
+        let mut eligible: Vec<VertexId> = (0..n).filter(|&v| v != self.protect).collect();
+        let count = self.crash.resolve_count(n).min(eligible.len());
+        if count == 0 {
+            return;
+        }
+        let mut set = VertexBitset::new(n);
+        for i in 0..count {
+            let j = i + sample::uniform_index(rng, eligible.len() - i);
+            eligible.swap(i, j);
+            set.insert(eligible[i]);
+        }
+        self.crashed = Some(set);
+    }
+}
+
+impl SpreadingProcess for FaultedProcess<'_> {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, outer: &StepFaults<'_>) {
+        self.resolve_crashes(rng);
+        // Compose with faults injected by an outer caller (nested wrappers): drops are
+        // independent, crashes are permanent so folding the outer set in is sound.
+        if let Some(extra) = outer.crashed_set() {
+            match &mut self.crashed {
+                Some(set) => extra.for_each(&mut |v| {
+                    set.insert(v);
+                }),
+                None => self.crashed = Some(extra.clone()),
+            }
+        }
+        let drop = 1.0 - (1.0 - self.drop) * (1.0 - outer.drop_probability());
+        let faults = StepFaults::new(drop, self.crashed.as_ref());
+        self.inner.step_faulted(rng, &faults);
+    }
+
+    fn round(&self) -> usize {
+        self.inner.round()
+    }
+
+    fn active(&self) -> &VertexBitset {
+        self.inner.active()
+    }
+
+    fn num_active(&self) -> usize {
+        self.inner.num_active()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        self.inner.newly_activated()
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        self.inner.for_each_active(f);
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn coverage(&self) -> Option<&VertexBitset> {
+        self.inner.coverage()
+    }
+
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        self.inner.adopt_state(active, coverage)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        // Sampled crash sets are re-drawn for the next trial; explicit sets persist.
+        if !matches!(self.crash, CrashSpec::None | CrashSpec::Vertices { .. }) {
+            self.crashed = None;
+            self.crash_resolved = false;
+        }
+    }
+}
+
+/// Runs one trial of `spec` on fresh instances of `family`, honouring a `churn=T` fault
+/// clause: every `T` rounds the graph is re-instantiated from the family and the process
+/// state (active set + coverage) migrates to the new instance through
+/// [`SpreadingProcess::adopt_state`]. Specs without churn run on a single instance.
+///
+/// The graph is drawn from `rng`, so trials driven by per-trial RNGs are deterministic and
+/// independent. Sampled crash sets are re-drawn at every churn epoch (the node population
+/// churns with the network).
+///
+/// Observers are not supported across churn boundaries; use the plain
+/// [`Runner`] on a fixed graph when traces are needed.
+///
+/// # Errors
+///
+/// Propagates graph-instantiation and process-construction failures.
+pub fn run_churned(
+    spec: &ProcessSpec,
+    family: &GraphFamily,
+    runner: &Runner,
+    rng: &mut dyn RngCore,
+) -> Result<RunOutcome> {
+    let graph_error = |e: cobra_graph::GraphError| CoreError::UnsuitableGraph {
+        reason: format!("cannot instantiate {family}: {e}"),
+    };
+    let Some(period) = spec.fault_plan().and_then(|plan| plan.churn) else {
+        let graph = family.instantiate(&mut &mut *rng).map_err(graph_error)?;
+        return runner.run_spec(spec, &graph, rng);
+    };
+    let segment_spec = spec.clone().with_churn(None);
+    let budget = runner.max_rounds();
+    let mut total_rounds = 0usize;
+    let mut carry: Option<(Vec<VertexId>, Option<VertexBitset>)> = None;
+    loop {
+        let graph = family.instantiate(&mut &mut *rng).map_err(graph_error)?;
+        let mut process = segment_spec.build(&graph)?;
+        if let Some((active, coverage)) = carry.take() {
+            process.adopt_state(&active, coverage.as_ref())?;
+        }
+        let segment = runner.with_max_rounds(period.min(budget - total_rounds));
+        let outcome = segment.run(process.as_mut(), rng);
+        total_rounds += outcome.rounds;
+        if outcome.reason != StopReason::BudgetExhausted || total_rounds >= budget {
+            return Ok(RunOutcome { rounds: total_rounds, ..outcome });
+        }
+        let mut active = Vec::new();
+        process.for_each_active(&mut |v| active.push(v));
+        carry = Some((active, process.coverage().cloned()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::run_until_complete;
+    use cobra_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(FaultPlan::with_drop(0.25).is_ok());
+        assert!(FaultPlan::with_drop(-0.1).is_err());
+        assert!(FaultPlan::with_drop(1.5).is_err());
+        assert!(FaultPlan::with_drop(f64::NAN).is_err());
+        let bad_pct =
+            FaultPlan { crash: CrashSpec::Percent { percent: 120.0 }, ..FaultPlan::default() };
+        assert!(bad_pct.validate().is_err());
+        let bad_churn = FaultPlan { churn: Some(0), ..FaultPlan::default() };
+        assert!(bad_churn.validate().is_err());
+        assert!(FaultPlan::none().is_benign());
+        assert!(!FaultPlan::with_drop(0.1).unwrap().is_benign());
+    }
+
+    #[test]
+    fn clause_parsing_and_display_round_trip() {
+        let plan = FaultPlan::parse_clauses("drop=0.1+crash=5%+churn=64").unwrap();
+        assert_eq!(plan.drop, 0.1);
+        assert_eq!(plan.crash, CrashSpec::Percent { percent: 5.0 });
+        assert_eq!(plan.churn, Some(64));
+        assert_eq!(plan.to_string(), "drop=0.1+crash=5%+churn=64");
+
+        let count = FaultPlan::parse_clauses("crash=12").unwrap();
+        assert_eq!(count.crash, CrashSpec::Count { count: 12 });
+        assert_eq!(count.to_string(), "crash=12");
+
+        let explicit = FaultPlan::parse_clauses("crash=v3;v8").unwrap();
+        assert_eq!(explicit.crash, CrashSpec::Vertices { vertices: vec![3, 8] });
+        assert_eq!(explicit.to_string(), "crash=v3;v8");
+
+        // The benign plan still renders something parseable.
+        assert_eq!(FaultPlan::none().to_string(), "drop=0");
+        assert!(FaultPlan::parse_clauses("drop=0").unwrap().is_benign());
+    }
+
+    #[test]
+    fn clause_parsing_rejects_junk_and_duplicates() {
+        assert!(FaultPlan::parse_clauses("bogus=1").is_err());
+        assert!(FaultPlan::parse_clauses("drop").is_err());
+        assert!(FaultPlan::parse_clauses("drop=abc").is_err());
+        assert!(FaultPlan::parse_clauses("drop=1.5").is_err());
+        assert!(FaultPlan::parse_clauses("crash=150%").is_err());
+        assert!(FaultPlan::parse_clauses("crash=vx;vy").is_err());
+        assert!(FaultPlan::parse_clauses("churn=0").is_err());
+        assert!(FaultPlan::parse_clauses("drop=0.2+drop=0.3").is_err());
+        // Even an explicit drop=0 counts as given: a second drop= must not override it.
+        assert!(FaultPlan::parse_clauses("drop=0+drop=0.3").is_err());
+        assert!(FaultPlan::parse_clauses("crash=2+crash=3%").is_err());
+        assert!(FaultPlan::parse_clauses("churn=8+churn=9").is_err());
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let plans = vec![
+            FaultPlan::none(),
+            FaultPlan::with_drop(0.25).unwrap(),
+            FaultPlan { crash: CrashSpec::Percent { percent: 5.0 }, ..FaultPlan::default() },
+            FaultPlan {
+                drop: 0.1,
+                crash: CrashSpec::Vertices { vertices: vec![1, 4] },
+                churn: Some(32),
+            },
+        ];
+        for plan in plans {
+            let json = serde_json::to_string(&plan).unwrap();
+            let back: FaultPlan = serde_json::from_str(&json).unwrap();
+            assert_eq!(plan, back, "round trip through {json}");
+        }
+    }
+
+    #[test]
+    fn wrapper_rejects_churn_and_bad_vertices() {
+        let graph = generators::complete(8).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let churny = FaultPlan { churn: Some(4), ..FaultPlan::default() };
+        assert!(FaultedProcess::new(spec.build(&graph).unwrap(), &churny, 0).is_err());
+        let bad =
+            FaultPlan { crash: CrashSpec::Vertices { vertices: vec![99] }, ..FaultPlan::default() };
+        assert!(matches!(
+            FaultedProcess::new(spec.build(&graph).unwrap(), &bad, 0),
+            Err(CoreError::VertexOutOfRange { .. })
+        ));
+        // A crash count larger than the crashable population is rejected, not clamped.
+        let oversized = FaultPlan { crash: CrashSpec::Count { count: 8 }, ..FaultPlan::default() };
+        assert!(FaultedProcess::new(spec.build(&graph).unwrap(), &oversized, 0).is_err());
+        let maximal = FaultPlan { crash: CrashSpec::Count { count: 7 }, ..FaultPlan::default() };
+        assert!(FaultedProcess::new(spec.build(&graph).unwrap(), &maximal, 0).is_ok());
+    }
+
+    #[test]
+    fn sampled_crash_sets_have_the_right_size_and_spare_the_start() {
+        let graph = generators::complete(40).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let plan = FaultPlan { crash: CrashSpec::Percent { percent: 25.0 }, ..FaultPlan::none() };
+        for seed in 0..20 {
+            let inner = spec.build(&graph).unwrap();
+            let mut faulted = FaultedProcess::new(inner, &plan, 0).unwrap();
+            let mut r = rng(seed);
+            faulted.step_faulted(&mut r, &StepFaults::NONE);
+            let crashed = faulted.crashed().expect("25% of 40 vertices crash");
+            assert_eq!(crashed.count(), 10);
+            assert!(!crashed.contains(0), "the start vertex must never crash");
+        }
+    }
+
+    #[test]
+    fn drop_slows_cover_but_still_completes_on_expanders() {
+        // PUSH rather than COBRA: its informed set is monotone, so completion is guaranteed
+        // under any drop rate < 1 (COBRA's active set can die out when every push drops).
+        let graph = generators::complete(64).unwrap();
+        let bare_spec = ProcessSpec::push();
+        let mut totals = [0usize; 2];
+        for seed in 0..5u64 {
+            let mut bare = bare_spec.build(&graph).unwrap();
+            totals[0] += run_until_complete(bare.as_mut(), &mut rng(seed), 100_000).unwrap();
+            let mut faulted = FaultedProcess::new(
+                bare_spec.build(&graph).unwrap(),
+                &FaultPlan::with_drop(0.4).unwrap(),
+                0,
+            )
+            .unwrap();
+            totals[1] += run_until_complete(&mut faulted, &mut rng(seed), 100_000).unwrap();
+        }
+        assert!(
+            totals[1] > totals[0],
+            "40% drop must slow covering: bare {} vs faulted {}",
+            totals[0],
+            totals[1]
+        );
+    }
+
+    #[test]
+    fn crashed_vertices_receive_but_never_relay() {
+        // A path 0-1-2: if vertex 1 crashes, a COBRA token from 0 reaches 1 but never 2.
+        let graph = generators::path(3).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let plan =
+            FaultPlan { crash: CrashSpec::Vertices { vertices: vec![1] }, ..FaultPlan::none() };
+        let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap();
+        let mut r = rng(3);
+        assert_eq!(run_until_complete(&mut faulted, &mut r, 500), None);
+        assert!(faulted.coverage().unwrap().contains(1), "the crashed vertex is visited");
+        assert!(!faulted.coverage().unwrap().contains(2), "nothing passes a crashed vertex");
+    }
+
+    #[test]
+    fn run_churned_completes_and_respects_budget() {
+        let family = GraphFamily::RandomRegular { n: 64, r: 4 };
+        let spec: ProcessSpec = "cobra:k=2+churn=8".parse().unwrap();
+        let runner = Runner::new(100_000);
+        let outcome = run_churned(&spec, &family, &runner, &mut rng(5)).unwrap();
+        assert_eq!(outcome.reason, StopReason::Completed);
+        assert!(outcome.rounds > 0);
+
+        // A tight budget exhausts with the exact number of rounds executed.
+        let tight = Runner::new(5);
+        let spec_long: ProcessSpec = "walk+churn=2".parse().unwrap();
+        let exhausted = run_churned(&spec_long, &family, &tight, &mut rng(6)).unwrap();
+        assert_eq!(exhausted.reason, StopReason::BudgetExhausted);
+        assert_eq!(exhausted.rounds, 5);
+    }
+
+    #[test]
+    fn run_churned_without_churn_matches_a_plain_run() {
+        let family = GraphFamily::RandomRegular { n: 32, r: 4 };
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let runner = Runner::new(10_000);
+        let a = run_churned(&spec, &family, &runner, &mut rng(7)).unwrap();
+        let graph = family.instantiate(&mut rng(7)).unwrap();
+        let mut r = rng(7);
+        // Discard the draws the graph generation consumed in the churned run.
+        let _ = family.instantiate(&mut r).unwrap();
+        let b = runner.run_spec(&spec, &graph, &mut r).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_churned_is_deterministic() {
+        let family = GraphFamily::RandomRegular { n: 48, r: 4 };
+        let spec: ProcessSpec = "cobra:k=2+drop=0.1+churn=16".parse().unwrap();
+        let runner = Runner::new(100_000);
+        let a = run_churned(&spec, &family, &runner, &mut rng(11)).unwrap();
+        let b = run_churned(&spec, &family, &runner, &mut rng(11)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`sim`] — the unified [`sim::Runner`] measurement loop: stop conditions (completion,
 //!   round budget, target coverage) plus pluggable observers (active-count traces,
 //!   first-visit/cover times, growth ratios).
+//! * [`fault`] — the adversity layer: [`FaultPlan`]s describing i.i.d. message drop,
+//!   crashed vertices and edge churn, applied to any process through the
+//!   [`FaultedProcess`] wrapper (spec syntax `cobra:k=2+drop=0.1+crash=5%`) and the
+//!   churn-aware [`fault::run_churned`] driver.
 //! * [`reference`] — the retained dense-scan engines, used as the executable specification
 //!   the frontier engines are property-tested against and as the baseline `repro bench`
 //!   measures speedups over.
@@ -106,6 +110,7 @@ pub mod bips;
 pub mod cobra;
 pub mod cover;
 pub mod duality;
+pub mod fault;
 pub mod growth;
 pub mod infection;
 pub mod process;
@@ -119,6 +124,7 @@ mod error;
 pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
 pub use error::CoreError;
+pub use fault::{CrashSpec, FaultPlan, FaultedProcess, StepFaults};
 pub use process::SpreadingProcess;
 pub use sim::{RunOutcome, Runner};
 pub use spec::ProcessSpec;

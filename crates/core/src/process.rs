@@ -3,6 +3,9 @@
 use cobra_graph::{VertexBitset, VertexId};
 use rand::RngCore;
 
+use crate::fault::StepFaults;
+use crate::{CoreError, Result};
+
 /// A synchronous, round-based process spreading information (or infection) over a fixed graph.
 ///
 /// All the processes in this workspace — COBRA, BIPS, PUSH, PUSH–PULL, random walks, the
@@ -37,7 +40,19 @@ use rand::RngCore;
 /// (`process.step(&mut rng)`), so callers are unaffected.
 pub trait SpreadingProcess {
     /// Advances the process by one round.
-    fn step(&mut self, rng: &mut dyn RngCore);
+    fn step(&mut self, rng: &mut dyn RngCore) {
+        self.step_faulted(rng, &StepFaults::NONE);
+    }
+
+    /// Advances the process by one round under the given fault view: transmissions are lost
+    /// i.i.d. with the view's drop probability and crashed vertices never relay (they still
+    /// receive). This is the required stepping method; [`step`](Self::step) forwards to it
+    /// with [`StepFaults::NONE`].
+    ///
+    /// Implementations must not touch the RNG for a benign view, so that a zero-fault
+    /// wrapper stays bit-identical to the bare process (see
+    /// [`fault`](crate::fault)).
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>);
 
     /// Number of rounds performed so far (0 for a freshly constructed process).
     fn round(&self) -> usize;
@@ -78,6 +93,34 @@ pub trait SpreadingProcess {
     /// least once for COBRA, every vertex currently infected for BIPS).
     fn is_complete(&self) -> bool;
 
+    /// The monotone coverage set the completion criterion tracks, when it is distinct from
+    /// the currently active set: COBRA's and the walks' visited sets. `None` for processes
+    /// whose completion is a predicate of [`active`](Self::active) alone (BIPS, PUSH,
+    /// PUSH–PULL, contact). Used by churn migration and coverage statistics.
+    fn coverage(&self) -> Option<&VertexBitset> {
+        None
+    }
+
+    /// Restores a freshly built process (possibly on a *different* graph instance of the
+    /// same size) to mid-run state: `active` becomes the current active set and `coverage`
+    /// (if given) seeds the visited/coverage set. The round counter is reset to 0 — callers
+    /// that segment runs (churn) account for total rounds themselves.
+    ///
+    /// Processes whose state is richer than (active, coverage) adopt the nearest faithful
+    /// configuration: multiple walks spread their walkers round-robin over `active`, an
+    /// epidemic re-pins its persistent source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if the process does not support adoption
+    /// (the default), or if the state does not fit the graph.
+    fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
+        let _ = (active, coverage);
+        Err(CoreError::InvalidParameters {
+            reason: "process does not support state adoption (required for churn)".to_string(),
+        })
+    }
+
     /// Resets the process to its initial state (round 0) so the same allocation can be reused
     /// across Monte-Carlo trials.
     fn reset(&mut self);
@@ -86,6 +129,29 @@ pub trait SpreadingProcess {
 // `SpreadingProcess` must stay object-safe: the spec layer hands out
 // `Box<dyn SpreadingProcess>` and the runner drives `&mut dyn SpreadingProcess`.
 const _: fn(&mut dyn SpreadingProcess) = |_| {};
+
+/// Shared validation for [`SpreadingProcess::adopt_state`] implementations: every adopted
+/// vertex must exist and an adopted coverage set must be sized for this graph.
+pub(crate) fn validate_adopted_state(
+    n: usize,
+    active: &[VertexId],
+    coverage: Option<&VertexBitset>,
+) -> Result<()> {
+    if let Some(&bad) = active.iter().find(|&&v| v >= n) {
+        return Err(CoreError::VertexOutOfRange { vertex: bad, num_vertices: n });
+    }
+    if let Some(seen) = coverage {
+        if seen.len() != n {
+            return Err(CoreError::InvalidParameters {
+                reason: format!(
+                    "adopted coverage set is sized for {} vertices, graph has {n}",
+                    seen.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Runs `process` until [`SpreadingProcess::is_complete`] holds or `max_rounds` rounds have
 /// been executed, returning the completion round or `None` on budget exhaustion.
@@ -150,7 +216,8 @@ mod tests {
     }
 
     impl SpreadingProcess for Sweep {
-        fn step(&mut self, _rng: &mut dyn RngCore) {
+        // A deterministic fake has no transmissions to fault.
+        fn step_faulted(&mut self, _rng: &mut dyn RngCore, _faults: &StepFaults<'_>) {
             self.round += 1;
             self.newly.clear();
             if self.round < self.active.len() {

@@ -23,7 +23,7 @@ use rand::{Rng, RngCore};
 use crate::baselines::contact::ContactParameters;
 use crate::cobra::Branching;
 use crate::spec::ProcessSpec;
-use crate::Result;
+use crate::{CoreError, Result};
 
 /// The observation surface shared by all dense reference engines.
 ///
@@ -77,6 +77,16 @@ pub fn build_dense<'g>(
                 ContactParameters::new(infection, recovery)?,
                 persistent,
             ))
+        }
+        // The dense engines are the executable specification of the *bare* processes; the
+        // fault layer is property-tested against them separately (zero-fault wrappers must
+        // match the bare frontier engines, which must match the dense engines).
+        ProcessSpec::Faulted { .. } => {
+            return Err(CoreError::InvalidParameters {
+                reason: "the dense reference engines model bare processes; strip the fault \
+                         clauses to compare against them"
+                    .to_string(),
+            })
         }
     })
 }
@@ -603,7 +613,13 @@ mod tests {
     #[test]
     fn dense_engines_build_for_every_spec_and_complete_on_k16() {
         let graph = generators::complete(16).unwrap();
-        for spec in ProcessSpec::examples() {
+        // The dense engines model the bare processes; faulted example specs are refused.
+        let faulted = ProcessSpec::examples()
+            .into_iter()
+            .find(|spec| spec.fault_plan().is_some())
+            .expect("examples include one faulted spec");
+        assert!(build_dense(&faulted, &graph).is_err());
+        for spec in ProcessSpec::examples().into_iter().filter(|s| s.fault_plan().is_none()) {
             let mut rng = ChaCha12Rng::seed_from_u64(5);
             let mut dense = build_dense(&spec, &graph).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(dense.num_active(), 1);

@@ -122,6 +122,14 @@ impl Runner {
         self.max_rounds
     }
 
+    /// The same runner with a different round budget — used by segmented drivers (churn)
+    /// that keep the stop condition but cap each segment.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
     fn goal_reached(&self, process: &dyn SpreadingProcess) -> Option<StopReason> {
         if let Some(fraction) = self.target_fraction {
             let threshold = (fraction * process.num_vertices() as f64).ceil() as usize;
@@ -595,8 +603,12 @@ mod tests {
         }
 
         impl SpreadingProcess for Instrumented<'_> {
-            fn step(&mut self, rng: &mut dyn RngCore) {
-                self.inner.step(rng)
+            fn step_faulted(
+                &mut self,
+                rng: &mut dyn RngCore,
+                faults: &crate::fault::StepFaults<'_>,
+            ) {
+                self.inner.step_faulted(rng, faults)
             }
             fn round(&self) -> usize {
                 self.inner.round()

@@ -22,6 +22,12 @@
 //!
 //! Every process also accepts `start=<vertex>` (alias `source=`), defaulting to vertex 0.
 //!
+//! Any spec can additionally carry `+`-separated **fault clauses** — `cobra:k=2+drop=0.1`,
+//! `push+crash=5%`, `bips:k=2+drop=0.1+churn=64` — described by
+//! [`FaultPlan`](crate::fault::FaultPlan): the built process is wrapped in a
+//! [`FaultedProcess`](crate::fault::FaultedProcess). Specs with `churn=` cannot build
+//! against a fixed graph; drive them through [`fault::run_churned`](crate::fault::run_churned).
+//!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use cobra_core::spec::ProcessSpec;
@@ -50,6 +56,7 @@ use crate::baselines::{
 };
 use crate::bips::BipsProcess;
 use crate::cobra::{Branching, CobraProcess};
+use crate::fault::{FaultPlan, FaultedProcess};
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -106,6 +113,13 @@ pub enum ProcessSpec {
         persistent: bool,
         /// Source vertex.
         start: VertexId,
+    },
+    /// Any process run under a fault plan (spec syntax `cobra:k=2+drop=0.1+crash=5%`).
+    Faulted {
+        /// The process the faults apply to.
+        inner: Box<ProcessSpec>,
+        /// The adversity description.
+        plan: FaultPlan,
     },
 }
 
@@ -178,6 +192,10 @@ impl ProcessSpec {
             | ProcessSpec::Push { start }
             | ProcessSpec::PushPull { start }
             | ProcessSpec::Contact { start, .. } => *start = vertex,
+            ProcessSpec::Faulted { inner, .. } => {
+                let base = std::mem::replace(inner.as_mut(), ProcessSpec::Push { start: 0 });
+                *inner.as_mut() = base.with_start(vertex);
+            }
         }
         self
     }
@@ -192,10 +210,12 @@ impl ProcessSpec {
             | ProcessSpec::Push { start }
             | ProcessSpec::PushPull { start }
             | ProcessSpec::Contact { start, .. } => *start,
+            ProcessSpec::Faulted { inner, .. } => inner.start(),
         }
     }
 
-    /// The canonical process name used by [`Display`](fmt::Display) and [`FromStr`].
+    /// The canonical process name used by [`Display`](fmt::Display) and [`FromStr`]; a
+    /// faulted spec reports its inner process name.
     pub fn name(&self) -> &'static str {
         match self {
             ProcessSpec::Cobra { .. } => "cobra",
@@ -205,6 +225,48 @@ impl ProcessSpec {
             ProcessSpec::Push { .. } => "push",
             ProcessSpec::PushPull { .. } => "pushpull",
             ProcessSpec::Contact { .. } => "contact",
+            ProcessSpec::Faulted { inner, .. } => inner.name(),
+        }
+    }
+
+    /// Wraps this spec in a fault plan (flattening: faulting an already-faulted spec
+    /// replaces its plan).
+    #[must_use]
+    pub fn faulted(self, plan: FaultPlan) -> Self {
+        match self {
+            ProcessSpec::Faulted { inner, .. } => ProcessSpec::Faulted { inner, plan },
+            base => ProcessSpec::Faulted { inner: Box::new(base), plan },
+        }
+    }
+
+    /// The fault plan attached to this spec, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        match self {
+            ProcessSpec::Faulted { plan, .. } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// The same spec with the churn period replaced (used by the churn driver to build the
+    /// per-segment processes). `None` removes churn; a plan that becomes benign unwraps to
+    /// the bare inner spec.
+    #[must_use]
+    pub fn with_churn(self, churn: Option<usize>) -> Self {
+        match self {
+            ProcessSpec::Faulted { inner, mut plan } => {
+                plan.churn = churn;
+                if plan.is_benign() {
+                    *inner
+                } else {
+                    ProcessSpec::Faulted { inner, plan }
+                }
+            }
+            base => match churn {
+                None => base,
+                Some(period) => {
+                    base.faulted(FaultPlan { churn: Some(period), ..FaultPlan::default() })
+                }
+            },
         }
     }
 
@@ -241,6 +303,10 @@ impl ProcessSpec {
                     persistent,
                 )?)
             }
+            ProcessSpec::Faulted { ref inner, ref plan } => {
+                let process = inner.build(graph)?;
+                Box::new(FaultedProcess::new(process, plan, inner.start())?)
+            }
         })
     }
 
@@ -255,12 +321,20 @@ impl ProcessSpec {
             ProcessSpec::push(),
             ProcessSpec::push_pull(),
             ProcessSpec::contact(0.8, 0.1).expect("valid probabilities"),
+            ProcessSpec::cobra(2).expect("k = 2 is valid").faulted(FaultPlan {
+                drop: 0.1,
+                crash: crate::fault::CrashSpec::Percent { percent: 5.0 },
+                churn: None,
+            }),
         ]
     }
 }
 
 impl fmt::Display for ProcessSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let ProcessSpec::Faulted { inner, plan } = self {
+            return write!(f, "{inner}+{plan}");
+        }
         let mut parts: Vec<String> = Vec::new();
         match self {
             ProcessSpec::Cobra { branching, .. } | ProcessSpec::Bips { branching, .. } => {
@@ -280,6 +354,7 @@ impl fmt::Display for ProcessSpec {
             ProcessSpec::RandomWalk { .. }
             | ProcessSpec::Push { .. }
             | ProcessSpec::PushPull { .. } => {}
+            ProcessSpec::Faulted { .. } => unreachable!("handled above"),
         }
         if self.start() != 0 {
             parts.push(format!("start={}", self.start()));
@@ -370,6 +445,11 @@ impl FromStr for ProcessSpec {
     type Err = CoreError;
 
     fn from_str(text: &str) -> Result<Self> {
+        // `+` separates the base spec from fault clauses: `cobra:k=2+drop=0.1+crash=5%`.
+        if let Some((base, clauses)) = text.split_once('+') {
+            let inner: ProcessSpec = base.parse()?;
+            return Ok(inner.faulted(FaultPlan::parse_clauses(clauses)?));
+        }
         let (name, rest) = match text.split_once(':') {
             Some((name, rest)) => (name.trim(), rest),
             None => (text.trim(), ""),
@@ -512,6 +592,41 @@ mod tests {
             let rounds = run_until_complete(process.as_mut(), &mut rng, 100_000);
             assert!(rounds.is_some(), "{spec} failed to complete on K_16");
         }
+    }
+
+    #[test]
+    fn fault_clauses_parse_display_and_build() {
+        let spec: ProcessSpec = "cobra:k=2+drop=0.1+crash=5%".parse().unwrap();
+        assert_eq!(spec.name(), "cobra");
+        let plan = spec.fault_plan().expect("parsed spec carries a plan");
+        assert_eq!(plan.drop, 0.1);
+        assert_eq!(spec.to_string(), "cobra:k=2+drop=0.1+crash=5%");
+        assert_eq!(spec.to_string().parse::<ProcessSpec>().unwrap(), spec);
+
+        // A zero plan still round-trips (rendered as `+drop=0`).
+        let zero: ProcessSpec = "push+drop=0".parse().unwrap();
+        assert!(zero.fault_plan().unwrap().is_benign());
+        assert_eq!(zero.to_string().parse::<ProcessSpec>().unwrap(), zero);
+
+        // Faulted specs build and run through the normal machinery.
+        let graph = generators::complete(32).unwrap();
+        let mut process = spec.build(&graph).unwrap();
+        let mut r = ChaCha12Rng::seed_from_u64(3);
+        assert!(run_until_complete(process.as_mut(), &mut r, 100_000).is_some());
+
+        // with_start reaches through the wrapper; churn specs refuse to build on a fixed
+        // graph but strip down for the segment driver.
+        let moved = spec.clone().with_start(7);
+        assert_eq!(moved.start(), 7);
+        let churny: ProcessSpec = "cobra:k=2+churn=64".parse().unwrap();
+        assert!(churny.build(&graph).is_err());
+        assert_eq!(churny.clone().with_churn(None), ProcessSpec::cobra(2).unwrap());
+        assert_eq!(churny.fault_plan().unwrap().churn, Some(64));
+
+        // Malformed fault clauses are rejected loudly.
+        assert!("cobra:k=2+drop=1.5".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=2+frob=1".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=2+drop=0.1+drop=0.2".parse::<ProcessSpec>().is_err());
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! per trial from the spec, so trials are independent and the rayon-parallel execution stays
 //! bit-for-bit deterministic (each trial's RNG derives from `(master seed, label, index)`).
 
+use cobra_core::fault;
 use cobra_core::sim::{RunOutcome, Runner};
 use cobra_core::spec::ProcessSpec;
+use cobra_graph::generators::GraphFamily;
 use cobra_graph::Graph;
 use cobra_stats::parallel::{run_trials, TrialConfig};
 use cobra_stats::rng::SeedSequence;
@@ -53,6 +55,54 @@ pub fn measure_completion_rounds(
     config: TrialConfig,
 ) -> (Summary, Vec<f64>) {
     let outcomes = run_spec_trials(graph, spec, runner, seq, label, config);
+    summarize_completions(&outcomes)
+}
+
+/// Runs `config.trials` independent *adverse* runs of `spec`: every trial instantiates a
+/// fresh member of `family` from its trial RNG and, when the spec carries a `churn=T`
+/// clause, re-instantiates the graph every `T` rounds mid-run
+/// (see [`cobra_core::fault::run_churned`]). This is the driver for fault sweeps whose
+/// adversity includes the network itself; for a fixed shared instance use
+/// [`run_spec_trials`].
+///
+/// # Panics
+///
+/// Panics if the spec or family is invalid (experiment configurations are code, not user
+/// input — same policy as [`run_spec_trials`]).
+pub fn run_adverse_trials(
+    family: &GraphFamily,
+    spec: &ProcessSpec,
+    runner: &Runner,
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+) -> Vec<RunOutcome> {
+    run_trials(seq, label, config, |_, rng| {
+        fault::run_churned(spec, family, runner, rng)
+            .unwrap_or_else(|e| panic!("invalid adverse run {spec} on {family} for {label}: {e}"))
+    })
+}
+
+/// [`run_adverse_trials`] with the completion rounds aggregated like
+/// [`measure_completion_rounds`].
+///
+/// # Panics
+///
+/// Same policy as [`run_adverse_trials`].
+pub fn measure_adverse_completion_rounds(
+    family: &GraphFamily,
+    spec: &ProcessSpec,
+    runner: &Runner,
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+) -> (Summary, Vec<f64>) {
+    let outcomes = run_adverse_trials(family, spec, runner, seq, label, config);
+    summarize_completions(&outcomes)
+}
+
+/// `NaN` for budget-exhausted trials; the summary aggregates the completed ones.
+fn summarize_completions(outcomes: &[RunOutcome]) -> (Summary, Vec<f64>) {
     let values: Vec<f64> = outcomes
         .iter()
         .map(|outcome| outcome.completion_rounds().map_or(f64::NAN, |rounds| rounds as f64))
@@ -101,6 +151,32 @@ mod tests {
         assert_eq!(summary.count(), 0);
         assert_eq!(values.len(), 4);
         assert!(values.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn adverse_trials_run_churned_specs_deterministically() {
+        use cobra_graph::generators::GraphFamily;
+        let family = GraphFamily::RandomRegular { n: 48, r: 4 };
+        let spec: ProcessSpec = "cobra:k=2+drop=0.1+churn=16".parse().unwrap();
+        let runner = Runner::new(100_000);
+        let seq = SeedSequence::new(12);
+        let outcomes =
+            run_adverse_trials(&family, &spec, &runner, &seq, "churn", TrialConfig::parallel(8));
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().all(|o| o.reason == StopReason::Completed));
+        let sequential =
+            run_adverse_trials(&family, &spec, &runner, &seq, "churn", TrialConfig::sequential(8));
+        assert_eq!(outcomes, sequential);
+        let (summary, values) = measure_adverse_completion_rounds(
+            &family,
+            &spec,
+            &runner,
+            &seq,
+            "churn",
+            TrialConfig::sequential(8),
+        );
+        assert_eq!(summary.count(), 8);
+        assert_eq!(values.len(), 8);
     }
 
     #[test]

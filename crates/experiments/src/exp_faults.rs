@@ -1,0 +1,309 @@
+//! E9 — Robustness: COBRA cover time under fault injection (message drop, vertex crash,
+//! edge churn).
+//!
+//! The paper sells COBRA as *robust* information propagation; Theorem 3 (any constant
+//! expected branching `1+ρ > 1` gives `O(log n)` cover) predicts *why* robustness against a
+//! lossy network should be cheap: COBRA `k = 2` whose pushes are dropped i.i.d. with
+//! probability `f` has expected effective branching `k(1−f)`, which stays a constant `> 1`
+//! for any constant `f < 1/2`. Three workloads probe this:
+//!
+//! 1. **drop sweep** — cover time vs `n` on random-regular expanders for
+//!    `f ∈ {0, 0.1, 0.25}`: the claim is the growth stays logarithmic (good per-`f` log
+//!    fits), with the constant deteriorating in `f`.
+//! 2. **effective-branching correspondence** — for each `f ≤ 1/2`, COBRA `k=2+drop=f` next
+//!    to the fractional spec `cobra:rho=1−2f` of E6, which has the *same* expected factor
+//!    `2(1−f)`. The correspondence is not exact: under `1+ρ` a vertex always pushes at
+//!    least once, under drop both pushes can be lost (probability `f²`), so the dropped
+//!    process is slower and can even die out — the measured ratio quantifies the gap.
+//! 3. **adversity grid** — drop, crash, churn and a combination on one instance, reporting
+//!    completion rates and rounds (crashed vertices absorb tokens, so completion is no
+//!    longer guaranteed; churned runs re-instantiate the expander mid-run).
+
+use cobra_core::sim::Runner;
+use cobra_core::spec::ProcessSpec;
+use cobra_graph::generators::GraphFamily;
+use cobra_stats::parallel::TrialConfig;
+use cobra_stats::regression::log_fit;
+use cobra_stats::rng::SeedSequence;
+use cobra_stats::summary::quantile;
+use cobra_stats::table::{fmt_float, Table};
+
+use crate::driver;
+use crate::instances::Instance;
+use crate::result::{ExperimentResult, Finding};
+
+/// Configuration of the E9 fault sweeps.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Vertex counts of the random-regular drop sweep.
+    pub sizes: Vec<usize>,
+    /// Degree of the expander instances.
+    pub degree: usize,
+    /// The drop rates `f` to sweep.
+    pub drops: Vec<f64>,
+    /// Monte-Carlo trials per configuration.
+    pub trials: usize,
+    /// Round budget per trial.
+    pub max_rounds: usize,
+}
+
+impl Config {
+    /// Small preset used by unit tests and the CI smoke run.
+    pub fn quick() -> Self {
+        Config {
+            sizes: vec![64, 128, 256],
+            degree: 8,
+            drops: vec![0.0, 0.1, 0.25],
+            trials: 8,
+            max_rounds: 100_000,
+        }
+    }
+
+    /// Full preset used by the `repro` binary.
+    pub fn full() -> Self {
+        Config {
+            sizes: vec![256, 512, 1024, 2048, 4096],
+            degree: 8,
+            drops: vec![0.0, 0.05, 0.1, 0.25, 0.4],
+            trials: 30,
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+fn drop_spec(f: f64) -> ProcessSpec {
+    let spec = ProcessSpec::cobra(2).expect("k = 2 is valid");
+    if f == 0.0 {
+        spec
+    } else {
+        spec.faulted(
+            cobra_core::fault::FaultPlan::with_drop(f).expect("configured drop rates are valid"),
+        )
+    }
+}
+
+/// Runs E9 and produces its tables and findings.
+pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
+    let seq = seq.child("e9-faults");
+    let runner = Runner::new(config.max_rounds);
+    let mut findings = Vec::new();
+
+    // ---- Table 1: cover time vs drop rate across sizes -------------------------------
+    let mut sweep = Table::with_headers(
+        "E9a: COBRA (k=2) cover time vs i.i.d. drop rate f on random-8-regular expanders",
+        &["n", "f", "eff. k(1-f)", "completed", "mean cover", "p95", "mean/ln n"],
+    );
+    let instances: Vec<Instance> = config
+        .sizes
+        .iter()
+        .map(|&n| {
+            Instance::build(&GraphFamily::RandomRegular { n, r: config.degree }, &seq, n as u64)
+        })
+        .collect();
+    // The largest-instance summary per drop rate is reused by the E9b comparison below.
+    let mut largest_drop_means: Vec<f64> = Vec::with_capacity(config.drops.len());
+    for (drop_index, &f) in config.drops.iter().enumerate() {
+        let spec = drop_spec(f);
+        let mut log_xs = Vec::new();
+        let mut log_ys = Vec::new();
+        for instance in &instances {
+            let n = instance.graph.num_vertices();
+            let (summary, values) = driver::measure_completion_rounds(
+                &instance.graph,
+                &spec,
+                &runner,
+                &seq,
+                &format!("drop-{drop_index}-n{n}"),
+                TrialConfig::parallel(config.trials),
+            );
+            let ln_n = (n as f64).ln();
+            sweep.add_row(vec![
+                n.to_string(),
+                fmt_float(f),
+                fmt_float(2.0 * (1.0 - f)),
+                format!("{}/{}", summary.count(), values.len()),
+                fmt_float(summary.mean()),
+                fmt_float(quantile(&values, 0.95).unwrap_or(f64::NAN)),
+                fmt_float(summary.mean() / ln_n),
+            ]);
+            log_xs.push(n as f64);
+            log_ys.push(summary.mean());
+        }
+        largest_drop_means.push(*log_ys.last().expect("at least one sweep size is configured"));
+        if let Some(fit) = log_fit(&log_xs, &log_ys) {
+            let pct = (f * 100.0).round() as u32;
+            findings.push(Finding::new(
+                format!("log_slope_drop_{pct}"),
+                fit.slope,
+                format!("slope b of cover ~ a + b ln n under f = {f} drop"),
+            ));
+            findings.push(Finding::new(
+                format!("log_r2_drop_{pct}"),
+                fit.r_squared,
+                format!("R^2 of the logarithmic fit under f = {f} drop"),
+            ));
+        }
+    }
+
+    // ---- Table 2: drop f vs the E6 fractional spec with matching expected factor -----
+    let compare_instance = instances.last().expect("at least one sweep size is configured");
+    let compare_n = compare_instance.graph.num_vertices();
+    let mut correspondence = Table::with_headers(
+        format!(
+            "E9b: k=2 with drop f vs fractional 1+rho at equal expected branching 2(1-f) \
+             (E6's sweep), random-8-regular n={compare_n}"
+        ),
+        &["f", "rho = 1-2f", "expected factor", "mean (drop)", "mean (1+rho)", "drop/rho"],
+    );
+    let mut worst_ratio = f64::NAN;
+    for (drop_index, &f) in config.drops.iter().enumerate() {
+        // 2(1-f) = 1+rho needs rho in [0, 1], i.e. f <= 1/2.
+        if f > 0.5 {
+            continue;
+        }
+        let rho = 1.0 - 2.0 * f;
+        // The drop side was already measured on this instance by the E9a sweep loop.
+        let dropped_mean = largest_drop_means[drop_index];
+        let (fractional, _) = driver::measure_completion_rounds(
+            &compare_instance.graph,
+            &ProcessSpec::cobra_fractional(rho).expect("rho = 1-2f is in [0, 1] for f <= 1/2"),
+            &runner,
+            &seq,
+            &format!("cmp-rho-{drop_index}"),
+            TrialConfig::parallel(config.trials),
+        );
+        let ratio = dropped_mean / fractional.mean();
+        correspondence.add_row(vec![
+            fmt_float(f),
+            fmt_float(rho),
+            fmt_float(2.0 * (1.0 - f)),
+            fmt_float(dropped_mean),
+            fmt_float(fractional.mean()),
+            fmt_float(ratio),
+        ]);
+        // NaN-seeded max: the first positive-f ratio replaces the NaN sentinel.
+        if f > 0.0 && (worst_ratio.is_nan() || ratio > worst_ratio) {
+            worst_ratio = ratio;
+        }
+    }
+    findings.push(Finding::new(
+        "drop_vs_fractional_max_ratio",
+        worst_ratio,
+        "worst cover-time ratio of k=2-with-drop over the equal-expected-branching 1+rho spec \
+         — the price of the inexact correspondence (both pushes can drop)",
+    ));
+
+    // ---- Table 3: the adversity grid -------------------------------------------------
+    let grid_n = config.sizes[config.sizes.len() / 2];
+    let family = GraphFamily::RandomRegular { n: grid_n, r: config.degree };
+    let churn = (grid_n / 8).max(4);
+    let scenarios: Vec<(String, ProcessSpec)> = vec![
+        ("none".to_string(), "cobra:k=2".parse().expect("valid spec")),
+        ("drop=0.25".to_string(), "cobra:k=2+drop=0.25".parse().expect("valid spec")),
+        ("crash=10%".to_string(), "cobra:k=2+crash=10%".parse().expect("valid spec")),
+        (format!("churn={churn}"), format!("cobra:k=2+churn={churn}").parse().expect("valid")),
+        (
+            format!("drop=0.1+crash=5%+churn={churn}"),
+            format!("cobra:k=2+drop=0.1+crash=5%+churn={churn}").parse().expect("valid"),
+        ),
+    ];
+    let mut grid = Table::with_headers(
+        format!("E9c: adversity grid, COBRA k=2 on fresh random-8-regular n={grid_n} per trial"),
+        &["faults", "completed", "mean cover", "p95"],
+    );
+    for (index, (label, spec)) in scenarios.iter().enumerate() {
+        let (summary, values) = driver::measure_adverse_completion_rounds(
+            &family,
+            spec,
+            &runner,
+            &seq,
+            &format!("grid-{index}"),
+            TrialConfig::parallel(config.trials),
+        );
+        grid.add_row(vec![
+            label.clone(),
+            format!("{}/{}", summary.count(), values.len()),
+            fmt_float(summary.mean()),
+            fmt_float(quantile(&values, 0.95).unwrap_or(f64::NAN)),
+        ]);
+        if label == "none" {
+            findings.push(Finding::new(
+                "grid_baseline_mean",
+                summary.mean(),
+                "fault-free mean cover time on the adversity-grid instance",
+            ));
+        }
+        if label.starts_with("crash") {
+            findings.push(Finding::new(
+                "crash10_completion_rate",
+                summary.count() as f64 / values.len() as f64,
+                "fraction of trials that still covered with 10% of the vertices crashed \
+                 (crashed vertices absorb tokens, so completion is not guaranteed)",
+            ));
+        }
+    }
+
+    ExperimentResult {
+        id: "E9".into(),
+        title: "Fault injection: drop, crash and churn".into(),
+        claim: "Robustness: with i.i.d. message drop f the effective branching is k(1-f), so \
+                by Theorem 3 COBRA k=2 keeps its O(log n) cover time on expanders for any \
+                constant f < 1/2; crash and churn adversity degrade it gracefully"
+            .into(),
+        tables: vec![sweep, correspondence, grid],
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_logarithmic_scaling_under_drop() {
+        let result = run(&Config::quick(), &SeedSequence::new(2016));
+        assert_eq!(result.id, "E9");
+        assert_eq!(result.tables.len(), 3);
+        // 3 sizes x 3 drop rates in the sweep table.
+        assert_eq!(result.tables[0].num_rows(), 9);
+        for f in ["0", "10", "25"] {
+            let slope = result
+                .finding(&format!("log_slope_drop_{f}"))
+                .unwrap_or_else(|| panic!("missing slope finding for f = {f}%"))
+                .value;
+            assert!(slope > 0.0, "f={f}%: slope {slope} should be positive");
+            assert!(slope < 40.0, "f={f}%: slope {slope} should stay modest (logarithmic)");
+            let r2 = result.finding(&format!("log_r2_drop_{f}")).expect("r2 finding").value;
+            assert!(r2 > 0.5, "f={f}%: log fit should explain the growth, r2 = {r2}");
+        }
+        // Dropping must cost rounds: the f = 25% slope exceeds the fault-free slope.
+        let slope0 = result.finding("log_slope_drop_0").unwrap().value;
+        let slope25 = result.finding("log_slope_drop_25").unwrap().value;
+        assert!(
+            slope25 > slope0,
+            "drop must slow the cover: slope(f=0.25) = {slope25} vs slope(0) = {slope0}"
+        );
+        // The 1+rho correspondence is close but the dropped process pays for f^2 stalls.
+        let ratio = result.finding("drop_vs_fractional_max_ratio").expect("ratio").value;
+        assert!(
+            ratio > 0.6 && ratio < 4.0,
+            "drop vs fractional ratio {ratio} should be a modest constant"
+        );
+        // The grid rows all rendered and the crash row reports a completion rate.
+        assert_eq!(result.tables[2].num_rows(), 5);
+        let crash_rate = result.finding("crash10_completion_rate").expect("rate").value;
+        assert!((0.0..=1.0).contains(&crash_rate));
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_fixed_seed() {
+        let mut config = Config::quick();
+        config.sizes = vec![64, 128];
+        config.trials = 4;
+        let a = run(&config, &SeedSequence::new(9));
+        let b = run(&config, &SeedSequence::new(9));
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.render(), tb.render());
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | E6 | Theorem 3 — fractional branching `1+ρ` suffices for `O(log n)` | [`exp_branching`] |
 //! | E7 | Dutta et al. context — grids vs expanders, COBRA vs PUSH / PUSH-PULL / random walks | [`exp_baselines`] |
 //! | E8 | Lemmas 2–4 — the three-phase growth of the BIPS infection | [`exp_phases`] |
+//! | E9 | Robustness — cover time under i.i.d. message drop, vertex crash and edge churn | [`exp_faults`] |
 //!
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`
@@ -37,6 +38,7 @@ pub mod exp_baselines;
 pub mod exp_branching;
 pub mod exp_cover;
 pub mod exp_duality;
+pub mod exp_faults;
 pub mod exp_gap;
 pub mod exp_growth;
 pub mod exp_infection;

@@ -4,8 +4,8 @@ use cobra_stats::rng::SeedSequence;
 
 use crate::result::ExperimentResult;
 use crate::{
-    exp_baselines, exp_branching, exp_cover, exp_duality, exp_gap, exp_growth, exp_infection,
-    exp_phases,
+    exp_baselines, exp_branching, exp_cover, exp_duality, exp_faults, exp_gap, exp_growth,
+    exp_infection, exp_phases,
 };
 
 /// Identifiers of the experiments, matching the per-experiment index in `DESIGN.md`.
@@ -27,11 +27,13 @@ pub enum ExperimentId {
     E7,
     /// Lemmas 2–4: phase structure.
     E8,
+    /// Robustness: fault injection (drop / crash / churn).
+    E9,
 }
 
 impl ExperimentId {
     /// All experiments in index order.
-    pub fn all() -> [ExperimentId; 8] {
+    pub fn all() -> [ExperimentId; 9] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -41,6 +43,7 @@ impl ExperimentId {
             ExperimentId::E6,
             ExperimentId::E7,
             ExperimentId::E8,
+            ExperimentId::E9,
         ]
     }
 
@@ -55,6 +58,7 @@ impl ExperimentId {
             "e6" => Some(ExperimentId::E6),
             "e7" => Some(ExperimentId::E7),
             "e8" => Some(ExperimentId::E8),
+            "e9" => Some(ExperimentId::E9),
             _ => None,
         }
     }
@@ -70,6 +74,7 @@ impl ExperimentId {
             ExperimentId::E6 => "Theorem 3: fractional branching factors 1+rho",
             ExperimentId::E7 => "Dutta et al.: grids vs expanders, protocol baselines",
             ExperimentId::E8 => "Lemmas 2-4: three-phase growth of the infection",
+            ExperimentId::E9 => "Robustness: cover time under message drop, crash and churn",
         }
     }
 }
@@ -115,6 +120,8 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         }
         (ExperimentId::E8, Preset::Quick) => exp_phases::run(&exp_phases::Config::quick(), &seq),
         (ExperimentId::E8, Preset::Full) => exp_phases::run(&exp_phases::Config::full(), &seq),
+        (ExperimentId::E9, Preset::Quick) => exp_faults::run(&exp_faults::Config::quick(), &seq),
+        (ExperimentId::E9, Preset::Full) => exp_faults::run(&exp_faults::Config::full(), &seq),
     }
 }
 
@@ -126,8 +133,9 @@ mod tests {
     fn ids_parse_and_describe() {
         assert_eq!(ExperimentId::parse("e4"), Some(ExperimentId::E4));
         assert_eq!(ExperimentId::parse("E8"), Some(ExperimentId::E8));
-        assert_eq!(ExperimentId::parse("e9"), None);
-        assert_eq!(ExperimentId::all().len(), 8);
+        assert_eq!(ExperimentId::parse("e9"), Some(ExperimentId::E9));
+        assert_eq!(ExperimentId::parse("e10"), None);
+        assert_eq!(ExperimentId::all().len(), 9);
         for id in ExperimentId::all() {
             assert!(!id.description().is_empty());
         }

@@ -84,6 +84,47 @@ pub enum GraphFamily {
         /// Size of each clique.
         size: usize,
     },
+    /// Erdős–Rényi `G(n, p)`: each edge present independently with probability `p`.
+    /// Not resampled for connectivity — pick `p` comfortably above `ln n / n` (processes
+    /// reject graphs with isolated vertices loudly).
+    ErdosRenyi {
+        /// Number of vertices.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Two `K_k` cliques joined by a single edge — a canonical poor expander.
+    Barbell {
+        /// Size of each clique.
+        k: usize,
+    },
+    /// A `K_k` clique with a path of `path` vertices attached.
+    Lollipop {
+        /// Size of the clique.
+        k: usize,
+        /// Number of path vertices.
+        path: usize,
+    },
+    /// The star `S_n` (vertex 0 is the centre).
+    Star {
+        /// Number of vertices (centre plus `n - 1` leaves).
+        n: usize,
+    },
+    /// The complete bipartite graph `K_{a,b}` (bipartite, so `λ_n = -1`: outside the
+    /// paper's hypotheses — a negative instance).
+    CompleteBipartite {
+        /// Size of the first side.
+        a: usize,
+        /// Size of the second side.
+        b: usize,
+    },
+    /// A balanced `b`-ary tree of the given height (root at vertex 0).
+    BalancedTree {
+        /// Branching factor.
+        branching: usize,
+        /// Height (a single root at height 0).
+        height: u32,
+    },
 }
 
 impl GraphFamily {
@@ -101,6 +142,12 @@ impl GraphFamily {
             GraphFamily::Torus { sides } => torus(sides),
             GraphFamily::CyclePower { n, k } => cycle_power(*n, *k),
             GraphFamily::RingOfCliques { cliques, size } => ring_of_cliques(*cliques, *size),
+            GraphFamily::ErdosRenyi { n, p } => erdos_renyi_gnp(*n, *p, rng),
+            GraphFamily::Barbell { k } => barbell(*k),
+            GraphFamily::Lollipop { k, path } => lollipop(*k, *path),
+            GraphFamily::Star { n } => star(*n),
+            GraphFamily::CompleteBipartite { a, b } => complete_bipartite(*a, *b),
+            GraphFamily::BalancedTree { branching, height } => balanced_tree(*branching, *height),
         }
     }
 
@@ -119,6 +166,14 @@ impl GraphFamily {
             GraphFamily::RingOfCliques { cliques, size } => {
                 format!("ring-of-{cliques}-cliques-{size}")
             }
+            GraphFamily::ErdosRenyi { n, p } => format!("erdos-renyi-n{n}-p{p}"),
+            GraphFamily::Barbell { k } => format!("barbell-K{k}"),
+            GraphFamily::Lollipop { k, path } => format!("lollipop-K{k}-P{path}"),
+            GraphFamily::Star { n } => format!("star-S{n}"),
+            GraphFamily::CompleteBipartite { a, b } => format!("complete-bipartite-K{a}x{b}"),
+            GraphFamily::BalancedTree { branching, height } => {
+                format!("balanced-tree-b{branching}-h{height}")
+            }
         }
     }
 
@@ -131,6 +186,20 @@ impl GraphFamily {
             GraphFamily::Torus { sides } => sides.iter().product(),
             GraphFamily::CyclePower { n, .. } => *n,
             GraphFamily::RingOfCliques { cliques, size } => cliques * size,
+            GraphFamily::ErdosRenyi { n, .. } => *n,
+            GraphFamily::Barbell { k } => 2 * k,
+            GraphFamily::Lollipop { k, path } => k + path,
+            GraphFamily::Star { n } => *n,
+            GraphFamily::CompleteBipartite { a, b } => a + b,
+            GraphFamily::BalancedTree { branching, height } => {
+                let mut total = 1usize;
+                let mut level = 1usize;
+                for _ in 0..*height {
+                    level = level.saturating_mul(*branching);
+                    total = total.saturating_add(level);
+                }
+                total
+            }
         }
     }
 }
@@ -146,6 +215,12 @@ impl GraphFamily {
 /// | torus | `torus:sides=16x16` (any dimension: `8x8x8`) |
 /// | cycle power | `cycle-power:n=64,k=3` |
 /// | ring of cliques | `ring-of-cliques:c=8,s=6` |
+/// | Erdős–Rényi | `erdos-renyi:n=128,p=0.05` (aliases `er`, `gnp`) |
+/// | barbell | `barbell:k=16` |
+/// | lollipop | `lollipop:k=16,path=8` |
+/// | star | `star:n=64` |
+/// | complete bipartite | `complete-bipartite:a=8,b=8` |
+/// | balanced tree | `balanced-tree:b=3,h=4` (aliases `branching=`, `height=`) |
 impl fmt::Display for GraphFamily {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -160,6 +235,14 @@ impl fmt::Display for GraphFamily {
             GraphFamily::CyclePower { n, k } => write!(f, "cycle-power:n={n},k={k}"),
             GraphFamily::RingOfCliques { cliques, size } => {
                 write!(f, "ring-of-cliques:c={cliques},s={size}")
+            }
+            GraphFamily::ErdosRenyi { n, p } => write!(f, "erdos-renyi:n={n},p={p}"),
+            GraphFamily::Barbell { k } => write!(f, "barbell:k={k}"),
+            GraphFamily::Lollipop { k, path } => write!(f, "lollipop:k={k},path={path}"),
+            GraphFamily::Star { n } => write!(f, "star:n={n}"),
+            GraphFamily::CompleteBipartite { a, b } => write!(f, "complete-bipartite:a={a},b={b}"),
+            GraphFamily::BalancedTree { branching, height } => {
+                write!(f, "balanced-tree:b={branching},h={height}")
             }
         }
     }
@@ -227,10 +310,37 @@ impl std::str::FromStr for GraphFamily {
                 cliques: parse_usize("c", &require("c", take("c").or_else(|| take("cliques")))?)?,
                 size: parse_usize("s", &require("s", take("s").or_else(|| take("size")))?)?,
             },
+            "erdos-renyi" | "er" | "gnp" => {
+                let raw = require("p", take("p"))?;
+                let p = raw
+                    .parse::<f64>()
+                    .map_err(|_| invalid(format!("invalid value {raw:?} for `p`")))?;
+                GraphFamily::ErdosRenyi { n: parse_usize("n", &require("n", take("n"))?)?, p }
+            }
+            "barbell" => GraphFamily::Barbell { k: parse_usize("k", &require("k", take("k"))?)? },
+            "lollipop" => GraphFamily::Lollipop {
+                k: parse_usize("k", &require("k", take("k"))?)?,
+                path: parse_usize("path", &require("path", take("path").or_else(|| take("p")))?)?,
+            },
+            "star" => GraphFamily::Star { n: parse_usize("n", &require("n", take("n"))?)? },
+            "complete-bipartite" | "kab" => GraphFamily::CompleteBipartite {
+                a: parse_usize("a", &require("a", take("a"))?)?,
+                b: parse_usize("b", &require("b", take("b"))?)?,
+            },
+            "balanced-tree" | "tree" => {
+                let branching =
+                    parse_usize("b", &require("b", take("b").or_else(|| take("branching")))?)?;
+                let raw = require("h", take("h").or_else(|| take("height")))?;
+                let height = raw
+                    .parse::<u32>()
+                    .map_err(|_| invalid(format!("invalid value {raw:?} for `h`")))?;
+                GraphFamily::BalancedTree { branching, height }
+            }
             other => {
                 return Err(invalid(format!(
                     "unknown graph family {other:?} (expected complete, cycle, hypercube, \
-                     random-regular, torus, cycle-power or ring-of-cliques)"
+                     random-regular, torus, cycle-power, ring-of-cliques, erdos-renyi, \
+                     barbell, lollipop, star, complete-bipartite or balanced-tree)"
                 )))
             }
         };
@@ -258,6 +368,13 @@ mod tests {
             GraphFamily::Torus { sides: vec![4, 5] },
             GraphFamily::CyclePower { n: 20, k: 3 },
             GraphFamily::RingOfCliques { cliques: 4, size: 5 },
+            // G(n, p) with p far above the ln n / n connectivity threshold.
+            GraphFamily::ErdosRenyi { n: 24, p: 0.5 },
+            GraphFamily::Barbell { k: 6 },
+            GraphFamily::Lollipop { k: 6, path: 4 },
+            GraphFamily::Star { n: 11 },
+            GraphFamily::CompleteBipartite { a: 4, b: 7 },
+            GraphFamily::BalancedTree { branching: 3, height: 3 },
         ];
         for family in families {
             let g = family.instantiate(&mut rng).unwrap();
@@ -293,6 +410,12 @@ mod tests {
             GraphFamily::Torus { sides: vec![4, 5, 6] },
             GraphFamily::CyclePower { n: 20, k: 3 },
             GraphFamily::RingOfCliques { cliques: 4, size: 5 },
+            GraphFamily::ErdosRenyi { n: 128, p: 0.05 },
+            GraphFamily::Barbell { k: 16 },
+            GraphFamily::Lollipop { k: 16, path: 8 },
+            GraphFamily::Star { n: 64 },
+            GraphFamily::CompleteBipartite { a: 8, b: 9 },
+            GraphFamily::BalancedTree { branching: 3, height: 4 },
         ];
         for family in families {
             let text = family.to_string();
@@ -315,10 +438,26 @@ mod tests {
             "hypercube:dim=6".parse::<GraphFamily>().unwrap(),
             GraphFamily::Hypercube { dim: 6 }
         );
+        assert_eq!(
+            "gnp:n=64,p=0.1".parse::<GraphFamily>().unwrap(),
+            GraphFamily::ErdosRenyi { n: 64, p: 0.1 }
+        );
+        assert_eq!(
+            "tree:branching=2,height=5".parse::<GraphFamily>().unwrap(),
+            GraphFamily::BalancedTree { branching: 2, height: 5 }
+        );
+        assert_eq!(
+            "lollipop:k=8,p=4".parse::<GraphFamily>().unwrap(),
+            GraphFamily::Lollipop { k: 8, path: 4 }
+        );
         assert!("mystery:n=3".parse::<GraphFamily>().is_err());
         assert!("complete".parse::<GraphFamily>().is_err());
         assert!("complete:n=abc".parse::<GraphFamily>().is_err());
         assert!("complete:n=4,bogus=1".parse::<GraphFamily>().is_err());
         assert!("torus:sides=4xsix".parse::<GraphFamily>().is_err());
+        assert!("erdos-renyi:n=64".parse::<GraphFamily>().is_err());
+        assert!("erdos-renyi:n=64,p=nope".parse::<GraphFamily>().is_err());
+        assert!("balanced-tree:b=2".parse::<GraphFamily>().is_err());
+        assert!("star".parse::<GraphFamily>().is_err());
     }
 }

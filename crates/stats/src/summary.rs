@@ -133,14 +133,22 @@ impl Extend<f64> for Summary {
 }
 
 /// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of a sample using linear interpolation between order
-/// statistics (the common "type 7" definition). Returns `None` for an empty sample or a `q`
-/// outside `[0, 1]`.
+/// statistics (the common "type 7" definition). Returns `None` for a `q` outside `[0, 1]` or a
+/// sample with no finite values.
+///
+/// Non-finite values are **skipped**: the Monte-Carlo drivers encode budget-exhausted trials
+/// as `NaN` (see `measure_completion_rounds`), so quantiles — like [`Summary`] — describe the
+/// *completed* trials only. Callers that need to surface the failure rate report the
+/// completed/total counts separately.
 pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
-    if sample.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
         return None;
     }
-    let mut sorted: Vec<f64> = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample values must not be NaN"));
+    let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite values were filtered out"));
     let n = sorted.len();
     if n == 1 {
         return Some(sorted[0]);
@@ -249,6 +257,20 @@ mod tests {
         // Order should not matter.
         let shuffled = [3.0, 1.0, 4.0, 2.0];
         assert_eq!(quantile(&shuffled, 0.5), quantile(&data, 0.5));
+    }
+
+    #[test]
+    fn quantile_skips_non_finite_values() {
+        // Regression: budget-exhausted trials are encoded as NaN by the Monte-Carlo drivers
+        // and used to panic inside the sort comparator.
+        let with_nan = [3.0, f64::NAN, 1.0, f64::NAN, 2.0];
+        assert_close(quantile(&with_nan, 0.5).unwrap(), 2.0, 1e-12);
+        assert_eq!(quantile(&with_nan, 0.0), Some(1.0));
+        assert_eq!(quantile(&with_nan, 1.0), Some(3.0));
+        let with_inf = [1.0, f64::INFINITY, 2.0, f64::NEG_INFINITY];
+        assert_close(quantile(&with_inf, 0.5).unwrap(), 1.5, 1e-12);
+        assert_eq!(quantile(&[f64::NAN, f64::NAN], 0.5), None);
+        assert_eq!(median(&[f64::NAN, 7.0]), Some(7.0));
     }
 
     #[test]

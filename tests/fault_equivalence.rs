@@ -1,0 +1,136 @@
+//! Zero-fault wrappers are a no-op: a `FaultedProcess` with `drop=0`, no crashes and no
+//! churn must reproduce the bare process **bit for bit** under the same seeded RNG — the
+//! fault hooks inside every `step_faulted` implementation may not touch the RNG or the
+//! bookkeeping when the fault view is benign. This extends the engine-equivalence
+//! discipline of `tests/frontier_equivalence.rs` to the fault layer, for all seven
+//! processes.
+
+use cobra::core::spec::ProcessSpec;
+use cobra::graph::{generators, Graph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// One spec per process implementation (matching `frontier_equivalence::all_specs`).
+fn all_specs() -> Vec<ProcessSpec> {
+    vec![
+        ProcessSpec::cobra(2).unwrap(),
+        ProcessSpec::cobra_fractional(0.4).unwrap().with_start(3),
+        ProcessSpec::bips(2).unwrap().with_start(1),
+        ProcessSpec::random_walk(),
+        ProcessSpec::multiple_walks(5).with_start(2),
+        ProcessSpec::push(),
+        ProcessSpec::push_pull().with_start(4),
+        ProcessSpec::contact(0.6, 0.3).unwrap(),
+        "contact:p=0.2,q=0.7,transient".parse().unwrap(),
+    ]
+}
+
+/// The zero-fault plans under test: plain zero drop, and zero drop plus an empty sampled
+/// crash set (which must not consume RNG either).
+fn zero_fault_wrappings(spec: &ProcessSpec) -> Vec<ProcessSpec> {
+    vec![
+        format!("{spec}+drop=0").parse().expect("zero drop clause parses"),
+        format!("{spec}+drop=0+crash=0").parse().expect("zero crash clause parses"),
+    ]
+}
+
+/// Steps the wrapped and the bare process with identically seeded RNGs and asserts
+/// byte-identical evolution of the active set, delta and coverage.
+fn assert_no_op_wrapper(
+    graph: &Graph,
+    spec: &ProcessSpec,
+    wrapped_spec: &ProcessSpec,
+    seed: u64,
+    rounds: usize,
+) {
+    let mut bare = spec.build(graph).expect("bare process builds");
+    let mut wrapped = wrapped_spec.build(graph).expect("wrapped process builds");
+    let mut bare_rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut wrapped_rng = ChaCha12Rng::seed_from_u64(seed);
+
+    assert_eq!(wrapped.num_active(), bare.num_active(), "{wrapped_spec}: initial count");
+    for round in 1..=rounds {
+        bare.step(&mut bare_rng);
+        wrapped.step(&mut wrapped_rng);
+        assert_eq!(
+            wrapped.num_active(),
+            bare.num_active(),
+            "{wrapped_spec} seed {seed}: num_active diverged at round {round}"
+        );
+        assert_eq!(
+            wrapped.active().to_indicator(),
+            bare.active().to_indicator(),
+            "{wrapped_spec} seed {seed}: active set diverged at round {round}"
+        );
+        let mut bare_delta = bare.newly_activated().to_vec();
+        let mut wrapped_delta = wrapped.newly_activated().to_vec();
+        bare_delta.sort_unstable();
+        wrapped_delta.sort_unstable();
+        assert_eq!(
+            wrapped_delta, bare_delta,
+            "{wrapped_spec} seed {seed}: delta diverged at round {round}"
+        );
+        // The visited/coverage evolution (COBRA and the walks track it; the wrapper must
+        // forward it untouched).
+        assert_eq!(
+            wrapped.coverage().map(|set| set.count()),
+            bare.coverage().map(|set| set.count()),
+            "{wrapped_spec} seed {seed}: num_visited diverged at round {round}"
+        );
+        assert_eq!(
+            wrapped.is_complete(),
+            bare.is_complete(),
+            "{wrapped_spec} seed {seed}: completion diverged at round {round}"
+        );
+        if bare.is_complete() {
+            break;
+        }
+    }
+}
+
+fn assert_all_processes_no_op(graph: &Graph, seed: u64, rounds: usize) {
+    for spec in all_specs() {
+        if spec.start() >= graph.num_vertices() {
+            continue;
+        }
+        for wrapped_spec in zero_fault_wrappings(&spec) {
+            assert_no_op_wrapper(graph, &spec, &wrapped_spec, seed, rounds);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every process on connected random-regular expanders: the zero-fault wrapper is
+    /// invisible.
+    #[test]
+    fn zero_fault_wrapper_is_identity_on_random_regular(
+        n in 12usize..80,
+        r in 3usize..6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((n * r) % 2 == 0 && r < n);
+        let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0xFA17);
+        let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
+        assert_all_processes_no_op(&graph, seed, 60);
+    }
+
+    /// Every process on 2-D tori (the poor-expander contrast family).
+    #[test]
+    fn zero_fault_wrapper_is_identity_on_torus(side in 3usize..9, seed in 0u64..10_000) {
+        let graph = generators::torus_2d(side, side).unwrap();
+        assert_all_processes_no_op(&graph, seed, 50);
+    }
+}
+
+/// Fixed, deterministic smoke version on the acceptance instance family.
+#[test]
+fn zero_fault_wrapper_is_identity_on_a_fixed_expander() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(128, 8, &mut gen_rng).unwrap();
+    for seed in 0..4u64 {
+        assert_all_processes_no_op(&graph, seed, 150);
+    }
+}

@@ -268,6 +268,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn serialize(&self) -> Value {
         Value::Array(vec![self.0.serialize(), self.1.serialize()])
