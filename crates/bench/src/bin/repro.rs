@@ -75,7 +75,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--list" => options.list = true,
             "--list-processes" => options.list_processes = true,
             "--exp" => {
-                let value = args.next().ok_or("--exp requires an experiment id (e1..e9)")?;
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e9b)")?;
                 options.only = Some(
                     ExperimentId::parse(&value)
                         .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
@@ -108,7 +108,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full|--quick] [--exp e1..e9] [--seed N] [--list]\n\
+                    "usage: repro [--full|--quick] [--exp e1..e9b] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
                      \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
                      \x20      repro --list-processes\n\
@@ -361,6 +361,9 @@ mod tests {
     fn compatible_flag_sets_pass() {
         assert!(conflict(&[]).is_ok());
         assert!(conflict(&["--exp", "e9", "--full", "--seed", "7"]).is_ok());
+        assert!(conflict(&["--exp", "e9b", "--quick"]).is_ok());
+        assert!(conflict(&["--process", "cobra:k=2+gedrop=0.05,0.2,0.4+churn=8", "--trials", "2"])
+            .is_ok());
         assert!(conflict(&["--process", "cobra:k=2", "--trials", "3"]).is_ok());
         assert!(conflict(&["--process", "cobra:k=2+drop=0.1", "--graph", "star:n=16"]).is_ok());
         assert!(conflict(&["bench", "--quick", "--json", "out.json"]).is_ok());
@@ -411,6 +414,8 @@ mod tests {
         assert!(parse(&["--exp", "e10"]).is_err());
         assert!(parse(&["--process", "frisbee"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+drop=2"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+gedrop=0.1"]).is_err());
+        assert!(parse(&["--process", "push+repair=0.1"]).is_err());
         assert!(parse(&["--graph", "mystery:n=2"]).is_err());
         assert!(parse(&["--trials", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());

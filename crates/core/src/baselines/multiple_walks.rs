@@ -147,6 +147,14 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         }
     }
 
+    fn for_each_token(&self, f: &mut dyn FnMut(VertexId)) {
+        // One token per walker (not per occupied vertex): several walkers on the same
+        // vertex appear as repeated entries, so churn migration preserves multiplicity.
+        for &p in &self.positions {
+            f(p);
+        }
+    }
+
     fn is_complete(&self) -> bool {
         self.num_visited == self.graph.num_vertices()
     }
@@ -168,14 +176,18 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         self.next_list.clear();
         self.newly.clear();
         self.visited.clear();
-        // The occupancy set does not record multiplicity, so walkers spread round-robin
-        // over the adopted positions — the nearest faithful configuration.
+        // One adopted entry per walker (the token list `for_each_token` emits, possibly
+        // with repeats) restores the exact per-vertex walker counts; any other length
+        // falls back to spreading walkers round-robin over the adopted set.
+        let walkers = self.positions.len();
         for (i, p) in self.positions.iter_mut().enumerate() {
-            *p = active[i % active.len()];
+            *p = if active.len() == walkers { active[i] } else { active[i % active.len()] };
         }
-        for &v in active {
-            if self.active.insert(v) {
-                self.newly.push(v);
+        // The occupancy set derives from the walker positions, never the other way round.
+        for i in 0..walkers {
+            let p = self.positions[i];
+            if self.active.insert(p) {
+                self.newly.push(p);
             }
         }
         self.active.collect_into(&mut self.active_list);
@@ -261,6 +273,48 @@ mod tests {
                 assert!(walks.active().contains(p));
             }
         }
+    }
+
+    #[test]
+    fn tokens_enumerate_one_entry_per_walker() {
+        let g = generators::complete(8).unwrap();
+        let mut walks = MultipleRandomWalks::new(&g, 3, 5).unwrap();
+        let mut tokens = Vec::new();
+        walks.for_each_token(&mut |v| tokens.push(v));
+        assert_eq!(tokens, vec![3; 5], "all walkers start stacked on the start vertex");
+        let mut r = rng(11);
+        for _ in 0..7 {
+            walks.step(&mut r);
+        }
+        tokens.clear();
+        walks.for_each_token(&mut |v| tokens.push(v));
+        assert_eq!(tokens, walks.positions(), "tokens are exactly the walker positions");
+    }
+
+    #[test]
+    fn adopting_one_token_per_walker_preserves_multiplicity() {
+        let g = generators::cycle(10).unwrap();
+        let mut walks = MultipleRandomWalks::new(&g, 0, 4).unwrap();
+        // Three walkers stacked on vertex 7, one on vertex 2: the occupancy set alone
+        // would lose the stacking.
+        walks.adopt_state(&[7, 7, 2, 7], None).unwrap();
+        assert_eq!(walks.positions(), &[7, 7, 2, 7]);
+        assert_eq!(walks.num_active(), 2, "two occupied vertices");
+        assert!(walks.active().contains(7) && walks.active().contains(2));
+        assert_eq!(walks.num_walkers(), 4, "walker count is conserved");
+        // The process keeps running correctly from the adopted configuration.
+        let mut r = rng(4);
+        assert!(run_until_complete(&mut walks, &mut r, 1_000_000).is_some());
+    }
+
+    #[test]
+    fn adopting_a_plain_active_set_falls_back_to_round_robin() {
+        let g = generators::cycle(10).unwrap();
+        let mut walks = MultipleRandomWalks::new(&g, 0, 5).unwrap();
+        walks.adopt_state(&[1, 8], None).unwrap();
+        assert_eq!(walks.positions(), &[1, 8, 1, 8, 1]);
+        assert_eq!(walks.num_active(), 2);
+        assert!(walks.adopt_state(&[], None).is_err(), "adopting nothing is rejected");
     }
 
     #[test]

@@ -6,34 +6,47 @@
 //! effective branching is `k(1−f)`. This module turns that observation into a workload layer
 //! every process can run under:
 //!
-//! * **message drop** — each transmission is lost independently with probability `f`;
+//! * **message drop** — each transmission is lost with a probability set by a [`DropModel`]:
+//!   either i.i.d. per message (`drop=f`) or governed by a **Gilbert–Elliott two-state
+//!   Markov channel** (`gedrop=pb,pg,fb[,fg]`) whose *bursty* losses model real lossy links
+//!   (cf. Coop-RPL on AMI networks, PAPERS.md). For correlated models the `k(1−f)` heuristic
+//!   applies with the **stationary** loss rate ([`DropModel::stationary_loss`]);
 //! * **vertex crash** — a crashed vertex still *receives* (it can be covered/infected) but
 //!   never relays: it sends no pushes, its infection is invisible to BIPS samplers, a walker
 //!   standing on it is stuck. Crash sets are explicit (persistent across trials) or sampled
-//!   per trial;
+//!   per trial, and with a `repair=r` clause crashes become **transient**: each crashed
+//!   vertex repairs with probability `r` per round while healthy vertices re-crash at the
+//!   rate that keeps the crashed fraction stationary;
 //! * **edge churn** — the graph is re-instantiated from its random family every `T` rounds
 //!   while the process state (active set + coverage) migrates to the new instance.
 //!
 //! The correspondence to Theorem 3 is deliberately *not* exact: under `1+ρ` branching a
 //! vertex always performs at least one push, while under i.i.d. drop *both* of COBRA's
 //! pushes can be lost (probability `f²` per vertex per round), so the active set can shrink
-//! and even die out. Experiment E9 measures how much that costs.
+//! and even die out. Experiments E9 and E9b measure how much that costs.
 //!
 //! # Architecture
 //!
 //! Faults are applied *inside* each process step: [`SpreadingProcess::step_faulted`] receives
 //! a [`StepFaults`] view (drop probability + crashed set) and every process consults it at
 //! its transmission points. The [`FaultedProcess`] wrapper owns a [`FaultPlan`], resolves the
-//! crash set (sampling it from the trial RNG on first use) and forwards every step — so the
-//! `Runner`, all observers and `driver::run_spec_trials` drive a faulted process exactly like
-//! a bare one. A benign plan (`drop = 0`, no crashes) draws no extra randomness, which keeps
-//! the wrapped process bit-for-bit identical to the bare process under the same seeded RNG
-//! (property-tested in `tests/fault_equivalence.rs`).
+//! crash set (sampling it from the trial RNG on first use), advances the Gilbert–Elliott
+//! channel state once per round and forwards every step — so the `Runner`, all observers and
+//! `driver::run_spec_trials` drive a faulted process exactly like a bare one. A benign plan
+//! (no loss, no crashes) draws no extra randomness, which keeps the wrapped process
+//! bit-for-bit identical to the bare process under the same seeded RNG (property-tested in
+//! `tests/fault_equivalence.rs`). Channel sojourns are sampled geometrically *on entry* to a
+//! state, so rounds spent inside a state — in particular every round of a loss-free good
+//! period — advance the channel with **zero RNG draws**, and degenerate transition
+//! probabilities (`gedrop=1,1,f,f`, expected burst length 1) reproduce `drop=f` bit for bit.
 //!
 //! Churn cannot be expressed by a wrapper over a process that borrows one fixed graph;
 //! [`run_churned`] owns the segment loop instead: it re-instantiates the
 //! [`GraphFamily`](cobra_graph::generators::GraphFamily) every `T` rounds and migrates the
-//! process state through [`SpreadingProcess::adopt_state`].
+//! process state through [`SpreadingProcess::adopt_state`], carrying walker multiplicities
+//! exactly via [`SpreadingProcess::for_each_token`]. [`run_churned_observed`] additionally
+//! threads `Runner` observers across the epochs: traces and first-visit times see one
+//! continuous run with a monotone round index.
 //!
 //! # Spec syntax
 //!
@@ -41,7 +54,12 @@
 //!
 //! ```text
 //! cobra:k=2+drop=0.1              10% i.i.d. message drop
+//! cobra:k=2+gedrop=0.1,0.25,0.5   Gilbert–Elliott: P(good→bad)=0.1, P(bad→good)=0.25
+//!                                 (mean burst 4 rounds), 50% loss when bad, 0% when good
+//! push+gedrop=0.1,0.25,0.5,0.02   …and 2% residual loss in the good state
 //! cobra:k=2+crash=5%              5% of the vertices crash (sampled per trial, start excluded)
+//! cobra:k=2+crash=5%+repair=0.1   transient: crashed vertices repair w.p. 0.1 per round,
+//!                                 healthy ones re-crash so 5% stay down in expectation
 //! push+crash=12                   12 random vertices crash
 //! bips:k=2+crash=v3;v8            vertices 3 and 8 crash (persistent across trials)
 //! cobra:k=2+drop=0.1+churn=64     drop plus graph re-instantiation every 64 rounds
@@ -55,9 +73,96 @@ use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::process::SpreadingProcess;
-use crate::sim::{RunOutcome, Runner, StopReason};
+use crate::sim::{Observer, RunOutcome, Runner, StopReason};
 use crate::spec::ProcessSpec;
 use crate::{CoreError, Result};
+
+/// The message-loss model of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DropModel {
+    /// Every transmission is lost independently with probability `f` (spec clause `drop=f`).
+    Iid {
+        /// Per-transmission loss probability, in `[0, 1]`.
+        f: f64,
+    },
+    /// Gilbert–Elliott correlated loss (spec clause `gedrop=pb,pg,fb[,fg]`): a two-state
+    /// Markov channel alternates between a *good* and a *bad* state once per round, and
+    /// every transmission of the round is lost i.i.d. with the current state's loss rate.
+    /// The expected bad-burst length is `1/p_good` rounds; the channel starts good.
+    GilbertElliott {
+        /// Per-round probability of leaving the good state (`pb`), in `[0, 1]`.
+        p_bad: f64,
+        /// Per-round probability of leaving the bad state (`pg`), in `[0, 1]`; the mean
+        /// burst length is `1/pg` rounds.
+        p_good: f64,
+        /// Per-transmission loss probability while the channel is bad (`fb`), in `[0, 1]`.
+        f_bad: f64,
+        /// Per-transmission loss probability while the channel is good (`fg`, default 0).
+        f_good: f64,
+    },
+}
+
+impl Default for DropModel {
+    fn default() -> Self {
+        DropModel::Iid { f: 0.0 }
+    }
+}
+
+impl DropModel {
+    /// The i.i.d. model with loss probability `f` (not validated; see
+    /// [`FaultPlan::validate`]).
+    pub const fn iid(f: f64) -> Self {
+        DropModel::Iid { f }
+    }
+
+    /// Whether the model can never lose a message (and therefore never touches the RNG).
+    pub fn is_lossless(&self) -> bool {
+        match self {
+            DropModel::Iid { f } => *f == 0.0,
+            DropModel::GilbertElliott { f_bad, f_good, .. } => *f_bad == 0.0 && *f_good == 0.0,
+        }
+    }
+
+    /// The long-run fraction of transmissions lost — the `f` at which the `k(1−f)`
+    /// effective-branching heuristic applies to a correlated channel. For the i.i.d. model
+    /// this is `f` itself; for Gilbert–Elliott it is `π_b·fb + (1−π_b)·fg` with the
+    /// stationary bad-state probability `π_b = pb/(pb+pg)`.
+    pub fn stationary_loss(&self) -> f64 {
+        match *self {
+            DropModel::Iid { f } => f,
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                if p_bad + p_good == 0.0 {
+                    // The chain never moves; it starts (and stays) good.
+                    f_good
+                } else {
+                    let pi_bad = p_bad / (p_bad + p_good);
+                    pi_bad * f_bad + (1.0 - pi_bad) * f_good
+                }
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let probability = |name: &str, value: f64| -> Result<()> {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!("{name} = {value} must be in [0, 1]"),
+                });
+            }
+            Ok(())
+        };
+        match *self {
+            DropModel::Iid { f } => probability("drop probability", f),
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                probability("gedrop transition P(good->bad)", p_bad)?;
+                probability("gedrop transition P(bad->good)", p_good)?;
+                probability("gedrop bad-state loss", f_bad)?;
+                probability("gedrop good-state loss", f_good)
+            }
+        }
+    }
+}
 
 /// How the crashed-vertex set of a [`FaultPlan`] is chosen.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -111,10 +216,16 @@ impl CrashSpec {
 /// [`ProcessSpec`](crate::spec::ProcessSpec) with `+` clauses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct FaultPlan {
-    /// Probability that any single transmission is lost (`drop=f`), in `[0, 1]`.
-    pub drop: f64,
+    /// The message-loss model (`drop=f` or `gedrop=pb,pg,fb[,fg]`).
+    pub drop: DropModel,
     /// The crashed-vertex set.
     pub crash: CrashSpec,
+    /// Per-round repair probability for crashed vertices (`repair=r`): crashes become
+    /// transient, and for sampled crash sets healthy vertices re-crash at the rate
+    /// `r·π/(1−π)` that keeps the crashed fraction stationary at the configured `π`.
+    /// Explicit `crash=v…` lists are an initial condition: they heal and never re-crash.
+    /// `None` keeps crashes permanent within a trial.
+    pub repair: Option<f64>,
     /// Re-instantiate the graph family every this many rounds (`churn=T`).
     pub churn: Option<usize>,
 }
@@ -131,32 +242,41 @@ impl FaultPlan {
     ///
     /// Returns [`CoreError::InvalidParameters`] unless `0 ≤ f ≤ 1`.
     pub fn with_drop(f: f64) -> Result<Self> {
-        let plan = FaultPlan { drop: f, ..FaultPlan::default() };
+        let plan = FaultPlan { drop: DropModel::iid(f), ..FaultPlan::default() };
         plan.validate()?;
         Ok(plan)
     }
 
-    /// Whether the plan injects no faults (`drop = 0`, no crashes, no churn).
+    /// Whether the plan injects no faults (no possible loss, no crashes, no churn).
     pub fn is_benign(&self) -> bool {
-        self.drop == 0.0 && self.crash.is_none() && self.churn.is_none()
+        self.drop.is_lossless() && self.crash.is_none() && self.churn.is_none()
     }
 
     /// Validates every field.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidParameters`] for a drop probability outside `[0, 1]`, a
-    /// crash percentage outside `[0, 100]` or a churn period of zero.
+    /// Returns [`CoreError::InvalidParameters`] for loss or transition probabilities outside
+    /// `[0, 1]`, a crash percentage outside `[0, 100]`, a repair rate outside `[0, 1]` or
+    /// without a crash clause, or a churn period of zero.
     pub fn validate(&self) -> Result<()> {
-        if !self.drop.is_finite() || !(0.0..=1.0).contains(&self.drop) {
-            return Err(CoreError::InvalidParameters {
-                reason: format!("drop probability {} must be in [0, 1]", self.drop),
-            });
-        }
+        self.drop.validate()?;
         if let CrashSpec::Percent { percent } = self.crash {
             if !percent.is_finite() || !(0.0..=100.0).contains(&percent) {
                 return Err(CoreError::InvalidParameters {
                     reason: format!("crash percentage {percent} must be in [0, 100]"),
+                });
+            }
+        }
+        if let Some(repair) = self.repair {
+            if !repair.is_finite() || !(0.0..=1.0).contains(&repair) {
+                return Err(CoreError::InvalidParameters {
+                    reason: format!("repair rate {repair} must be in [0, 1]"),
+                });
+            }
+            if self.crash.is_none() {
+                return Err(CoreError::InvalidParameters {
+                    reason: "repair= only makes sense together with a crash= clause".to_string(),
                 });
             }
         }
@@ -168,10 +288,12 @@ impl FaultPlan {
         Ok(())
     }
 
-    /// Parses a `+`-joined clause list (`drop=0.1+crash=5%+churn=64`; crash values may be
-    /// a percentage, a count like `crash=12`, or an explicit list `crash=v3;v8`) into a
-    /// validated plan, rejecting unknown, malformed and duplicate clauses — including a
-    /// duplicate of the explicitly-supported `drop=0`.
+    /// Parses a `+`-joined clause list (`drop=0.1+crash=5%+churn=64`,
+    /// `gedrop=0.1,0.25,0.5+crash=5%+repair=0.1`; crash values may be a percentage, a count
+    /// like `crash=12`, or an explicit list `crash=v3;v8`) into a validated plan, rejecting
+    /// unknown, malformed and duplicate clauses — including a duplicate of the
+    /// explicitly-supported `drop=0`, and `drop=` next to `gedrop=` (one loss model per
+    /// plan).
     ///
     /// # Errors
     ///
@@ -180,7 +302,8 @@ impl FaultPlan {
     pub fn parse_clauses(text: &str) -> Result<Self> {
         let invalid = |reason: String| CoreError::InvalidParameters { reason };
         let mut plan = FaultPlan::none();
-        let (mut seen_drop, mut seen_crash, mut seen_churn) = (false, false, false);
+        let (mut seen_drop, mut seen_crash, mut seen_repair, mut seen_churn) =
+            (false, false, false, false);
         for clause in text.split('+') {
             let (key, value) = clause
                 .split_once('=')
@@ -188,13 +311,40 @@ impl FaultPlan {
             match key.trim() {
                 "drop" => {
                     if seen_drop {
-                        return Err(invalid("drop= given twice".to_string()));
+                        return Err(invalid("only one drop=/gedrop= clause allowed".to_string()));
                     }
                     seen_drop = true;
-                    plan.drop = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| invalid(format!("invalid drop probability {value:?}")))?;
+                    plan.drop = DropModel::iid(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| invalid(format!("invalid drop probability {value:?}")))?,
+                    );
+                }
+                "gedrop" => {
+                    if seen_drop {
+                        return Err(invalid("only one drop=/gedrop= clause allowed".to_string()));
+                    }
+                    seen_drop = true;
+                    let fields: Vec<f64> = value
+                        .split(',')
+                        .map(|token| {
+                            token.trim().parse().map_err(|_| {
+                                invalid(format!("invalid gedrop field {token:?} in {value:?}"))
+                            })
+                        })
+                        .collect::<Result<Vec<f64>>>()?;
+                    let (p_bad, p_good, f_bad, f_good) = match fields.as_slice() {
+                        [pb, pg, fb] => (*pb, *pg, *fb, 0.0),
+                        [pb, pg, fb, fg] => (*pb, *pg, *fb, *fg),
+                        _ => {
+                            return Err(invalid(format!(
+                                "gedrop takes 3 or 4 comma-separated probabilities \
+                                 pb,pg,fb[,fg], got {value:?}"
+                            )))
+                        }
+                    };
+                    plan.drop = DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good };
                 }
                 "crash" => {
                     if seen_crash {
@@ -226,6 +376,18 @@ impl FaultPlan {
                         }
                     };
                 }
+                "repair" => {
+                    if seen_repair {
+                        return Err(invalid("repair= given twice".to_string()));
+                    }
+                    seen_repair = true;
+                    plan.repair = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| invalid(format!("invalid repair rate {value:?}")))?,
+                    );
+                }
                 "churn" => {
                     if seen_churn {
                         return Err(invalid("churn= given twice".to_string()));
@@ -240,7 +402,8 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(invalid(format!(
-                        "unknown fault clause `{other}` (expected drop=, crash= or churn=)"
+                        "unknown fault clause `{other}` (expected drop=, gedrop=, crash=, \
+                         repair= or churn=)"
                     )))
                 }
             }
@@ -255,8 +418,19 @@ impl FaultPlan {
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut parts: Vec<String> = Vec::new();
-        if self.drop != 0.0 {
-            parts.push(format!("drop={}", self.drop));
+        match self.drop {
+            DropModel::Iid { f } => {
+                if f != 0.0 {
+                    parts.push(format!("drop={f}"));
+                }
+            }
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                if f_good == 0.0 {
+                    parts.push(format!("gedrop={p_bad},{p_good},{f_bad}"));
+                } else {
+                    parts.push(format!("gedrop={p_bad},{p_good},{f_bad},{f_good}"));
+                }
+            }
         }
         match &self.crash {
             CrashSpec::None => {}
@@ -266,6 +440,9 @@ impl fmt::Display for FaultPlan {
                 let list: Vec<String> = vertices.iter().map(|v| format!("v{v}")).collect();
                 parts.push(format!("crash={}", list.join(";")));
             }
+        }
+        if let Some(repair) = self.repair {
+            parts.push(format!("repair={repair}"));
         }
         if let Some(period) = self.churn {
             parts.push(format!("churn={period}"));
@@ -283,7 +460,9 @@ impl fmt::Display for FaultPlan {
 /// The two queries are free of side effects when the fault is absent: with `drop = 0`,
 /// [`drops`](StepFaults::drops) returns `false` **without touching the RNG**, and with no
 /// crash set [`is_crashed`](StepFaults::is_crashed) is a constant `false` — which is what
-/// makes a zero-fault wrapper bit-identical to the bare process.
+/// makes a zero-fault wrapper bit-identical to the bare process. Correlated loss models
+/// resolve to a plain per-round probability before the view is built, so processes stay
+/// oblivious to the channel state.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepFaults<'a> {
     drop: f64,
@@ -299,7 +478,7 @@ impl<'a> StepFaults<'a> {
         StepFaults { drop, crashed }
     }
 
-    /// The i.i.d. per-transmission drop probability.
+    /// The i.i.d. per-transmission drop probability of the current round.
     pub fn drop_probability(&self) -> f64 {
         self.drop
     }
@@ -328,22 +507,91 @@ impl<'a> StepFaults<'a> {
     }
 }
 
+/// Samples the sojourn length (in rounds, support `{1, 2, …}`) of a channel state whose
+/// per-round exit probability is `exit`, with a single inverse-transform draw. The
+/// deterministic edges consume no randomness — `exit = 0` never leaves the state
+/// (`u64::MAX` rounds) and `exit = 1` leaves after exactly one round — which is what makes
+/// degenerate transition probabilities bit-identical to the i.i.d. drop model.
+fn sample_sojourn(exit: f64, rng: &mut dyn RngCore) -> u64 {
+    if exit <= 0.0 {
+        return u64::MAX;
+    }
+    if exit >= 1.0 {
+        return 1;
+    }
+    // Inverse CDF of the geometric distribution: P(X >= k) = (1 - exit)^(k-1).
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let rounds = ((1.0 - u).ln() / (1.0 - exit).ln()).ceil();
+    if rounds.is_finite() && rounds >= 1.0 {
+        if rounds >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            rounds as u64
+        }
+    } else {
+        1
+    }
+}
+
+/// The Markov channel state of a Gilbert–Elliott drop model, advanced once per round.
+///
+/// Sojourn lengths are sampled geometrically on *entry* to a state (one draw per burst), so
+/// rounds spent inside a state — in particular every round of a loss-free good period —
+/// advance the channel with zero RNG draws.
+#[derive(Debug, Clone, Copy)]
+struct GeChannel {
+    bad: bool,
+    /// Rounds left in the current state; 0 = sojourn not sampled yet, `u64::MAX` = forever.
+    remaining: u64,
+}
+
+impl GeChannel {
+    /// The channel starts in the good state.
+    const START: GeChannel = GeChannel { bad: false, remaining: 0 };
+
+    /// Advances one round and reports whether *this* round is spent in the bad state.
+    fn advance(&mut self, p_bad: f64, p_good: f64, rng: &mut dyn RngCore) -> bool {
+        if self.remaining == 0 {
+            let exit = if self.bad { p_good } else { p_bad };
+            self.remaining = sample_sojourn(exit, rng);
+        }
+        let bad_now = self.bad;
+        if self.remaining != u64::MAX {
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                self.bad = !self.bad;
+            }
+        }
+        bad_now
+    }
+}
+
 /// Wraps any boxed process so it steps under a [`FaultPlan`]'s drop and crash faults.
 ///
 /// The wrapper is itself a [`SpreadingProcess`], so the `Runner`, every observer and the
 /// Monte-Carlo driver handle it exactly like a bare process. Sampled crash sets
 /// ([`CrashSpec::Percent`] / [`CrashSpec::Count`]) are drawn from the step RNG on first use
 /// — i.e. per trial, since drivers build one process per trial — always excluding the
-/// protected start vertex. Explicit sets are validated and fixed at construction.
+/// protected start vertex. Explicit sets are validated and fixed at construction. With a
+/// `repair=` rate the crash set evolves per round (see [`FaultPlan::repair`]); the
+/// Gilbert–Elliott channel state, when configured, also advances once per round.
 ///
 /// Churn is *not* handled here (a wrapper cannot re-instantiate a graph its inner process
 /// borrows); use [`run_churned`]. Construction therefore rejects plans with `churn=`.
 pub struct FaultedProcess<'g> {
     inner: Box<dyn SpreadingProcess + Send + 'g>,
-    drop: f64,
+    drop: DropModel,
+    channel: GeChannel,
     crash: CrashSpec,
+    /// Per-round repair probability; 0 keeps crashes permanent (the PR-3 model).
+    repair: f64,
+    /// Per-round re-crash probability of healthy vertices, derived once the initial crash
+    /// set is known so the crashed fraction is stationary. 0 for explicit lists.
+    recrash: f64,
     protect: VertexId,
     crashed: Option<VertexBitset>,
+    /// Pristine copy of an explicit crash list, restored on reset (repair mutates the set).
+    explicit: Option<VertexBitset>,
     crash_resolved: bool,
 }
 
@@ -352,6 +600,8 @@ impl fmt::Debug for FaultedProcess<'_> {
         f.debug_struct("FaultedProcess")
             .field("drop", &self.drop)
             .field("crash", &self.crash)
+            .field("repair", &self.repair)
+            .field("recrash", &self.recrash)
             .field("protect", &self.protect)
             .field("crashed", &self.crashed)
             .finish_non_exhaustive()
@@ -360,7 +610,7 @@ impl fmt::Debug for FaultedProcess<'_> {
 
 impl<'g> FaultedProcess<'g> {
     /// Wraps `inner` under `plan`, protecting `protect` (the start/source vertex) from
-    /// sampled crash sets.
+    /// sampled crash sets and from transient re-crashes.
     ///
     /// # Errors
     ///
@@ -397,6 +647,7 @@ impl<'g> FaultedProcess<'g> {
             }
         }
         let mut crashed = None;
+        let mut explicit = None;
         let mut crash_resolved = false;
         if let CrashSpec::Vertices { vertices } = &plan.crash {
             let mut set = VertexBitset::new(n);
@@ -406,7 +657,8 @@ impl<'g> FaultedProcess<'g> {
                 }
                 set.insert(v);
             }
-            crashed = Some(set);
+            crashed = Some(set.clone());
+            explicit = Some(set);
             crash_resolved = true;
         } else if plan.crash.is_none() {
             crash_resolved = true;
@@ -414,9 +666,13 @@ impl<'g> FaultedProcess<'g> {
         Ok(FaultedProcess {
             inner,
             drop: plan.drop,
+            channel: GeChannel::START,
             crash: plan.crash.clone(),
+            repair: plan.repair.unwrap_or(0.0),
+            recrash: 0.0,
             protect,
             crashed,
+            explicit,
             crash_resolved,
         })
     }
@@ -432,7 +688,8 @@ impl<'g> FaultedProcess<'g> {
     }
 
     /// Samples the crash set on first use (per trial): `resolve_count` distinct vertices,
-    /// uniform over `V \ {protect}`, via a partial Fisher–Yates shuffle.
+    /// uniform over `V \ {protect}`, via a partial Fisher–Yates shuffle. Also derives the
+    /// stationary re-crash rate once the initial crashed count is known.
     fn resolve_crashes(&mut self, rng: &mut dyn RngCore) {
         if self.crash_resolved {
             return;
@@ -451,14 +708,46 @@ impl<'g> FaultedProcess<'g> {
             set.insert(eligible[i]);
         }
         self.crashed = Some(set);
+        // Transient crashes: healthy vertices re-crash at the rate that keeps the crashed
+        // fraction stationary at π = count/n (π < 1 always: the start never crashes).
+        // Explicit lists are an initial condition and keep recrash = 0.
+        if self.repair > 0.0 {
+            let pi = count as f64 / n as f64;
+            self.recrash = (self.repair * pi / (1.0 - pi)).min(1.0);
+        }
+    }
+
+    /// Applies the per-round crash/repair dynamics: every crashed vertex repairs with
+    /// probability `repair`, every healthy vertex (except the protected start) re-crashes
+    /// with the derived stationary rate. No-op — zero RNG draws — for permanent plans.
+    fn update_crashes(&mut self, rng: &mut dyn RngCore) {
+        if self.repair <= 0.0 {
+            return;
+        }
+        let Some(set) = self.crashed.as_mut() else { return };
+        let n = self.inner.num_vertices();
+        for v in 0..n {
+            if v == self.protect {
+                continue;
+            }
+            if set.contains(v) {
+                if rng.gen_bool(self.repair) {
+                    set.remove(v);
+                }
+            } else if self.recrash > 0.0 && rng.gen_bool(self.recrash) {
+                set.insert(v);
+            }
+        }
     }
 }
 
 impl SpreadingProcess for FaultedProcess<'_> {
     fn step_faulted(&mut self, rng: &mut dyn RngCore, outer: &StepFaults<'_>) {
         self.resolve_crashes(rng);
+        self.update_crashes(rng);
         // Compose with faults injected by an outer caller (nested wrappers): drops are
-        // independent, crashes are permanent so folding the outer set in is sound.
+        // independent; folding the outer crash set in each round keeps those vertices down
+        // even under repair dynamics.
         if let Some(extra) = outer.crashed_set() {
             match &mut self.crashed {
                 Some(set) => extra.for_each(&mut |v| {
@@ -467,7 +756,20 @@ impl SpreadingProcess for FaultedProcess<'_> {
                 None => self.crashed = Some(extra.clone()),
             }
         }
-        let drop = 1.0 - (1.0 - self.drop) * (1.0 - outer.drop_probability());
+        let own = match self.drop {
+            DropModel::Iid { f } => f,
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                if f_bad == 0.0 && f_good == 0.0 {
+                    // A lossless channel never touches the RNG.
+                    0.0
+                } else if self.channel.advance(p_bad, p_good, rng) {
+                    f_bad
+                } else {
+                    f_good
+                }
+            }
+        };
+        let drop = 1.0 - (1.0 - own) * (1.0 - outer.drop_probability());
         let faults = StepFaults::new(drop, self.crashed.as_ref());
         self.inner.step_faulted(rng, &faults);
     }
@@ -492,6 +794,10 @@ impl SpreadingProcess for FaultedProcess<'_> {
         self.inner.for_each_active(f);
     }
 
+    fn for_each_token(&self, f: &mut dyn FnMut(VertexId)) {
+        self.inner.for_each_token(f);
+    }
+
     fn num_vertices(&self) -> usize {
         self.inner.num_vertices()
     }
@@ -510,25 +816,89 @@ impl SpreadingProcess for FaultedProcess<'_> {
 
     fn reset(&mut self) {
         self.inner.reset();
-        // Sampled crash sets are re-drawn for the next trial; explicit sets persist.
-        if !matches!(self.crash, CrashSpec::None | CrashSpec::Vertices { .. }) {
-            self.crashed = None;
-            self.crash_resolved = false;
+        self.channel = GeChannel::START;
+        match self.crash {
+            CrashSpec::None => {}
+            // Repair may have mutated the explicit set mid-trial; restore the pristine list.
+            CrashSpec::Vertices { .. } => self.crashed = self.explicit.clone(),
+            // Sampled crash sets are re-drawn for the next trial.
+            _ => {
+                self.crashed = None;
+                self.crash_resolved = false;
+            }
         }
+    }
+}
+
+/// A read-only view shifting [`SpreadingProcess::round`] by the rounds executed in earlier
+/// churn epochs, so observers threaded across epochs see one continuous, monotone round
+/// index.
+struct OffsetRounds<'p> {
+    inner: &'p dyn SpreadingProcess,
+    offset: usize,
+}
+
+impl SpreadingProcess for OffsetRounds<'_> {
+    fn step_faulted(&mut self, _rng: &mut dyn RngCore, _faults: &StepFaults<'_>) {
+        unreachable!("the churn observer view is read-only")
+    }
+
+    fn round(&self) -> usize {
+        self.offset + self.inner.round()
+    }
+
+    fn active(&self) -> &VertexBitset {
+        self.inner.active()
+    }
+
+    fn num_active(&self) -> usize {
+        self.inner.num_active()
+    }
+
+    fn newly_activated(&self) -> &[VertexId] {
+        self.inner.newly_activated()
+    }
+
+    fn for_each_active(&self, f: &mut dyn FnMut(VertexId)) {
+        self.inner.for_each_active(f);
+    }
+
+    fn for_each_token(&self, f: &mut dyn FnMut(VertexId)) {
+        self.inner.for_each_token(f);
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn coverage(&self) -> Option<&VertexBitset> {
+        self.inner.coverage()
+    }
+
+    fn reset(&mut self) {
+        unreachable!("the churn observer view is read-only")
     }
 }
 
 /// Runs one trial of `spec` on fresh instances of `family`, honouring a `churn=T` fault
 /// clause: every `T` rounds the graph is re-instantiated from the family and the process
-/// state (active set + coverage) migrates to the new instance through
+/// state (token list + coverage) migrates to the new instance through
 /// [`SpreadingProcess::adopt_state`]. Specs without churn run on a single instance.
 ///
 /// The graph is drawn from `rng`, so trials driven by per-trial RNGs are deterministic and
 /// independent. Sampled crash sets are re-drawn at every churn epoch (the node population
-/// churns with the network).
+/// churns with the network), and a Gilbert–Elliott channel likewise restarts in its good
+/// state per epoch — bursts never straddle an epoch boundary, so under churn the realized
+/// loss rate sits *below* [`DropModel::stationary_loss`] when epochs are not much longer
+/// than a mean burst (the re-instantiated network starts with fresh links). State migrates
+/// via [`SpreadingProcess::for_each_token`], so multiwalk carries exact per-vertex walker
+/// counts across epochs.
 ///
-/// Observers are not supported across churn boundaries; use the plain
-/// [`Runner`] on a fixed graph when traces are needed.
+/// For traces and first-visit times across the epochs, use [`run_churned_observed`].
 ///
 /// # Errors
 ///
@@ -539,32 +909,82 @@ pub fn run_churned(
     runner: &Runner,
     rng: &mut dyn RngCore,
 ) -> Result<RunOutcome> {
+    run_churned_observed(spec, family, runner, rng, &mut [])
+}
+
+/// [`run_churned`] with `Runner` observers threaded **across** the churn epochs: observers
+/// are started exactly once (on the initial state of the first epoch) and then notified
+/// after every executed round, with [`SpreadingProcess::round`] presented as one continuous
+/// index over the whole run — so `FirstVisitTimes` stays set-once and nondecreasing,
+/// `CoverageTrace` stays monotone and `ActiveCountTrace` holds the initial state plus one
+/// entry per executed round, exactly as on a fixed graph. No observer callback fires at an
+/// epoch boundary itself (re-instantiation is not a round).
+///
+/// # Errors
+///
+/// Propagates graph-instantiation, process-construction and state-migration failures.
+pub fn run_churned_observed(
+    spec: &ProcessSpec,
+    family: &GraphFamily,
+    runner: &Runner,
+    rng: &mut dyn RngCore,
+    observers: &mut [&mut dyn Observer],
+) -> Result<RunOutcome> {
     let graph_error = |e: cobra_graph::GraphError| CoreError::UnsuitableGraph {
         reason: format!("cannot instantiate {family}: {e}"),
     };
     let Some(period) = spec.fault_plan().and_then(|plan| plan.churn) else {
         let graph = family.instantiate(&mut &mut *rng).map_err(graph_error)?;
-        return runner.run_spec(spec, &graph, rng);
+        let mut process = spec.build(&graph)?;
+        return Ok(runner.run_observed(process.as_mut(), rng, observers));
     };
     let segment_spec = spec.clone().with_churn(None);
     let budget = runner.max_rounds();
     let mut total_rounds = 0usize;
     let mut carry: Option<(Vec<VertexId>, Option<VertexBitset>)> = None;
+    let mut started = false;
     loop {
         let graph = family.instantiate(&mut &mut *rng).map_err(graph_error)?;
         let mut process = segment_spec.build(&graph)?;
-        if let Some((active, coverage)) = carry.take() {
-            process.adopt_state(&active, coverage.as_ref())?;
+        if let Some((tokens, coverage)) = carry.take() {
+            process.adopt_state(&tokens, coverage.as_ref())?;
         }
-        let segment = runner.with_max_rounds(period.min(budget - total_rounds));
-        let outcome = segment.run(process.as_mut(), rng);
-        total_rounds += outcome.rounds;
-        if outcome.reason != StopReason::BudgetExhausted || total_rounds >= budget {
-            return Ok(RunOutcome { rounds: total_rounds, ..outcome });
+        // `adopt_state` resets the per-segment round counter, so the offset view presents
+        // `offset + segment round` to the observers.
+        let offset = total_rounds;
+        if !started {
+            started = true;
+            for observer in observers.iter_mut() {
+                observer.on_start(&OffsetRounds { inner: process.as_ref(), offset });
+            }
         }
-        let mut active = Vec::new();
-        process.for_each_active(&mut |v| active.push(v));
-        carry = Some((active, process.coverage().cloned()));
+        let mut reason = StopReason::BudgetExhausted;
+        if let Some(early) = runner.goal_reached(process.as_ref()) {
+            reason = early;
+        } else {
+            for _ in 0..period.min(budget - total_rounds) {
+                process.step(rng);
+                for observer in observers.iter_mut() {
+                    observer.on_round(&OffsetRounds { inner: process.as_ref(), offset });
+                }
+                if let Some(stop) = runner.goal_reached(process.as_ref()) {
+                    reason = stop;
+                    break;
+                }
+            }
+        }
+        total_rounds = offset + process.round();
+        if reason != StopReason::BudgetExhausted || total_rounds >= budget {
+            return Ok(RunOutcome {
+                rounds: total_rounds,
+                final_active: process.num_active(),
+                num_vertices: process.num_vertices(),
+                reason,
+            });
+        }
+        let mut tokens = Vec::new();
+        process.for_each_token(&mut |v| tokens.push(v));
+        carry = Some((tokens, process.coverage().cloned()));
     }
 }
 
@@ -593,12 +1013,61 @@ mod tests {
         assert!(bad_churn.validate().is_err());
         assert!(FaultPlan::none().is_benign());
         assert!(!FaultPlan::with_drop(0.1).unwrap().is_benign());
+        // Gilbert–Elliott fields are all probabilities.
+        for bad in [
+            DropModel::GilbertElliott { p_bad: 1.5, p_good: 0.5, f_bad: 0.5, f_good: 0.0 },
+            DropModel::GilbertElliott { p_bad: 0.5, p_good: -0.1, f_bad: 0.5, f_good: 0.0 },
+            DropModel::GilbertElliott { p_bad: 0.5, p_good: 0.5, f_bad: 2.0, f_good: 0.0 },
+            DropModel::GilbertElliott { p_bad: 0.5, p_good: 0.5, f_bad: 0.5, f_good: f64::NAN },
+        ] {
+            assert!(FaultPlan { drop: bad, ..FaultPlan::default() }.validate().is_err());
+        }
+        // A lossless channel is benign; a lossy one is not.
+        let lossless = FaultPlan {
+            drop: DropModel::GilbertElliott { p_bad: 0.3, p_good: 0.7, f_bad: 0.0, f_good: 0.0 },
+            ..FaultPlan::default()
+        };
+        assert!(lossless.is_benign());
+        let lossy = FaultPlan {
+            drop: DropModel::GilbertElliott { p_bad: 0.3, p_good: 0.7, f_bad: 0.5, f_good: 0.0 },
+            ..FaultPlan::default()
+        };
+        assert!(!lossy.is_benign());
+        // Repair needs a crash clause and a probability.
+        let lonely_repair = FaultPlan { repair: Some(0.1), ..FaultPlan::default() };
+        assert!(lonely_repair.validate().is_err());
+        let bad_repair = FaultPlan {
+            crash: CrashSpec::Percent { percent: 5.0 },
+            repair: Some(1.5),
+            ..FaultPlan::default()
+        };
+        assert!(bad_repair.validate().is_err());
+        let good_repair = FaultPlan {
+            crash: CrashSpec::Percent { percent: 5.0 },
+            repair: Some(0.1),
+            ..FaultPlan::default()
+        };
+        assert!(good_repair.validate().is_ok());
+    }
+
+    #[test]
+    fn stationary_loss_matches_the_channel_parameters() {
+        assert_eq!(DropModel::iid(0.25).stationary_loss(), 0.25);
+        // π_b = 0.1/(0.1+0.3) = 0.25; loss = 0.25·0.8 = 0.2.
+        let ge = DropModel::GilbertElliott { p_bad: 0.1, p_good: 0.3, f_bad: 0.8, f_good: 0.0 };
+        assert!((ge.stationary_loss() - 0.2).abs() < 1e-12);
+        // The degenerate alternating channel with equal state losses is exactly iid.
+        let deg = DropModel::GilbertElliott { p_bad: 1.0, p_good: 1.0, f_bad: 0.3, f_good: 0.3 };
+        assert!((deg.stationary_loss() - 0.3).abs() < 1e-12);
+        // A frozen chain stays in its (good) start state.
+        let frozen = DropModel::GilbertElliott { p_bad: 0.0, p_good: 0.0, f_bad: 0.9, f_good: 0.1 };
+        assert_eq!(frozen.stationary_loss(), 0.1);
     }
 
     #[test]
     fn clause_parsing_and_display_round_trip() {
         let plan = FaultPlan::parse_clauses("drop=0.1+crash=5%+churn=64").unwrap();
-        assert_eq!(plan.drop, 0.1);
+        assert_eq!(plan.drop, DropModel::iid(0.1));
         assert_eq!(plan.crash, CrashSpec::Percent { percent: 5.0 });
         assert_eq!(plan.churn, Some(64));
         assert_eq!(plan.to_string(), "drop=0.1+crash=5%+churn=64");
@@ -610,6 +1079,25 @@ mod tests {
         let explicit = FaultPlan::parse_clauses("crash=v3;v8").unwrap();
         assert_eq!(explicit.crash, CrashSpec::Vertices { vertices: vec![3, 8] });
         assert_eq!(explicit.to_string(), "crash=v3;v8");
+
+        // Gilbert–Elliott: 3 fields default the good-state loss to 0, 4 set it.
+        let ge = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5").unwrap();
+        assert_eq!(
+            ge.drop,
+            DropModel::GilbertElliott { p_bad: 0.1, p_good: 0.25, f_bad: 0.5, f_good: 0.0 }
+        );
+        assert_eq!(ge.to_string(), "gedrop=0.1,0.25,0.5");
+        let ge4 = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5,0.02+churn=8").unwrap();
+        assert_eq!(
+            ge4.drop,
+            DropModel::GilbertElliott { p_bad: 0.1, p_good: 0.25, f_bad: 0.5, f_good: 0.02 }
+        );
+        assert_eq!(ge4.to_string(), "gedrop=0.1,0.25,0.5,0.02+churn=8");
+
+        // Transient crashes.
+        let transient = FaultPlan::parse_clauses("crash=10%+repair=0.2").unwrap();
+        assert_eq!(transient.repair, Some(0.2));
+        assert_eq!(transient.to_string(), "crash=10%+repair=0.2");
 
         // The benign plan still renders something parseable.
         assert_eq!(FaultPlan::none().to_string(), "drop=0");
@@ -630,6 +1118,19 @@ mod tests {
         assert!(FaultPlan::parse_clauses("drop=0+drop=0.3").is_err());
         assert!(FaultPlan::parse_clauses("crash=2+crash=3%").is_err());
         assert!(FaultPlan::parse_clauses("churn=8+churn=9").is_err());
+        // Gilbert–Elliott shapes and conflicts.
+        assert!(FaultPlan::parse_clauses("gedrop=0.1,0.2").is_err());
+        assert!(FaultPlan::parse_clauses("gedrop=0.1,0.2,0.3,0.4,0.5").is_err());
+        assert!(FaultPlan::parse_clauses("gedrop=0.1,abc,0.3").is_err());
+        assert!(FaultPlan::parse_clauses("gedrop=2,1,0.5").is_err());
+        assert!(FaultPlan::parse_clauses("drop=0.1+gedrop=1,1,0.5").is_err());
+        assert!(FaultPlan::parse_clauses("gedrop=1,1,0.5+drop=0.1").is_err());
+        assert!(FaultPlan::parse_clauses("gedrop=1,1,0.5+gedrop=1,1,0.2").is_err());
+        // Repair needs crash and a valid probability.
+        assert!(FaultPlan::parse_clauses("repair=0.1").is_err());
+        assert!(FaultPlan::parse_clauses("crash=5%+repair=1.5").is_err());
+        assert!(FaultPlan::parse_clauses("crash=5%+repair=abc").is_err());
+        assert!(FaultPlan::parse_clauses("crash=5%+repair=0.1+repair=0.2").is_err());
     }
 
     #[test]
@@ -639,9 +1140,21 @@ mod tests {
             FaultPlan::with_drop(0.25).unwrap(),
             FaultPlan { crash: CrashSpec::Percent { percent: 5.0 }, ..FaultPlan::default() },
             FaultPlan {
-                drop: 0.1,
+                drop: DropModel::iid(0.1),
                 crash: CrashSpec::Vertices { vertices: vec![1, 4] },
+                repair: None,
                 churn: Some(32),
+            },
+            FaultPlan {
+                drop: DropModel::GilbertElliott {
+                    p_bad: 0.1,
+                    p_good: 0.25,
+                    f_bad: 0.5,
+                    f_good: 0.02,
+                },
+                crash: CrashSpec::Percent { percent: 10.0 },
+                repair: Some(0.2),
+                churn: None,
             },
         ];
         for plan in plans {
@@ -713,6 +1226,153 @@ mod tests {
     }
 
     #[test]
+    fn bursty_drop_slows_cover_but_still_completes() {
+        // Same monotone-process argument under a Gilbert–Elliott channel with heavy bad
+        // bursts (mean length 8 rounds, 60% of rounds bad, 80% loss when bad).
+        let graph = generators::complete(64).unwrap();
+        let spec = ProcessSpec::push();
+        let plan = FaultPlan {
+            drop: DropModel::GilbertElliott {
+                p_bad: 0.1875,
+                p_good: 0.125,
+                f_bad: 0.8,
+                f_good: 0.0,
+            },
+            ..FaultPlan::default()
+        };
+        let mut totals = [0usize; 2];
+        for seed in 0..5u64 {
+            let mut bare = spec.build(&graph).unwrap();
+            totals[0] += run_until_complete(bare.as_mut(), &mut rng(seed), 100_000).unwrap();
+            let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap();
+            totals[1] += run_until_complete(&mut faulted, &mut rng(seed), 100_000).unwrap();
+        }
+        assert!(
+            totals[1] > totals[0],
+            "bursty loss must slow covering: bare {} vs faulted {}",
+            totals[0],
+            totals[1]
+        );
+    }
+
+    #[test]
+    fn degenerate_channel_alternates_without_touching_the_rng() {
+        // pb = pg = 1: the channel flips deterministically good, bad, good, … and the
+        // advance consumes no randomness (a zero-draw RNG would panic if touched).
+        struct NoDraws;
+        impl RngCore for NoDraws {
+            fn next_u32(&mut self) -> u32 {
+                panic!("the degenerate channel must not draw")
+            }
+            fn next_u64(&mut self) -> u64 {
+                panic!("the degenerate channel must not draw")
+            }
+        }
+        let mut channel = GeChannel::START;
+        let mut rng = NoDraws;
+        for round in 0..16 {
+            let bad = channel.advance(1.0, 1.0, &mut rng);
+            assert_eq!(bad, round % 2 == 1, "round {round}: channel must alternate from good");
+        }
+        // A frozen chain (pb = 0) stays good forever, also draw-free.
+        let mut frozen = GeChannel::START;
+        for _ in 0..16 {
+            assert!(!frozen.advance(0.0, 0.7, &mut rng));
+        }
+    }
+
+    #[test]
+    fn channel_sojourns_match_their_expected_lengths() {
+        // Mean burst length 1/pg: sample many sojourns and check the empirical mean.
+        let mut r = rng(42);
+        for (exit, expected) in [(0.5, 2.0), (0.25, 4.0), (0.125, 8.0)] {
+            let total: u64 = (0..4000).map(|_| sample_sojourn(exit, &mut r)).sum();
+            let mean = total as f64 / 4000.0;
+            assert!(
+                (mean - expected).abs() < 0.25 * expected,
+                "exit {exit}: mean sojourn {mean} should be near {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_crashes_repair_and_recrash_around_the_stationary_fraction() {
+        let graph = generators::complete(64).unwrap();
+        let spec = ProcessSpec::push();
+        let plan = FaultPlan {
+            crash: CrashSpec::Percent { percent: 25.0 },
+            repair: Some(0.5),
+            ..FaultPlan::default()
+        };
+        let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap();
+        let mut r = rng(17);
+        let mut counts = Vec::new();
+        let mut ever_changed = false;
+        let mut previous: Option<Vec<usize>> = None;
+        for _ in 0..200 {
+            faulted.step_faulted(&mut r, &StepFaults::NONE);
+            let crashed = faulted.crashed().expect("25% of 64 vertices crash initially");
+            assert!(!crashed.contains(0), "the protected start never crashes");
+            let members: Vec<usize> = crashed.iter().collect();
+            if previous.as_ref().is_some_and(|p| p != &members) {
+                ever_changed = true;
+            }
+            previous = Some(members);
+            counts.push(crashed.count());
+        }
+        assert!(ever_changed, "repair dynamics must churn the crashed set");
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        // Stationary fraction 25% of 64 = 16 crashed vertices on average.
+        assert!(
+            (mean - 16.0).abs() < 4.0,
+            "crashed count should hover near the stationary 16, got mean {mean}"
+        );
+    }
+
+    #[test]
+    fn permanent_plans_keep_the_crash_set_fixed() {
+        let graph = generators::complete(32).unwrap();
+        let spec = ProcessSpec::push();
+        let plan = FaultPlan { crash: CrashSpec::Percent { percent: 25.0 }, ..FaultPlan::none() };
+        let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap();
+        let mut r = rng(3);
+        faulted.step_faulted(&mut r, &StepFaults::NONE);
+        let initial: Vec<usize> = faulted.crashed().unwrap().iter().collect();
+        for _ in 0..50 {
+            faulted.step_faulted(&mut r, &StepFaults::NONE);
+        }
+        let later: Vec<usize> = faulted.crashed().unwrap().iter().collect();
+        assert_eq!(initial, later, "without repair= the crash set is permanent");
+    }
+
+    #[test]
+    fn reset_restores_explicit_sets_and_redraws_sampled_ones() {
+        let graph = generators::complete(16).unwrap();
+        let spec = ProcessSpec::push();
+        // repair=1: the whole explicit set heals after one round.
+        let plan = FaultPlan {
+            crash: CrashSpec::Vertices { vertices: vec![1, 2] },
+            repair: Some(1.0),
+            ..FaultPlan::default()
+        };
+        let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap();
+        let mut r = rng(5);
+        faulted.step_faulted(&mut r, &StepFaults::NONE);
+        assert_eq!(faulted.crashed().unwrap().count(), 0, "repair=1 heals everything");
+        faulted.reset();
+        let restored: Vec<usize> = faulted.crashed().unwrap().iter().collect();
+        assert_eq!(restored, vec![1, 2], "reset restores the pristine explicit list");
+
+        // Sampled sets are re-drawn per trial.
+        let sampled = FaultPlan { crash: CrashSpec::Count { count: 4 }, ..FaultPlan::default() };
+        let mut faulted = FaultedProcess::new(spec.build(&graph).unwrap(), &sampled, 0).unwrap();
+        faulted.step_faulted(&mut r, &StepFaults::NONE);
+        assert_eq!(faulted.crashed().unwrap().count(), 4);
+        faulted.reset();
+        assert!(faulted.crashed().is_none(), "the next trial draws a fresh set");
+    }
+
+    #[test]
     fn crashed_vertices_receive_but_never_relay() {
         // A path 0-1-2: if vertex 1 crashes, a COBRA token from 0 reaches 1 but never 2.
         let graph = generators::path(3).unwrap();
@@ -765,5 +1425,17 @@ mod tests {
         let a = run_churned(&spec, &family, &runner, &mut rng(11)).unwrap();
         let b = run_churned(&spec, &family, &runner, &mut rng(11)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_churned_handles_bursty_and_transient_clauses() {
+        let family = GraphFamily::RandomRegular { n: 48, r: 4 };
+        let spec: ProcessSpec =
+            "cobra:k=2+gedrop=0.1,0.25,0.4+crash=10%+repair=0.2+churn=12".parse().unwrap();
+        let runner = Runner::new(100_000);
+        let a = run_churned(&spec, &family, &runner, &mut rng(13)).unwrap();
+        let b = run_churned(&spec, &family, &runner, &mut rng(13)).unwrap();
+        assert_eq!(a, b, "adverse churned runs stay deterministic");
+        assert!(a.rounds > 0);
     }
 }

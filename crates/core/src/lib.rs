@@ -27,10 +27,11 @@
 //! * [`sim`] — the unified [`sim::Runner`] measurement loop: stop conditions (completion,
 //!   round budget, target coverage) plus pluggable observers (active-count traces,
 //!   first-visit/cover times, growth ratios).
-//! * [`fault`] — the adversity layer: [`FaultPlan`]s describing i.i.d. message drop,
-//!   crashed vertices and edge churn, applied to any process through the
-//!   [`FaultedProcess`] wrapper (spec syntax `cobra:k=2+drop=0.1+crash=5%`) and the
-//!   churn-aware [`fault::run_churned`] driver.
+//! * [`fault`] — the adversity layer: [`FaultPlan`]s describing message loss (i.i.d.
+//!   `drop=f` or bursty Gilbert–Elliott `gedrop=pb,pg,fb[,fg]`), crashed vertices
+//!   (permanent, or transient with `repair=r`) and edge churn, applied to any process
+//!   through the [`FaultedProcess`] wrapper (spec syntax `cobra:k=2+drop=0.1+crash=5%`)
+//!   and the churn-aware [`fault::run_churned`] / [`fault::run_churned_observed`] drivers.
 //! * [`reference`] — the retained dense-scan engines, used as the executable specification
 //!   the frontier engines are property-tested against and as the baseline `repro bench`
 //!   measures speedups over.
@@ -124,7 +125,7 @@ mod error;
 pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
 pub use error::CoreError;
-pub use fault::{CrashSpec, FaultPlan, FaultedProcess, StepFaults};
+pub use fault::{CrashSpec, DropModel, FaultPlan, FaultedProcess, StepFaults};
 pub use process::SpreadingProcess;
 pub use sim::{RunOutcome, Runner};
 pub use spec::ProcessSpec;

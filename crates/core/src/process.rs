@@ -84,6 +84,18 @@ pub trait SpreadingProcess {
         self.active().for_each(f);
     }
 
+    /// Calls `f` once per migratable *token* of process state — the list a churn driver
+    /// feeds back into [`adopt_state`](Self::adopt_state) on the next graph instance.
+    ///
+    /// For most processes this is identical to [`for_each_active`](Self::for_each_active)
+    /// (one token per active vertex, the default). Processes whose state carries
+    /// *multiplicity* override it: multiple random walks emit one entry per **walker**, so
+    /// several walkers sharing a vertex appear as repeated entries and the adopting process
+    /// can restore exact per-vertex walker counts instead of collapsing them to occupancy.
+    fn for_each_token(&self, f: &mut dyn FnMut(VertexId)) {
+        self.for_each_active(f);
+    }
+
     /// Number of vertices of the underlying graph.
     fn num_vertices(&self) -> usize {
         self.active().len()
@@ -106,9 +118,12 @@ pub trait SpreadingProcess {
     /// (if given) seeds the visited/coverage set. The round counter is reset to 0 — callers
     /// that segment runs (churn) account for total rounds themselves.
     ///
-    /// Processes whose state is richer than (active, coverage) adopt the nearest faithful
-    /// configuration: multiple walks spread their walkers round-robin over `active`, an
-    /// epidemic re-pins its persistent source.
+    /// `active` may contain duplicates: churn drivers pass the
+    /// [`for_each_token`](Self::for_each_token) list, so multiple walks receiving one entry
+    /// per walker restore exact per-vertex walker counts. Processes whose state is richer
+    /// than (tokens, coverage) adopt the nearest faithful configuration — e.g. an epidemic
+    /// re-pins its persistent source, and multiple walks fall back to spreading walkers
+    /// round-robin when the adopted list is not one-entry-per-walker.
     ///
     /// # Errors
     ///

@@ -16,6 +16,10 @@
 //! [`ProcessSpec`](crate::spec::ProcessSpec) — and plugs directly into
 //! `cobra_stats::parallel::run_trials` closures for deterministic parallel Monte-Carlo.
 //!
+//! Observers also run across graph-churn epochs: [`fault::run_churned_observed`]
+//! (see [`crate::fault`]) starts them once and presents a continuous round index over the
+//! re-instantiated graphs, so the same trace types work unchanged under churn.
+//!
 //! Observers are **delta-driven**: per round they consume
 //! [`newly_activated`](SpreadingProcess::newly_activated) (`O(|delta|)`) and the `O(1)`
 //! [`num_active`](SpreadingProcess::num_active) counter — never a full `O(n)` rescan of the
@@ -130,7 +134,10 @@ impl Runner {
         self
     }
 
-    fn goal_reached(&self, process: &dyn SpreadingProcess) -> Option<StopReason> {
+    /// Checks the stop conditions; also used by the segmented churn driver
+    /// ([`fault::run_churned_observed`](crate::fault::run_churned_observed)), which owns its
+    /// own stepping loop but must stop for exactly the same reasons.
+    pub(crate) fn goal_reached(&self, process: &dyn SpreadingProcess) -> Option<StopReason> {
         if let Some(fraction) = self.target_fraction {
             let threshold = (fraction * process.num_vertices() as f64).ceil() as usize;
             if process.num_active() >= threshold {

@@ -23,8 +23,9 @@
 //! Every process also accepts `start=<vertex>` (alias `source=`), defaulting to vertex 0.
 //!
 //! Any spec can additionally carry `+`-separated **fault clauses** — `cobra:k=2+drop=0.1`,
-//! `push+crash=5%`, `bips:k=2+drop=0.1+churn=64` — described by
-//! [`FaultPlan`](crate::fault::FaultPlan): the built process is wrapped in a
+//! `push+crash=5%`, `cobra:k=2+gedrop=0.1,0.25,0.5` (bursty Gilbert–Elliott loss),
+//! `bips:k=2+crash=10%+repair=0.1` (transient crashes), `bips:k=2+drop=0.1+churn=64` —
+//! described by [`FaultPlan`](crate::fault::FaultPlan): the built process is wrapped in a
 //! [`FaultedProcess`](crate::fault::FaultedProcess). Specs with `churn=` cannot build
 //! against a fixed graph; drive them through [`fault::run_churned`](crate::fault::run_churned).
 //!
@@ -322,9 +323,26 @@ impl ProcessSpec {
             ProcessSpec::push_pull(),
             ProcessSpec::contact(0.8, 0.1).expect("valid probabilities"),
             ProcessSpec::cobra(2).expect("k = 2 is valid").faulted(FaultPlan {
-                drop: 0.1,
+                drop: crate::fault::DropModel::iid(0.1),
                 crash: crate::fault::CrashSpec::Percent { percent: 5.0 },
-                churn: None,
+                ..FaultPlan::default()
+            }),
+            // PUSH (monotone, so guaranteed to complete) under a bursty channel: mean bad
+            // burst 1/0.25 = 4 rounds, 50% loss while bad.
+            ProcessSpec::push().faulted(FaultPlan {
+                drop: crate::fault::DropModel::GilbertElliott {
+                    p_bad: 0.05,
+                    p_good: 0.25,
+                    f_bad: 0.5,
+                    f_good: 0.0,
+                },
+                ..FaultPlan::default()
+            }),
+            // BIPS (persistent source) under transient crashes.
+            ProcessSpec::bips(2).expect("k = 2 is valid").faulted(FaultPlan {
+                crash: crate::fault::CrashSpec::Percent { percent: 10.0 },
+                repair: Some(0.1),
+                ..FaultPlan::default()
             }),
         ]
     }
@@ -599,9 +617,27 @@ mod tests {
         let spec: ProcessSpec = "cobra:k=2+drop=0.1+crash=5%".parse().unwrap();
         assert_eq!(spec.name(), "cobra");
         let plan = spec.fault_plan().expect("parsed spec carries a plan");
-        assert_eq!(plan.drop, 0.1);
+        assert_eq!(plan.drop, crate::fault::DropModel::iid(0.1));
         assert_eq!(spec.to_string(), "cobra:k=2+drop=0.1+crash=5%");
         assert_eq!(spec.to_string().parse::<ProcessSpec>().unwrap(), spec);
+
+        // The v2 adversity clauses ride through the same `+` grammar.
+        let bursty: ProcessSpec = "push+gedrop=0.1,0.25,0.5+crash=10%+repair=0.2".parse().unwrap();
+        let plan = bursty.fault_plan().unwrap();
+        assert_eq!(
+            plan.drop,
+            crate::fault::DropModel::GilbertElliott {
+                p_bad: 0.1,
+                p_good: 0.25,
+                f_bad: 0.5,
+                f_good: 0.0
+            }
+        );
+        assert_eq!(plan.repair, Some(0.2));
+        assert_eq!(bursty.to_string(), "push+gedrop=0.1,0.25,0.5+crash=10%+repair=0.2");
+        assert_eq!(bursty.to_string().parse::<ProcessSpec>().unwrap(), bursty);
+        assert!("push+gedrop=0.1,0.25".parse::<ProcessSpec>().is_err());
+        assert!("push+repair=0.1".parse::<ProcessSpec>().is_err());
 
         // A zero plan still round-trips (rendered as `+drop=0`).
         let zero: ProcessSpec = "push+drop=0".parse().unwrap();

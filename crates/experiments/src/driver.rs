@@ -61,7 +61,9 @@ pub fn measure_completion_rounds(
 /// Runs `config.trials` independent *adverse* runs of `spec`: every trial instantiates a
 /// fresh member of `family` from its trial RNG and, when the spec carries a `churn=T`
 /// clause, re-instantiates the graph every `T` rounds mid-run
-/// (see [`cobra_core::fault::run_churned`]). This is the driver for fault sweeps whose
+/// (see [`cobra_core::fault::run_churned`]). All fault clauses route through here
+/// unchanged — bursty `gedrop=` channels and transient `crash=…+repair=…` dynamics live
+/// inside the `FaultedProcess` each trial builds. This is the driver for fault sweeps whose
 /// adversity includes the network itself; for a fixed shared instance use
 /// [`run_spec_trials`].
 ///
@@ -177,6 +179,22 @@ mod tests {
         );
         assert_eq!(summary.count(), 8);
         assert_eq!(values.len(), 8);
+    }
+
+    #[test]
+    fn adverse_trials_carry_bursty_and_transient_clauses() {
+        use cobra_graph::generators::GraphFamily;
+        let family = GraphFamily::RandomRegular { n: 48, r: 4 };
+        let spec: ProcessSpec =
+            "cobra:k=2+gedrop=0.1,0.25,0.4+crash=10%+repair=0.2+churn=16".parse().unwrap();
+        let runner = Runner::new(100_000);
+        let seq = SeedSequence::new(21);
+        let outcomes =
+            run_adverse_trials(&family, &spec, &runner, &seq, "bursty", TrialConfig::parallel(6));
+        assert_eq!(outcomes.len(), 6);
+        let sequential =
+            run_adverse_trials(&family, &spec, &runner, &seq, "bursty", TrialConfig::sequential(6));
+        assert_eq!(outcomes, sequential, "adverse v2 trials stay deterministic");
     }
 
     #[test]

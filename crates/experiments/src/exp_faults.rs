@@ -18,7 +18,15 @@
 //! 3. **adversity grid** — drop, crash, churn and a combination on one instance, reporting
 //!    completion rates and rounds (crashed vertices absorb tokens, so completion is no
 //!    longer guaranteed; churned runs re-instantiate the expander mid-run).
+//!
+//! **E9b** ([`run_bursty`]) upgrades the adversity to the v2 models: Gilbert–Elliott
+//! *bursty* drop compared against the i.i.d. rows at **matched stationary loss** (the
+//! degenerate burst-length-1 channel shares trial labels with the i.i.d. rows, so those
+//! rows are bit-identical by the property-tested degeneracy — any divergence is a
+//! regression), and a transient-crash grid re-running the E9c scenarios with `repair=`
+//! rates next to the permanent-crash floor.
 
+use cobra_core::fault::{DropModel, FaultPlan};
 use cobra_core::sim::Runner;
 use cobra_core::spec::ProcessSpec;
 use cobra_graph::generators::GraphFamily;
@@ -76,9 +84,7 @@ fn drop_spec(f: f64) -> ProcessSpec {
     if f == 0.0 {
         spec
     } else {
-        spec.faulted(
-            cobra_core::fault::FaultPlan::with_drop(f).expect("configured drop rates are valid"),
-        )
+        spec.faulted(FaultPlan::with_drop(f).expect("configured drop rates are valid"))
     }
 }
 
@@ -255,6 +261,280 @@ pub fn run(config: &Config, seq: &SeedSequence) -> ExperimentResult {
     }
 }
 
+/// Configuration of the E9b bursty-drop / transient-crash sweeps.
+#[derive(Debug, Clone)]
+pub struct BurstyConfig {
+    /// Vertex counts of the random-regular sweep.
+    pub sizes: Vec<usize>,
+    /// Degree of the expander instances.
+    pub degree: usize,
+    /// Stationary loss rates matched between the i.i.d. and Gilbert–Elliott rows.
+    pub losses: Vec<f64>,
+    /// Mean bad-burst lengths in rounds; 1 selects the degenerate channel
+    /// (`gedrop=1,1,f,f`) that is bit-identical to i.i.d. drop.
+    pub bursts: Vec<usize>,
+    /// Per-transmission loss probability inside a bad burst (bursts > 1). Must exceed
+    /// every configured stationary loss so the bad-state fraction `π = f/f_bad` stays
+    /// below 1, and stay below 1/2 so COBRA `k = 2` remains supercritical inside bursts.
+    pub f_bad: f64,
+    /// Monte-Carlo trials per configuration.
+    pub trials: usize,
+    /// Round budget per trial.
+    pub max_rounds: usize,
+    /// Crashed fraction (percent) of the crash/repair grid.
+    pub crash_percent: f64,
+    /// Per-round repair rates of the grid (the permanent row is implicit).
+    pub repairs: Vec<f64>,
+}
+
+impl BurstyConfig {
+    /// Small preset used by unit tests and the CI smoke run.
+    pub fn quick() -> Self {
+        BurstyConfig {
+            sizes: vec![64, 128, 256],
+            degree: 8,
+            losses: vec![0.1, 0.25],
+            bursts: vec![1, 8, 32],
+            f_bad: 0.45,
+            trials: 12,
+            max_rounds: 100_000,
+            crash_percent: 10.0,
+            repairs: vec![0.02, 0.1, 0.5],
+        }
+    }
+
+    /// Full preset used by the `repro` binary.
+    pub fn full() -> Self {
+        BurstyConfig {
+            sizes: vec![256, 512, 1024, 2048, 4096],
+            degree: 8,
+            losses: vec![0.05, 0.1, 0.25],
+            bursts: vec![1, 8, 32, 128],
+            f_bad: 0.45,
+            trials: 30,
+            max_rounds: 1_000_000,
+            crash_percent: 10.0,
+            repairs: vec![0.02, 0.1, 0.5],
+        }
+    }
+}
+
+/// The Gilbert–Elliott plan with stationary loss `loss` and mean bad-burst length `burst`:
+/// burst 1 uses the degenerate alternating channel with equal state losses (bit-identical
+/// to `drop=loss`); longer bursts fix the bad-state loss at `f_bad` and solve
+/// `π·f_bad = loss` for the transition rates.
+fn ge_plan(loss: f64, burst: usize, f_bad: f64) -> FaultPlan {
+    let drop = if burst <= 1 {
+        DropModel::GilbertElliott { p_bad: 1.0, p_good: 1.0, f_bad: loss, f_good: loss }
+    } else {
+        let pi = loss / f_bad;
+        assert!(pi < 1.0, "stationary loss {loss} needs a bad-state loss above it");
+        let p_good = 1.0 / burst as f64;
+        DropModel::GilbertElliott { p_bad: p_good * pi / (1.0 - pi), p_good, f_bad, f_good: 0.0 }
+    };
+    FaultPlan { drop, ..FaultPlan::default() }
+}
+
+/// Runs E9b and produces its tables and findings.
+pub fn run_bursty(config: &BurstyConfig, seq: &SeedSequence) -> ExperimentResult {
+    let seq = seq.child("e9b-bursty");
+    let runner = Runner::new(config.max_rounds);
+    let mut findings = Vec::new();
+
+    // ---- Table 1: G–E bursty drop vs i.i.d. drop at matched stationary loss ----------
+    let mut sweep = Table::with_headers(
+        "E9b-a: COBRA (k=2) cover under Gilbert-Elliott bursty drop vs i.i.d. drop at \
+         matched stationary loss f, random-8-regular expanders",
+        &["model", "n", "stat. f", "mean burst", "completed", "mean cover", "p95", "mean/ln n"],
+    );
+    let instances: Vec<Instance> = config
+        .sizes
+        .iter()
+        .map(|&n| {
+            Instance::build(&GraphFamily::RandomRegular { n, r: config.degree }, &seq, n as u64)
+        })
+        .collect();
+    for &loss in &config.losses {
+        let pct = (loss * 100.0).round() as u32;
+        // (model label, mean burst length or None for i.i.d., spec).
+        let mut models: Vec<(String, Option<usize>, ProcessSpec)> =
+            vec![("iid".to_string(), None, drop_spec(loss))];
+        for &burst in &config.bursts {
+            let spec = ProcessSpec::cobra(2).expect("k = 2 is valid").faulted(ge_plan(
+                loss,
+                burst,
+                config.f_bad,
+            ));
+            models.push((format!("G-E L={burst}"), Some(burst), spec));
+        }
+        let mut iid_slope = f64::NAN;
+        let mut iid_largest_mean = f64::NAN;
+        for (label, burst, spec) in &models {
+            let mut log_xs = Vec::new();
+            let mut log_ys = Vec::new();
+            for instance in &instances {
+                let n = instance.graph.num_vertices();
+                let (summary, values) = driver::measure_completion_rounds(
+                    &instance.graph,
+                    spec,
+                    &runner,
+                    &seq,
+                    // One label per (loss, n), shared by every model: common random
+                    // numbers across the rows, and the degenerate L=1 channel becomes
+                    // bit-identical to the i.i.d. row.
+                    &format!("f{pct}-n{n}"),
+                    TrialConfig::parallel(config.trials),
+                );
+                let stationary = spec.fault_plan().map_or(loss, |plan| plan.drop.stationary_loss());
+                sweep.add_row(vec![
+                    label.clone(),
+                    n.to_string(),
+                    fmt_float(stationary),
+                    burst.map_or_else(|| "-".to_string(), |b| b.to_string()),
+                    format!("{}/{}", summary.count(), values.len()),
+                    fmt_float(summary.mean()),
+                    fmt_float(quantile(&values, 0.95).unwrap_or(f64::NAN)),
+                    fmt_float(summary.mean() / (n as f64).ln()),
+                ]);
+                log_xs.push(n as f64);
+                log_ys.push(summary.mean());
+            }
+            let largest_mean = *log_ys.last().expect("at least one sweep size is configured");
+            let slope = log_fit(&log_xs, &log_ys).map_or(f64::NAN, |fit| fit.slope);
+            match burst {
+                None => {
+                    iid_slope = slope;
+                    iid_largest_mean = largest_mean;
+                    findings.push(Finding::new(
+                        format!("iid_slope_f{pct}"),
+                        slope,
+                        format!("slope b of cover ~ a + b ln n under i.i.d. drop f = {loss}"),
+                    ));
+                }
+                Some(burst) => {
+                    findings.push(Finding::new(
+                        format!("ge_slope_f{pct}_b{burst}"),
+                        slope,
+                        format!(
+                            "slope of the logarithmic fit under G-E drop, stationary loss \
+                             {loss}, mean burst {burst}"
+                        ),
+                    ));
+                    if *burst == 1 {
+                        findings.push(Finding::new(
+                            format!("ge_degenerate_slope_ratio_f{pct}"),
+                            slope / iid_slope,
+                            "G-E burst-length-1 slope over the i.i.d. slope at the same \
+                             stationary loss — exactly 1 because the degenerate channel is \
+                             bit-identical to i.i.d. drop under shared trial seeds",
+                        ));
+                    }
+                    findings.push(Finding::new(
+                        format!("burst_mean_ratio_f{pct}_b{burst}"),
+                        largest_mean / iid_largest_mean,
+                        format!(
+                            "largest-n mean cover of the G-E burst-{burst} channel over the \
+                             i.i.d. mean at stationary loss {loss} — the bursty penalty \
+                             (or, at low loss, the non-ergodic head start of a channel \
+                             that starts good)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // ---- Table 2: transient crashes — the E9c grid with repair rates -----------------
+    let grid_n = config.sizes[config.sizes.len() / 2];
+    let family = GraphFamily::RandomRegular { n: grid_n, r: config.degree };
+    let churn = (grid_n / 8).max(4);
+    let crash_clause = format!("crash={}%", config.crash_percent);
+    let mut scenarios: Vec<(String, ProcessSpec)> = vec![
+        ("none".to_string(), "cobra:k=2".parse().expect("valid spec")),
+        (
+            format!("{crash_clause} permanent"),
+            format!("cobra:k=2+{crash_clause}").parse().expect("valid spec"),
+        ),
+    ];
+    for &repair in &config.repairs {
+        scenarios.push((
+            format!("{crash_clause}+repair={repair}"),
+            format!("cobra:k=2+{crash_clause}+repair={repair}").parse().expect("valid spec"),
+        ));
+    }
+    // Everything at once: bursty loss, transient crashes and churn.
+    let all_in = ProcessSpec::cobra(2).expect("k = 2 is valid").faulted(FaultPlan {
+        crash: cobra_core::fault::CrashSpec::Percent { percent: config.crash_percent },
+        repair: Some(0.1),
+        churn: Some(churn),
+        ..ge_plan(0.1, 8, config.f_bad)
+    });
+    scenarios.push((format!("gedrop+{crash_clause}+repair=0.1+churn={churn}"), all_in));
+    let mut grid = Table::with_headers(
+        format!(
+            "E9b-b: transient-crash grid (E9c re-run), COBRA k=2 on fresh random-8-regular \
+             n={grid_n} per trial"
+        ),
+        &["faults", "completed", "mean cover", "p95"],
+    );
+    let mut permanent_completion = f64::NAN;
+    let mut best_transient_completion = f64::NAN;
+    for (index, (label, spec)) in scenarios.iter().enumerate() {
+        let (summary, values) = driver::measure_adverse_completion_rounds(
+            &family,
+            spec,
+            &runner,
+            &seq,
+            &format!("repair-grid-{index}"),
+            TrialConfig::parallel(config.trials),
+        );
+        let completion = summary.count() as f64 / values.len() as f64;
+        grid.add_row(vec![
+            label.clone(),
+            format!("{}/{}", summary.count(), values.len()),
+            fmt_float(summary.mean()),
+            fmt_float(quantile(&values, 0.95).unwrap_or(f64::NAN)),
+        ]);
+        if label.ends_with("permanent") {
+            permanent_completion = completion;
+            findings.push(Finding::new(
+                "grid_completion_permanent",
+                completion,
+                "completion rate with the crashed set permanent within each trial",
+            ));
+        } else if label.contains("repair=") && !label.contains("gedrop") {
+            if best_transient_completion.is_nan() || completion > best_transient_completion {
+                best_transient_completion = completion;
+            }
+            findings.push(Finding::new(
+                format!("grid_completion_repair_{index}"),
+                completion,
+                format!("completion rate under transient crashes, scenario {label}"),
+            ));
+        }
+    }
+    findings.push(Finding::new(
+        "transient_vs_permanent_completion_delta",
+        best_transient_completion - permanent_completion,
+        "best transient-crash completion rate minus the permanent-crash rate (repair can \
+         only help: absorbed tokens stay absorbed, but healed vertices relay again when \
+         re-hit)",
+    ));
+
+    ExperimentResult {
+        id: "E9b".into(),
+        title: "Adversity v2: bursty drop and transient crash/repair".into(),
+        claim: "At matched stationary loss the degenerate Gilbert-Elliott channel \
+                reproduces the i.i.d. rows exactly, correlated bursts shift the cover-time \
+                constant without breaking the O(log n) scaling (the k(1-f) heuristic \
+                applies with the stationary loss rate), and transient crash/repair \
+                adversity degrades no worse than the permanent-crash floor"
+            .into(),
+        tables: vec![sweep, grid],
+        findings,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +573,63 @@ mod tests {
         assert_eq!(result.tables[2].num_rows(), 5);
         let crash_rate = result.finding("crash10_completion_rate").expect("rate").value;
         assert!((0.0..=1.0).contains(&crash_rate));
+    }
+
+    #[test]
+    fn bursty_quick_degenerates_to_iid_and_prices_bursts() {
+        let result = run_bursty(&BurstyConfig::quick(), &SeedSequence::new(2016));
+        assert_eq!(result.id, "E9b");
+        assert_eq!(result.tables.len(), 2);
+        // (1 iid + 3 burst lengths) x 3 sizes x 2 losses.
+        assert_eq!(result.tables[0].num_rows(), 24);
+        for pct in ["10", "25"] {
+            // The acceptance bar is ~15%; under shared trial seeds the degenerate channel
+            // is bit-identical to the i.i.d. rows, so the ratio is exactly 1.
+            let ratio = result
+                .finding(&format!("ge_degenerate_slope_ratio_f{pct}"))
+                .unwrap_or_else(|| panic!("missing degenerate ratio for f = {pct}%"))
+                .value;
+            assert!(
+                (ratio - 1.0).abs() < 0.15,
+                "f={pct}%: burst-1 G-E slope must match the i.i.d. slope, ratio = {ratio}"
+            );
+            // Scaling stays logarithmic under bursts: modest positive slopes throughout.
+            for burst in [1, 8, 32] {
+                let slope =
+                    result.finding(&format!("ge_slope_f{pct}_b{burst}")).expect("slope").value;
+                assert!(
+                    slope > 0.0 && slope < 60.0,
+                    "f={pct}% L={burst}: slope {slope} should stay logarithmic"
+                );
+            }
+        }
+        // The bursty penalty is visible at the long burst length for the larger matched
+        // loss (at low loss the channel's good start state can even win on short runs).
+        let penalty = result.finding("burst_mean_ratio_f25_b32").expect("penalty").value;
+        assert!(
+            penalty > 1.05,
+            "long bursts at matched stationary loss 0.25 must cost rounds, ratio = {penalty}"
+        );
+        // The transient-crash grid rendered: none + permanent + 3 repairs + all-in.
+        assert_eq!(result.tables[1].num_rows(), 6);
+        let permanent = result.finding("grid_completion_permanent").expect("rate").value;
+        assert!((0.0..=1.0).contains(&permanent));
+        let delta = result.finding("transient_vs_permanent_completion_delta").expect("delta").value;
+        assert!((-1.0..=1.0).contains(&delta));
+    }
+
+    #[test]
+    fn bursty_run_is_deterministic_for_a_fixed_seed() {
+        let mut config = BurstyConfig::quick();
+        config.sizes = vec![64, 128];
+        config.losses = vec![0.25];
+        config.bursts = vec![1, 8];
+        config.trials = 4;
+        let a = run_bursty(&config, &SeedSequence::new(9));
+        let b = run_bursty(&config, &SeedSequence::new(9));
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.render(), tb.render());
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | E7 | Dutta et al. context — grids vs expanders, COBRA vs PUSH / PUSH-PULL / random walks | [`exp_baselines`] |
 //! | E8 | Lemmas 2–4 — the three-phase growth of the BIPS infection | [`exp_phases`] |
 //! | E9 | Robustness — cover time under i.i.d. message drop, vertex crash and edge churn | [`exp_faults`] |
+//! | E9b | Adversity v2 — bursty Gilbert–Elliott drop at matched stationary loss, transient crash/repair | [`exp_faults`] |
 //!
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`

@@ -29,11 +29,13 @@ pub enum ExperimentId {
     E8,
     /// Robustness: fault injection (drop / crash / churn).
     E9,
+    /// Adversity v2: bursty (Gilbert-Elliott) drop and transient crash/repair.
+    E9b,
 }
 
 impl ExperimentId {
     /// All experiments in index order.
-    pub fn all() -> [ExperimentId; 9] {
+    pub fn all() -> [ExperimentId; 10] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -44,6 +46,7 @@ impl ExperimentId {
             ExperimentId::E7,
             ExperimentId::E8,
             ExperimentId::E9,
+            ExperimentId::E9b,
         ]
     }
 
@@ -59,6 +62,7 @@ impl ExperimentId {
             "e7" => Some(ExperimentId::E7),
             "e8" => Some(ExperimentId::E8),
             "e9" => Some(ExperimentId::E9),
+            "e9b" => Some(ExperimentId::E9b),
             _ => None,
         }
     }
@@ -75,6 +79,9 @@ impl ExperimentId {
             ExperimentId::E7 => "Dutta et al.: grids vs expanders, protocol baselines",
             ExperimentId::E8 => "Lemmas 2-4: three-phase growth of the infection",
             ExperimentId::E9 => "Robustness: cover time under message drop, crash and churn",
+            ExperimentId::E9b => {
+                "Adversity v2: bursty Gilbert-Elliott drop and transient crash/repair"
+            }
         }
     }
 }
@@ -122,6 +129,12 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         (ExperimentId::E8, Preset::Full) => exp_phases::run(&exp_phases::Config::full(), &seq),
         (ExperimentId::E9, Preset::Quick) => exp_faults::run(&exp_faults::Config::quick(), &seq),
         (ExperimentId::E9, Preset::Full) => exp_faults::run(&exp_faults::Config::full(), &seq),
+        (ExperimentId::E9b, Preset::Quick) => {
+            exp_faults::run_bursty(&exp_faults::BurstyConfig::quick(), &seq)
+        }
+        (ExperimentId::E9b, Preset::Full) => {
+            exp_faults::run_bursty(&exp_faults::BurstyConfig::full(), &seq)
+        }
     }
 }
 
@@ -134,8 +147,10 @@ mod tests {
         assert_eq!(ExperimentId::parse("e4"), Some(ExperimentId::E4));
         assert_eq!(ExperimentId::parse("E8"), Some(ExperimentId::E8));
         assert_eq!(ExperimentId::parse("e9"), Some(ExperimentId::E9));
+        assert_eq!(ExperimentId::parse("e9b"), Some(ExperimentId::E9b));
+        assert_eq!(ExperimentId::parse("E9B"), Some(ExperimentId::E9b));
         assert_eq!(ExperimentId::parse("e10"), None);
-        assert_eq!(ExperimentId::all().len(), 9);
+        assert_eq!(ExperimentId::all().len(), 10);
         for id in ExperimentId::all() {
             assert!(!id.description().is_empty());
         }

@@ -11,8 +11,8 @@
 //!   regression fits ([`cobra_stats`]).
 //! * [`core`] — the COBRA and BIPS processes, the exact duality machinery, the growth-bound
 //!   audits and the baseline protocols ([`cobra_core`]).
-//! * [`experiments`] — the E1–E9 experiment harness reproducing each theorem (plus the E9
-//!   fault-injection robustness workloads) ([`cobra_experiments`]).
+//! * [`experiments`] — the E1–E9b experiment harness reproducing each theorem (plus the
+//!   E9/E9b fault-injection robustness workloads) ([`cobra_experiments`]).
 //!
 //! # Quick start
 //!

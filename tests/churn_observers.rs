@@ -1,0 +1,278 @@
+//! Observers threaded across churn epochs keep their fixed-graph contracts:
+//! `fault::run_churned_observed` starts each observer exactly once and presents a single
+//! continuous, monotone round index over all re-instantiated graphs, so
+//!
+//! * `FirstVisitTimes` entries are **set once** and carry nondecreasing round indices
+//!   (a vertex first visited in epoch 3 records a larger round than one visited in
+//!   epoch 1 — epochs never reset the clock),
+//! * `CoverageTrace` is monotone nondecreasing,
+//! * `ActiveCountTrace` holds the initial state plus exactly one entry per executed round,
+//! * observers never perturb the run (the observed outcome equals the unobserved one), and
+//! * multiple-random-walks migration conserves the walker count through every epoch
+//!   boundary (`for_each_token` emits one entry per walker, `adopt_state` restores exact
+//!   per-vertex multiplicities).
+//!
+//! Checked on at least two graph families (random-regular expanders and 2-D tori).
+
+use cobra::core::fault::{run_churned, run_churned_observed, FaultPlan};
+use cobra::core::process::SpreadingProcess;
+use cobra::core::sim::{
+    ActiveCountTrace, CoverageTrace, FirstVisitTimes, GrowthRatios, Observer, Runner, StopReason,
+};
+use cobra::core::spec::ProcessSpec;
+use cobra::graph::generators::GraphFamily;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn rng(seed: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(seed)
+}
+
+fn families() -> Vec<GraphFamily> {
+    vec![GraphFamily::RandomRegular { n: 64, r: 4 }, GraphFamily::Torus { sides: vec![8, 8] }]
+}
+
+/// Asserts the continuous-round-index contract: `on_start` sees round 0 and every
+/// `on_round` advances the presented round by exactly 1 — across epoch boundaries too.
+#[derive(Default)]
+struct RoundContinuity {
+    started: usize,
+    last: usize,
+    rounds_seen: usize,
+}
+
+impl Observer for RoundContinuity {
+    fn on_start(&mut self, process: &dyn SpreadingProcess) {
+        self.started += 1;
+        assert_eq!(process.round(), 0, "the continuous index starts at round 0");
+        self.last = 0;
+    }
+
+    fn on_round(&mut self, process: &dyn SpreadingProcess) {
+        let round = process.round();
+        assert_eq!(
+            round,
+            self.last + 1,
+            "the round index must advance by exactly 1 per observed round, including \
+             across churn epochs"
+        );
+        self.last = round;
+        self.rounds_seen += 1;
+    }
+}
+
+/// Forwards to an inner `FirstVisitTimes` and asserts after every round that previously
+/// set entries never change (set-once) and that fresh entries carry the current round.
+#[derive(Default)]
+struct SetOnceVisits {
+    inner: FirstVisitTimes,
+    snapshot: Vec<Option<usize>>,
+}
+
+impl SetOnceVisits {
+    fn check_against_snapshot(&mut self, round: usize) {
+        let current = self.inner.first_visit();
+        for (v, (&before, &now)) in self.snapshot.iter().zip(current).enumerate() {
+            match (before, now) {
+                (Some(earlier), later) => assert_eq!(
+                    Some(earlier),
+                    later,
+                    "vertex {v}: first-visit time was overwritten at round {round}"
+                ),
+                (None, Some(fresh)) => assert_eq!(
+                    fresh, round,
+                    "vertex {v}: a fresh first-visit time must equal the current round"
+                ),
+                (None, None) => {}
+            }
+        }
+        self.snapshot = current.to_vec();
+    }
+}
+
+impl Observer for SetOnceVisits {
+    fn on_start(&mut self, process: &dyn SpreadingProcess) {
+        self.inner.on_start(process);
+        self.snapshot = self.inner.first_visit().to_vec();
+    }
+
+    fn on_round(&mut self, process: &dyn SpreadingProcess) {
+        self.inner.on_round(process);
+        self.check_against_snapshot(process.round());
+    }
+}
+
+/// Counts the tokens `for_each_token` emits every round and asserts the count never
+/// changes — the walker-conservation invariant across arbitrary epoch boundaries.
+#[derive(Default)]
+struct TokenConservation {
+    expected: Option<usize>,
+}
+
+impl TokenConservation {
+    fn count(process: &dyn SpreadingProcess) -> usize {
+        let mut count = 0;
+        process.for_each_token(&mut |_| count += 1);
+        count
+    }
+}
+
+impl Observer for TokenConservation {
+    fn on_start(&mut self, process: &dyn SpreadingProcess) {
+        self.expected = Some(Self::count(process));
+    }
+
+    fn on_round(&mut self, process: &dyn SpreadingProcess) {
+        assert_eq!(
+            Some(Self::count(process)),
+            self.expected,
+            "the token count must be conserved through every round and epoch boundary"
+        );
+    }
+}
+
+/// Runs `spec` churned over `family` with the full observer set and checks every
+/// cross-epoch contract.
+fn assert_churned_observer_contracts(spec: &ProcessSpec, family: &GraphFamily, seed: u64) {
+    let runner = Runner::new(100_000);
+    let mut counts = ActiveCountTrace::new();
+    let mut visits = SetOnceVisits::default();
+    let mut coverage = CoverageTrace::new();
+    let mut growth = GrowthRatios::new();
+    let mut continuity = RoundContinuity::default();
+    let outcome = run_churned_observed(
+        spec,
+        family,
+        &runner,
+        &mut rng(seed),
+        &mut [&mut counts, &mut visits, &mut coverage, &mut growth, &mut continuity],
+    )
+    .expect("churned observed run succeeds");
+    assert_eq!(outcome.reason, StopReason::Completed, "{spec} on {family} seed {seed}");
+
+    // Observers were started exactly once and saw every executed round.
+    assert_eq!(continuity.started, 1, "{spec}: observers must be started exactly once");
+    assert_eq!(continuity.rounds_seen, outcome.rounds, "{spec}: one on_round per round");
+
+    // ActiveCountTrace: the initial state plus one entry per executed round.
+    assert_eq!(counts.trace().len(), outcome.rounds + 1, "{spec} on {family} seed {seed}");
+    assert!(counts.trace().iter().all(|&a| a >= 1), "{spec}: the active set never empties");
+
+    // CoverageTrace: same length, monotone, ending at full coverage.
+    assert_eq!(coverage.trace().len(), outcome.rounds + 1);
+    assert!(
+        coverage.trace().windows(2).all(|w| w[1] >= w[0]),
+        "{spec} on {family} seed {seed}: the coverage curve must be monotone across epochs"
+    );
+    assert_eq!(*coverage.trace().last().unwrap(), outcome.num_vertices);
+
+    // FirstVisitTimes (set-once asserted per round inside the observer): on completion
+    // every vertex is covered and the maximum first-visit round is the cover time.
+    assert!(visits.inner.covered(), "{spec} on {family} seed {seed}: completed => covered");
+    let cover = visits.inner.cover_time().expect("covered");
+    assert!(
+        cover <= outcome.rounds,
+        "{spec}: cover time {cover} cannot exceed the {} executed rounds",
+        outcome.rounds
+    );
+
+    // Growth ratios accumulate over all epochs (one per round with a live predecessor).
+    assert_eq!(growth.ratios().len(), outcome.rounds);
+    assert!(growth.ratios().iter().all(|&r| r > 0.0));
+}
+
+#[test]
+fn churned_observers_keep_their_contracts_on_two_families() {
+    // COBRA (coverage-tracking frontier) and PUSH (monotone active set) exercise the two
+    // observer code paths; churn periods straddle short and long epochs.
+    let specs: Vec<ProcessSpec> = vec![
+        "cobra:k=2+churn=8".parse().unwrap(),
+        "cobra:k=2+churn=3".parse().unwrap(),
+        "push+churn=16".parse().unwrap(),
+    ];
+    for family in families() {
+        for spec in &specs {
+            for seed in 0..3 {
+                assert_churned_observer_contracts(spec, &family, seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn observers_do_not_perturb_the_churned_run() {
+    let family = GraphFamily::RandomRegular { n: 64, r: 4 };
+    let spec: ProcessSpec = "cobra:k=2+drop=0.1+churn=8".parse().unwrap();
+    let runner = Runner::new(100_000);
+    for seed in 0..4 {
+        let plain = run_churned(&spec, &family, &runner, &mut rng(seed)).unwrap();
+        let mut counts = ActiveCountTrace::new();
+        let mut visits = FirstVisitTimes::new();
+        let observed = run_churned_observed(
+            &spec,
+            &family,
+            &runner,
+            &mut rng(seed),
+            &mut [&mut counts, &mut visits],
+        )
+        .unwrap();
+        assert_eq!(plain, observed, "seed {seed}: observers must not affect the trajectory");
+    }
+}
+
+#[test]
+fn budget_exhaustion_truncates_traces_exactly() {
+    // A single walker cannot cover a 64-vertex expander in 5 rounds: the run exhausts its
+    // budget mid-epoch and the traces hold exactly initial + 5 entries.
+    let family = GraphFamily::RandomRegular { n: 64, r: 4 };
+    let spec: ProcessSpec = "walk+churn=2".parse().unwrap();
+    let runner = Runner::new(5);
+    let mut counts = ActiveCountTrace::new();
+    let mut continuity = RoundContinuity::default();
+    let outcome = run_churned_observed(
+        &spec,
+        &family,
+        &runner,
+        &mut rng(9),
+        &mut [&mut counts, &mut continuity],
+    )
+    .unwrap();
+    assert_eq!(outcome.reason, StopReason::BudgetExhausted);
+    assert_eq!(outcome.rounds, 5);
+    assert_eq!(counts.trace().len(), 6);
+    assert_eq!(continuity.rounds_seen, 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Walker conservation: however the churn period, walker count and seed fall, the
+    /// multiple-random-walks process carries exactly its initial number of walkers through
+    /// every epoch boundary (`for_each_token` + `adopt_state` preserve multiplicity).
+    #[test]
+    fn multiwalk_conserves_walkers_across_arbitrary_epoch_boundaries(
+        walkers in 1usize..9,
+        period in 1usize..14,
+        family_index in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let family = families().swap_remove(family_index);
+        let spec = ProcessSpec::multiple_walks(walkers)
+            .faulted(FaultPlan { churn: Some(period), ..FaultPlan::default() });
+        // Cap the budget: several epochs' worth of rounds, but no need to run to cover.
+        let runner = Runner::new(8 * period + 20);
+        let mut conservation = TokenConservation::default();
+        let mut continuity = RoundContinuity::default();
+        let outcome = run_churned_observed(
+            &spec,
+            &family,
+            &runner,
+            &mut rng(seed),
+            &mut [&mut conservation, &mut continuity],
+        )
+        .unwrap();
+        prop_assert_eq!(conservation.expected, Some(walkers));
+        prop_assert!(outcome.rounds > 0, "a walk on 64 vertices never completes at round 0");
+    }
+}

@@ -4,6 +4,13 @@
 //! bookkeeping when the fault view is benign. This extends the engine-equivalence
 //! discipline of `tests/frontier_equivalence.rs` to the fault layer, for all seven
 //! processes.
+//!
+//! The Gilbert–Elliott channel is held to the same standard at its degenerate corners:
+//! a *lossless* channel (`fb = fg = 0`) is bit-identical to the bare process regardless of
+//! its transition probabilities, and the *burst-length-1* channel (`pb = pg = 1` with equal
+//! state losses) is bit-identical to i.i.d. `drop=f` — the channel alternates
+//! deterministically without consuming randomness, so both wrappers present the same
+//! per-round drop probability to the same RNG stream.
 
 use cobra::core::spec::ProcessSpec;
 use cobra::graph::{generators, Graph};
@@ -26,26 +33,28 @@ fn all_specs() -> Vec<ProcessSpec> {
     ]
 }
 
-/// The zero-fault plans under test: plain zero drop, and zero drop plus an empty sampled
-/// crash set (which must not consume RNG either).
+/// The zero-fault plans under test: plain zero drop, zero drop plus an empty sampled
+/// crash set, and a lossless Gilbert–Elliott channel (none may consume RNG).
 fn zero_fault_wrappings(spec: &ProcessSpec) -> Vec<ProcessSpec> {
     vec![
         format!("{spec}+drop=0").parse().expect("zero drop clause parses"),
         format!("{spec}+drop=0+crash=0").parse().expect("zero crash clause parses"),
+        format!("{spec}+gedrop=0.3,0.7,0").parse().expect("lossless channel clause parses"),
     ]
 }
 
-/// Steps the wrapped and the bare process with identically seeded RNGs and asserts
+/// Steps two builds of the same underlying process — `spec` as the reference,
+/// `wrapped_spec` as the candidate — with identically seeded RNGs and asserts
 /// byte-identical evolution of the active set, delta and coverage.
-fn assert_no_op_wrapper(
+fn assert_same_evolution(
     graph: &Graph,
     spec: &ProcessSpec,
     wrapped_spec: &ProcessSpec,
     seed: u64,
     rounds: usize,
 ) {
-    let mut bare = spec.build(graph).expect("bare process builds");
-    let mut wrapped = wrapped_spec.build(graph).expect("wrapped process builds");
+    let mut bare = spec.build(graph).expect("reference process builds");
+    let mut wrapped = wrapped_spec.build(graph).expect("candidate process builds");
     let mut bare_rng = ChaCha12Rng::seed_from_u64(seed);
     let mut wrapped_rng = ChaCha12Rng::seed_from_u64(seed);
 
@@ -95,8 +104,23 @@ fn assert_all_processes_no_op(graph: &Graph, seed: u64, rounds: usize) {
             continue;
         }
         for wrapped_spec in zero_fault_wrappings(&spec) {
-            assert_no_op_wrapper(graph, &spec, &wrapped_spec, seed, rounds);
+            assert_same_evolution(graph, &spec, &wrapped_spec, seed, rounds);
         }
+    }
+}
+
+/// The burst-length-1 pairing: `drop=f` as the reference, the degenerate alternating
+/// channel `gedrop=1,1,f,f` as the candidate. `f64`'s `Display` is the shortest
+/// round-tripping form, so the clause parses back to exactly `f`.
+fn assert_all_processes_burst_one_degenerate(graph: &Graph, f: f64, seed: u64, rounds: usize) {
+    for spec in all_specs() {
+        if spec.start() >= graph.num_vertices() {
+            continue;
+        }
+        let iid: ProcessSpec = format!("{spec}+drop={f}").parse().expect("iid drop clause parses");
+        let degenerate: ProcessSpec =
+            format!("{spec}+gedrop=1,1,{f},{f}").parse().expect("degenerate channel parses");
+        assert_same_evolution(graph, &iid, &degenerate, seed, rounds);
     }
 }
 
@@ -123,6 +147,32 @@ proptest! {
         let graph = generators::torus_2d(side, side).unwrap();
         assert_all_processes_no_op(&graph, seed, 50);
     }
+
+    /// Every process under arbitrary loss rates: the degenerate burst-length-1
+    /// Gilbert–Elliott channel is bit-identical to i.i.d. drop on expanders…
+    #[test]
+    fn ge_burst_one_matches_iid_drop_on_random_regular(
+        n in 12usize..64,
+        r in 3usize..6,
+        f in 0.01f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((n * r) % 2 == 0 && r < n);
+        let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0x6E01);
+        let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
+        assert_all_processes_burst_one_degenerate(&graph, f, seed, 60);
+    }
+
+    /// …and on tori.
+    #[test]
+    fn ge_burst_one_matches_iid_drop_on_torus(
+        side in 3usize..9,
+        f in 0.01f64..0.6,
+        seed in 0u64..10_000,
+    ) {
+        let graph = generators::torus_2d(side, side).unwrap();
+        assert_all_processes_burst_one_degenerate(&graph, f, seed, 50);
+    }
 }
 
 /// Fixed, deterministic smoke version on the acceptance instance family.
@@ -132,5 +182,16 @@ fn zero_fault_wrapper_is_identity_on_a_fixed_expander() {
     let graph = generators::connected_random_regular(128, 8, &mut gen_rng).unwrap();
     for seed in 0..4u64 {
         assert_all_processes_no_op(&graph, seed, 150);
+    }
+}
+
+/// Fixed, deterministic smoke for the burst-length-1 degeneracy, at the acceptance loss
+/// rates of E9/E9b.
+#[test]
+fn ge_burst_one_matches_iid_drop_on_a_fixed_expander() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(128, 8, &mut gen_rng).unwrap();
+    for (seed, f) in [(0u64, 0.05), (1, 0.1), (2, 0.25), (3, 0.4)] {
+        assert_all_processes_burst_one_degenerate(&graph, f, seed, 150);
     }
 }

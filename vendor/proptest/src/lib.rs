@@ -163,6 +163,17 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        // 53 uniform mantissa bits in [0, 1), scaled into the half-open range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
 
