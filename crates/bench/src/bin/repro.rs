@@ -75,7 +75,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--list" => options.list = true,
             "--list-processes" => options.list_processes = true,
             "--exp" => {
-                let value = args.next().ok_or("--exp requires an experiment id (e1..e9b)")?;
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e10)")?;
                 options.only = Some(
                     ExperimentId::parse(&value)
                         .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
@@ -108,14 +108,15 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full|--quick] [--exp e1..e9b] [--seed N] [--list]\n\
+                    "usage: repro [--full|--quick] [--exp e1..e10] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
                      \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
                      \x20      repro --list-processes\n\
                      regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
                      contact:p=0.5,q=0.2, with optional fault clauses like\n\
-                     cobra:k=2+drop=0.1+crash=5%+churn=64) on one graph spec\n\
+                     cobra:k=2+drop=0.1+crash=5%+churn=64 and adaptive adversaries like\n\
+                     cobra:k=2+adv=topdeg:budget=5%) on one graph spec\n\
                      (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
                      barbell:k=32), or — with `bench` — wall-clocks the sparse-frontier engine\n\
                      against the dense reference engine per (process, graph) pair and writes\n\
@@ -362,6 +363,8 @@ mod tests {
         assert!(conflict(&[]).is_ok());
         assert!(conflict(&["--exp", "e9", "--full", "--seed", "7"]).is_ok());
         assert!(conflict(&["--exp", "e9b", "--quick"]).is_ok());
+        assert!(conflict(&["--exp", "e10", "--full"]).is_ok());
+        assert!(conflict(&["--process", "cobra:k=2+adv=topdeg:budget=5%", "--trials", "2"]).is_ok());
         assert!(conflict(&["--process", "cobra:k=2+gedrop=0.05,0.2,0.4+churn=8", "--trials", "2"])
             .is_ok());
         assert!(conflict(&["--process", "cobra:k=2", "--trials", "3"]).is_ok());
@@ -411,11 +414,13 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_arguments() {
         let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
-        assert!(parse(&["--exp", "e10"]).is_err());
+        assert!(parse(&["--exp", "e11"]).is_err());
         assert!(parse(&["--process", "frisbee"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+drop=2"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+gedrop=0.1"]).is_err());
         assert!(parse(&["--process", "push+repair=0.1"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+adv=bogus"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+adv=topdeg:budget=150%"]).is_err());
         assert!(parse(&["--graph", "mystery:n=2"]).is_err());
         assert!(parse(&["--trials", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());

@@ -117,15 +117,21 @@ impl SpreadingProcess for ContactProcess<'_> {
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // An i.i.d.-dropped transmission composes into one Bernoulli draw with the
-        // effective probability p(1-f); with f = 0 the stream is untouched.
-        let transmit = self.parameters.infection_probability * (1.0 - faults.drop_probability());
+        // effective probability p(1-f) — per sender, so a targeted (frontier) drop lowers
+        // only the targeted senders' rate; with no faults the stream is untouched.
+        let transmit = self.parameters.infection_probability;
         // The frontier is ascending, so transmission/recovery draws happen in the dense
         // engine's vertex order and the RNG streams stay identical.
         for &u in &self.frontier {
             // A crashed vertex stays ill without infecting anyone (recovery still applies).
             if !faults.is_crashed(u) {
+                let transmit = transmit * (1.0 - faults.sender_drop(u));
                 for v in self.graph.neighbor_iter(u) {
-                    if !self.next_infected.contains(v) && transmit > 0.0 && rng.gen_bool(transmit) {
+                    if !self.next_infected.contains(v)
+                        && !faults.severs(u, v)
+                        && transmit > 0.0
+                        && rng.gen_bool(transmit)
+                    {
                         self.next_infected.insert(v);
                         if !self.infected.contains(v) {
                             self.newly.push(v);

@@ -7,7 +7,7 @@
 //! * [`push`] — the classical PUSH rumour-spreading protocol (every informed vertex pushes to
 //!   one random neighbour and *stays informed*), the simplest gossip model mentioned in the
 //!   paper's opening paragraph.
-//! * [`push_pull`] — the PUSH–PULL variant in which uninformed vertices also pull.
+//! * [`PushPullProcess`] — the PUSH–PULL variant in which uninformed vertices also pull.
 //! * [`contact`] — a discrete-time SIS contact process with a persistent source, the epidemic
 //!   model family (Harris' contact process) that BIPS discretises.
 //!

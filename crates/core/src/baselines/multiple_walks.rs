@@ -103,10 +103,13 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         self.next_list.clear();
         self.newly.clear();
         for i in 0..self.positions.len() {
-            // A walker on a crashed vertex is stuck; a dropped move stays in place.
-            if !faults.is_crashed(self.positions[i]) && !faults.drops(rng) {
+            // A walker on a crashed vertex is stuck; a dropped move stays in place; a
+            // severed cut blocks the traversal after the target draw.
+            if !faults.is_crashed(self.positions[i]) && !faults.drops_from(rng, self.positions[i]) {
                 if let Some(next) = self.graph.sample_neighbor(self.positions[i], rng) {
-                    self.positions[i] = next;
+                    if !faults.severs(self.positions[i], next) {
+                        self.positions[i] = next;
+                    }
                 }
             }
             let p = self.positions[i];

@@ -103,11 +103,15 @@ impl SpreadingProcess for PushProcess<'_> {
             }
             self.messages_sent += 1;
             // The message is sent (and counted) but lost in flight.
-            if faults.drops(rng) {
+            if faults.drops_from(rng, u) {
                 continue;
             }
             let target =
                 *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+            // A severed cut blocks the (sent and counted) message after the target draw.
+            if faults.severs(u, target) {
+                continue;
+            }
             if self.informed.insert(target) {
                 self.newly.push(target);
             }
@@ -235,15 +239,18 @@ impl SpreadingProcess for PushPullProcess<'_> {
             let partner =
                 *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
             // Crash disables transmission only: a crashed vertex neither pushes the rumour
-            // nor answers a pull, but it can still receive and still request.
+            // nor answers a pull, but it can still receive and still request. A severed
+            // cut blocks the contact in both directions before any drop draw.
             if self.informed.contains(u) && !self.informed.contains(partner) {
-                if !faults.is_crashed(u) && !faults.drops(rng) {
+                if !faults.is_crashed(u) && !faults.severs(u, partner) && !faults.drops_from(rng, u)
+                {
                     self.contacts.push(partner);
                 }
             } else if !self.informed.contains(u)
                 && self.informed.contains(partner)
                 && !faults.is_crashed(partner)
-                && !faults.drops(rng)
+                && !faults.severs(partner, u)
+                && !faults.drops_from(rng, partner)
             {
                 self.contacts.push(u);
             }

@@ -78,18 +78,21 @@ impl SpreadingProcess for RandomWalk<'_> {
         self.newly.clear();
         // A crashed vertex never relays: a walker standing on one is stuck there forever.
         // A dropped move message leaves the token in place for this round.
-        if faults.is_crashed(self.position) || faults.drops(rng) {
+        if faults.is_crashed(self.position) || faults.drops_from(rng, self.position) {
             self.round += 1;
             return;
         }
         if let Some(next) = self.graph.sample_neighbor(self.position, rng) {
-            // Simple graphs have no self-loops, so the walker always moves.
-            self.active.remove(self.position);
-            self.position = next;
-            self.active.insert(next);
-            self.newly.push(next);
-            if self.visited.insert(next) {
-                self.num_visited += 1;
+            // A severed cut blocks the traversal (the target draw is already consumed);
+            // otherwise the walker always moves — simple graphs have no self-loops.
+            if !faults.severs(self.position, next) {
+                self.active.remove(self.position);
+                self.position = next;
+                self.active.insert(next);
+                self.newly.push(next);
+                if self.visited.insert(next) {
+                    self.num_visited += 1;
+                }
             }
         }
         self.round += 1;

@@ -171,8 +171,13 @@ impl SpreadingProcess for BipsProcess<'_> {
             for _ in 0..samples {
                 let w = *sample::sample_slice(neighbors, rng).expect("neighbour slice non-empty");
                 // A crashed vertex never relays: its infection is invisible to samplers.
-                // The drop draw only happens for a would-be-successful transmission.
-                if self.infected.contains(w) && !faults.is_crashed(w) && !faults.drops(rng) {
+                // A severed cut blocks the sampled edge deterministically, and the drop
+                // draw only happens for a would-be-successful transmission (sender `w`).
+                if self.infected.contains(w)
+                    && !faults.is_crashed(w)
+                    && !faults.severs(w, u)
+                    && !faults.drops_from(rng, w)
+                {
                     hit = true;
                     break;
                 }

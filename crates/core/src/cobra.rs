@@ -247,11 +247,15 @@ impl SpreadingProcess for CobraProcess<'_> {
             let pushes = self.branching.sample_pushes(rng);
             for _ in 0..pushes {
                 // The drop decision precedes the target draw: a lost push samples nothing.
-                if faults.drops(rng) {
+                if faults.drops_from(rng, u) {
                     continue;
                 }
                 let target =
                     *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
+                // A severed cut blocks the push after the (already consumed) target draw.
+                if faults.severs(u, target) {
+                    continue;
+                }
                 if self.next_active.insert(target) {
                     if !self.active.contains(target) {
                         self.newly.push(target);

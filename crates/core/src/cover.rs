@@ -28,7 +28,7 @@ pub struct CoverOutcome {
 /// # Errors
 ///
 /// Returns construction errors from [`CobraProcess::new`] and
-/// [`CoreError::RoundBudgetExceeded`] if the graph is not covered within `max_rounds`
+/// [`CoreError::RoundBudgetExceeded`](crate::CoreError::RoundBudgetExceeded) if the graph is not covered within `max_rounds`
 /// (e.g. a disconnected graph, or a budget far below the true cover time).
 pub fn cover_time(
     graph: &Graph,

@@ -42,7 +42,7 @@
 //!
 //! Churn cannot be expressed by a wrapper over a process that borrows one fixed graph;
 //! [`run_churned`] owns the segment loop instead: it re-instantiates the
-//! [`GraphFamily`](cobra_graph::generators::GraphFamily) every `T` rounds and migrates the
+//! [`GraphFamily`] every `T` rounds and migrates the
 //! process state through [`SpreadingProcess::adopt_state`], carrying walker multiplicities
 //! exactly via [`SpreadingProcess::for_each_token`]. [`run_churned_observed`] additionally
 //! threads `Runner` observers across the epochs: traces and first-visit times see one
@@ -50,19 +50,39 @@
 //!
 //! # Spec syntax
 //!
-//! Fault clauses are appended to any process spec with `+`:
+//! Fault clauses are appended to any process spec with `+`. The examples below are
+//! executable — each documented clause string parses and its [`Display`](fmt::Display)
+//! form round-trips, so the syntax shown here cannot drift from the parser:
 //!
-//! ```text
-//! cobra:k=2+drop=0.1              10% i.i.d. message drop
-//! cobra:k=2+gedrop=0.1,0.25,0.5   Gilbert–Elliott: P(good→bad)=0.1, P(bad→good)=0.25
-//!                                 (mean burst 4 rounds), 50% loss when bad, 0% when good
-//! push+gedrop=0.1,0.25,0.5,0.02   …and 2% residual loss in the good state
-//! cobra:k=2+crash=5%              5% of the vertices crash (sampled per trial, start excluded)
-//! cobra:k=2+crash=5%+repair=0.1   transient: crashed vertices repair w.p. 0.1 per round,
-//!                                 healthy ones re-crash so 5% stay down in expectation
-//! push+crash=12                   12 random vertices crash
-//! bips:k=2+crash=v3;v8            vertices 3 and 8 crash (persistent across trials)
-//! cobra:k=2+drop=0.1+churn=64     drop plus graph re-instantiation every 64 rounds
+//! ```
+//! use cobra_core::spec::ProcessSpec;
+//!
+//! for text in [
+//!     // 10% i.i.d. message drop.
+//!     "cobra:k=2+drop=0.1",
+//!     // Gilbert–Elliott: P(good→bad)=0.1, P(bad→good)=0.25 (mean burst 4 rounds),
+//!     // 50% loss when bad, 0% when good…
+//!     "cobra:k=2+gedrop=0.1,0.25,0.5",
+//!     // …and 2% residual loss in the good state.
+//!     "push+gedrop=0.1,0.25,0.5,0.02",
+//!     // 5% of the vertices crash (sampled per trial, start excluded).
+//!     "cobra:k=2+crash=5%",
+//!     // Transient: crashed vertices repair w.p. 0.1 per round, healthy ones
+//!     // re-crash so 5% stay down in expectation.
+//!     "cobra:k=2+crash=5%+repair=0.1",
+//!     // 12 random vertices crash.
+//!     "push+crash=12",
+//!     // Vertices 3 and 8 crash (persistent across trials).
+//!     "bips:k=2+crash=v3;v8",
+//!     // Drop plus graph re-instantiation every 64 rounds.
+//!     "cobra:k=2+drop=0.1+churn=64",
+//!     // A state-aware adversary policy (see `adversary`): crash the highest-degree
+//!     // active vertices under a 5% budget.
+//!     "cobra:k=2+adv=topdeg:budget=5%",
+//! ] {
+//!     let spec: ProcessSpec = text.parse().expect(text);
+//!     assert_eq!(spec.to_string(), text, "documented syntax must round-trip");
+//! }
 //! ```
 
 use std::fmt;
@@ -72,6 +92,7 @@ use cobra_graph::{sample, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
+use crate::adversary::AdversarySpec;
 use crate::process::SpreadingProcess;
 use crate::sim::{Observer, RunOutcome, Runner, StopReason};
 use crate::spec::ProcessSpec;
@@ -213,7 +234,7 @@ impl CrashSpec {
 }
 
 /// A serializable description of per-round adversity, attached to a
-/// [`ProcessSpec`](crate::spec::ProcessSpec) with `+` clauses.
+/// [`ProcessSpec`] with `+` clauses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct FaultPlan {
     /// The message-loss model (`drop=f` or `gedrop=pb,pg,fb[,fg]`).
@@ -228,6 +249,11 @@ pub struct FaultPlan {
     pub repair: Option<f64>,
     /// Re-instantiate the graph family every this many rounds (`churn=T`).
     pub churn: Option<usize>,
+    /// A state-aware adversary policy (`adv=<policy>`, e.g. `adv=topdeg:budget=5%`):
+    /// instead of (or in addition to) the oblivious clauses above, a policy from
+    /// [`adversary`](crate::adversary) observes the process each round and emits that
+    /// round's faults. `None` keeps the plan fully oblivious.
+    pub adversary: Option<AdversarySpec>,
 }
 
 impl FaultPlan {
@@ -247,9 +273,14 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Whether the plan injects no faults (no possible loss, no crashes, no churn).
+    /// Whether the plan injects no faults (no possible loss, no crashes, no churn, no
+    /// adversary — a plan carrying any `adv=` policy is never benign, since even a policy
+    /// over benign clauses routes the run through the adversary engine).
     pub fn is_benign(&self) -> bool {
-        self.drop.is_lossless() && self.crash.is_none() && self.churn.is_none()
+        self.drop.is_lossless()
+            && self.crash.is_none()
+            && self.churn.is_none()
+            && self.adversary.is_none()
     }
 
     /// Validates every field.
@@ -285,6 +316,9 @@ impl FaultPlan {
                 reason: "churn period must be at least 1 round".to_string(),
             });
         }
+        if let Some(adversary) = &self.adversary {
+            adversary.validate()?;
+        }
         Ok(())
     }
 
@@ -302,8 +336,8 @@ impl FaultPlan {
     pub fn parse_clauses(text: &str) -> Result<Self> {
         let invalid = |reason: String| CoreError::InvalidParameters { reason };
         let mut plan = FaultPlan::none();
-        let (mut seen_drop, mut seen_crash, mut seen_repair, mut seen_churn) =
-            (false, false, false, false);
+        let (mut seen_drop, mut seen_crash, mut seen_repair, mut seen_churn, mut seen_adv) =
+            (false, false, false, false, false);
         for clause in text.split('+') {
             let (key, value) = clause
                 .split_once('=')
@@ -400,10 +434,17 @@ impl FaultPlan {
                             .map_err(|_| invalid(format!("invalid churn period {value:?}")))?,
                     );
                 }
+                "adv" => {
+                    if seen_adv {
+                        return Err(invalid("adv= given twice".to_string()));
+                    }
+                    seen_adv = true;
+                    plan.adversary = Some(value.trim().parse()?);
+                }
                 other => {
                     return Err(invalid(format!(
                         "unknown fault clause `{other}` (expected drop=, gedrop=, crash=, \
-                         repair= or churn=)"
+                         repair=, churn= or adv=)"
                     )))
                 }
             }
@@ -447,6 +488,9 @@ impl fmt::Display for FaultPlan {
         if let Some(period) = self.churn {
             parts.push(format!("churn={period}"));
         }
+        if let Some(adversary) = &self.adversary {
+            parts.push(format!("adv={adversary}"));
+        }
         if parts.is_empty() {
             parts.push("drop=0".to_string());
         }
@@ -457,28 +501,61 @@ impl fmt::Display for FaultPlan {
 /// The per-round fault view a process consults inside
 /// [`step_faulted`](SpreadingProcess::step_faulted).
 ///
-/// The two queries are free of side effects when the fault is absent: with `drop = 0`,
-/// [`drops`](StepFaults::drops) returns `false` **without touching the RNG**, and with no
-/// crash set [`is_crashed`](StepFaults::is_crashed) is a constant `false` — which is what
-/// makes a zero-fault wrapper bit-identical to the bare process. Correlated loss models
-/// resolve to a plain per-round probability before the view is built, so processes stay
-/// oblivious to the channel state.
+/// Besides the oblivious faults of a [`FaultPlan`] — a global per-transmission drop
+/// probability and a crashed set — the view carries the two *state-aware* fault shapes the
+/// [`adversary`](crate::adversary) engine emits: a **targeted drop** that applies only to
+/// transmissions *leaving* a designated sender set (the growth front, say), and a
+/// **severed partition** that deterministically blocks every transmission crossing a
+/// two-sided vertex cut.
+///
+/// All queries are free of side effects when the corresponding fault is absent: with
+/// `drop = 0` and no targeted set, [`drops_from`](StepFaults::drops_from) returns `false`
+/// **without touching the RNG**, with no crash set [`is_crashed`](StepFaults::is_crashed)
+/// is a constant `false`, and with no partition [`severs`](StepFaults::severs) is a
+/// constant `false` — which is what makes a zero-fault wrapper bit-identical to the bare
+/// process. Correlated loss models resolve to a plain per-round probability before the
+/// view is built, so processes stay oblivious to the channel state.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepFaults<'a> {
     drop: f64,
     crashed: Option<&'a VertexBitset>,
+    /// Extra per-transmission loss applied only to senders in `targeted`.
+    targeted_drop: f64,
+    targeted: Option<&'a VertexBitset>,
+    /// Side-A membership of a severed cut; transmissions crossing sides are blocked.
+    severed: Option<&'a VertexBitset>,
 }
 
 impl<'a> StepFaults<'a> {
     /// The fault-free view used by the default [`SpreadingProcess::step`].
-    pub const NONE: StepFaults<'static> = StepFaults { drop: 0.0, crashed: None };
+    pub const NONE: StepFaults<'static> =
+        StepFaults { drop: 0.0, crashed: None, targeted_drop: 0.0, targeted: None, severed: None };
 
-    /// A view with the given drop probability and crashed set.
+    /// A view with the given global drop probability and crashed set (no targeted drop, no
+    /// partition).
     pub fn new(drop: f64, crashed: Option<&'a VertexBitset>) -> Self {
-        StepFaults { drop, crashed }
+        StepFaults { drop, crashed, targeted_drop: 0.0, targeted: None, severed: None }
     }
 
-    /// The i.i.d. per-transmission drop probability of the current round.
+    /// The same view with a targeted drop: transmissions leaving a vertex of `senders` are
+    /// additionally lost with probability `f` (independently of the global drop).
+    #[must_use]
+    pub fn with_targeted(mut self, f: f64, senders: Option<&'a VertexBitset>) -> Self {
+        self.targeted_drop = f;
+        self.targeted = senders;
+        self
+    }
+
+    /// The same view with a severed partition: every transmission whose endpoints lie on
+    /// different sides of `side` (member vs non-member) is blocked outright, without
+    /// consuming randomness.
+    #[must_use]
+    pub fn with_partition(mut self, side: Option<&'a VertexBitset>) -> Self {
+        self.severed = side;
+        self
+    }
+
+    /// The global i.i.d. per-transmission drop probability of the current round.
     pub fn drop_probability(&self) -> f64 {
         self.drop
     }
@@ -488,9 +565,27 @@ impl<'a> StepFaults<'a> {
         self.crashed
     }
 
+    /// The targeted-drop probability (0 when no sender set is targeted).
+    pub fn targeted_drop_probability(&self) -> f64 {
+        self.targeted_drop
+    }
+
+    /// The targeted sender set, if any.
+    pub fn targeted_set(&self) -> Option<&'a VertexBitset> {
+        self.targeted
+    }
+
+    /// The severed-cut side membership, if a partition is active.
+    pub fn severed_side(&self) -> Option<&'a VertexBitset> {
+        self.severed
+    }
+
     /// Whether this view injects no faults.
     pub fn is_benign(&self) -> bool {
-        self.drop == 0.0 && self.crashed.is_none()
+        self.drop == 0.0
+            && self.crashed.is_none()
+            && (self.targeted_drop == 0.0 || self.targeted.is_none())
+            && self.severed.is_none()
     }
 
     /// Whether vertex `v` has crashed (never relays).
@@ -499,11 +594,38 @@ impl<'a> StepFaults<'a> {
         self.crashed.is_some_and(|set| set.contains(v))
     }
 
-    /// Samples whether one transmission is lost. Draws from `rng` only when the drop
-    /// probability is positive.
+    /// The combined per-transmission loss probability for messages sent by `from` — the
+    /// global drop composed with the targeted drop when `from` is targeted. Processes that
+    /// fold the loss into a transmission probability (the contact process) use this instead
+    /// of drawing per message.
     #[inline]
-    pub fn drops(&self, rng: &mut dyn RngCore) -> bool {
-        self.drop > 0.0 && rng.gen_bool(self.drop)
+    pub fn sender_drop(&self, from: VertexId) -> f64 {
+        let mut keep = 1.0 - self.drop;
+        if self.targeted_drop > 0.0 && self.targeted.is_some_and(|set| set.contains(from)) {
+            keep *= 1.0 - self.targeted_drop;
+        }
+        1.0 - keep
+    }
+
+    /// Samples whether one transmission sent by `from` is lost. Draws from `rng` only for
+    /// faults that can actually fire: one draw for a positive global drop, plus one draw
+    /// for the targeted drop when `from` is in the targeted set — so with no faults the
+    /// RNG is untouched.
+    #[inline]
+    pub fn drops_from(&self, rng: &mut dyn RngCore, from: VertexId) -> bool {
+        if self.drop > 0.0 && rng.gen_bool(self.drop) {
+            return true;
+        }
+        self.targeted_drop > 0.0
+            && self.targeted.is_some_and(|set| set.contains(from))
+            && rng.gen_bool(self.targeted_drop)
+    }
+
+    /// Whether the transmission `from → to` crosses a severed cut (blocked outright,
+    /// deterministically — severed transmissions never touch the RNG).
+    #[inline]
+    pub fn severs(&self, from: VertexId, to: VertexId) -> bool {
+        self.severed.is_some_and(|side| side.contains(from) != side.contains(to))
     }
 }
 
@@ -566,20 +688,14 @@ impl GeChannel {
     }
 }
 
-/// Wraps any boxed process so it steps under a [`FaultPlan`]'s drop and crash faults.
+/// The per-round *dynamics* of a [`FaultPlan`] on one graph instance: lazy crash-set
+/// sampling, transient crash/repair evolution and the Gilbert–Elliott channel state.
 ///
-/// The wrapper is itself a [`SpreadingProcess`], so the `Runner`, every observer and the
-/// Monte-Carlo driver handle it exactly like a bare process. Sampled crash sets
-/// ([`CrashSpec::Percent`] / [`CrashSpec::Count`]) are drawn from the step RNG on first use
-/// — i.e. per trial, since drivers build one process per trial — always excluding the
-/// protected start vertex. Explicit sets are validated and fixed at construction. With a
-/// `repair=` rate the crash set evolves per round (see [`FaultPlan::repair`]); the
-/// Gilbert–Elliott channel state, when configured, also advances once per round.
-///
-/// Churn is *not* handled here (a wrapper cannot re-instantiate a graph its inner process
-/// borrows); use [`run_churned`]. Construction therefore rejects plans with `churn=`.
-pub struct FaultedProcess<'g> {
-    inner: Box<dyn SpreadingProcess + Send + 'g>,
+/// This is the machinery shared — RNG draw for RNG draw — by the [`FaultedProcess`]
+/// wrapper and the [`adversary`](crate::adversary) engine's oblivious policy, which is what
+/// makes `adv=oblivious` bit-identical to the bare fault path by construction.
+#[derive(Debug)]
+pub(crate) struct PlanDynamics {
     drop: DropModel,
     channel: GeChannel,
     crash: CrashSpec,
@@ -589,49 +705,26 @@ pub struct FaultedProcess<'g> {
     /// set is known so the crashed fraction is stationary. 0 for explicit lists.
     recrash: f64,
     protect: VertexId,
+    /// Number of vertices of the instance the dynamics run on.
+    n: usize,
     crashed: Option<VertexBitset>,
     /// Pristine copy of an explicit crash list, restored on reset (repair mutates the set).
     explicit: Option<VertexBitset>,
     crash_resolved: bool,
 }
 
-impl fmt::Debug for FaultedProcess<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FaultedProcess")
-            .field("drop", &self.drop)
-            .field("crash", &self.crash)
-            .field("repair", &self.repair)
-            .field("recrash", &self.recrash)
-            .field("protect", &self.protect)
-            .field("crashed", &self.crashed)
-            .finish_non_exhaustive()
-    }
-}
-
-impl<'g> FaultedProcess<'g> {
-    /// Wraps `inner` under `plan`, protecting `protect` (the start/source vertex) from
-    /// sampled crash sets and from transient re-crashes.
+impl PlanDynamics {
+    /// Builds the dynamics of `plan` for an `n`-vertex instance, protecting `protect` (the
+    /// start/source vertex) from sampled crash sets and transient re-crashes. The plan's
+    /// `churn` and `adversary` fields are *not* interpreted here — callers route them.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidParameters`] for an invalid plan or one with `churn=`
-    /// (see [`run_churned`]), and [`CoreError::VertexOutOfRange`] if an explicit crash list
-    /// names a vertex outside the graph.
-    pub fn new(
-        inner: Box<dyn SpreadingProcess + Send + 'g>,
-        plan: &FaultPlan,
-        protect: VertexId,
-    ) -> Result<Self> {
+    /// Returns [`CoreError::InvalidParameters`] for an invalid plan or an over-sized crash
+    /// count, and [`CoreError::VertexOutOfRange`] if an explicit crash list names a vertex
+    /// outside the graph.
+    pub(crate) fn new(plan: &FaultPlan, protect: VertexId, n: usize) -> Result<Self> {
         plan.validate()?;
-        if plan.churn.is_some() {
-            return Err(CoreError::InvalidParameters {
-                reason: "churn= re-instantiates the graph and cannot run on a fixed instance; \
-                         drive the spec through fault::run_churned (repro ad-hoc mode does \
-                         this automatically)"
-                    .to_string(),
-            });
-        }
-        let n = inner.num_vertices();
         // A crash count beyond the eligible population (everything but the protected
         // start) would be silently clamped at sampling time; reject it loudly instead,
         // matching the percentage bound.
@@ -663,28 +756,74 @@ impl<'g> FaultedProcess<'g> {
         } else if plan.crash.is_none() {
             crash_resolved = true;
         }
-        Ok(FaultedProcess {
-            inner,
+        Ok(PlanDynamics {
             drop: plan.drop,
             channel: GeChannel::START,
             crash: plan.crash.clone(),
             repair: plan.repair.unwrap_or(0.0),
             recrash: 0.0,
             protect,
+            n,
             crashed,
             explicit,
             crash_resolved,
         })
     }
 
-    /// The resolved crashed set (`None` until a sampled set is drawn at the first step).
-    pub fn crashed(&self) -> Option<&VertexBitset> {
+    /// The resolved crashed set (`None` until a sampled set is drawn at the first round).
+    pub(crate) fn crashed(&self) -> Option<&VertexBitset> {
         self.crashed.as_ref()
     }
 
-    /// The wrapped process.
-    pub fn inner(&self) -> &dyn SpreadingProcess {
-        self.inner.as_ref()
+    /// Advances the dynamics by one round and returns this round's drop probability:
+    /// resolves a sampled crash set on first use, applies the crash/repair evolution, folds
+    /// `extra` crashed vertices in (outer-wrapper composition; folding each round keeps
+    /// them down under repair dynamics) and advances the loss channel. The RNG draw order
+    /// is the contract: resolve, repair, channel — a benign plan draws nothing.
+    pub(crate) fn begin_round(
+        &mut self,
+        rng: &mut dyn RngCore,
+        extra: Option<&VertexBitset>,
+    ) -> f64 {
+        self.resolve_crashes(rng);
+        self.update_crashes(rng);
+        if let Some(extra) = extra {
+            match &mut self.crashed {
+                Some(set) => extra.for_each(&mut |v| {
+                    set.insert(v);
+                }),
+                None => self.crashed = Some(extra.clone()),
+            }
+        }
+        match self.drop {
+            DropModel::Iid { f } => f,
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                if f_bad == 0.0 && f_good == 0.0 {
+                    // A lossless channel never touches the RNG.
+                    0.0
+                } else if self.channel.advance(p_bad, p_good, rng) {
+                    f_bad
+                } else {
+                    f_good
+                }
+            }
+        }
+    }
+
+    /// Restores the pre-trial state: the channel restarts good, explicit crash lists are
+    /// restored pristine and sampled sets are re-drawn on next use.
+    pub(crate) fn reset(&mut self) {
+        self.channel = GeChannel::START;
+        match self.crash {
+            CrashSpec::None => {}
+            // Repair may have mutated the explicit set mid-trial; restore the pristine list.
+            CrashSpec::Vertices { .. } => self.crashed = self.explicit.clone(),
+            // Sampled crash sets are re-drawn for the next trial.
+            _ => {
+                self.crashed = None;
+                self.crash_resolved = false;
+            }
+        }
     }
 
     /// Samples the crash set on first use (per trial): `resolve_count` distinct vertices,
@@ -695,7 +834,7 @@ impl<'g> FaultedProcess<'g> {
             return;
         }
         self.crash_resolved = true;
-        let n = self.inner.num_vertices();
+        let n = self.n;
         let mut eligible: Vec<VertexId> = (0..n).filter(|&v| v != self.protect).collect();
         let count = self.crash.resolve_count(n).min(eligible.len());
         if count == 0 {
@@ -725,8 +864,7 @@ impl<'g> FaultedProcess<'g> {
             return;
         }
         let Some(set) = self.crashed.as_mut() else { return };
-        let n = self.inner.num_vertices();
-        for v in 0..n {
+        for v in 0..self.n {
             if v == self.protect {
                 continue;
             }
@@ -741,36 +879,90 @@ impl<'g> FaultedProcess<'g> {
     }
 }
 
+/// Wraps any boxed process so it steps under a [`FaultPlan`]'s drop and crash faults.
+///
+/// The wrapper is itself a [`SpreadingProcess`], so the `Runner`, every observer and the
+/// Monte-Carlo driver handle it exactly like a bare process. Sampled crash sets
+/// ([`CrashSpec::Percent`] / [`CrashSpec::Count`]) are drawn from the step RNG on first use
+/// — i.e. per trial, since drivers build one process per trial — always excluding the
+/// protected start vertex. Explicit sets are validated and fixed at construction. With a
+/// `repair=` rate the crash set evolves per round (see [`FaultPlan::repair`]); the
+/// Gilbert–Elliott channel state, when configured, also advances once per round.
+///
+/// Churn is *not* handled here (a wrapper cannot re-instantiate a graph its inner process
+/// borrows); use [`run_churned`]. Construction therefore rejects plans with `churn=`.
+/// Adaptive `adv=` clauses are handled by the [`adversary`](crate::adversary) engine and
+/// are likewise rejected — [`ProcessSpec::build`](crate::spec::ProcessSpec::build) routes
+/// them.
+pub struct FaultedProcess<'g> {
+    inner: Box<dyn SpreadingProcess + Send + 'g>,
+    dynamics: PlanDynamics,
+}
+
+impl fmt::Debug for FaultedProcess<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultedProcess").field("dynamics", &self.dynamics).finish_non_exhaustive()
+    }
+}
+
+impl<'g> FaultedProcess<'g> {
+    /// Wraps `inner` under `plan`, protecting `protect` (the start/source vertex) from
+    /// sampled crash sets and from transient re-crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] for an invalid plan, one with `churn=`
+    /// (see [`run_churned`]) or one with an `adv=` policy (see
+    /// [`adversary`](crate::adversary)), and [`CoreError::VertexOutOfRange`] if an explicit
+    /// crash list names a vertex outside the graph.
+    pub fn new(
+        inner: Box<dyn SpreadingProcess + Send + 'g>,
+        plan: &FaultPlan,
+        protect: VertexId,
+    ) -> Result<Self> {
+        if plan.churn.is_some() {
+            return Err(CoreError::InvalidParameters {
+                reason: "churn= re-instantiates the graph and cannot run on a fixed instance; \
+                         drive the spec through fault::run_churned (repro ad-hoc mode does \
+                         this automatically)"
+                    .to_string(),
+            });
+        }
+        if plan.adversary.is_some() {
+            return Err(CoreError::InvalidParameters {
+                reason: "adv= policies are state-aware and run through the adversary engine; \
+                         build the spec via ProcessSpec::build (or adversary::build_adversarial) \
+                         instead of wrapping it in FaultedProcess"
+                    .to_string(),
+            });
+        }
+        let n = inner.num_vertices();
+        let dynamics = PlanDynamics::new(plan, protect, n)?;
+        Ok(FaultedProcess { inner, dynamics })
+    }
+
+    /// The resolved crashed set (`None` until a sampled set is drawn at the first step).
+    pub fn crashed(&self) -> Option<&VertexBitset> {
+        self.dynamics.crashed()
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &dyn SpreadingProcess {
+        self.inner.as_ref()
+    }
+}
+
 impl SpreadingProcess for FaultedProcess<'_> {
     fn step_faulted(&mut self, rng: &mut dyn RngCore, outer: &StepFaults<'_>) {
-        self.resolve_crashes(rng);
-        self.update_crashes(rng);
-        // Compose with faults injected by an outer caller (nested wrappers): drops are
-        // independent; folding the outer crash set in each round keeps those vertices down
-        // even under repair dynamics.
-        if let Some(extra) = outer.crashed_set() {
-            match &mut self.crashed {
-                Some(set) => extra.for_each(&mut |v| {
-                    set.insert(v);
-                }),
-                None => self.crashed = Some(extra.clone()),
-            }
-        }
-        let own = match self.drop {
-            DropModel::Iid { f } => f,
-            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
-                if f_bad == 0.0 && f_good == 0.0 {
-                    // A lossless channel never touches the RNG.
-                    0.0
-                } else if self.channel.advance(p_bad, p_good, rng) {
-                    f_bad
-                } else {
-                    f_good
-                }
-            }
-        };
+        // Compose with faults injected by an outer caller (an adversary wrapper or nested
+        // fault wrappers): drops are independent, outer crashes fold into the plan's set,
+        // and the outer's targeted drop / severed partition pass through unchanged (the
+        // plan itself never emits those shapes).
+        let own = self.dynamics.begin_round(rng, outer.crashed_set());
         let drop = 1.0 - (1.0 - own) * (1.0 - outer.drop_probability());
-        let faults = StepFaults::new(drop, self.crashed.as_ref());
+        let faults = StepFaults::new(drop, self.dynamics.crashed())
+            .with_targeted(outer.targeted_drop_probability(), outer.targeted_set())
+            .with_partition(outer.severed_side());
         self.inner.step_faulted(rng, &faults);
     }
 
@@ -816,17 +1008,7 @@ impl SpreadingProcess for FaultedProcess<'_> {
 
     fn reset(&mut self) {
         self.inner.reset();
-        self.channel = GeChannel::START;
-        match self.crash {
-            CrashSpec::None => {}
-            // Repair may have mutated the explicit set mid-trial; restore the pristine list.
-            CrashSpec::Vertices { .. } => self.crashed = self.explicit.clone(),
-            // Sampled crash sets are re-drawn for the next trial.
-            _ => {
-                self.crashed = None;
-                self.crash_resolved = false;
-            }
-        }
+        self.dynamics.reset();
     }
 }
 
@@ -1099,6 +1281,22 @@ mod tests {
         assert_eq!(transient.repair, Some(0.2));
         assert_eq!(transient.to_string(), "crash=10%+repair=0.2");
 
+        // Adaptive adversary clauses ride the same grammar.
+        use crate::adversary::AdversaryBudget;
+        let adv = FaultPlan::parse_clauses("adv=topdeg:budget=5%").unwrap();
+        assert_eq!(
+            adv.adversary,
+            Some(AdversarySpec::CrashTopDegree {
+                budget: AdversaryBudget::Percent { percent: 5.0 },
+                rate: 1
+            })
+        );
+        assert!(!adv.is_benign(), "a policy over benign clauses still routes the engine");
+        assert_eq!(adv.to_string(), "adv=topdeg:budget=5%");
+        let mixed = FaultPlan::parse_clauses("drop=0.1+adv=oblivious").unwrap();
+        assert_eq!(mixed.adversary, Some(AdversarySpec::Oblivious));
+        assert_eq!(mixed.to_string(), "drop=0.1+adv=oblivious");
+
         // The benign plan still renders something parseable.
         assert_eq!(FaultPlan::none().to_string(), "drop=0");
         assert!(FaultPlan::parse_clauses("drop=0").unwrap().is_benign());
@@ -1126,6 +1324,11 @@ mod tests {
         assert!(FaultPlan::parse_clauses("drop=0.1+gedrop=1,1,0.5").is_err());
         assert!(FaultPlan::parse_clauses("gedrop=1,1,0.5+drop=0.1").is_err());
         assert!(FaultPlan::parse_clauses("gedrop=1,1,0.5+gedrop=1,1,0.2").is_err());
+        // Adversary policies validate and may not repeat.
+        assert!(FaultPlan::parse_clauses("adv=bogus").is_err());
+        assert!(FaultPlan::parse_clauses("adv=topdeg").is_err());
+        assert!(FaultPlan::parse_clauses("adv=topdeg:budget=150%").is_err());
+        assert!(FaultPlan::parse_clauses("adv=oblivious+adv=dropfront").is_err());
         // Repair needs crash and a valid probability.
         assert!(FaultPlan::parse_clauses("repair=0.1").is_err());
         assert!(FaultPlan::parse_clauses("crash=5%+repair=1.5").is_err());
@@ -1142,8 +1345,8 @@ mod tests {
             FaultPlan {
                 drop: DropModel::iid(0.1),
                 crash: CrashSpec::Vertices { vertices: vec![1, 4] },
-                repair: None,
                 churn: Some(32),
+                ..FaultPlan::default()
             },
             FaultPlan {
                 drop: DropModel::GilbertElliott {
@@ -1154,7 +1357,16 @@ mod tests {
                 },
                 crash: CrashSpec::Percent { percent: 10.0 },
                 repair: Some(0.2),
-                churn: None,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                drop: DropModel::iid(0.1),
+                adversary: Some(AdversarySpec::Oblivious),
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                adversary: Some(AdversarySpec::Partition { window: 16 }),
+                ..FaultPlan::default()
             },
         ];
         for plan in plans {

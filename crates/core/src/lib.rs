@@ -32,7 +32,13 @@
 //!   (permanent, or transient with `repair=r`) and edge churn, applied to any process
 //!   through the [`FaultedProcess`] wrapper (spec syntax `cobra:k=2+drop=0.1+crash=5%`)
 //!   and the churn-aware [`fault::run_churned`] / [`fault::run_churned_observed`] drivers.
-//! * [`reference`] — the retained dense-scan engines, used as the executable specification
+//! * [`adversary`] — the *adaptive* adversity layer: an [`AdversaryPolicy`] observes a
+//!   read-only [`ProcessView`] (frontier, delta, coverage, degrees) each round and emits
+//!   that round's faults — crash the highest-degree active vertices
+//!   (`adv=topdeg:budget=5%`), drop the growth front's pushes (`adv=dropfront`), sever the
+//!   tracked coverage cut (`adv=partition:w=16`), or delegate to the oblivious plan
+//!   bit-identically (`adv=oblivious`).
+//! * [`reference`](mod@reference) — the retained dense-scan engines, used as the executable specification
 //!   the frontier engines are property-tested against and as the baseline `repro bench`
 //!   measures speedups over.
 //!
@@ -57,7 +63,7 @@
 //!   the `O(1)` [`num_active`](process::SpreadingProcess::num_active) counter.
 //!
 //! Frontier iteration deliberately preserves the dense engines' ascending vertex order, so a
-//! frontier process driven by a seeded RNG reproduces the corresponding [`reference`] engine
+//! frontier process driven by a seeded RNG reproduces the corresponding [`reference`](mod@reference) engine
 //! bit for bit — a property the test suite enforces for all seven processes.
 //!
 //! # Quick start
@@ -82,7 +88,7 @@
 //! # }
 //! ```
 //!
-//! Statically-typed construction still works, and [`run_until_complete`] drives any
+//! Statically-typed construction still works, and [`process::run_until_complete`] drives any
 //! `&mut dyn SpreadingProcess`:
 //!
 //! ```
@@ -106,6 +112,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adversary;
 pub mod baselines;
 pub mod bips;
 pub mod cobra;
@@ -122,6 +129,9 @@ pub mod theory;
 
 mod error;
 
+pub use adversary::{
+    AdversarialProcess, AdversaryBudget, AdversaryPolicy, AdversarySpec, ProcessView,
+};
 pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
 pub use error::CoreError;

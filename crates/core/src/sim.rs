@@ -13,10 +13,10 @@
 //!
 //! The runner drives `&mut dyn SpreadingProcess` with `&mut dyn RngCore`, so it works with
 //! any process — including ones instantiated dynamically from a
-//! [`ProcessSpec`](crate::spec::ProcessSpec) — and plugs directly into
+//! [`ProcessSpec`] — and plugs directly into
 //! `cobra_stats::parallel::run_trials` closures for deterministic parallel Monte-Carlo.
 //!
-//! Observers also run across graph-churn epochs: [`fault::run_churned_observed`]
+//! Observers also run across graph-churn epochs: [`run_churned_observed`](crate::fault::run_churned_observed)
 //! (see [`crate::fault`]) starts them once and presents a continuous round index over the
 //! re-instantiated graphs, so the same trace types work unchanged under churn.
 //!

@@ -21,13 +21,38 @@
 //! | SIS contact process | `contact:p=0.5,q=0.2` | `p` infection, `q` recovery; add `transient` to let the source recover |
 //!
 //! Every process also accepts `start=<vertex>` (alias `source=`), defaulting to vertex 0.
+//! The table's syntax is executable — every documented form parses and round-trips
+//! through [`Display`](fmt::Display), so the documentation cannot drift from the parser:
+//!
+//! ```
+//! use cobra_core::spec::ProcessSpec;
+//!
+//! for text in [
+//!     "cobra:k=2",
+//!     "cobra:rho=0.25",
+//!     "bips:k=2",
+//!     "walk",
+//!     "multiwalk:w=8",
+//!     "push",
+//!     "pushpull",
+//!     "contact:p=0.5,q=0.2",
+//!     "contact:p=0.5,q=0.2,transient",
+//!     "bips:k=2,start=3",
+//! ] {
+//!     let spec: ProcessSpec = text.parse().expect(text);
+//!     assert_eq!(spec.to_string(), text, "documented syntax must round-trip");
+//! }
+//! ```
 //!
 //! Any spec can additionally carry `+`-separated **fault clauses** — `cobra:k=2+drop=0.1`,
 //! `push+crash=5%`, `cobra:k=2+gedrop=0.1,0.25,0.5` (bursty Gilbert–Elliott loss),
-//! `bips:k=2+crash=10%+repair=0.1` (transient crashes), `bips:k=2+drop=0.1+churn=64` —
-//! described by [`FaultPlan`](crate::fault::FaultPlan): the built process is wrapped in a
-//! [`FaultedProcess`](crate::fault::FaultedProcess). Specs with `churn=` cannot build
-//! against a fixed graph; drive them through [`fault::run_churned`](crate::fault::run_churned).
+//! `bips:k=2+crash=10%+repair=0.1` (transient crashes), `bips:k=2+drop=0.1+churn=64`,
+//! `cobra:k=2+adv=topdeg:budget=5%` (a state-aware adversary policy; see
+//! [`adversary`](crate::adversary)) —
+//! described by [`FaultPlan`]: the built process is wrapped in a
+//! [`FaultedProcess`] (or routed through the adversary engine). Specs with `churn=`
+//! cannot build against a fixed graph; drive them through
+//! [`fault::run_churned`](crate::fault::run_churned).
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -305,6 +330,12 @@ impl ProcessSpec {
                 )?)
             }
             ProcessSpec::Faulted { ref inner, ref plan } => {
+                if plan.adversary.is_some() {
+                    // State-aware plans route through the adversary engine, which decides
+                    // whether a FaultedProcess layer is still needed for the oblivious
+                    // clauses.
+                    return crate::adversary::build_adversarial(inner, plan, graph);
+                }
                 let process = inner.build(graph)?;
                 Box::new(FaultedProcess::new(process, plan, inner.start())?)
             }
@@ -342,6 +373,20 @@ impl ProcessSpec {
             ProcessSpec::bips(2).expect("k = 2 is valid").faulted(FaultPlan {
                 crash: crate::fault::CrashSpec::Percent { percent: 10.0 },
                 repair: Some(0.1),
+                ..FaultPlan::default()
+            }),
+            // Adaptive adversaries (see `adversary`): BIPS survives a budgeted
+            // crash-the-hubs policy (crashed vertices still sample), and monotone PUSH
+            // completes under a growth-front drop.
+            ProcessSpec::bips(2).expect("k = 2 is valid").faulted(FaultPlan {
+                adversary: Some(crate::adversary::AdversarySpec::CrashTopDegree {
+                    budget: crate::adversary::AdversaryBudget::Percent { percent: 5.0 },
+                    rate: 1,
+                }),
+                ..FaultPlan::default()
+            }),
+            ProcessSpec::push().faulted(FaultPlan {
+                adversary: Some(crate::adversary::AdversarySpec::DropFrontier { f: 0.5 }),
                 ..FaultPlan::default()
             }),
         ]

@@ -23,8 +23,11 @@
 //! *bursty* drop compared against the i.i.d. rows at **matched stationary loss** (the
 //! degenerate burst-length-1 channel shares trial labels with the i.i.d. rows, so those
 //! rows are bit-identical by the property-tested degeneracy — any divergence is a
-//! regression), and a transient-crash grid re-running the E9c scenarios with `repair=`
-//! rates next to the permanent-crash floor.
+//! regression), a transient-crash grid re-running the E9c scenarios with `repair=`
+//! rates next to the permanent-crash floor, and a **churn-epoch sweep** from the
+//! historical `n/8` epoch down to a fresh graph every round (the discrete analogue of the
+//! paper's dynamic-graph extensions), locating where cover time departs from the static
+//! instance.
 
 use cobra_core::fault::{DropModel, FaultPlan};
 use cobra_core::sim::Runner;
@@ -285,6 +288,10 @@ pub struct BurstyConfig {
     pub crash_percent: f64,
     /// Per-round repair rates of the grid (the permanent row is implicit).
     pub repairs: Vec<f64>,
+    /// Churn epoch lengths (rounds between graph re-instantiations) of the churn-rate
+    /// sweep, descending to 1 — a fresh graph every round, the closest discrete analogue
+    /// of the paper's dynamic-graph extensions. The static (no churn) row is implicit.
+    pub churn_epochs: Vec<usize>,
 }
 
 impl BurstyConfig {
@@ -300,6 +307,8 @@ impl BurstyConfig {
             max_rounds: 100_000,
             crash_percent: 10.0,
             repairs: vec![0.02, 0.1, 0.5],
+            // grid_n = 128 in the quick preset, so n/8 = 16 is the historical epoch.
+            churn_epochs: vec![16, 4, 1],
         }
     }
 
@@ -315,6 +324,9 @@ impl BurstyConfig {
             max_rounds: 1_000_000,
             crash_percent: 10.0,
             repairs: vec![0.02, 0.1, 0.5],
+            // grid_n = 1024 in the full preset: sweep from the historical n/8 epoch down
+            // to a fresh graph every round.
+            churn_epochs: vec![128, 16, 4, 1],
         }
     }
 }
@@ -521,6 +533,68 @@ pub fn run_bursty(config: &BurstyConfig, seq: &SeedSequence) -> ExperimentResult
          re-hit)",
     ));
 
+    // ---- Table 3: churn-epoch sweep down to one round ------------------------------
+    // The ROADMAP's churn-rate question: E9 fixed the epoch at n/8 and saw churn nearly
+    // free on random-regular families. Sweeping the epoch down to 1 (a fresh graph every
+    // round — the discrete analogue of the paper's dynamic-graph extensions) locates
+    // where cover time departs from the static instance.
+    let mut churn_sweep = Table::with_headers(
+        format!(
+            "E9b-c: churn-epoch sweep, COBRA k=2 on fresh random-8-regular n={grid_n} per \
+             trial (the graph is re-instantiated every T rounds; T=1 is a fresh graph \
+             every round)"
+        ),
+        &["epoch T", "completed", "mean cover", "p95", "vs static"],
+    );
+    let (static_summary, static_values) = driver::measure_adverse_completion_rounds(
+        &family,
+        &"cobra:k=2".parse::<ProcessSpec>().expect("valid spec"),
+        &runner,
+        &seq,
+        "churn-static",
+        TrialConfig::parallel(config.trials),
+    );
+    churn_sweep.add_row(vec![
+        "static".to_string(),
+        format!("{}/{}", static_summary.count(), static_values.len()),
+        fmt_float(static_summary.mean()),
+        fmt_float(quantile(&static_values, 0.95).unwrap_or(f64::NAN)),
+        fmt_float(1.0),
+    ]);
+    findings.push(Finding::new(
+        "churn_static_mean",
+        static_summary.mean(),
+        "static-instance mean cover the churn sweep is normalized by",
+    ));
+    for &epoch in &config.churn_epochs {
+        let spec: ProcessSpec =
+            format!("cobra:k=2+churn={epoch}").parse().expect("valid churn spec");
+        let (summary, values) = driver::measure_adverse_completion_rounds(
+            &family,
+            &spec,
+            &runner,
+            &seq,
+            &format!("churn-e{epoch}"),
+            TrialConfig::parallel(config.trials),
+        );
+        let ratio = summary.mean() / static_summary.mean();
+        churn_sweep.add_row(vec![
+            epoch.to_string(),
+            format!("{}/{}", summary.count(), values.len()),
+            fmt_float(summary.mean()),
+            fmt_float(quantile(&values, 0.95).unwrap_or(f64::NAN)),
+            fmt_float(ratio),
+        ]);
+        findings.push(Finding::new(
+            format!("churn_ratio_e{epoch}"),
+            ratio,
+            format!(
+                "mean cover with a {epoch}-round churn epoch over the static mean \
+                 (re-instantiation cost of the expander family)"
+            ),
+        ));
+    }
+
     ExperimentResult {
         id: "E9b".into(),
         title: "Adversity v2: bursty drop and transient crash/repair".into(),
@@ -530,7 +604,7 @@ pub fn run_bursty(config: &BurstyConfig, seq: &SeedSequence) -> ExperimentResult
                 applies with the stationary loss rate), and transient crash/repair \
                 adversity degrades no worse than the permanent-crash floor"
             .into(),
-        tables: vec![sweep, grid],
+        tables: vec![sweep, grid, churn_sweep],
         findings,
     }
 }
@@ -579,7 +653,7 @@ mod tests {
     fn bursty_quick_degenerates_to_iid_and_prices_bursts() {
         let result = run_bursty(&BurstyConfig::quick(), &SeedSequence::new(2016));
         assert_eq!(result.id, "E9b");
-        assert_eq!(result.tables.len(), 2);
+        assert_eq!(result.tables.len(), 3);
         // (1 iid + 3 burst lengths) x 3 sizes x 2 losses.
         assert_eq!(result.tables[0].num_rows(), 24);
         for pct in ["10", "25"] {
@@ -616,6 +690,22 @@ mod tests {
         assert!((0.0..=1.0).contains(&permanent));
         let delta = result.finding("transient_vs_permanent_completion_delta").expect("delta").value;
         assert!((-1.0..=1.0).contains(&delta));
+        // The churn-epoch sweep rendered: static + one row per epoch, ending at T=1.
+        assert_eq!(result.tables[2].num_rows(), 1 + BurstyConfig::quick().churn_epochs.len());
+        for epoch in BurstyConfig::quick().churn_epochs {
+            let ratio = result
+                .finding(&format!("churn_ratio_e{epoch}"))
+                .unwrap_or_else(|| panic!("missing churn ratio for epoch {epoch}"))
+                .value;
+            assert!(
+                ratio > 0.5 && ratio < 20.0,
+                "epoch {epoch}: churn ratio {ratio} should be a modest factor over static"
+            );
+        }
+        // Even at T=1 the expander family keeps COBRA covering — the run completes and
+        // the penalty stays bounded (re-instantiation churns edges, not tokens).
+        let fastest = result.finding("churn_ratio_e1").expect("epoch-1 ratio").value;
+        assert!(fastest >= 0.8, "a fresh graph every round should not speed covering: {fastest}");
     }
 
     #[test]

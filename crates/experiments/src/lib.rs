@@ -19,6 +19,7 @@
 //! | E8 | Lemmas 2–4 — the three-phase growth of the BIPS infection | [`exp_phases`] |
 //! | E9 | Robustness — cover time under i.i.d. message drop, vertex crash and edge churn | [`exp_faults`] |
 //! | E9b | Adversity v2 — bursty Gilbert–Elliott drop at matched stationary loss, transient crash/repair | [`exp_faults`] |
+//! | E10 | Adaptive adversity — frontier-aware crash/drop/partition policies vs matched-budget oblivious rows | [`exp_adversary`] |
 //!
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`
@@ -35,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod driver;
+pub mod exp_adversary;
 pub mod exp_baselines;
 pub mod exp_branching;
 pub mod exp_cover;

@@ -4,8 +4,8 @@ use cobra_stats::rng::SeedSequence;
 
 use crate::result::ExperimentResult;
 use crate::{
-    exp_baselines, exp_branching, exp_cover, exp_duality, exp_faults, exp_gap, exp_growth,
-    exp_infection, exp_phases,
+    exp_adversary, exp_baselines, exp_branching, exp_cover, exp_duality, exp_faults, exp_gap,
+    exp_growth, exp_infection, exp_phases,
 };
 
 /// Identifiers of the experiments, matching the per-experiment index in `DESIGN.md`.
@@ -31,11 +31,13 @@ pub enum ExperimentId {
     E9,
     /// Adversity v2: bursty (Gilbert-Elliott) drop and transient crash/repair.
     E9b,
+    /// Adaptive adversity: state-aware fault policies vs matched-budget oblivious rows.
+    E10,
 }
 
 impl ExperimentId {
     /// All experiments in index order.
-    pub fn all() -> [ExperimentId; 10] {
+    pub fn all() -> [ExperimentId; 11] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -47,6 +49,7 @@ impl ExperimentId {
             ExperimentId::E8,
             ExperimentId::E9,
             ExperimentId::E9b,
+            ExperimentId::E10,
         ]
     }
 
@@ -63,6 +66,7 @@ impl ExperimentId {
             "e8" => Some(ExperimentId::E8),
             "e9" => Some(ExperimentId::E9),
             "e9b" => Some(ExperimentId::E9b),
+            "e10" => Some(ExperimentId::E10),
             _ => None,
         }
     }
@@ -81,6 +85,10 @@ impl ExperimentId {
             ExperimentId::E9 => "Robustness: cover time under message drop, crash and churn",
             ExperimentId::E9b => {
                 "Adversity v2: bursty Gilbert-Elliott drop and transient crash/repair"
+            }
+            ExperimentId::E10 => {
+                "Adaptive adversity: frontier-aware crash/drop/partition policies vs \
+                 matched-budget oblivious faults"
             }
         }
     }
@@ -135,6 +143,12 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         (ExperimentId::E9b, Preset::Full) => {
             exp_faults::run_bursty(&exp_faults::BurstyConfig::full(), &seq)
         }
+        (ExperimentId::E10, Preset::Quick) => {
+            exp_adversary::run(&exp_adversary::Config::quick(), &seq)
+        }
+        (ExperimentId::E10, Preset::Full) => {
+            exp_adversary::run(&exp_adversary::Config::full(), &seq)
+        }
     }
 }
 
@@ -149,8 +163,10 @@ mod tests {
         assert_eq!(ExperimentId::parse("e9"), Some(ExperimentId::E9));
         assert_eq!(ExperimentId::parse("e9b"), Some(ExperimentId::E9b));
         assert_eq!(ExperimentId::parse("E9B"), Some(ExperimentId::E9b));
-        assert_eq!(ExperimentId::parse("e10"), None);
-        assert_eq!(ExperimentId::all().len(), 10);
+        assert_eq!(ExperimentId::parse("e10"), Some(ExperimentId::E10));
+        assert_eq!(ExperimentId::parse("E10"), Some(ExperimentId::E10));
+        assert_eq!(ExperimentId::parse("e11"), None);
+        assert_eq!(ExperimentId::all().len(), 11);
         for id in ExperimentId::all() {
             assert!(!id.description().is_empty());
         }

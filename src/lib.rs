@@ -11,8 +11,9 @@
 //!   regression fits ([`cobra_stats`]).
 //! * [`core`] — the COBRA and BIPS processes, the exact duality machinery, the growth-bound
 //!   audits and the baseline protocols ([`cobra_core`]).
-//! * [`experiments`] — the E1–E9b experiment harness reproducing each theorem (plus the
-//!   E9/E9b fault-injection robustness workloads) ([`cobra_experiments`]).
+//! * [`experiments`] — the E1–E10 experiment harness reproducing each theorem, plus the
+//!   E9/E9b fault-injection and E10 adaptive-adversary robustness workloads
+//!   ([`cobra_experiments`]).
 //!
 //! # Quick start
 //!
@@ -57,6 +58,12 @@ pub use cobra_experiments as experiments;
 pub use cobra_graph as graph;
 pub use cobra_spectral as spectral;
 pub use cobra_stats as stats;
+
+/// Compiles every fenced Rust block in `README.md` as a doctest, so the spec-grammar
+/// examples documented there can never drift from the parsers (`cargo test` runs them).
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 /// The paper this workspace reproduces, for citation in downstream tools.
 pub const PAPER: &str = "Cooper, Radzik, Rivera: The Coalescing-Branching Random Walk on \

@@ -1,0 +1,205 @@
+//! The adversary engine's oblivious policy must be invisible: for every fault plan `P`,
+//! `spec+P+adv=oblivious` routes `P`'s clauses through the `AdversarialProcess` /
+//! `AdversaryPolicy` machinery instead of the plain `FaultedProcess` wrapper — and the
+//! two paths must evolve **bit for bit** identically under the same seeded RNG, for all
+//! seven processes, on expanders and tori, across drop rates, sampled crash sets,
+//! bursty channels and transient repair dynamics. Both paths share the same
+//! `PlanDynamics` internally; these property tests pin that equivalence at the public
+//! spec level so a refactor of either side cannot silently skew the E10 baselines.
+//!
+//! Zero-strength adaptive policies are held to the zero-fault standard of
+//! `tests/fault_equivalence.rs`: a `topdeg` adversary with budget 0 and a `dropfront`
+//! adversary with `f = 0` never touch the RNG and reproduce the bare process exactly.
+
+use cobra::core::spec::ProcessSpec;
+use cobra::graph::{generators, Graph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// One spec per process implementation (matching `fault_equivalence::all_specs`).
+fn all_specs() -> Vec<ProcessSpec> {
+    vec![
+        ProcessSpec::cobra(2).unwrap(),
+        ProcessSpec::cobra_fractional(0.4).unwrap().with_start(3),
+        ProcessSpec::bips(2).unwrap().with_start(1),
+        ProcessSpec::random_walk(),
+        ProcessSpec::multiple_walks(5).with_start(2),
+        ProcessSpec::push(),
+        ProcessSpec::push_pull().with_start(4),
+        ProcessSpec::contact(0.6, 0.3).unwrap(),
+        "contact:p=0.2,q=0.7,transient".parse().unwrap(),
+    ]
+}
+
+/// The oblivious plans routed through both paths: plain loss, sampled crashes, the
+/// combination, a bursty channel and transient crash/repair dynamics.
+fn oblivious_clause_sets() -> Vec<&'static str> {
+    vec![
+        "drop=0",
+        "drop=0.15",
+        "crash=10%",
+        "drop=0.1+crash=5%",
+        "gedrop=0.2,0.3,0.5",
+        "crash=10%+repair=0.2",
+    ]
+}
+
+/// Steps the reference build of `reference_spec` and the candidate build of
+/// `candidate_spec` with identically seeded RNGs and asserts byte-identical evolution of
+/// the active set, delta, coverage and completion.
+fn assert_same_evolution(
+    graph: &Graph,
+    reference_spec: &ProcessSpec,
+    candidate_spec: &ProcessSpec,
+    seed: u64,
+    rounds: usize,
+) {
+    let mut reference = reference_spec.build(graph).expect("reference process builds");
+    let mut candidate = candidate_spec.build(graph).expect("candidate process builds");
+    let mut reference_rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut candidate_rng = ChaCha12Rng::seed_from_u64(seed);
+
+    assert_eq!(candidate.num_active(), reference.num_active(), "{candidate_spec}: initial count");
+    for round in 1..=rounds {
+        reference.step(&mut reference_rng);
+        candidate.step(&mut candidate_rng);
+        assert_eq!(
+            candidate.num_active(),
+            reference.num_active(),
+            "{candidate_spec} seed {seed}: num_active diverged at round {round}"
+        );
+        assert_eq!(
+            candidate.active().to_indicator(),
+            reference.active().to_indicator(),
+            "{candidate_spec} seed {seed}: active set diverged at round {round}"
+        );
+        let mut reference_delta = reference.newly_activated().to_vec();
+        let mut candidate_delta = candidate.newly_activated().to_vec();
+        reference_delta.sort_unstable();
+        candidate_delta.sort_unstable();
+        assert_eq!(
+            candidate_delta, reference_delta,
+            "{candidate_spec} seed {seed}: delta diverged at round {round}"
+        );
+        assert_eq!(
+            candidate.coverage().map(|set| set.count()),
+            reference.coverage().map(|set| set.count()),
+            "{candidate_spec} seed {seed}: coverage diverged at round {round}"
+        );
+        assert_eq!(
+            candidate.is_complete(),
+            reference.is_complete(),
+            "{candidate_spec} seed {seed}: completion diverged at round {round}"
+        );
+        if reference.is_complete() {
+            break;
+        }
+    }
+}
+
+/// For every process and every oblivious clause set: the `adv=oblivious` engine path is
+/// bit-identical to the plain `FaultedProcess` path.
+fn assert_oblivious_engine_is_identity(graph: &Graph, seed: u64, rounds: usize) {
+    for spec in all_specs() {
+        if spec.start() >= graph.num_vertices() {
+            continue;
+        }
+        for clauses in oblivious_clause_sets() {
+            let plain: ProcessSpec =
+                format!("{spec}+{clauses}").parse().expect("plain fault clauses parse");
+            let engine: ProcessSpec = format!("{spec}+{clauses}+adv=oblivious")
+                .parse()
+                .expect("engine-routed clauses parse");
+            assert_same_evolution(graph, &plain, &engine, seed, rounds);
+        }
+    }
+}
+
+/// Zero-strength adaptive policies are invisible: no crashes at budget 0, no drops at
+/// `f = 0` — and neither may consume RNG draws.
+fn assert_zero_strength_policies_are_identity(graph: &Graph, seed: u64, rounds: usize) {
+    for spec in all_specs() {
+        if spec.start() >= graph.num_vertices() {
+            continue;
+        }
+        for policy in ["adv=topdeg:budget=0", "adv=dropfront:f=0"] {
+            let wrapped: ProcessSpec =
+                format!("{spec}+{policy}").parse().expect("zero-strength policy parses");
+            assert_same_evolution(graph, &spec, &wrapped, seed, rounds);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every process × every oblivious plan on connected random-regular expanders.
+    #[test]
+    fn oblivious_engine_is_identity_on_random_regular(
+        n in 12usize..72,
+        r in 3usize..6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((n * r) % 2 == 0 && r < n);
+        let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0xAD5E);
+        let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
+        assert_oblivious_engine_is_identity(&graph, seed, 50);
+    }
+
+    /// Every process × every oblivious plan on 2-D tori (the poor-expander contrast).
+    #[test]
+    fn oblivious_engine_is_identity_on_torus(side in 3usize..8, seed in 0u64..10_000) {
+        let graph = generators::torus_2d(side, side).unwrap();
+        assert_oblivious_engine_is_identity(&graph, seed, 40);
+    }
+
+    /// Zero-strength adaptive policies are the identity on expanders.
+    #[test]
+    fn zero_strength_policies_are_identity_on_random_regular(
+        n in 12usize..72,
+        r in 3usize..6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((n * r) % 2 == 0 && r < n);
+        let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0x0B5E);
+        let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
+        assert_zero_strength_policies_are_identity(&graph, seed, 50);
+    }
+}
+
+/// Fixed, deterministic smoke on the acceptance instance family (random-8-regular).
+#[test]
+fn oblivious_engine_is_identity_on_a_fixed_expander() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(128, 8, &mut gen_rng).unwrap();
+    for seed in 0..4u64 {
+        assert_oblivious_engine_is_identity(&graph, seed, 120);
+    }
+}
+
+/// The adaptive policies produce *different* trajectories than their matched oblivious
+/// counterparts — the engine is not a no-op when the policy actually targets state.
+#[test]
+fn targeted_policies_actually_diverge_from_oblivious_baselines() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(96, 8, &mut gen_rng).unwrap();
+    let adaptive: ProcessSpec = "cobra:k=2+adv=topdeg:budget=10%".parse().unwrap();
+    let oblivious: ProcessSpec = "cobra:k=2+crash=10%".parse().unwrap();
+    let mut diverged = false;
+    for seed in 0..4u64 {
+        let mut a = adaptive.build(&graph).unwrap();
+        let mut b = oblivious.build(&graph).unwrap();
+        let mut rng_a = ChaCha12Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..40 {
+            a.step(&mut rng_a);
+            b.step(&mut rng_b);
+            if a.active().to_indicator() != b.active().to_indicator() {
+                diverged = true;
+                break;
+            }
+        }
+    }
+    assert!(diverged, "crash-top-degree must not coincide with sampled crashes");
+}
