@@ -463,6 +463,8 @@ struct ObliviousPolicy {
 }
 
 impl AdversaryPolicy for ObliviousPolicy {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn observe(&mut self, _view: &ProcessView<'_>, rng: &mut dyn RngCore) {
         self.drop = self.dynamics.begin_round(rng, None);
     }
@@ -492,6 +494,8 @@ struct CrashTopDegreePolicy {
 }
 
 impl AdversaryPolicy for CrashTopDegreePolicy {
+    // cobra-lint: hot
+    // cobra-lint: draws(0)
     fn observe(&mut self, view: &ProcessView<'_>, _rng: &mut dyn RngCore) {
         let n = view.num_vertices();
         let remaining = self.remaining.get_or_insert_with(|| self.budget.resolve(n));
@@ -547,6 +551,8 @@ struct DropFrontierPolicy {
 }
 
 impl AdversaryPolicy for DropFrontierPolicy {
+    // cobra-lint: hot
+    // cobra-lint: draws(0)
     fn observe(&mut self, view: &ProcessView<'_>, _rng: &mut dyn RngCore) {
         let front = self.front.get_or_insert_with(|| VertexBitset::new(view.num_vertices()));
         front.clear_list(&self.members);
@@ -592,6 +598,8 @@ struct PartitionPolicy {
 }
 
 impl AdversaryPolicy for PartitionPolicy {
+    // cobra-lint: hot
+    // cobra-lint: draws(0)
     fn observe(&mut self, view: &ProcessView<'_>, _rng: &mut dyn RngCore) {
         let n = view.num_vertices();
         let covered = self.covered.get_or_insert_with(|| VertexBitset::new(n));
@@ -705,6 +713,8 @@ impl<'g> AdversarialProcess<'g> {
 }
 
 impl SpreadingProcess for AdversarialProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, outer: &StepFaults<'_>) {
         self.policy.observe(&ProcessView::new(self.inner.as_ref(), self.graph), rng);
         let own = self.policy.faults();

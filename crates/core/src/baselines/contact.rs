@@ -114,6 +114,8 @@ impl<'g> ContactProcess<'g> {
 }
 
 impl SpreadingProcess for ContactProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // An i.i.d.-dropped transmission composes into one Bernoulli draw with the

@@ -97,6 +97,8 @@ impl<'g> MultipleRandomWalks<'g> {
 }
 
 impl SpreadingProcess for MultipleRandomWalks<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         // Erase the two-rounds-old occupancy through its dirty list.
         self.next_active.clear_list(&self.next_list);

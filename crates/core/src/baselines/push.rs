@@ -86,6 +86,8 @@ impl<'g> PushProcess<'g> {
 }
 
 impl SpreadingProcess for PushProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // The informed set is monotone, so targets can be marked immediately: no push
@@ -225,6 +227,8 @@ impl<'g> PushPullProcess<'g> {
 }
 
 impl SpreadingProcess for PushPullProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         let n = self.graph.num_vertices();
         // Every vertex contacts a partner based on the *start-of-round* informed state, so

@@ -74,6 +74,8 @@ impl<'g> RandomWalk<'g> {
 }
 
 impl SpreadingProcess for RandomWalk<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // A crashed vertex never relays: a walker standing on one is stuck there forever.

@@ -150,6 +150,8 @@ impl<'g> BipsProcess<'g> {
 }
 
 impl SpreadingProcess for BipsProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         let n = self.graph.num_vertices();
         // Erase the two-rounds-old state through its dirty list; the scratch is now all-clear.

@@ -85,6 +85,7 @@ impl Branching {
     }
 
     /// Samples the number of pushes an active vertex performs this round.
+    // cobra-lint: draws(bounded)
     pub fn sample_pushes<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         match self {
             Branching::Fixed { k } => *k,
@@ -231,6 +232,8 @@ impl<'g> CobraProcess<'g> {
 }
 
 impl SpreadingProcess for CobraProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
         self.newly.clear();
         // The frontier is ascending, so the RNG draw order matches the dense engine's

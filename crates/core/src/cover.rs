@@ -30,6 +30,7 @@ pub struct CoverOutcome {
 /// Returns construction errors from [`CobraProcess::new`] and
 /// [`CoreError::RoundBudgetExceeded`](crate::CoreError::RoundBudgetExceeded) if the graph is not covered within `max_rounds`
 /// (e.g. a disconnected graph, or a budget far below the true cover time).
+// cobra-lint: draws(bounded)
 pub fn cover_time(
     graph: &Graph,
     start: VertexId,
@@ -81,6 +82,7 @@ impl HittingTimes {
 /// # Errors
 ///
 /// Returns construction errors from [`CobraProcess::with_start_set`].
+// cobra-lint: draws(bounded)
 pub fn hitting_times(
     graph: &Graph,
     starts: &[VertexId],
@@ -100,6 +102,7 @@ pub fn hitting_times(
 /// # Errors
 ///
 /// Returns construction errors from [`CobraProcess::new`].
+// cobra-lint: draws(bounded)
 pub fn coverage_curve(
     graph: &Graph,
     start: VertexId,
@@ -120,6 +123,7 @@ pub fn coverage_curve(
 /// # Errors
 ///
 /// Propagates the first error from [`cover_time`].
+// cobra-lint: draws(bounded)
 pub fn worst_case_cover_time(
     graph: &Graph,
     branching: Branching,

@@ -15,7 +15,7 @@
 //! * **statistically**, by comparing Monte-Carlo estimates of both sides with a two-proportion
 //!   z-test on larger graphs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cobra_graph::{Graph, VertexId};
 use rand::Rng;
@@ -67,23 +67,27 @@ fn validate_exact(graph: &Graph) -> Result<()> {
 
 /// The distribution of the *set* of neighbours chosen by vertex `u` in one round, as a map
 /// from neighbour-set mask to probability.
-fn choice_set_distribution(graph: &Graph, u: VertexId, branching: Branching) -> HashMap<Mask, f64> {
+fn choice_set_distribution(
+    graph: &Graph,
+    u: VertexId,
+    branching: Branching,
+) -> BTreeMap<Mask, f64> {
     let degree = graph.degree(u);
     if degree == 0 {
-        let mut dist = HashMap::new();
+        let mut dist = BTreeMap::new();
         dist.insert(0, 1.0);
         return dist;
     }
     let p_each = 1.0 / degree as f64;
-    let one_sample = || -> HashMap<Mask, f64> {
-        let mut dist = HashMap::new();
+    let one_sample = || -> BTreeMap<Mask, f64> {
+        let mut dist = BTreeMap::new();
         for w in graph.neighbor_iter(u) {
             *dist.entry(1 << w).or_insert(0.0) += p_each;
         }
         dist
     };
-    let convolve_one = |dist: &HashMap<Mask, f64>| -> HashMap<Mask, f64> {
-        let mut next: HashMap<Mask, f64> = HashMap::new();
+    let convolve_one = |dist: &BTreeMap<Mask, f64>| -> BTreeMap<Mask, f64> {
+        let mut next: BTreeMap<Mask, f64> = BTreeMap::new();
         for (&mask, &p) in dist {
             for w in graph.neighbor_iter(u) {
                 *next.entry(mask | (1 << w)).or_insert(0.0) += p * p_each;
@@ -103,7 +107,7 @@ fn choice_set_distribution(graph: &Graph, u: VertexId, branching: Branching) -> 
             // With probability 1-rho a single sample, with probability rho two samples.
             let single = one_sample();
             let double = convolve_one(&single);
-            let mut dist: HashMap<Mask, f64> = HashMap::new();
+            let mut dist: BTreeMap<Mask, f64> = BTreeMap::new();
             for (&mask, &p) in &single {
                 *dist.entry(mask).or_insert(0.0) += (1.0 - rho) * p;
             }
@@ -147,30 +151,30 @@ pub fn exact_cobra_hit_tail(
     let target_bit: Mask = 1 << target;
     let start = mask_of(start_set);
     // Pre-compute the per-vertex one-round choice-set distributions.
-    let choices: Vec<HashMap<Mask, f64>> =
+    let choices: Vec<BTreeMap<Mask, f64>> =
         (0..n).map(|u| choice_set_distribution(graph, u, branching)).collect();
 
     // Distribution over the current active set, restricted to trajectories that have not yet
     // hit the target. Mass that reaches a set containing the target is dropped (absorbed).
     let mut tails = Vec::with_capacity(t_max + 1);
-    let mut dist: HashMap<Mask, f64> = HashMap::new();
+    let mut dist: BTreeMap<Mask, f64> = BTreeMap::new();
     if start & target_bit == 0 {
         dist.insert(start, 1.0);
     }
     tails.push(dist.values().sum());
 
     for _ in 0..t_max {
-        let mut next: HashMap<Mask, f64> = HashMap::new();
+        let mut next: BTreeMap<Mask, f64> = BTreeMap::new();
         for (&current, &p) in &dist {
             // Fold the per-vertex choice distributions of the active vertices into the
             // distribution of the next active set.
-            let mut partial: HashMap<Mask, f64> = HashMap::new();
+            let mut partial: BTreeMap<Mask, f64> = BTreeMap::new();
             partial.insert(0, p);
             let mut u_mask = current;
             while u_mask != 0 {
                 let u = u_mask.trailing_zeros() as usize;
                 u_mask &= u_mask - 1;
-                let mut folded: HashMap<Mask, f64> = HashMap::new();
+                let mut folded: BTreeMap<Mask, f64> = BTreeMap::new();
                 for (&acc_mask, &acc_p) in &partial {
                     for (&choice_mask, &choice_p) in &choices[u] {
                         *folded.entry(acc_mask | choice_mask).or_insert(0.0) += acc_p * choice_p;
@@ -236,16 +240,16 @@ pub fn exact_bips_avoidance(
         }
     };
 
-    let mut dist: HashMap<Mask, f64> = HashMap::new();
+    let mut dist: BTreeMap<Mask, f64> = BTreeMap::new();
     dist.insert(source_bit, 1.0);
     let mut avoidance = Vec::with_capacity(t_max + 1);
-    let avoid_probability = |dist: &HashMap<Mask, f64>| -> f64 {
+    let avoid_probability = |dist: &BTreeMap<Mask, f64>| -> f64 {
         dist.iter().filter(|(&mask, _)| mask & avoid == 0).map(|(_, &p)| p).sum()
     };
     avoidance.push(avoid_probability(&dist));
 
     for _ in 0..t_max {
-        let mut next: HashMap<Mask, f64> = HashMap::new();
+        let mut next: BTreeMap<Mask, f64> = BTreeMap::new();
         for (&current, &p) in &dist {
             // Each non-source vertex is infected independently; fold the Bernoulli choices.
             let mut partial: Vec<(Mask, f64)> = vec![(source_bit, p)];
@@ -343,6 +347,7 @@ pub fn verify_duality_exact_for_set(
 /// # Errors
 ///
 /// Propagates construction errors from [`CobraProcess::with_start_set`].
+// cobra-lint: draws(bounded)
 pub fn estimate_cobra_hit_tail<R: Rng + ?Sized>(
     graph: &Graph,
     start_set: &[VertexId],
@@ -383,6 +388,7 @@ pub fn estimate_cobra_hit_tail<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates construction errors from [`BipsProcess::new`].
+// cobra-lint: draws(bounded)
 pub fn estimate_bips_avoidance<R: Rng + ?Sized>(
     graph: &Graph,
     source: VertexId,
@@ -438,6 +444,7 @@ impl MonteCarloDuality {
 /// # Errors
 ///
 /// Propagates the errors of the two estimators.
+// cobra-lint: draws(bounded)
 pub fn verify_duality_monte_carlo<R: Rng + ?Sized>(
     graph: &Graph,
     start_set: &[VertexId],

@@ -25,6 +25,15 @@ pub enum CoreError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// A process/fault/adversary spec string failed to parse. Carries the full offending
+    /// input so callers surfacing the error (CLI, config files) can point at it without
+    /// re-threading the string themselves.
+    InvalidSpec {
+        /// The spec string as given by the user.
+        spec: String,
+        /// Description of what is wrong with it.
+        reason: String,
+    },
     /// A run exceeded its round budget without completing.
     RoundBudgetExceeded {
         /// The budget that was exhausted.
@@ -51,6 +60,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameters { reason } => {
                 write!(f, "invalid process parameters: {reason}")
             }
+            CoreError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid spec {spec:?}: {reason}")
+            }
             CoreError::RoundBudgetExceeded { max_rounds } => {
                 write!(f, "process did not complete within {max_rounds} rounds")
             }
@@ -73,6 +85,10 @@ mod tests {
             (CoreError::VertexOutOfRange { vertex: 9, num_vertices: 4 }, "vertex 9 out of range"),
             (CoreError::UnsuitableGraph { reason: "empty".into() }, "unsuitable"),
             (CoreError::InvalidParameters { reason: "k must be positive".into() }, "invalid"),
+            (
+                CoreError::InvalidSpec { spec: "cobra:k=".into(), reason: "bad k".into() },
+                "cobra:k=",
+            ),
             (CoreError::RoundBudgetExceeded { max_rounds: 10 }, "10 rounds"),
             (CoreError::TooLargeForExact { num_vertices: 99, limit: 12 }, "at most 12"),
         ];

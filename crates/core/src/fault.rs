@@ -611,6 +611,7 @@ impl<'a> StepFaults<'a> {
     /// faults that can actually fire: one draw for a positive global drop, plus one draw
     /// for the targeted drop when `from` is in the targeted set — so with no faults the
     /// RNG is untouched.
+    // cobra-lint: draws(bounded)
     #[inline]
     pub fn drops_from(&self, rng: &mut dyn RngCore, from: VertexId) -> bool {
         if self.drop > 0.0 && rng.gen_bool(self.drop) {
@@ -634,6 +635,7 @@ impl<'a> StepFaults<'a> {
 /// deterministic edges consume no randomness — `exit = 0` never leaves the state
 /// (`u64::MAX` rounds) and `exit = 1` leaves after exactly one round — which is what makes
 /// degenerate transition probabilities bit-identical to the i.i.d. drop model.
+// cobra-lint: draws(bounded)
 fn sample_sojourn(exit: f64, rng: &mut dyn RngCore) -> u64 {
     if exit <= 0.0 {
         return u64::MAX;
@@ -672,6 +674,7 @@ impl GeChannel {
     const START: GeChannel = GeChannel { bad: false, remaining: 0 };
 
     /// Advances one round and reports whether *this* round is spent in the bad state.
+    // cobra-lint: draws(bounded)
     fn advance(&mut self, p_bad: f64, p_good: f64, rng: &mut dyn RngCore) -> bool {
         if self.remaining == 0 {
             let exit = if self.bad { p_good } else { p_bad };
@@ -780,6 +783,7 @@ impl PlanDynamics {
     /// `extra` crashed vertices in (outer-wrapper composition; folding each round keeps
     /// them down under repair dynamics) and advances the loss channel. The RNG draw order
     /// is the contract: resolve, repair, channel — a benign plan draws nothing.
+    // cobra-lint: draws(bounded)
     pub(crate) fn begin_round(
         &mut self,
         rng: &mut dyn RngCore,
@@ -829,6 +833,7 @@ impl PlanDynamics {
     /// Samples the crash set on first use (per trial): `resolve_count` distinct vertices,
     /// uniform over `V \ {protect}`, via a partial Fisher–Yates shuffle. Also derives the
     /// stationary re-crash rate once the initial crashed count is known.
+    // cobra-lint: draws(bounded)
     fn resolve_crashes(&mut self, rng: &mut dyn RngCore) {
         if self.crash_resolved {
             return;
@@ -859,6 +864,7 @@ impl PlanDynamics {
     /// Applies the per-round crash/repair dynamics: every crashed vertex repairs with
     /// probability `repair`, every healthy vertex (except the protected start) re-crashes
     /// with the derived stationary rate. No-op — zero RNG draws — for permanent plans.
+    // cobra-lint: draws(bounded)
     fn update_crashes(&mut self, rng: &mut dyn RngCore) {
         if self.repair <= 0.0 {
             return;
@@ -953,6 +959,8 @@ impl<'g> FaultedProcess<'g> {
 }
 
 impl SpreadingProcess for FaultedProcess<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
     fn step_faulted(&mut self, rng: &mut dyn RngCore, outer: &StepFaults<'_>) {
         // Compose with faults injected by an outer caller (an adversary wrapper or nested
         // fault wrappers): drops are independent, outer crashes fold into the plan's set,
@@ -1021,6 +1029,8 @@ struct OffsetRounds<'p> {
 }
 
 impl SpreadingProcess for OffsetRounds<'_> {
+    // cobra-lint: hot
+    // cobra-lint: draws(0)
     fn step_faulted(&mut self, _rng: &mut dyn RngCore, _faults: &StepFaults<'_>) {
         unreachable!("the churn observer view is read-only")
     }
@@ -1085,6 +1095,7 @@ impl SpreadingProcess for OffsetRounds<'_> {
 /// # Errors
 ///
 /// Propagates graph-instantiation and process-construction failures.
+// cobra-lint: draws(bounded)
 pub fn run_churned(
     spec: &ProcessSpec,
     family: &GraphFamily,
@@ -1105,6 +1116,7 @@ pub fn run_churned(
 /// # Errors
 ///
 /// Propagates graph-instantiation, process-construction and state-migration failures.
+// cobra-lint: draws(bounded)
 pub fn run_churned_observed(
     spec: &ProcessSpec,
     family: &GraphFamily,

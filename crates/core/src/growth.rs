@@ -101,6 +101,7 @@ pub fn growth_lower_bound(set_size: usize, n: usize, lambda: f64, branching: Bra
 /// # Errors
 ///
 /// Same validation errors as [`exact_expected_next_size`].
+// cobra-lint: draws(bounded)
 pub fn sampled_expected_next_size<R: Rng + ?Sized>(
     graph: &Graph,
     source: VertexId,
@@ -166,6 +167,7 @@ impl GrowthObservation {
 /// # Errors
 ///
 /// Propagates construction errors from [`BipsProcess::new`].
+// cobra-lint: draws(bounded)
 pub fn audit_growth_along_trajectory<R: Rng + ?Sized>(
     graph: &Graph,
     source: VertexId,
@@ -202,6 +204,7 @@ pub fn audit_growth_along_trajectory<R: Rng + ?Sized>(
 ///
 /// Returns [`CoreError::InvalidParameters`] if `set_size` is zero or exceeds `n`, and
 /// propagates validation errors.
+// cobra-lint: draws(bounded)
 pub fn audit_growth_random_sets<R: Rng + ?Sized>(
     graph: &Graph,
     source: VertexId,

@@ -28,6 +28,7 @@ pub struct InfectionOutcome {
 ///
 /// Returns construction errors from [`BipsProcess::new`] and
 /// [`CoreError::RoundBudgetExceeded`] if full infection is not reached within `max_rounds`.
+// cobra-lint: draws(bounded)
 pub fn infection_time(
     graph: &Graph,
     source: VertexId,
@@ -46,6 +47,7 @@ pub fn infection_time(
 /// # Errors
 ///
 /// Returns construction errors from [`BipsProcess::new`].
+// cobra-lint: draws(bounded)
 pub fn infection_curve(
     graph: &Graph,
     source: VertexId,
@@ -67,6 +69,7 @@ pub fn infection_curve(
 /// Returns [`CoreError::InvalidParameters`] if `fraction` is not in `(0, 1]`, construction
 /// errors from [`BipsProcess::new`], and [`CoreError::RoundBudgetExceeded`] if the threshold
 /// is not reached in time.
+// cobra-lint: draws(bounded)
 pub fn time_to_fraction(
     graph: &Graph,
     source: VertexId,
@@ -89,6 +92,7 @@ pub fn time_to_fraction(
 /// # Errors
 ///
 /// Propagates the first error from [`infection_time`].
+// cobra-lint: draws(bounded)
 pub fn worst_case_infection_time(
     graph: &Graph,
     branching: Branching,

@@ -116,6 +116,7 @@ pub mod adversary;
 pub mod baselines;
 pub mod bips;
 pub mod cobra;
+pub mod counting;
 pub mod cover;
 pub mod duality;
 pub mod fault;
@@ -134,6 +135,7 @@ pub use adversary::{
 };
 pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
+pub use counting::CountingRng;
 pub use error::CoreError;
 pub use fault::{CrashSpec, DropModel, FaultPlan, FaultedProcess, StepFaults};
 pub use process::SpreadingProcess;

@@ -40,6 +40,7 @@ use crate::{CoreError, Result};
 /// (`process.step(&mut rng)`), so callers are unaffected.
 pub trait SpreadingProcess {
     /// Advances the process by one round.
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         self.step_faulted(rng, &StepFaults::NONE);
     }
@@ -172,6 +173,7 @@ pub(crate) fn validate_adopted_state(
 /// been executed, returning the completion round or `None` on budget exhaustion.
 ///
 /// If the process is already complete, returns `Some(current round)` without stepping.
+// cobra-lint: draws(bounded)
 pub fn run_until_complete(
     process: &mut dyn SpreadingProcess,
     rng: &mut dyn RngCore,
@@ -191,6 +193,7 @@ pub fn run_until_complete(
 
 /// Runs `process` for up to `max_rounds` rounds recording the number of active vertices after
 /// every round (index 0 holds the initial count), stopping early on completion.
+// cobra-lint: draws(bounded)
 pub fn trace_active_counts(
     process: &mut dyn SpreadingProcess,
     rng: &mut dyn RngCore,

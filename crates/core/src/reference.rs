@@ -127,6 +127,7 @@ impl<'g> DenseCobra<'g> {
 }
 
 impl DenseProcess for DenseCobra<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         self.next_active[..n].fill(false);
@@ -209,6 +210,7 @@ impl<'g> DenseBips<'g> {
 }
 
 impl DenseProcess for DenseBips<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut count = 0usize;
@@ -283,6 +285,7 @@ impl<'g> DenseWalk<'g> {
 }
 
 impl DenseProcess for DenseWalk<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let degree = self.graph.degree(self.position);
         if degree > 0 {
@@ -352,6 +355,7 @@ impl<'g> DenseMultiWalks<'g> {
 }
 
 impl DenseProcess for DenseMultiWalks<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         self.active.fill(false);
         self.num_active = 0;
@@ -412,6 +416,7 @@ impl<'g> DensePush<'g> {
 }
 
 impl DenseProcess for DensePush<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut newly = Vec::new();
@@ -473,6 +478,7 @@ impl<'g> DensePushPull<'g> {
 }
 
 impl DenseProcess for DensePushPull<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         let mut newly = Vec::new();
@@ -552,6 +558,7 @@ impl<'g> DenseContact<'g> {
 }
 
 impl DenseProcess for DenseContact<'_> {
+    // cobra-lint: draws(bounded)
     fn step(&mut self, rng: &mut dyn RngCore) {
         let n = self.graph.num_vertices();
         self.next_infected[..n].fill(false);

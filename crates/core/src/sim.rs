@@ -151,11 +151,13 @@ impl Runner {
     }
 
     /// Runs `process` until a stop condition fires.
+    // cobra-lint: draws(bounded)
     pub fn run(&self, process: &mut dyn SpreadingProcess, rng: &mut dyn RngCore) -> RunOutcome {
         self.run_observed(process, rng, &mut [])
     }
 
     /// Runs `process`, notifying every observer before the first step and after each round.
+    // cobra-lint: draws(bounded)
     pub fn run_observed(
         &self,
         process: &mut dyn SpreadingProcess,
@@ -191,6 +193,7 @@ impl Runner {
     /// # Errors
     ///
     /// Propagates [`ProcessSpec::build`] validation errors.
+    // cobra-lint: draws(bounded)
     pub fn run_spec(
         &self,
         spec: &ProcessSpec,
@@ -208,6 +211,7 @@ impl Runner {
     /// # Errors
     ///
     /// Returns [`CoreError::RoundBudgetExceeded`] if the budget runs out first.
+    // cobra-lint: draws(bounded)
     pub fn completion_rounds(
         &self,
         process: &mut dyn SpreadingProcess,

@@ -508,70 +508,80 @@ impl FromStr for ProcessSpec {
     type Err = CoreError;
 
     fn from_str(text: &str) -> Result<Self> {
-        // `+` separates the base spec from fault clauses: `cobra:k=2+drop=0.1+crash=5%`.
-        if let Some((base, clauses)) = text.split_once('+') {
-            let inner: ProcessSpec = base.parse()?;
-            return Ok(inner.faulted(FaultPlan::parse_clauses(clauses)?));
-        }
-        let (name, rest) = match text.split_once(':') {
-            Some((name, rest)) => (name.trim(), rest),
-            None => (text.trim(), ""),
-        };
-        let mut args = SpecArgs::parse(rest)?;
-        let start: VertexId = args.take_aliased("start", "source")?.unwrap_or(0);
-        let branching = |args: &mut SpecArgs| -> Result<Branching> {
-            let k: Option<u32> = args.take_parsed("k")?;
-            let rho: Option<f64> = args.take_parsed("rho")?;
-            match (k, rho) {
-                (Some(_), Some(_)) => Err(CoreError::InvalidParameters {
-                    reason: "specify either k= or rho=, not both".to_string(),
-                }),
-                (Some(k), None) => Branching::fixed(k),
-                (None, Some(rho)) => Branching::fractional(rho),
-                (None, None) => Branching::fixed(2),
+        // Parse failures are wrapped in `InvalidSpec` carrying the *full* original input, so
+        // a CLI error for `push+gedrop=` names the whole spec, not just the broken clause.
+        parse_spec(text).map_err(|err| match err {
+            CoreError::InvalidParameters { reason } | CoreError::InvalidSpec { reason, .. } => {
+                CoreError::InvalidSpec { spec: text.to_string(), reason }
             }
-        };
-        let spec = match name.to_ascii_lowercase().as_str() {
-            "cobra" => ProcessSpec::Cobra { branching: branching(&mut args)?, start },
-            "bips" => ProcessSpec::Bips { branching: branching(&mut args)?, start },
-            "walk" | "rw" | "random-walk" => ProcessSpec::RandomWalk { start },
-            "multiwalk" | "walks" | "multi-walk" => {
-                let walkers = args.take_aliased("w", "walkers")?.ok_or_else(|| {
-                    CoreError::InvalidParameters {
-                        reason: "multiwalk requires w=<walkers>".to_string(),
-                    }
-                })?;
-                ProcessSpec::MultipleWalks { walkers, start }
-            }
-            "push" => ProcessSpec::Push { start },
-            "pushpull" | "push-pull" => ProcessSpec::PushPull { start },
-            "contact" | "sis" => {
-                let infection = args.take_aliased("p", "infection")?.ok_or_else(|| {
-                    CoreError::InvalidParameters {
-                        reason: "contact requires p=<infection probability>".to_string(),
-                    }
-                })?;
-                let recovery = args.take_aliased("q", "recovery")?.ok_or_else(|| {
-                    CoreError::InvalidParameters {
-                        reason: "contact requires q=<recovery probability>".to_string(),
-                    }
-                })?;
-                ContactParameters::new(infection, recovery)?;
-                let persistent = !args.take_flag("transient");
-                ProcessSpec::Contact { infection, recovery, persistent, start }
-            }
-            other => {
-                return Err(CoreError::InvalidParameters {
-                    reason: format!(
-                        "unknown process {other:?} (expected cobra, bips, walk, multiwalk, \
-                         push, pushpull or contact)"
-                    ),
-                })
-            }
-        };
-        args.finish(text)?;
-        Ok(spec)
+            other => other,
+        })
     }
+}
+
+fn parse_spec(text: &str) -> Result<ProcessSpec> {
+    // `+` separates the base spec from fault clauses: `cobra:k=2+drop=0.1+crash=5%`.
+    if let Some((base, clauses)) = text.split_once('+') {
+        let inner: ProcessSpec = base.parse()?;
+        return Ok(inner.faulted(FaultPlan::parse_clauses(clauses)?));
+    }
+    let (name, rest) = match text.split_once(':') {
+        Some((name, rest)) => (name.trim(), rest),
+        None => (text.trim(), ""),
+    };
+    let mut args = SpecArgs::parse(rest)?;
+    let start: VertexId = args.take_aliased("start", "source")?.unwrap_or(0);
+    let branching = |args: &mut SpecArgs| -> Result<Branching> {
+        let k: Option<u32> = args.take_parsed("k")?;
+        let rho: Option<f64> = args.take_parsed("rho")?;
+        match (k, rho) {
+            (Some(_), Some(_)) => Err(CoreError::InvalidParameters {
+                reason: "specify either k= or rho=, not both".to_string(),
+            }),
+            (Some(k), None) => Branching::fixed(k),
+            (None, Some(rho)) => Branching::fractional(rho),
+            (None, None) => Branching::fixed(2),
+        }
+    };
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "cobra" => ProcessSpec::Cobra { branching: branching(&mut args)?, start },
+        "bips" => ProcessSpec::Bips { branching: branching(&mut args)?, start },
+        "walk" | "rw" | "random-walk" => ProcessSpec::RandomWalk { start },
+        "multiwalk" | "walks" | "multi-walk" => {
+            let walkers =
+                args.take_aliased("w", "walkers")?.ok_or_else(|| CoreError::InvalidParameters {
+                    reason: "multiwalk requires w=<walkers>".to_string(),
+                })?;
+            ProcessSpec::MultipleWalks { walkers, start }
+        }
+        "push" => ProcessSpec::Push { start },
+        "pushpull" | "push-pull" => ProcessSpec::PushPull { start },
+        "contact" | "sis" => {
+            let infection = args.take_aliased("p", "infection")?.ok_or_else(|| {
+                CoreError::InvalidParameters {
+                    reason: "contact requires p=<infection probability>".to_string(),
+                }
+            })?;
+            let recovery = args.take_aliased("q", "recovery")?.ok_or_else(|| {
+                CoreError::InvalidParameters {
+                    reason: "contact requires q=<recovery probability>".to_string(),
+                }
+            })?;
+            ContactParameters::new(infection, recovery)?;
+            let persistent = !args.take_flag("transient");
+            ProcessSpec::Contact { infection, recovery, persistent, start }
+        }
+        other => {
+            return Err(CoreError::InvalidParameters {
+                reason: format!(
+                    "unknown process {other:?} (expected cobra, bips, walk, multiwalk, \
+                     push, pushpull or contact)"
+                ),
+            })
+        }
+    };
+    args.finish(text)?;
+    Ok(spec)
 }
 
 #[cfg(test)]
@@ -642,6 +652,32 @@ mod tests {
         assert!("multiwalk".parse::<ProcessSpec>().is_err());
         assert!("contact:p=0.5".parse::<ProcessSpec>().is_err());
         assert!("contact:p=1.5,q=0.5".parse::<ProcessSpec>().is_err());
+    }
+
+    #[test]
+    fn malformed_specs_report_the_full_offending_input() {
+        // Truncated specs (empty value after `=`) must come back as a structured
+        // `InvalidSpec` naming the complete input text — never a panic, and never an
+        // error that only mentions the inner clause.
+        for text in [
+            "cobra:k=",
+            "push+adv=topdeg:budget=",
+            "push+gedrop=",
+            "cobra:k=2+gedrop=0.1,0.25,",
+            "multiwalk:w=",
+            "contact:p=,q=0.5",
+        ] {
+            match text.parse::<ProcessSpec>() {
+                Err(CoreError::InvalidSpec { spec, reason }) => {
+                    assert_eq!(spec, text, "wrapped spec must be the full input");
+                    assert!(!reason.is_empty(), "{text:?} needs a reason");
+                }
+                other => panic!("{text:?}: expected InvalidSpec, got {other:?}"),
+            }
+        }
+        // The Display form carries the full spec so CLI users see what to fix.
+        let err = "push+gedrop=".parse::<ProcessSpec>().unwrap_err();
+        assert!(err.to_string().contains("push+gedrop="), "{err}");
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub fn random_regular<R: Rng>(n: usize, r: usize, rng: &mut R) -> Result<Graph> 
 /// One attempt of the Steger–Wormald stub-matching procedure.
 fn try_regular_matching<R: Rng>(n: usize, r: usize, rng: &mut R) -> Option<Vec<(usize, usize)>> {
     let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, r)).collect();
+    // cobra-lint: allow(R2, membership-only duplicate-edge filter; drained through a sort below)
     let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(n * r / 2);
 
     while !stubs.is_empty() {
@@ -94,16 +95,22 @@ fn try_regular_matching<R: Rng>(n: usize, r: usize, rng: &mut R) -> Option<Vec<(
         }
         stubs = leftover;
     }
-    Some(edges.into_iter().collect())
+    // Sort before handing the edges onward: the set's iteration order is per-instance
+    // random, and the generator's output must depend only on the RNG seed.
+    let mut edges: Vec<(usize, usize)> = edges.into_iter().collect();
+    edges.sort_unstable();
+    Some(edges)
 }
 
 /// Returns `true` if some pair of remaining stubs can still form a new simple edge.
+// cobra-lint: allow(R2, the edge set is probed with `contains` only, never iterated)
 fn suitable(stubs: &[VertexId], edges: &HashSet<(usize, usize)>) -> bool {
     if stubs.is_empty() {
         return true;
     }
-    let distinct: HashSet<VertexId> = stubs.iter().copied().collect();
-    let distinct: Vec<VertexId> = distinct.into_iter().collect();
+    let mut distinct: Vec<VertexId> = stubs.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
     for (i, &u) in distinct.iter().enumerate() {
         for &v in &distinct[i + 1..] {
             let key = (u.min(v), u.max(v));
@@ -168,14 +175,17 @@ pub fn configuration_model<R: Rng>(degrees: &[usize], rng: &mut R) -> Result<Gra
     let mut stubs: Vec<VertexId> =
         degrees.iter().enumerate().flat_map(|(v, &d)| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
-    let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(total / 2);
-    for pair in stubs.chunks_exact(2) {
-        let (u, v) = (pair[0], pair[1]);
-        if u != v {
-            edges.insert((u.min(v), u.max(v)));
-        }
-    }
-    let edges: Vec<(usize, usize)> = edges.into_iter().collect();
+    // Erase self-loops and parallel edges via sort + dedup on a plain Vec: same semantics as
+    // the former hash-set filter, but with seed-deterministic edge order.
+    let mut edges: Vec<(usize, usize)> = stubs
+        .chunks_exact(2)
+        .filter_map(|pair| {
+            let (u, v) = (pair[0], pair[1]);
+            (u != v).then(|| (u.min(v), u.max(v)))
+        })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
     Graph::from_edges(n, &edges)
 }
 

@@ -1,0 +1,344 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The container this workspace builds in has no network access, so the linter cannot use
+//! `syn`; it also does not need to. The rules in [`crate::rules`] are token-level: they need
+//! identifiers, punctuation and comments with correct *line numbers*, and they need string
+//! literals, char literals and doc text to be reliably **excluded** (a `gen_range` inside a
+//! diagnostic message or a doc example must never fire a lint). That is exactly what this
+//! lexer provides — no AST, no spans beyond lines, no macro expansion.
+//!
+//! Handled faithfully: line comments (`//`, `///`, `//!`), nested block comments, string
+//! literals with escapes, raw strings `r#"…"#`, byte strings, char literals vs. lifetimes
+//! (`'a'` vs `&'a`), raw identifiers (`r#fn`), and numeric literals (including `0..n` range
+//! punctuation and hex/exponent forms).
+
+/// The token classes the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `rng`, `HashMap`, …).
+    Ident(String),
+    /// A lifetime such as `'g` (kept distinct so it is never mistaken for a char literal).
+    Lifetime,
+    /// A single punctuation character (`.`, `%`, `{`, …).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char or number. The contents are
+    /// deliberately discarded — literals must never trigger rules.
+    Literal,
+    /// A `//` comment; the payload is the text *after* the two slashes, untrimmed.
+    /// Doc comments (`///`, `//!`) therefore arrive with a leading `/` or `!`.
+    LineComment(String),
+    /// A `/* … */` comment (nesting handled); contents discarded — block comments cannot
+    /// carry `cobra-lint` directives.
+    BlockComment,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment(_) | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated constructs simply consume
+/// the rest of the input (the rules degrade gracefully on files `rustc` would reject anyway).
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    // Helper closures capture nothing mutable; index/line are threaded manually because
+    // several arms need multi-character lookahead.
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start_line = line;
+                let mut text = String::new();
+                i += 2;
+                while i < n && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::LineComment(text), line: start_line });
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::BlockComment, line: start_line });
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+            }
+            '\'' => {
+                // Lifetime vs. char literal: `'ident` NOT followed by a closing quote is a
+                // lifetime; everything else is a char literal.
+                let start_line = line;
+                if i + 1 < n && is_ident_start(chars[i + 1]) {
+                    let mut j = i + 2;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-character char literal.
+                        tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+                        i = j + 1;
+                    } else {
+                        tokens.push(Token { kind: TokenKind::Lifetime, line: start_line });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: '\n', '\'', '\u{1F600}', '%'.
+                    i += 1;
+                    if i < n && chars[i] == '\\' {
+                        i += 2;
+                        // \u{...} escapes run to the closing brace.
+                        while i < n && chars[i] != '\'' {
+                            i += 1;
+                        }
+                    } else {
+                        while i < n && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing quote
+                    tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start_line = line;
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // String prefixes: r"…", r#"…"#, b"…", br#"…"#, and raw idents r#fn.
+                let next = chars.get(i).copied();
+                match (word.as_str(), next) {
+                    ("r" | "b" | "br" | "rb", Some('"')) => {
+                        // Plain (byte) string with escapes unless raw.
+                        let raw = word.starts_with('r') || word.ends_with('r');
+                        i += 1;
+                        while i < n {
+                            match chars[i] {
+                                '\\' if !raw => i += 2,
+                                '"' => {
+                                    i += 1;
+                                    break;
+                                }
+                                '\n' => {
+                                    line += 1;
+                                    i += 1;
+                                }
+                                _ => i += 1,
+                            }
+                        }
+                        tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+                    }
+                    ("r" | "br" | "rb", Some('#')) => {
+                        // Count the hashes, then decide: `r#"` raw string vs `r#ident`.
+                        let mut hashes = 0usize;
+                        let mut j = i;
+                        while j < n && chars[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < n && chars[j] == '"' {
+                            // Raw string: runs to `"` followed by `hashes` hashes.
+                            i = j + 1;
+                            'raw: while i < n {
+                                if chars[i] == '\n' {
+                                    line += 1;
+                                } else if chars[i] == '"' {
+                                    let mut k = 0;
+                                    while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        i += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                i += 1;
+                            }
+                            tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+                        } else if hashes == 1 && j < n && is_ident_start(chars[j]) {
+                            // Raw identifier r#fn: emit the identifier itself.
+                            let start_ident = j;
+                            i = j;
+                            while i < n && is_ident_continue(chars[i]) {
+                                i += 1;
+                            }
+                            let name: String = chars[start_ident..i].iter().collect();
+                            tokens.push(Token { kind: TokenKind::Ident(name), line: start_line });
+                        } else {
+                            tokens.push(Token { kind: TokenKind::Ident(word), line: start_line });
+                        }
+                    }
+                    _ => tokens.push(Token { kind: TokenKind::Ident(word), line: start_line }),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start_line = line;
+                i += 1;
+                while i < n {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.' && i + 1 < n && chars[i + 1].is_ascii_digit() {
+                        // 1.5 consumes the dot; 0..n leaves the range punctuation alone.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Literal, line: start_line });
+            }
+            '#' if i + 1 < n && chars[i + 1] == '!' && i == 0 => {
+                // Shebang line.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            other => {
+                tokens.push(Token { kind: TokenKind::Punct(other), line });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter_map(|t| t.ident().map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_identifiers() {
+        let src = r##"let s = "gen_range inside"; let c = '%'; let r = r#"choose"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "c", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'g>(x: &'g str) -> &'g str { x }";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 3);
+        // The identifiers after the lifetimes survive.
+        assert!(idents(src).contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn comments_carry_their_text_and_line() {
+        let src = "let a = 1;\n// cobra-lint: hot\nfn b() {}\n";
+        let toks = lex(src);
+        let comment = toks.iter().find(|t| t.is_comment()).unwrap();
+        assert_eq!(comment.line, 2);
+        assert_eq!(comment.kind, TokenKind::LineComment(" cobra-lint: hot".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_and_ranges() {
+        let src = "/* outer /* inner */ still */ for i in 0..n { }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["for", "i", "in", "n"]);
+        // The two dots of the range survive as punctuation.
+        let dots = lex(src).iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn numeric_literals_including_floats_and_hex() {
+        let src = "let x = 1.5e3 + 0xff_u32 - 2;";
+        let lits = lex(src).iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lits, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_resolve_to_their_name() {
+        let ids = idents("let r#fn = 3;");
+        assert_eq!(ids, vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nfn after() {}";
+        let toks = lex(src);
+        let fn_tok = toks.iter().find(|t| t.ident() == Some("fn")).unwrap();
+        assert_eq!(fn_tok.line, 4);
+    }
+}

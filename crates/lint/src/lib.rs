@@ -1,0 +1,104 @@
+//! `cobra_lint` — determinism & RNG-discipline static analysis for the COBRA workspace.
+//!
+//! Every correctness claim this reproduction makes (frontier/dense bit-identity,
+//! zero-RNG-draw benign fault paths, oblivious-adversary equivalence) rests on coding
+//! conventions. This crate machine-checks them so the upcoming parallel/sharded round
+//! engine cannot silently erode them. See the README's "Determinism contract" section for
+//! the rule table and annotation grammar; [`rules`] documents the precise semantics.
+//!
+//! The analysis is a hand-rolled lexer + token walker — the build environment is offline,
+//! so no `syn`, and deliberately no dependencies at all: the linter builds in well under a
+//! second and runs first in CI.
+//!
+//! Entry points: [`lint_source`] for one in-memory file (used by the fixture tests) and
+//! [`lint_workspace`] for the whole tree (used by the CLI and the workspace-clean
+//! meta-test).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::{Report, Violation, RULES};
+
+/// Lints one source file given its workspace-relative path (the path determines which
+/// rule scopes apply, so fixture tests can masquerade as any crate).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let analysis = analysis::analyze(lexer::lex(source));
+    let mut out = Vec::new();
+    rules::check_file(rel_path, &analysis, &mut out);
+    out
+}
+
+/// The directories scanned by `--workspace`, relative to the workspace root. Only first-party
+/// sources: `vendor/` is external code and `crates/lint/tests/fixtures/` contains files that
+/// are *supposed* to fire.
+const WORKSPACE_SRC_ROOTS: &[&str] = &[
+    "src",
+    "crates/graph/src",
+    "crates/spectral/src",
+    "crates/stats/src",
+    "crates/core/src",
+    "crates/experiments/src",
+    "crates/bench/src",
+    "crates/lint/src",
+];
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every first-party source file under `root` (the workspace root).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in WORKSPACE_SRC_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    let mut report = Report::default();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        report.violations.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_routes_path_scopes() {
+        let src = "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); }";
+        assert!(!lint_source("crates/core/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+}

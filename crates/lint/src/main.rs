@@ -1,0 +1,143 @@
+//! The `cobra-lint` CLI.
+//!
+//! ```text
+//! cargo run -p cobra-lint -- --workspace [--root PATH] [--json PATH]
+//! cargo run -p cobra-lint -- path/to/file.rs …
+//! ```
+//!
+//! Prints `file:line: [Rn] message` diagnostics plus a per-rule summary, optionally writes
+//! the JSON report, and exits non-zero when any violation is found (deny-by-default; there
+//! is deliberately no warn-only mode).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cobra_lint::{lint_source, lint_workspace, Report};
+
+const USAGE: &str = "\
+cobra-lint: determinism & RNG-discipline static analysis (rules R0-R4)
+
+USAGE:
+    cobra-lint --workspace [--root PATH] [--json PATH]
+    cobra-lint [--json PATH] FILE...
+
+OPTIONS:
+    --workspace    lint every first-party source under the workspace root
+    --root PATH    workspace root to scan (default: nearest ancestor with Cargo.toml)
+    --json PATH    also write the report as JSON to PATH
+    -h, --help     show this help
+";
+
+/// Finds the workspace root: the nearest ancestor of the current directory containing a
+/// `Cargo.toml` with a `[workspace]` table (falls back to the nearest `Cargo.toml`).
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut fallback = None;
+    for dir in cwd.ancestors() {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            fallback.get_or_insert_with(|| dir.to_path_buf());
+            if std::fs::read_to_string(&manifest)
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+            {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    fallback.unwrap_or(cwd)
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --json needs a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+
+    if !workspace && files.is_empty() {
+        eprintln!("error: nothing to lint (pass --workspace or file paths)\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let report = if workspace {
+        let root = root.unwrap_or_else(find_workspace_root);
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: failed to scan workspace at {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = Report::default();
+        for path in &files {
+            match std::fs::read_to_string(path) {
+                Ok(source) => {
+                    let rel = path.to_string_lossy().replace('\\', "/");
+                    report.violations.extend(lint_source(&rel, &source));
+                    report.files_scanned += 1;
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        report.finish();
+        report
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if !report.violations.is_empty() {
+        println!();
+    }
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write JSON report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("JSON report written to {}", path.display());
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,183 @@
+//! Diagnostics, per-rule summaries and the JSON artifact.
+//!
+//! Serialisation is hand-rolled (the crate is dependency-free by design); the JSON shape is
+//! stable and consumed by the CI job:
+//!
+//! ```json
+//! {
+//!   "violations": [{"rule": "R1", "file": "crates/x/src/y.rs", "line": 12, "message": "…"}],
+//!   "summary": {"R0": 0, "R1": 1, "R2": 0, "R3": 0, "R4": 0},
+//!   "files_scanned": 57,
+//!   "clean": false
+//! }
+//! ```
+
+use std::fmt;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule ID (`R0`–`R4`).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(rule: &str, file: &str, line: u32, message: String) -> Self {
+        Self { rule: rule.to_string(), file: file.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The known rule IDs, in display order.
+pub const RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4"];
+
+/// A whole run's results.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts violations into the canonical (file, line, rule) order.
+    pub fn finish(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+    }
+
+    /// Whether the run found no violations.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of violations for one rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// The per-rule summary table printed at the end of every run (and by the CI job).
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for rule in RULES {
+            lines.push(format!("{rule}: {:>4} violation(s)", self.count(rule)));
+        }
+        lines.push(format!(
+            "{} file(s) scanned, {} total violation(s)",
+            self.files_scanned,
+            self.violations.len()
+        ));
+        lines
+    }
+
+    /// Serialises the report to JSON (stable key order, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&v.rule),
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"summary\": {");
+        for (i, rule) in RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_string(rule), self.count(rule)));
+        }
+        s.push_str(&format!(
+            "}},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.clean()
+        ));
+        s
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = Report::default();
+        r.violations.push(Violation::new("R1", "a.rs", 3, "uses \"gen_range\"".to_string()));
+        r.files_scanned = 1;
+        r.finish();
+        let j = r.to_json();
+        assert!(j.contains(r#""rule": "R1""#));
+        assert!(j.contains(r#"\"gen_range\""#));
+        assert!(j.contains(r#""clean": false"#));
+        assert!(j.contains(r#""R4": 0"#));
+    }
+
+    #[test]
+    fn summary_counts_per_rule() {
+        let mut r = Report::default();
+        for _ in 0..3 {
+            r.violations.push(Violation::new("R2", "b.rs", 1, "x".to_string()));
+        }
+        assert_eq!(r.count("R2"), 3);
+        assert_eq!(r.count("R1"), 0);
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn finish_sorts_canonically() {
+        let mut r = Report::default();
+        r.violations.push(Violation::new("R4", "b.rs", 9, "x".to_string()));
+        r.violations.push(Violation::new("R1", "a.rs", 12, "x".to_string()));
+        r.violations.push(Violation::new("R1", "a.rs", 2, "x".to_string()));
+        r.finish();
+        let order: Vec<(String, u32)> =
+            r.violations.iter().map(|v| (v.file.clone(), v.line)).collect();
+        assert_eq!(order, vec![("a.rs".into(), 2), ("a.rs".into(), 12), ("b.rs".into(), 9)]);
+    }
+}

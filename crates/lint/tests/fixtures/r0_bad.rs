@@ -1,0 +1,6 @@
+// R0 fixture: a typoed directive name and a hot directive attached to nothing.
+// cobra-lint: allot(R1, oops)
+fn fine() {}
+
+// cobra-lint: hot
+struct NotAFunction;

@@ -1,0 +1,6 @@
+// R0 fixture: every directive well-formed and attached.
+// cobra-lint: hot
+// cobra-lint: draws(0)
+fn tick(&mut self, _rng: &mut dyn RngCore) {
+    self.round += 1;
+}

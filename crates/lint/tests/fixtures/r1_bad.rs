@@ -1,0 +1,16 @@
+// R1 fixture: every banned sampler form, in a non-exempt file.
+fn pick(rng: &mut dyn RngCore, n: usize) -> usize {
+    rng.gen_range(0..n)
+}
+
+fn pick_biased(rng: &mut dyn RngCore, n: u64) -> u64 {
+    rng.next_u64() % n
+}
+
+fn pick_slice(rng: &mut dyn RngCore, items: &[u32]) -> u32 {
+    *items.choose(rng).unwrap()
+}
+
+fn coin(rng: &mut dyn RngCore) -> bool {
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+// R1 fixture: sanctioned sampling plus one documented exemption.
+fn pick(rng: &mut dyn RngCore, n: usize) -> usize {
+    cobra_graph::sample::uniform_index(rng, n)
+}
+
+fn start_vector(rng: &mut dyn RngCore, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| rng.gen_range(-1.0..1.0)) // cobra-lint: allow(R1, float start vector; not a bounded-index draw)
+        .collect()
+}

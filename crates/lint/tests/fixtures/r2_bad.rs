@@ -1,0 +1,10 @@
+// R2 fixture: a HashMap iterated for a float sum — the exact bug class the rule exists for.
+use std::collections::HashMap;
+
+fn total(weights: &HashMap<u32, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, w) in weights {
+        sum += w;
+    }
+    sum
+}

@@ -1,0 +1,13 @@
+// R2 fixture: deterministic structures, plus one documented membership-only HashSet.
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+fn total(weights: &BTreeMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}
+
+fn dedup_probe(edges: &[(usize, usize)]) -> usize {
+    // cobra-lint: allow(R2, probed with contains only, never iterated)
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(edges.len());
+    edges.iter().filter(|e| seen.insert(**e)).count()
+}

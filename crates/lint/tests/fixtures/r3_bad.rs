@@ -1,0 +1,14 @@
+// R3 fixture: an unannotated step_faulted (mandatory hot path) and a hot fn that allocates.
+impl SpreadingProcess for Demo {
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
+        self.advance(rng, faults);
+    }
+}
+
+// cobra-lint: hot
+// cobra-lint: draws(0)
+fn drain(&mut self, _rng: &mut dyn RngCore) {
+    let mut staged: Vec<usize> = Vec::new();
+    staged.extend(self.frontier.iter().copied());
+    self.log = format!("{staged:?}");
+}

@@ -1,0 +1,9 @@
+// R3 fixture: the step path annotated hot, reusing scratch buffers instead of allocating.
+impl SpreadingProcess for Demo {
+    // cobra-lint: hot
+    // cobra-lint: draws(bounded)
+    fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>) {
+        self.scratch.clear();
+        self.advance(rng, faults);
+    }
+}

@@ -1,0 +1,10 @@
+// R4 fixture: RNG uses in functions that declare no draw contract.
+fn sample_round(&mut self, rng: &mut dyn RngCore) {
+    if rng.gen_bool(self.p) {
+        self.mark();
+    }
+}
+
+fn delegate(&mut self, rng: &mut dyn RngCore) {
+    helper(rng, self.budget);
+}

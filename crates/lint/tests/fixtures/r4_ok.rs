@@ -1,0 +1,13 @@
+// R4 fixture: every RNG-touching fn carries a draw contract.
+// cobra-lint: draws(bounded)
+fn sample_round(&mut self, rng: &mut dyn RngCore) {
+    if rng.gen_bool(self.p) {
+        self.mark();
+    }
+}
+
+// cobra-lint: draws(0)
+fn benign_path(&mut self, rng: &mut dyn RngCore) {
+    // The benign wrapper forwards the RNG without drawing; CountingRng proves it at runtime.
+    self.inner.tick(rng);
+}

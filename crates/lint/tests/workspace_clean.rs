@@ -1,0 +1,24 @@
+//! Meta-test: the live workspace passes its own determinism lint. This is the in-tree
+//! mirror of the CI gate — if a change introduces an unannotated draw site or a stray
+//! `HashMap` in the deterministic crates, this test (and `cargo run -p cobra-lint --
+//! --workspace`) fails with file:line diagnostics.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = cobra_lint::lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let diagnostics: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.clean(),
+        "cobra-lint found {} violation(s) in the live tree:\n{}",
+        diagnostics.len(),
+        diagnostics.join("\n")
+    );
+}

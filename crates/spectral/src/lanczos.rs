@@ -83,7 +83,7 @@ pub fn extreme_eigenvalues<R: Rng>(
     let mut alphas: Vec<f64> = Vec::with_capacity(max_dim);
     let mut betas: Vec<f64> = Vec::with_capacity(max_dim);
 
-    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(); // cobra-lint: allow(R1, float start vector; not a bounded-index draw)
     deflate(&mut v, &principal);
     if normalize(&mut v) == 0.0 {
         v = vec![0.0; n];

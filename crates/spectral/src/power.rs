@@ -85,7 +85,7 @@ pub fn second_eigenvalue_abs<R: Rng>(
     let principal = op.principal_eigenvector();
 
     // Random start, orthogonal to the principal direction.
-    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(); // cobra-lint: allow(R1, float start vector; not a bounded-index draw)
     deflate(&mut x, &principal);
     if normalize(&mut x) == 0.0 {
         // Astronomically unlikely; restart from a deterministic vector.
@@ -149,7 +149,7 @@ pub fn second_eigenvector<R: Rng>(
         });
     }
     let principal = op.principal_eigenvector();
-    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(); // cobra-lint: allow(R1, float start vector; not a bounded-index draw)
     deflate(&mut x, &principal);
     normalize(&mut x);
     let mut out = vec![0.0; n];

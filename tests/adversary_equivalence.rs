@@ -203,3 +203,82 @@ fn targeted_policies_actually_diverge_from_oblivious_baselines() {
     }
     assert!(diverged, "crash-top-degree must not coincide with sampled crashes");
 }
+
+// ---------------------------------------------------------------------------
+// Draw-count sanitizer: the adversary engine's RNG arithmetic, asserted on the
+// counts themselves.
+// ---------------------------------------------------------------------------
+
+use cobra::core::CountingRng;
+
+/// Routing a plan through `adv=oblivious` consumes **exactly** the same number of RNG
+/// words per round as the plain `FaultedProcess` path — including non-benign plans, where
+/// both sides draw (the same, nonzero) per-round amounts from shared `PlanDynamics`.
+#[test]
+fn oblivious_engine_draw_counts_match_the_plain_fault_path() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(64, 4, &mut gen_rng).unwrap();
+    for spec in all_specs() {
+        for clauses in oblivious_clause_sets() {
+            let plain: ProcessSpec =
+                format!("{spec}+{clauses}").parse().expect("plain fault clauses parse");
+            let engine: ProcessSpec = format!("{spec}+{clauses}+adv=oblivious")
+                .parse()
+                .expect("engine-routed clauses parse");
+            for seed in 0..2u64 {
+                let mut reference = plain.build(&graph).expect("plain path builds");
+                let mut candidate = engine.build(&graph).expect("engine path builds");
+                let mut reference_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                let mut candidate_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                for round in 1..=50 {
+                    reference.step(&mut reference_rng);
+                    candidate.step(&mut candidate_rng);
+                    let expected = reference_rng.take_count();
+                    assert_eq!(
+                        candidate_rng.take_count(),
+                        expected,
+                        "{engine} seed {seed}: draw count diverged at round {round} \
+                         (plain path drew {expected})"
+                    );
+                    if reference.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zero-strength adaptive policies never touch the RNG: per round, the wrapped process
+/// draws exactly as many words as the bare one.
+#[test]
+fn zero_strength_policies_draw_exactly_zero_extra_words_per_round() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(64, 4, &mut gen_rng).unwrap();
+    for spec in all_specs() {
+        for policy in ["adv=topdeg:budget=0", "adv=dropfront:f=0"] {
+            let wrapped: ProcessSpec =
+                format!("{spec}+{policy}").parse().expect("zero-strength policy parses");
+            for seed in 0..3u64 {
+                let mut bare = spec.build(&graph).expect("bare process builds");
+                let mut candidate = wrapped.build(&graph).expect("wrapped process builds");
+                let mut bare_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                let mut candidate_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                for round in 1..=50 {
+                    bare.step(&mut bare_rng);
+                    candidate.step(&mut candidate_rng);
+                    let expected = bare_rng.take_count();
+                    assert_eq!(
+                        candidate_rng.take_count(),
+                        expected,
+                        "{wrapped} seed {seed}: draw count diverged at round {round} \
+                         (bare drew {expected})"
+                    );
+                    if bare.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

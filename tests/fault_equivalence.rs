@@ -195,3 +195,87 @@ fn ge_burst_one_matches_iid_drop_on_a_fixed_expander() {
         assert_all_processes_burst_one_degenerate(&graph, f, seed, 150);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Draw-count sanitizer: the zero-draw benign-path invariant, asserted directly
+// on the counts rather than indirectly through bit-identical trajectories.
+// ---------------------------------------------------------------------------
+
+use cobra::core::CountingRng;
+
+/// Every benign wrapping draws **exactly** as many RNG words per round as the bare
+/// process — the wrapper's fault hooks consume zero draws. Checked per round, for all
+/// seven processes (including the data-dependent BIPS and contact draw patterns), on the
+/// acceptance expander family.
+#[test]
+fn benign_wrappers_draw_exactly_zero_extra_words_per_round() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(64, 4, &mut gen_rng).unwrap();
+    for spec in all_specs() {
+        for wrapped_spec in zero_fault_wrappings(&spec) {
+            for seed in 0..3u64 {
+                let mut bare = spec.build(&graph).expect("reference process builds");
+                let mut wrapped = wrapped_spec.build(&graph).expect("candidate process builds");
+                let mut bare_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                let mut wrapped_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                for round in 1..=60 {
+                    bare.step(&mut bare_rng);
+                    wrapped.step(&mut wrapped_rng);
+                    let expected = bare_rng.take_count();
+                    assert_eq!(
+                        wrapped_rng.take_count(),
+                        expected,
+                        "{wrapped_spec} seed {seed}: draw count diverged at round {round} \
+                         (bare drew {expected})"
+                    );
+                    if bare.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The draw arithmetic itself, in closed form, for the processes whose per-round count is
+/// data-independent on a graph without isolated vertices: COBRA with fixed `k` draws
+/// `k · |A_t|` words, PUSH draws `|informed_t|`, PUSH–PULL draws `n`, a single walk draws
+/// `1`, `w` walks draw `w`. Asserted per round, bare and under every benign wrapping.
+#[test]
+fn per_round_draw_counts_match_closed_forms() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(48, 4, &mut gen_rng).unwrap();
+    let n = graph.num_vertices() as u64;
+    type ExpectedDraws = Box<dyn Fn(u64) -> u64>;
+    let cases: Vec<(ProcessSpec, ExpectedDraws)> = vec![
+        (ProcessSpec::cobra(2).unwrap(), Box::new(|active| 2 * active)),
+        (ProcessSpec::cobra(3).unwrap(), Box::new(|active| 3 * active)),
+        (ProcessSpec::push(), Box::new(|active| active)),
+        (ProcessSpec::push_pull(), Box::new(move |_| n)),
+        (ProcessSpec::random_walk(), Box::new(|_| 1)),
+        (ProcessSpec::multiple_walks(5), Box::new(|_| 5)),
+    ];
+    for (spec, expected_draws) in &cases {
+        let mut variants = vec![spec.clone()];
+        variants.extend(zero_fault_wrappings(spec));
+        for variant in variants {
+            for seed in 0..3u64 {
+                let mut process = variant.build(&graph).expect("process builds");
+                let mut rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                for round in 1..=50 {
+                    let active_before = process.num_active() as u64;
+                    process.step(&mut rng);
+                    assert_eq!(
+                        rng.take_count(),
+                        expected_draws(active_before),
+                        "{variant} seed {seed}: draw count off at round {round} \
+                         ({active_before} active before the step)"
+                    );
+                    if process.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
