@@ -75,7 +75,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--list" => options.list = true,
             "--list-processes" => options.list_processes = true,
             "--exp" => {
-                let value = args.next().ok_or("--exp requires an experiment id (e1..e10)")?;
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e11)")?;
                 options.only = Some(
                     ExperimentId::parse(&value)
                         .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
@@ -108,15 +108,17 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full|--quick] [--exp e1..e10] [--seed N] [--list]\n\
+                    "usage: repro [--full|--quick] [--exp e1..e11] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
                      \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
                      \x20      repro --list-processes\n\
                      regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
                      contact:p=0.5,q=0.2, with optional fault clauses like\n\
-                     cobra:k=2+drop=0.1+crash=5%+churn=64 and adaptive adversaries like\n\
-                     cobra:k=2+adv=topdeg:budget=5%) on one graph spec\n\
+                     cobra:k=2+drop=0.1+crash=5%+churn=64, adaptive adversaries like\n\
+                     cobra:k=2+adv=topdeg:budget=5% and defense policies like\n\
+                     cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4)\n\
+                     on one graph spec\n\
                      (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
                      barbell:k=32), or — with `bench` — wall-clocks the sparse-frontier engine\n\
                      against the dense reference engine per (process, graph) pair and writes\n\
@@ -364,7 +366,15 @@ mod tests {
         assert!(conflict(&["--exp", "e9", "--full", "--seed", "7"]).is_ok());
         assert!(conflict(&["--exp", "e9b", "--quick"]).is_ok());
         assert!(conflict(&["--exp", "e10", "--full"]).is_ok());
+        assert!(conflict(&["--exp", "e11", "--quick"]).is_ok());
         assert!(conflict(&["--process", "cobra:k=2+adv=topdeg:budget=5%", "--trials", "2"]).is_ok());
+        assert!(conflict(&[
+            "--process",
+            "cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4",
+            "--trials",
+            "2"
+        ])
+        .is_ok());
         assert!(conflict(&["--process", "cobra:k=2+gedrop=0.05,0.2,0.4+churn=8", "--trials", "2"])
             .is_ok());
         assert!(conflict(&["--process", "cobra:k=2", "--trials", "3"]).is_ok());
@@ -378,6 +388,8 @@ mod tests {
     fn ad_hoc_mode_rejects_experiment_ids() {
         // Regression: `--process … --exp e4` used to silently ignore --exp.
         let error = conflict(&["--process", "cobra:k=2", "--exp", "e4"]).unwrap_err();
+        assert!(error.contains("--exp"), "{error}");
+        let error = conflict(&["--process", "cobra:k=2+def=passive", "--exp", "e11"]).unwrap_err();
         assert!(error.contains("--exp"), "{error}");
     }
 
@@ -414,13 +426,21 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_arguments() {
         let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
-        assert!(parse(&["--exp", "e11"]).is_err());
+        assert!(parse(&["--exp", "e12"]).is_err());
         assert!(parse(&["--process", "frisbee"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+drop=2"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+gedrop=0.1"]).is_err());
         assert!(parse(&["--process", "push+repair=0.1"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+adv=bogus"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+adv=topdeg:budget=150%"]).is_err());
+        // Malformed / truncated / duplicated def= clauses fail at the CLI boundary with
+        // the full offending input in the message, not mid-trial.
+        let error =
+            parse(&["--process", "cobra:k=2+def=boostk:trigger="]).err().expect("must fail");
+        assert!(error.contains("cobra:k=2+def=boostk:trigger="), "{error}");
+        assert!(parse(&["--process", "cobra:k=2+def=shield"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+def=passive+def=boostk"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+def=reseed:m=200%"]).is_err());
         assert!(parse(&["--graph", "mystery:n=2"]).is_err());
         assert!(parse(&["--trials", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());

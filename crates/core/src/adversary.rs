@@ -16,11 +16,12 @@
 //! | oblivious | `adv=oblivious` | delegates to the plan's own `drop=`/`gedrop=`/`crash=`/`repair=` clauses through the shared plan-dynamics machinery of [`fault`](crate::fault) — **bit-identical** to the bare fault path (property-tested) |
 //! | crash-top-degree | `adv=topdeg:budget=5%` (or `budget=12`, optional `rate=R`) | each round, permanently crashes up to `rate` (default 1) of the highest-degree *currently active* vertices, until a total budget (fraction or count of `V`) is spent; the start vertex is protected |
 //! | drop-frontier | `adv=dropfront[:f=0.8]` | drops (with probability `f`, default 1) only the transmissions *leaving* the vertices that became active in the previous round — the growth front |
-//! | partition | `adv=partition:w=16` | tracks the cut between the ever-active side and the rest incrementally; once the tracked side holds half the graph, each new sparsity minimum triggers severing that cut for `w` rounds |
+//! | partition | `adv=partition:w=16` | tracks the ever-active-vs-rest cut incrementally as a trigger; once the tracked side holds half the graph, each new sparsity minimum severs the *globally sparsest* cut (found once by the spectral sweep of [`cobra_spectral::conductance`]) for `w` rounds |
 //!
-//! All policies are deterministic functions of the observed state (only `oblivious`
-//! consumes randomness, exactly as the plan it delegates to would), so adversarial runs
-//! stay bit-reproducible under seeded RNGs.
+//! All policies are deterministic functions of the observed state and the seeded RNG
+//! stream (`oblivious` consumes randomness exactly as the plan it delegates to would;
+//! `partition` draws a bounded number of words once, for the power iteration's random
+//! start vector), so adversarial runs stay bit-reproducible under seeded RNGs.
 //!
 //! # Spec syntax
 //!
@@ -45,7 +46,8 @@
 //!     assert_eq!(spec.to_string().parse::<ProcessSpec>().unwrap(), spec);
 //! }
 //!
-//! // Clause order is free on input; Display canonicalizes (loss, crash, repair, churn, adv).
+//! // Clause order is free on input; Display canonicalizes (loss, crash, repair, churn,
+//! // adv, def).
 //! let spec: ProcessSpec = "cobra:k=2+adv=oblivious+drop=0.1".parse().unwrap();
 //! assert_eq!(spec.to_string(), "cobra:k=2+drop=0.1+adv=oblivious");
 //! ```
@@ -207,7 +209,7 @@ impl AdversaryBudget {
         raw.min(n.saturating_sub(1))
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if let AdversaryBudget::Percent { percent } = self {
             if !percent.is_finite() || !(0.0..=100.0).contains(percent) {
                 return Err(CoreError::InvalidParameters {
@@ -218,7 +220,7 @@ impl AdversaryBudget {
         Ok(())
     }
 
-    fn parse(value: &str) -> Result<Self> {
+    pub(crate) fn parse(value: &str) -> Result<Self> {
         if let Some(percent) = value.strip_suffix('%') {
             let percent = percent.trim().parse().map_err(|_| CoreError::InvalidParameters {
                 reason: format!("invalid adversary budget percentage {value:?}"),
@@ -574,14 +576,25 @@ impl AdversaryPolicy for DropFrontierPolicy {
     }
 }
 
-/// The `adv=partition` policy: incrementally tracks the cut between the ever-active side
-/// and the rest (`O(|delta|·deg)` per round), and severs it for a window of rounds at each
-/// new sparsity minimum once the tracked side holds half the graph.
+/// The `adv=partition` policy: severs the *globally sparsest* cut the spectral sweep
+/// finds, for a window of rounds at each new sparsity minimum of the incrementally tracked
+/// ever-active-vs-rest frontier cut.
+///
+/// The trigger machinery is unchanged from the frontier-cut version — the policy still
+/// maintains the ever-active side and its crossing-edge count in `O(|delta|·deg)` per
+/// round, arms once that side holds half the graph, and strikes at each new sparsity
+/// minimum. What changed is the *severed set*: on the first strike the policy runs
+/// [`spectral_sweep_conductance`](cobra_spectral::conductance::spectral_sweep_conductance)
+/// once and freezes the sweep side — by Cheeger's inequality within a square of the
+/// sparsest cut in the whole graph, and on structured families (a torus, say) strictly
+/// sparser than whatever shape the frontier happened to have. A sparser cut means fewer
+/// severed edges buy the same outage, so the upgrade only strengthens the adversary per
+/// unit of disruption.
 ///
 /// The arming threshold keeps the policy from degenerately severing the start vertex away
-/// at round 0 (which would merely kill, not measure); severing a half-covered cut instead
-/// stalls the uncovered side while the process keeps circulating inside the tracked side —
-/// an outage whose cost in rounds E10 measures.
+/// at round 0 (which would merely kill, not measure); severing at half coverage instead
+/// stalls the uncovered part of the far side while the process keeps circulating on the
+/// near side — an outage whose cost in rounds E10 measures.
 #[derive(Debug)]
 struct PartitionPolicy {
     window: usize,
@@ -589,9 +602,9 @@ struct PartitionPolicy {
     covered_count: usize,
     /// Edges between the tracked side and its complement, maintained incrementally.
     crossing: usize,
-    /// Sparsity of the sparsest cut severed so far (`∞` before the first severance).
+    /// Sparsity of the sparsest frontier cut seen so far (`∞` before the first strike).
     best: f64,
-    /// Frozen side membership of the currently severed cut.
+    /// Frozen spectral sweep side, computed once on the first strike.
     frozen: Option<VertexBitset>,
     /// Rounds of severance left, including the upcoming one.
     severing_left: usize,
@@ -599,8 +612,8 @@ struct PartitionPolicy {
 
 impl AdversaryPolicy for PartitionPolicy {
     // cobra-lint: hot
-    // cobra-lint: draws(0)
-    fn observe(&mut self, view: &ProcessView<'_>, _rng: &mut dyn RngCore) {
+    // cobra-lint: draws(bounded)
+    fn observe(&mut self, view: &ProcessView<'_>, rng: &mut dyn RngCore) {
         let n = view.num_vertices();
         let covered = self.covered.get_or_insert_with(|| VertexBitset::new(n));
         // Incremental cut maintenance: when v joins the side, its edges to members stop
@@ -628,7 +641,27 @@ impl AdversaryPolicy for PartitionPolicy {
             let sparsity = self.crossing as f64 / small as f64;
             if sparsity < self.best {
                 self.best = sparsity;
-                self.frozen = Some(covered.clone());
+                if self.frozen.is_none() {
+                    // One-time spectral sweep (the only RNG use: the power iteration's
+                    // random start vector); the frontier cut is the fallback if the
+                    // solver cannot run (it needs >= 2 vertices and >= 1 edge).
+                    let side = cobra_spectral::conductance::spectral_sweep_conductance(
+                        view.graph(),
+                        &mut &mut *rng,
+                    )
+                    .map(|cut| cut.side)
+                    .ok();
+                    self.frozen = Some(match side {
+                        Some(side) => {
+                            let mut bits = VertexBitset::new(n);
+                            for v in side {
+                                bits.insert(v);
+                            }
+                            bits
+                        }
+                        None => covered.clone(),
+                    });
+                }
                 self.severing_left = self.window;
             }
         }
@@ -792,6 +825,18 @@ impl SpreadingProcess for AdversarialProcess<'_> {
         self.inner.adopt_state(active, coverage)
     }
 
+    fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
+        self.inner.set_branching_boost(multiplier)
+    }
+
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        // Vertices the policy has crashed cannot be revived — filter the defense's
+        // targets through the current crash set instead of letting dead vertices
+        // silently absorb the recovery spend.
+        let own = self.policy.faults();
+        crate::fault::reseed_live(self.inner.as_mut(), own.crashed_set(), vertices)
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
         self.policy.reset();
@@ -828,6 +873,14 @@ pub fn build_adversarial<'g>(
             reason: "churn= re-instantiates the graph and cannot run on a fixed instance; \
                      drive the spec through fault::run_churned (repro ad-hoc mode does this \
                      automatically)"
+                .to_string(),
+        });
+    }
+    if plan.defense.is_some() {
+        return Err(CoreError::InvalidParameters {
+            reason: "def= policies wrap outside the adversary; build the spec via \
+                     ProcessSpec::build (or defense::build_defended) instead of \
+                     adversary::build_adversarial"
                 .to_string(),
         });
     }
@@ -1029,30 +1082,70 @@ mod tests {
             .build_policy(&FaultPlan::default(), 0, 8)
             .unwrap();
         let mut inner = base.build(&graph).unwrap();
+        // Put the process at exactly half coverage: the first observation sees the
+        // four-vertex delta, arms, and strikes.
+        inner.adopt_state(&[0, 1, 2, 3], None).unwrap();
         let mut r = rng(13);
-        // Drive the real process; once coverage reaches half the graph the policy severs.
-        let mut severed_rounds = 0;
-        for _ in 0..64 {
+        for round in 0..3 {
             policy.observe(&ProcessView::new(inner.as_ref(), &graph), &mut r);
             let faults = policy.faults();
-            if let Some(side) = faults.severed_side() {
-                severed_rounds += 1;
-                // The frozen side holds at least half the graph and severs crossing pairs.
-                assert!(2 * side.count() >= 8);
-                let inside = side.iter().next().unwrap();
-                let outside = (0..8).find(|&v| !side.contains(v));
-                if let Some(outside) = outside {
-                    assert!(faults.severs(inside, outside));
-                    assert!(!faults.severs(inside, inside));
-                }
-            }
-            inner.step_faulted(&mut r, &faults);
-            if inner.is_complete() {
-                break;
-            }
+            let side = faults
+                .severed_side()
+                .unwrap_or_else(|| panic!("round {round}: the armed policy must sever"));
+            // The frozen sweep side is a nontrivial cut and severs crossing pairs only.
+            let count = side.count();
+            assert!(count > 0 && count < 8, "sweep side must be a proper cut, got {count}");
+            let inside = side.iter().next().unwrap();
+            let outside = (0..8).find(|&v| !side.contains(v)).unwrap();
+            assert!(faults.severs(inside, outside));
+            assert!(!faults.severs(inside, inside));
+            assert!(!faults.severs(outside, outside));
         }
-        assert!(severed_rounds >= 3, "the armed policy severs for at least one full window");
-        assert!(inner.is_complete(), "severances are windows, not permanent cuts");
+        // The window is spent and the tracked sparsity has not improved, so the cut
+        // releases — severances are windows, not permanent cuts...
+        policy.observe(&ProcessView::new(inner.as_ref(), &graph), &mut r);
+        assert!(policy.faults().severed_side().is_none(), "window over, cut released");
+        // ...and the process completes unhindered afterwards.
+        assert!(run_until_complete(inner.as_mut(), &mut r, 10_000).is_some());
+    }
+
+    #[test]
+    fn spectral_sweep_cut_is_at_least_as_sparse_as_the_frontier_cut() {
+        use cobra_spectral::conductance::{cut_conductance, spectral_sweep_conductance};
+        // On a torus the frontier's half-coverage blob has a fat boundary while the sweep
+        // recovers a thin band; on an expander every cut is fat, so the sweep can at worst
+        // match. Either way the severed cut must not be *less* sparse than the frontier
+        // cut it replaced.
+        let torus = generators::torus_2d(8, 8).unwrap();
+        let expander = generators::connected_random_regular(64, 8, &mut rng(23)).unwrap();
+        for (name, graph) in [("torus", &torus), ("expander", &expander)] {
+            let n = graph.num_vertices();
+            // Grow a PUSH process to at least half coverage: its informed set is the
+            // ever-active side the old policy would have severed.
+            let base: ProcessSpec = "push".parse().unwrap();
+            let mut process = base.build(graph).unwrap();
+            let mut r = rng(29);
+            while 2 * process.num_active() < n {
+                process.step(&mut r);
+            }
+            let mut frontier_side = vec![false; n];
+            process.for_each_active(&mut |v| frontier_side[v] = true);
+            if frontier_side.iter().all(|&b| b) {
+                panic!("{name}: process overshot to full coverage; pick a slower horizon");
+            }
+            let frontier_phi = cut_conductance(graph, &frontier_side).unwrap();
+            let sweep = spectral_sweep_conductance(graph, &mut rng(31)).unwrap();
+            let mut sweep_side = vec![false; n];
+            for &v in &sweep.side {
+                sweep_side[v] = true;
+            }
+            let sweep_phi = cut_conductance(graph, &sweep_side).unwrap();
+            assert!(
+                sweep_phi <= frontier_phi + 1e-9,
+                "{name}: sweep cut (phi = {sweep_phi:.4}) must be at least as sparse as \
+                 the frontier cut (phi = {frontier_phi:.4}) it replaced"
+            );
+        }
     }
 
     #[test]

@@ -209,6 +209,23 @@ impl SpreadingProcess for ContactProcess<'_> {
         Ok(())
     }
 
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        // Re-infect the given vertices — the defense analogue of re-introducing the disease
+        // into a recovered host. No branching lever exists here, so `reseed` is the only hook.
+        let mut inserted = 0;
+        for &v in vertices {
+            if v < self.graph.num_vertices() && self.infected.insert(v) {
+                self.newly.push(v);
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.frontier.clear();
+            self.infected.collect_into(&mut self.frontier);
+        }
+        inserted
+    }
+
     fn reset(&mut self) {
         self.infected.clear_list(&self.frontier);
         self.frontier.clear();

@@ -166,6 +166,23 @@ impl SpreadingProcess for PushProcess<'_> {
         Ok(())
     }
 
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        // The informed set is monotone and *is* the coverage, so re-seeding covered vertices
+        // is naturally a no-op; only genuinely uninformed vertices change state.
+        let mut inserted = 0;
+        for &v in vertices {
+            if v < self.graph.num_vertices() && self.informed.insert(v) {
+                self.newly.push(v);
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
+        }
+        inserted
+    }
+
     fn reset(&mut self) {
         self.informed.clear_list(&self.informed_list);
         self.informed_list.clear();
@@ -311,6 +328,21 @@ impl SpreadingProcess for PushPullProcess<'_> {
         self.informed.collect_into(&mut self.informed_list);
         self.round = 0;
         Ok(())
+    }
+
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        let mut inserted = 0;
+        for &v in vertices {
+            if v < self.graph.num_vertices() && self.informed.insert(v) {
+                self.newly.push(v);
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
+        }
+        inserted
     }
 
     fn reset(&mut self) {

@@ -71,6 +71,8 @@ pub struct BipsProcess<'g> {
     /// unlike COBRA's visited set this is *not* the completion criterion).
     ever_infected: VertexBitset,
     round: usize,
+    /// Defense-layer sampling multiplier; 1 (the inert value) unless a defense boosts `k`.
+    boost: u32,
 }
 
 impl<'g> BipsProcess<'g> {
@@ -111,6 +113,7 @@ impl<'g> BipsProcess<'g> {
             newly: vec![source],
             ever_infected,
             round: 0,
+            boost: 1,
         })
     }
 
@@ -168,7 +171,9 @@ impl SpreadingProcess for BipsProcess<'_> {
             if neighbors.is_empty() {
                 continue;
             }
-            let samples = self.branching.sample_pushes(rng);
+            // `boost` is 1 unless a defense raised it, so the inert path is exactly the
+            // original draw arithmetic (Fixed k consumes zero words either way).
+            let samples = self.branching.sample_pushes(rng) * self.boost;
             let mut hit = false;
             for _ in 0..samples {
                 let w = *sample::sample_slice(neighbors, rng).expect("neighbour slice non-empty");
@@ -247,6 +252,32 @@ impl SpreadingProcess for BipsProcess<'_> {
         Ok(())
     }
 
+    fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
+        let multiplier = multiplier.max(1);
+        self.boost = multiplier;
+        // Every non-source vertex samples `boost · E[samples]` times next round (an upper
+        // bound: the sampling loop still stops at the first infected hit).
+        f64::from(multiplier - 1)
+            * self.branching.expected_factor()
+            * (self.graph.num_vertices().saturating_sub(1)) as f64
+    }
+
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        let mut inserted = 0;
+        for &v in vertices {
+            if v < self.graph.num_vertices() && self.infected.insert(v) {
+                self.newly.push(v);
+                self.ever_infected.insert(v);
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.infected_list.clear();
+            self.infected.collect_into(&mut self.infected_list);
+        }
+        inserted
+    }
+
     fn reset(&mut self) {
         self.infected.clear_list(&self.infected_list);
         self.next_infected.clear_list(&self.next_list);
@@ -259,6 +290,7 @@ impl SpreadingProcess for BipsProcess<'_> {
         self.newly.clear();
         self.newly.push(self.source);
         self.round = 0;
+        self.boost = 1;
     }
 }
 

@@ -141,6 +141,8 @@ pub struct CobraProcess<'g> {
     visited: VertexBitset,
     num_visited: usize,
     round: usize,
+    /// Defense-layer branching multiplier; 1 (the inert value) unless a defense boosts `k`.
+    boost: u32,
 }
 
 impl<'g> CobraProcess<'g> {
@@ -196,6 +198,7 @@ impl<'g> CobraProcess<'g> {
             visited: VertexBitset::new(n),
             num_visited: 0,
             round: 0,
+            boost: 1,
         };
         process.reset();
         Ok(process)
@@ -247,7 +250,9 @@ impl SpreadingProcess for CobraProcess<'_> {
             if neighbors.is_empty() {
                 continue;
             }
-            let pushes = self.branching.sample_pushes(rng);
+            // `boost` is 1 unless a defense raised it, so the inert path is exactly the
+            // original draw arithmetic (Fixed k consumes zero words either way).
+            let pushes = self.branching.sample_pushes(rng) * self.boost;
             for _ in 0..pushes {
                 // The drop decision precedes the target draw: a lost push samples nothing.
                 if faults.drops_from(rng, u) {
@@ -334,6 +339,31 @@ impl SpreadingProcess for CobraProcess<'_> {
         Ok(())
     }
 
+    fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
+        let multiplier = multiplier.max(1);
+        self.boost = multiplier;
+        // Each frontier member pushes `boost · E[pushes]` instead of `E[pushes]` next round.
+        f64::from(multiplier - 1) * self.branching.expected_factor() * self.frontier.len() as f64
+    }
+
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        let mut inserted = 0;
+        for &v in vertices {
+            if v < self.graph.num_vertices() && self.active.insert(v) {
+                self.newly.push(v);
+                if self.visited.insert(v) {
+                    self.num_visited += 1;
+                }
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.frontier.clear();
+            self.active.collect_into(&mut self.frontier);
+        }
+        inserted
+    }
+
     fn reset(&mut self) {
         self.active.clear_list(&self.frontier);
         self.frontier.clear();
@@ -350,6 +380,7 @@ impl SpreadingProcess for CobraProcess<'_> {
         }
         self.active.collect_into(&mut self.frontier);
         self.round = 0;
+        self.boost = 1;
     }
 }
 

@@ -79,6 +79,9 @@
 //!     // A state-aware adversary policy (see `adversary`): crash the highest-degree
 //!     // active vertices under a 5% budget.
 //!     "cobra:k=2+adv=topdeg:budget=5%",
+//!     // A recovery policy (see `defense`): AIMD-boost k when coverage stalls,
+//!     // fighting the crash-the-hubs adversary on the same run.
+//!     "cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4",
 //! ] {
 //!     let spec: ProcessSpec = text.parse().expect(text);
 //!     assert_eq!(spec.to_string(), text, "documented syntax must round-trip");
@@ -93,6 +96,7 @@ use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::adversary::AdversarySpec;
+use crate::defense::DefenseSpec;
 use crate::process::SpreadingProcess;
 use crate::sim::{Observer, RunOutcome, Runner, StopReason};
 use crate::spec::ProcessSpec;
@@ -254,6 +258,10 @@ pub struct FaultPlan {
     /// [`adversary`](crate::adversary) observes the process each round and emits that
     /// round's faults. `None` keeps the plan fully oblivious.
     pub adversary: Option<AdversarySpec>,
+    /// A recovery policy (`def=<policy>`, e.g. `def=boostk:trigger=stall,w=8,cap=4`): a
+    /// policy from [`defense`](crate::defense) observes the process each round and spends
+    /// recovery levers (branching boost, re-seeding, backoff). `None` runs undefended.
+    pub defense: Option<DefenseSpec>,
 }
 
 impl FaultPlan {
@@ -281,6 +289,7 @@ impl FaultPlan {
             && self.crash.is_none()
             && self.churn.is_none()
             && self.adversary.is_none()
+            && self.defense.is_none()
     }
 
     /// Validates every field.
@@ -319,6 +328,9 @@ impl FaultPlan {
         if let Some(adversary) = &self.adversary {
             adversary.validate()?;
         }
+        if let Some(defense) = &self.defense {
+            defense.validate()?;
+        }
         Ok(())
     }
 
@@ -338,6 +350,7 @@ impl FaultPlan {
         let mut plan = FaultPlan::none();
         let (mut seen_drop, mut seen_crash, mut seen_repair, mut seen_churn, mut seen_adv) =
             (false, false, false, false, false);
+        let mut seen_def = false;
         for clause in text.split('+') {
             let (key, value) = clause
                 .split_once('=')
@@ -441,10 +454,17 @@ impl FaultPlan {
                     seen_adv = true;
                     plan.adversary = Some(value.trim().parse()?);
                 }
+                "def" => {
+                    if seen_def {
+                        return Err(invalid("def= given twice".to_string()));
+                    }
+                    seen_def = true;
+                    plan.defense = Some(value.trim().parse()?);
+                }
                 other => {
                     return Err(invalid(format!(
                         "unknown fault clause `{other}` (expected drop=, gedrop=, crash=, \
-                         repair=, churn= or adv=)"
+                         repair=, churn=, adv= or def=)"
                     )))
                 }
             }
@@ -490,6 +510,9 @@ impl fmt::Display for FaultPlan {
         }
         if let Some(adversary) = &self.adversary {
             parts.push(format!("adv={adversary}"));
+        }
+        if let Some(defense) = &self.defense {
+            parts.push(format!("def={defense}"));
         }
         if parts.is_empty() {
             parts.push("drop=0".to_string());
@@ -628,6 +651,28 @@ impl<'a> StepFaults<'a> {
     pub fn severs(&self, from: VertexId, to: VertexId) -> bool {
         self.severed.is_some_and(|side| side.contains(from) != side.contains(to))
     }
+}
+
+/// Forwards a defense re-seed to `inner`, skipping vertices of `crashed`: a crashed vertex
+/// still receives but never relays, so reviving it cannot restart the spread — the revival
+/// attempt is simply lost, like any other transmission aimed at a dead node. Both fault
+/// wrappers route [`SpreadingProcess::reseed`] through this filter, which is what the
+/// defense engine's cost ledger counts as *actually revived* vertices.
+pub(crate) fn reseed_live(
+    inner: &mut dyn SpreadingProcess,
+    crashed: Option<&VertexBitset>,
+    vertices: &[VertexId],
+) -> usize {
+    let Some(crashed) = crashed else {
+        return inner.reseed(vertices);
+    };
+    let mut revived = 0;
+    for &v in vertices {
+        if !crashed.contains(v) {
+            revived += inner.reseed(std::slice::from_ref(&v));
+        }
+    }
+    revived
 }
 
 /// Samples the sojourn length (in rounds, support `{1, 2, …}`) of a channel state whose
@@ -942,6 +987,14 @@ impl<'g> FaultedProcess<'g> {
                     .to_string(),
             });
         }
+        if plan.defense.is_some() {
+            return Err(CoreError::InvalidParameters {
+                reason: "def= policies are state-aware and run through the defense engine; \
+                         build the spec via ProcessSpec::build (or defense::build_defended) \
+                         instead of wrapping it in FaultedProcess"
+                    .to_string(),
+            });
+        }
         let n = inner.num_vertices();
         let dynamics = PlanDynamics::new(plan, protect, n)?;
         Ok(FaultedProcess { inner, dynamics })
@@ -1012,6 +1065,14 @@ impl SpreadingProcess for FaultedProcess<'_> {
 
     fn adopt_state(&mut self, active: &[VertexId], coverage: Option<&VertexBitset>) -> Result<()> {
         self.inner.adopt_state(active, coverage)
+    }
+
+    fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
+        self.inner.set_branching_boost(multiplier)
+    }
+
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        reseed_live(self.inner.as_mut(), self.dynamics.crashed(), vertices)
     }
 
     fn reset(&mut self) {

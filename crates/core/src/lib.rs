@@ -38,6 +38,12 @@
 //!   (`adv=topdeg:budget=5%`), drop the growth front's pushes (`adv=dropfront`), sever the
 //!   tracked coverage cut (`adv=partition:w=16`), or delegate to the oblivious plan
 //!   bit-identically (`adv=oblivious`).
+//! * [`defense`] — the recovery mirror: a [`DefensePolicy`] observes the same read-only
+//!   view and spends recovery levers — AIMD-boost `k` on coverage stall
+//!   (`def=boostk:trigger=stall,w=8,cap=4`), re-seed the dead frontier from the coverage
+//!   boundary (`def=reseed:m=1%,cooldown=16`), servo `k` toward the growth-ratio closed
+//!   form (`def=adaptivek:target=growth-ratio`), or do nothing bit-identically
+//!   (`def=passive`).
 //! * [`reference`](mod@reference) — the retained dense-scan engines, used as the executable specification
 //!   the frontier engines are property-tested against and as the baseline `repro bench`
 //!   measures speedups over.
@@ -118,6 +124,7 @@ pub mod bips;
 pub mod cobra;
 pub mod counting;
 pub mod cover;
+pub mod defense;
 pub mod duality;
 pub mod fault;
 pub mod growth;
@@ -136,6 +143,7 @@ pub use adversary::{
 pub use bips::BipsProcess;
 pub use cobra::{Branching, CobraProcess};
 pub use counting::CountingRng;
+pub use defense::{DefendedProcess, DefenseActions, DefensePolicy, DefenseSpec, DefenseStats};
 pub use error::CoreError;
 pub use fault::{CrashSpec, DropModel, FaultPlan, FaultedProcess, StepFaults};
 pub use process::SpreadingProcess;

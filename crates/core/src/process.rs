@@ -137,6 +137,29 @@ pub trait SpreadingProcess {
         })
     }
 
+    /// Sets the defense layer's per-round branching multiplier: processes with a branching
+    /// factor (COBRA, BIPS) multiply their sampled push/probe count by `multiplier` until the
+    /// next call. Returns the *expected extra transmissions per round* the new multiplier
+    /// costs over the inert `multiplier = 1` (0.0 when nothing changes), so defenses can be
+    /// compared at matched total cost. The default is a no-op returning 0.0 — processes
+    /// without a branching lever (walks, PUSH, contact) ignore boosts, and a multiplier of 1
+    /// must always be free and bit-identical to never calling this at all.
+    fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
+        let _ = multiplier;
+        0.0
+    }
+
+    /// Re-activates the given (already valid) vertices: each becomes active/informed from the
+    /// next step on, exactly as if it had just received a token. Returns how many vertices
+    /// actually changed state (already-active vertices are skipped), which is also the number
+    /// of extra transmissions charged to the defense budget. The default is a no-op returning
+    /// 0 — position-based processes (single/multiple random walks) cannot mint tokens without
+    /// changing their walker count, so they ignore re-seeding. An empty slice must be free.
+    fn reseed(&mut self, vertices: &[VertexId]) -> usize {
+        let _ = vertices;
+        0
+    }
+
     /// Resets the process to its initial state (round 0) so the same allocation can be reused
     /// across Monte-Carlo trials.
     fn reset(&mut self);

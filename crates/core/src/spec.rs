@@ -330,6 +330,11 @@ impl ProcessSpec {
                 )?)
             }
             ProcessSpec::Faulted { ref inner, ref plan } => {
+                if plan.defense.is_some() {
+                    // Defended plans wrap outermost: the defense engine builds the
+                    // adversarial/faulted interior itself.
+                    return Ok(Box::new(crate::defense::build_defended(inner, plan, graph)?));
+                }
                 if plan.adversary.is_some() {
                     // State-aware plans route through the adversary engine, which decides
                     // whether a FaultedProcess layer is still needed for the oblivious
@@ -387,6 +392,16 @@ impl ProcessSpec {
             }),
             ProcessSpec::push().faulted(FaultPlan {
                 adversary: Some(crate::adversary::AdversarySpec::DropFrontier { f: 0.5 }),
+                ..FaultPlan::default()
+            }),
+            // Defense policies (see `defense`): COBRA under the crash-the-hubs adversary
+            // with the AIMD stall-triggered branching boost fighting back.
+            ProcessSpec::cobra(2).expect("k = 2 is valid").faulted(FaultPlan {
+                adversary: Some(crate::adversary::AdversarySpec::CrashTopDegree {
+                    budget: crate::adversary::AdversaryBudget::Percent { percent: 5.0 },
+                    rate: 1,
+                }),
+                defense: Some(crate::defense::DefenseSpec::BoostK { window: 8, cap: 4 }),
                 ..FaultPlan::default()
             }),
         ]
@@ -666,6 +681,10 @@ mod tests {
             "cobra:k=2+gedrop=0.1,0.25,",
             "multiwalk:w=",
             "contact:p=,q=0.5",
+            "cobra:k=2+def=boostk:trigger=",
+            "cobra:k=2+def=reseed:m=",
+            "cobra:k=2+def=shield",
+            "cobra:k=2+def=passive+def=boostk",
         ] {
             match text.parse::<ProcessSpec>() {
                 Err(CoreError::InvalidSpec { spec, reason }) => {
@@ -744,6 +763,26 @@ mod tests {
         assert!("cobra:k=2+drop=1.5".parse::<ProcessSpec>().is_err());
         assert!("cobra:k=2+frob=1".parse::<ProcessSpec>().is_err());
         assert!("cobra:k=2+drop=0.1+drop=0.2".parse::<ProcessSpec>().is_err());
+
+        // Defense clauses ride through the same grammar, compose with adversaries, and
+        // canonicalize after the adv= clause.
+        let defended: ProcessSpec =
+            "cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4".parse().unwrap();
+        let plan = defended.fault_plan().unwrap();
+        assert_eq!(plan.defense, Some(crate::defense::DefenseSpec::BoostK { window: 8, cap: 4 }));
+        assert_eq!(
+            defended.to_string(),
+            "cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4"
+        );
+        assert_eq!(defended.to_string().parse::<ProcessSpec>().unwrap(), defended);
+        let reordered: ProcessSpec =
+            "cobra:k=2+def=boostk:trigger=stall,w=8,cap=4+adv=topdeg:budget=5%".parse().unwrap();
+        assert_eq!(reordered, defended);
+        let graph = generators::complete(32).unwrap();
+        let mut defended_process = defended.build(&graph).unwrap();
+        let mut r = ChaCha12Rng::seed_from_u64(5);
+        assert!(run_until_complete(defended_process.as_mut(), &mut r, 100_000).is_some());
+        assert!("cobra:k=2+def=passive+def=passive".parse::<ProcessSpec>().is_err());
     }
 
     #[test]

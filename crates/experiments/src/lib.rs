@@ -20,6 +20,7 @@
 //! | E9 | Robustness — cover time under i.i.d. message drop, vertex crash and edge churn | [`exp_faults`] |
 //! | E9b | Adversity v2 — bursty Gilbert–Elliott drop at matched stationary loss, transient crash/repair | [`exp_faults`] |
 //! | E10 | Adaptive adversity — frontier-aware crash/drop/partition policies vs matched-budget oblivious rows | [`exp_adversary`] |
+//! | E11 | Defense policies — recovery from the adaptive adversary, `budget= × rate=` lethality phase boundary | [`exp_defense`] |
 //!
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`
@@ -40,6 +41,7 @@ pub mod exp_adversary;
 pub mod exp_baselines;
 pub mod exp_branching;
 pub mod exp_cover;
+pub mod exp_defense;
 pub mod exp_duality;
 pub mod exp_faults;
 pub mod exp_gap;

@@ -4,8 +4,8 @@ use cobra_stats::rng::SeedSequence;
 
 use crate::result::ExperimentResult;
 use crate::{
-    exp_adversary, exp_baselines, exp_branching, exp_cover, exp_duality, exp_faults, exp_gap,
-    exp_growth, exp_infection, exp_phases,
+    exp_adversary, exp_baselines, exp_branching, exp_cover, exp_defense, exp_duality, exp_faults,
+    exp_gap, exp_growth, exp_infection, exp_phases,
 };
 
 /// Identifiers of the experiments, matching the per-experiment index in `DESIGN.md`.
@@ -33,11 +33,13 @@ pub enum ExperimentId {
     E9b,
     /// Adaptive adversity: state-aware fault policies vs matched-budget oblivious rows.
     E10,
+    /// Defense policies: recovery from the adaptive adversary and the lethality boundary.
+    E11,
 }
 
 impl ExperimentId {
     /// All experiments in index order.
-    pub fn all() -> [ExperimentId; 11] {
+    pub fn all() -> [ExperimentId; 12] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -50,6 +52,7 @@ impl ExperimentId {
             ExperimentId::E9,
             ExperimentId::E9b,
             ExperimentId::E10,
+            ExperimentId::E11,
         ]
     }
 
@@ -67,6 +70,7 @@ impl ExperimentId {
             "e9" => Some(ExperimentId::E9),
             "e9b" => Some(ExperimentId::E9b),
             "e10" => Some(ExperimentId::E10),
+            "e11" => Some(ExperimentId::E11),
             _ => None,
         }
     }
@@ -89,6 +93,10 @@ impl ExperimentId {
             ExperimentId::E10 => {
                 "Adaptive adversity: frontier-aware crash/drop/partition policies vs \
                  matched-budget oblivious faults"
+            }
+            ExperimentId::E11 => {
+                "Defense policies: recovery from the adaptive adversary and the \
+                 budget x rate lethality boundary"
             }
         }
     }
@@ -149,6 +157,8 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         (ExperimentId::E10, Preset::Full) => {
             exp_adversary::run(&exp_adversary::Config::full(), &seq)
         }
+        (ExperimentId::E11, Preset::Quick) => exp_defense::run(&exp_defense::Config::quick(), &seq),
+        (ExperimentId::E11, Preset::Full) => exp_defense::run(&exp_defense::Config::full(), &seq),
     }
 }
 
@@ -165,8 +175,10 @@ mod tests {
         assert_eq!(ExperimentId::parse("E9B"), Some(ExperimentId::E9b));
         assert_eq!(ExperimentId::parse("e10"), Some(ExperimentId::E10));
         assert_eq!(ExperimentId::parse("E10"), Some(ExperimentId::E10));
-        assert_eq!(ExperimentId::parse("e11"), None);
-        assert_eq!(ExperimentId::all().len(), 11);
+        assert_eq!(ExperimentId::parse("e11"), Some(ExperimentId::E11));
+        assert_eq!(ExperimentId::parse("E11"), Some(ExperimentId::E11));
+        assert_eq!(ExperimentId::parse("e12"), None);
+        assert_eq!(ExperimentId::all().len(), 12);
         for id in ExperimentId::all() {
             assert!(!id.description().is_empty());
         }

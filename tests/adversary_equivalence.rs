@@ -10,6 +10,11 @@
 //! Zero-strength adaptive policies are held to the zero-fault standard of
 //! `tests/fault_equivalence.rs`: a `topdeg` adversary with budget 0 and a `dropfront`
 //! adversary with `f = 0` never touch the RNG and reproduce the bare process exactly.
+//!
+//! The defense engine is held to the same standard from the other side of the arms race:
+//! `def=passive` and never-triggered `def=boostk`/`def=reseed` policies wrap every
+//! process bit-identically and draw exactly zero extra RNG words per round — the
+//! `DefendedProcess` inert path makes no hook calls at all.
 
 use cobra::core::spec::ProcessSpec;
 use cobra::graph::{generators, Graph};
@@ -131,6 +136,33 @@ fn assert_zero_strength_policies_are_identity(graph: &Graph, seed: u64, rounds: 
     }
 }
 
+/// Defense clauses that must be inert for `spec`: `passive` always is; `boostk` with a
+/// stall window beyond the test horizon never fires; `reseed` fires only on frontier
+/// death, which never happens to the bare processes here — except the contact process,
+/// whose infection can die out and *should* then be revived, so it is excluded.
+fn inert_defense_clauses(spec: &ProcessSpec) -> Vec<&'static str> {
+    let mut clauses = vec!["def=passive", "def=boostk:trigger=stall,w=100,cap=4"];
+    if spec.name() != "contact" {
+        clauses.push("def=reseed:m=1%,cooldown=16");
+    }
+    clauses
+}
+
+/// Inert defense policies are invisible: the defended build reproduces the bare process
+/// exactly.
+fn assert_inert_defenses_are_identity(graph: &Graph, seed: u64, rounds: usize) {
+    for spec in all_specs() {
+        if spec.start() >= graph.num_vertices() {
+            continue;
+        }
+        for clause in inert_defense_clauses(&spec) {
+            let defended: ProcessSpec =
+                format!("{spec}+{clause}").parse().expect("inert defense clause parses");
+            assert_same_evolution(graph, &spec, &defended, seed, rounds);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -165,6 +197,26 @@ proptest! {
         let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0x0B5E);
         let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
         assert_zero_strength_policies_are_identity(&graph, seed, 50);
+    }
+
+    /// Inert defense policies are the identity on expanders.
+    #[test]
+    fn inert_defenses_are_identity_on_random_regular(
+        n in 12usize..72,
+        r in 3usize..6,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!((n * r) % 2 == 0 && r < n);
+        let mut gen_rng = ChaCha12Rng::seed_from_u64(seed ^ 0xDEF5);
+        let graph = generators::connected_random_regular(n, r, &mut gen_rng).unwrap();
+        assert_inert_defenses_are_identity(&graph, seed, 50);
+    }
+
+    /// Inert defense policies are the identity on 2-D tori.
+    #[test]
+    fn inert_defenses_are_identity_on_torus(side in 3usize..8, seed in 0u64..10_000) {
+        let graph = generators::torus_2d(side, side).unwrap();
+        assert_inert_defenses_are_identity(&graph, seed, 40);
     }
 }
 
@@ -272,6 +324,41 @@ fn zero_strength_policies_draw_exactly_zero_extra_words_per_round() {
                         candidate_rng.take_count(),
                         expected,
                         "{wrapped} seed {seed}: draw count diverged at round {round} \
+                         (bare drew {expected})"
+                    );
+                    if bare.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inert defense policies never touch the RNG either: per round, the defended process
+/// draws exactly as many words as the bare one — `DefensePolicy::observe` is draw-free
+/// for the shipped policies and the inert `DefendedProcess` path makes no hook calls.
+#[test]
+fn inert_defenses_draw_exactly_zero_extra_words_per_round() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(64, 4, &mut gen_rng).unwrap();
+    for spec in all_specs() {
+        for clause in inert_defense_clauses(&spec) {
+            let defended: ProcessSpec =
+                format!("{spec}+{clause}").parse().expect("inert defense clause parses");
+            for seed in 0..3u64 {
+                let mut bare = spec.build(&graph).expect("bare process builds");
+                let mut candidate = defended.build(&graph).expect("defended process builds");
+                let mut bare_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                let mut candidate_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+                for round in 1..=50 {
+                    bare.step(&mut bare_rng);
+                    candidate.step(&mut candidate_rng);
+                    let expected = bare_rng.take_count();
+                    assert_eq!(
+                        candidate_rng.take_count(),
+                        expected,
+                        "{defended} seed {seed}: draw count diverged at round {round} \
                          (bare drew {expected})"
                     );
                     if bare.is_complete() {
