@@ -1,11 +1,18 @@
-//! The `repro bench` harness: wall-clock measurement of the sparse-frontier engine against
-//! the retained dense reference engine, per `(process, graph)` pair.
+//! The `repro bench` harness: wall-clock measurement per `(process, graph)` pair, two kinds
+//! of rows:
 //!
-//! Every entry runs the *same* seeded trials through both engines (the engines are
-//! RNG-equivalent, so each trial pair executes the identical trajectory and the comparison is
-//! work-for-work). The output is a rendered table plus a JSON report (`BENCH_cover.json` by
-//! convention) so the performance trajectory of the repository is tracked from PR to PR —
-//! CI regenerates the quick report on every run.
+//! * **engine rows** — the sparse-frontier engine against the retained dense reference
+//!   engine. Both run the *same* seeded trials (the engines are RNG-equivalent, so each
+//!   trial pair executes the identical trajectory and the comparison is work-for-work).
+//! * **stream rows** (`--threads` sweep) — the sharded per-vertex-stream engine at
+//!   `N` worker threads against the sequential frontier engine. Stream trajectories are
+//!   thread-count invariant, so the 1/2/4/8 rows time *identical* work; the sequential
+//!   baseline draws from a single global stream instead, so its trajectories differ
+//!   per-trial but agree in distribution (cover times are matched in expectation).
+//!
+//! The output is a rendered table plus a JSON report (`BENCH_cover.json` by convention,
+//! schema `cobra-bench-v2`) so the performance trajectory of the repository is tracked from
+//! PR to PR — CI regenerates the quick report on every run.
 
 use std::time::Instant;
 
@@ -105,7 +112,27 @@ pub fn matrix(full: bool) -> Vec<BenchEntry> {
     entries
 }
 
-/// Measured numbers for one matrix entry.
+/// The `--threads` sweep scenarios: the full-cover COBRA `k = 2` rows where the sequential
+/// frontier engine only wins ~1.1× over dense — post-saturation rounds are
+/// RNG-sampling-bound, which is exactly the work the per-vertex stream engine shards.
+/// Quick covers n = 10⁵; the full preset adds the 10⁶-vertex headline instance.
+pub fn stream_matrix(full: bool) -> Vec<BenchEntry> {
+    let mut entries = vec![BenchEntry::new("cobra:k=2", "random-regular:n=100000,r=8", 5, 10_000)];
+    if full {
+        entries.push(BenchEntry::new("cobra:k=2", "random-regular:n=1000000,r=8", 3, 10_000));
+    }
+    entries
+}
+
+/// The default `--threads` sweep: 1/2/4/8 workers per stream scenario.
+pub const DEFAULT_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Measured numbers for one matrix entry (schema `cobra-bench-v2`).
+///
+/// Two row kinds share this shape:
+///
+/// * engine rows — `engine = "frontier"`, `baseline = "dense"`, `threads = None`;
+/// * stream rows — `engine = "stream"`, `baseline = "frontier"`, `threads = Some(N)`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchRecord {
     /// Canonical process spec string.
@@ -116,21 +143,27 @@ pub struct BenchRecord {
     pub goal: String,
     /// Number of vertices of the instance.
     pub n: usize,
+    /// Engine under measurement: `"frontier"` or `"stream"`.
+    pub engine: String,
+    /// Engine the speedup is measured against: `"dense"` or `"frontier"`.
+    pub baseline: String,
+    /// Worker threads of the stream engine; `None` for (sequential) engine rows.
+    pub threads: Option<usize>,
     /// Trials measured per engine.
     pub trials: usize,
-    /// Trials that reached completion within the budget (identical for both engines).
+    /// Trials where the measured engine reached the goal within the budget.
     pub completed: usize,
-    /// Mean executed rounds per trial.
+    /// Mean executed rounds per trial on the measured engine.
     pub mean_rounds: f64,
-    /// Total frontier-engine wall clock over all trials, in milliseconds.
-    pub frontier_ms: f64,
-    /// Total dense-engine wall clock over all trials, in milliseconds.
-    pub dense_ms: f64,
-    /// Frontier-engine throughput in simulated rounds per second.
-    pub frontier_rounds_per_sec: f64,
-    /// Dense-engine throughput in simulated rounds per second.
-    pub dense_rounds_per_sec: f64,
-    /// `dense_ms / frontier_ms` — how much faster the frontier engine is.
+    /// Total measured-engine wall clock over all trials, in milliseconds.
+    pub engine_ms: f64,
+    /// Total baseline-engine wall clock over all trials, in milliseconds.
+    pub baseline_ms: f64,
+    /// Measured-engine throughput in simulated rounds per second.
+    pub engine_rounds_per_sec: f64,
+    /// Baseline-engine throughput in simulated rounds per second.
+    pub baseline_rounds_per_sec: f64,
+    /// `baseline_ms / engine_ms` — how much faster the measured engine is.
     pub speedup: f64,
 }
 
@@ -152,7 +185,7 @@ impl BenchReport {
     pub fn render(&self) -> String {
         let mut table = Table::with_headers(
             format!(
-                "repro bench — frontier vs dense engine, seed {} ({} preset)",
+                "repro bench — frontier vs dense, stream vs frontier; seed {} ({} preset)",
                 self.seed,
                 if self.full { "full" } else { "quick" }
             ),
@@ -160,27 +193,33 @@ impl BenchReport {
                 "process",
                 "graph",
                 "goal",
+                "engine",
                 "n",
                 "trials",
                 "mean rounds",
-                "frontier ms",
-                "dense ms",
+                "engine ms",
+                "baseline ms",
                 "speedup",
-                "frontier rounds/s",
+                "engine rounds/s",
             ],
         );
         for record in &self.records {
+            let engine = match record.threads {
+                Some(threads) => format!("{} t={threads}", record.engine),
+                None => record.engine.clone(),
+            };
             table.add_row(vec![
                 record.process.clone(),
                 record.graph.clone(),
                 record.goal.clone(),
+                engine,
                 record.n.to_string(),
                 format!("{}/{}", record.completed, record.trials),
                 fmt_float(record.mean_rounds),
-                fmt_float(record.frontier_ms),
-                fmt_float(record.dense_ms),
+                fmt_float(record.engine_ms),
+                fmt_float(record.baseline_ms),
                 format!("{:.1}x", record.speedup),
-                fmt_float(record.frontier_rounds_per_sec),
+                fmt_float(record.engine_rounds_per_sec),
             ]);
         }
         table.render()
@@ -272,19 +311,103 @@ pub fn measure_entry(entry: &BenchEntry, graph: &Graph, seq: &SeedSequence) -> B
             None => "complete".to_string(),
         },
         n: graph.num_vertices(),
+        engine: "frontier".to_string(),
+        baseline: "dense".to_string(),
+        threads: None,
         trials: entry.trials,
         completed,
         mean_rounds: total_rounds as f64 / entry.trials.max(1) as f64,
-        frontier_ms,
-        dense_ms,
-        frontier_rounds_per_sec: total_rounds as f64 / (frontier_ms / 1e3).max(f64::MIN_POSITIVE),
-        dense_rounds_per_sec: total_rounds as f64 / (dense_ms / 1e3).max(f64::MIN_POSITIVE),
+        engine_ms: frontier_ms,
+        baseline_ms: dense_ms,
+        engine_rounds_per_sec: total_rounds as f64 / (frontier_ms / 1e3).max(f64::MIN_POSITIVE),
+        baseline_rounds_per_sec: total_rounds as f64 / (dense_ms / 1e3).max(f64::MIN_POSITIVE),
         speedup: dense_ms / frontier_ms.max(f64::MIN_POSITIVE),
     }
 }
 
-/// Runs the whole matrix, printing a progress line per entry through `progress`.
-pub fn run_matrix(full: bool, seed: u64, mut progress: impl FnMut(&BenchRecord)) -> BenchReport {
+/// Measures one stream scenario across every thread count in `sweep`, returning one record
+/// per thread count.
+///
+/// The sequential frontier engine is timed once as the shared baseline; each stream row then
+/// replays the *same* seeded trials through `ProcessSpec::build_parallel` at `N` workers.
+/// Thread-count invariance means every stream row executes the identical trajectories, so
+/// differences between the 1/2/4/8 rows are pure engine scaling. The baseline runs a
+/// different (globally-ordered) draw sequence, so its per-trial rounds differ — cover times
+/// agree in distribution, which is what a wall-clock-per-trial comparison needs.
+///
+/// # Panics
+///
+/// Panics if the spec does not build (in either mode) on the graph.
+pub fn measure_stream_sweep(
+    entry: &BenchEntry,
+    graph: &Graph,
+    seq: &SeedSequence,
+    sweep: &[usize],
+) -> Vec<BenchRecord> {
+    let label = entry.label();
+    let goal_active = entry.goal_active(graph.num_vertices());
+    let goal = match entry.until_fraction {
+        Some(fraction) => format!("active>={:.0}%", fraction * 100.0),
+        None => "complete".to_string(),
+    };
+
+    let mut baseline_ms = 0.0f64;
+    let mut baseline_rounds = 0usize;
+    for trial in 0..entry.trials {
+        let mut rng = seq.trial_rng(&label, trial as u64);
+        let mut process = entry.spec.build(graph).expect("bench specs build");
+        let start = Instant::now();
+        let (rounds, _) = run_frontier(process.as_mut(), &mut rng, entry.max_rounds, goal_active);
+        baseline_ms += start.elapsed().as_secs_f64() * 1e3;
+        baseline_rounds += rounds;
+    }
+
+    let mut records = Vec::with_capacity(sweep.len());
+    for &threads in sweep {
+        let mut engine_ms = 0.0f64;
+        let mut total_rounds = 0usize;
+        let mut completed = 0usize;
+        for trial in 0..entry.trials {
+            let mut rng = seq.trial_rng(&label, trial as u64);
+            let mut process =
+                entry.spec.build_parallel(graph, threads, &mut rng).expect("bench specs build");
+            let start = Instant::now();
+            let (rounds, done) =
+                run_frontier(process.as_mut(), &mut rng, entry.max_rounds, goal_active);
+            engine_ms += start.elapsed().as_secs_f64() * 1e3;
+            total_rounds += rounds;
+            completed += usize::from(done);
+        }
+        records.push(BenchRecord {
+            process: entry.spec.to_string(),
+            graph: entry.family.to_string(),
+            goal: goal.clone(),
+            n: graph.num_vertices(),
+            engine: "stream".to_string(),
+            baseline: "frontier".to_string(),
+            threads: Some(threads),
+            trials: entry.trials,
+            completed,
+            mean_rounds: total_rounds as f64 / entry.trials.max(1) as f64,
+            engine_ms,
+            baseline_ms,
+            engine_rounds_per_sec: total_rounds as f64 / (engine_ms / 1e3).max(f64::MIN_POSITIVE),
+            baseline_rounds_per_sec: baseline_rounds as f64
+                / (baseline_ms / 1e3).max(f64::MIN_POSITIVE),
+            speedup: baseline_ms / engine_ms.max(f64::MIN_POSITIVE),
+        });
+    }
+    records
+}
+
+/// Runs the whole matrix — engine rows, then the `--threads` stream sweep — printing a
+/// progress line per record through `progress`.
+pub fn run_matrix(
+    full: bool,
+    seed: u64,
+    sweep: &[usize],
+    mut progress: impl FnMut(&BenchRecord),
+) -> BenchReport {
     let seq = SeedSequence::new(seed).child("bench");
     let mut records = Vec::new();
     for (index, entry) in matrix(full).iter().enumerate() {
@@ -295,7 +418,16 @@ pub fn run_matrix(full: bool, seed: u64, mut progress: impl FnMut(&BenchRecord))
         progress(&record);
         records.push(record);
     }
-    BenchReport { schema: "cobra-bench-v1".to_string(), seed, full, records }
+    for (index, entry) in stream_matrix(full).iter().enumerate() {
+        let mut instance_rng = seq.trial_rng("stream-instance", index as u64);
+        let graph =
+            entry.family.instantiate(&mut instance_rng).expect("bench matrix families instantiate");
+        for record in measure_stream_sweep(entry, &graph, &seq, sweep) {
+            progress(&record);
+            records.push(record);
+        }
+    }
+    BenchReport { schema: "cobra-bench-v2".to_string(), seed, full, records }
 }
 
 #[cfg(test)]
@@ -325,14 +457,14 @@ mod tests {
         assert_eq!(record.trials, 3);
         assert_eq!(record.completed, 3, "COBRA completes on K_64");
         assert!(record.mean_rounds > 0.0);
-        assert!(record.frontier_ms >= 0.0 && record.dense_ms >= 0.0);
+        assert!(record.engine_ms >= 0.0 && record.baseline_ms >= 0.0);
         assert!(record.speedup > 0.0);
     }
 
     #[test]
     fn reports_serialize_and_render() {
         let report = BenchReport {
-            schema: "cobra-bench-v1".to_string(),
+            schema: "cobra-bench-v2".to_string(),
             seed: 1,
             full: false,
             records: vec![BenchRecord {
@@ -340,13 +472,16 @@ mod tests {
                 graph: "complete:n=8".into(),
                 goal: "complete".into(),
                 n: 8,
+                engine: "stream".into(),
+                baseline: "frontier".into(),
+                threads: Some(4),
                 trials: 1,
                 completed: 1,
                 mean_rounds: 4.0,
-                frontier_ms: 0.1,
-                dense_ms: 0.5,
-                frontier_rounds_per_sec: 40_000.0,
-                dense_rounds_per_sec: 8_000.0,
+                engine_ms: 0.1,
+                baseline_ms: 0.5,
+                engine_rounds_per_sec: 40_000.0,
+                baseline_rounds_per_sec: 8_000.0,
                 speedup: 5.0,
             }],
         };
@@ -354,8 +489,29 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.records.len(), 1);
         assert_eq!(back.records[0].process, "cobra:k=2");
+        assert_eq!(back.records[0].threads, Some(4));
         let rendered = report.render();
         assert!(rendered.contains("speedup"));
         assert!(rendered.contains("5.0x"));
+        assert!(rendered.contains("stream t=4"));
+    }
+
+    #[test]
+    fn the_stream_sweep_times_every_thread_count_against_one_shared_baseline() {
+        let entry = BenchEntry::new("cobra:k=2", "complete:n=64", 3, 10_000);
+        let seq = SeedSequence::new(11).child("bench-test");
+        let graph = entry.family.instantiate(&mut seq.trial_rng("instance", 0)).unwrap();
+        let records = measure_stream_sweep(&entry, &graph, &seq, &[1, 2]);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].threads, Some(1));
+        assert_eq!(records[1].threads, Some(2));
+        // Shared baseline, identical (thread-invariant) stream trajectories.
+        assert_eq!(records[0].baseline_ms, records[1].baseline_ms);
+        assert_eq!(records[0].mean_rounds, records[1].mean_rounds);
+        assert!(records.iter().all(|r| r.completed == 3 && r.engine_ms > 0.0));
+        assert!(records.iter().all(|r| r.engine == "stream" && r.baseline == "frontier"));
+        // The quick stream matrix carries the acceptance scenario; full adds 10^6.
+        assert_eq!(stream_matrix(false)[0].family.to_string(), "random-regular:n=100000,r=8");
+        assert!(stream_matrix(true).iter().any(|e| e.family.num_vertices() >= 1_000_000));
     }
 }

@@ -46,6 +46,7 @@ struct Options {
     graph: Option<GraphFamily>,
     trials: Option<usize>,
     max_rounds: Option<usize>,
+    threads: Option<usize>,
 }
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
@@ -61,6 +62,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         graph: None,
         trials: None,
         max_rounds: None,
+        threads: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -106,11 +108,23 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 options.max_rounds =
                     Some(value.parse().map_err(|_| format!("invalid round budget {value:?}"))?);
             }
+            "--threads" => {
+                let value = args.next().ok_or("--threads requires a worker count >= 1")?;
+                let threads: usize =
+                    value.parse().map_err(|_| format!("invalid thread count {value:?}"))?;
+                if threads == 0 {
+                    return Err("--threads 0 is rejected: the stream engine needs at least \
+                         one worker (use --threads 1 for the single-threaded stream path)"
+                        .to_string());
+                }
+                options.threads = Some(threads);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full|--quick] [--exp e1..e11] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
-                     \x20      repro bench [--full|--quick] [--json PATH] [--seed N]\n\
+                     \x20              [--threads N]\n\
+                     \x20      repro bench [--full|--quick] [--json PATH] [--seed N] [--threads N]\n\
                      \x20      repro --list-processes\n\
                      regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
@@ -121,8 +135,11 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                      on one graph spec\n\
                      (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
                      barbell:k=32), or — with `bench` — wall-clocks the sparse-frontier engine\n\
-                     against the dense reference engine per (process, graph) pair and writes\n\
-                     the JSON perf trajectory"
+                     against the dense reference engine per (process, graph) pair, sweeps the\n\
+                     sharded stream engine across worker threads, and writes the JSON perf\n\
+                     trajectory. --threads N runs ad-hoc trials on the per-vertex stream\n\
+                     engine (trajectories are identical for any N >= 1) or narrows the bench\n\
+                     sweep to one worker count"
                 );
                 std::process::exit(0);
             }
@@ -147,7 +164,7 @@ fn mode_conflicts(options: &Options) -> Result<(), String> {
         {
             return Err("`repro bench` runs a fixed matrix; --process/--graph/--exp/--trials/\
                  --max-rounds/--list are not applicable (supported: --quick|--full, --seed, \
-                 --json)"
+                 --json, --threads)"
                 .to_string());
         }
         return Ok(());
@@ -164,9 +181,10 @@ fn mode_conflicts(options: &Options) -> Result<(), String> {
             || options.graph.is_some()
             || options.trials.is_some()
             || options.max_rounds.is_some()
+            || options.threads.is_some()
         {
             return Err("--list/--list-processes only print a listing; \
-                 --process/--exp/--graph/--trials/--max-rounds are not applicable"
+                 --process/--exp/--graph/--trials/--max-rounds/--threads are not applicable"
                 .to_string());
         }
         return Ok(());
@@ -184,6 +202,12 @@ fn mode_conflicts(options: &Options) -> Result<(), String> {
         return Err("--graph/--trials/--max-rounds only apply to ad-hoc --process runs; \
              experiment mode takes its instances and trial counts from the preset \
              (--quick|--full)"
+            .to_string());
+    }
+    if options.threads.is_some() {
+        return Err("--threads selects the sharded stream engine, which only applies to \
+             ad-hoc --process runs and `repro bench`; experiment tables always run the \
+             bit-equivalence-checked sequential engine"
             .to_string());
     }
     Ok(())
@@ -212,6 +236,13 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
     // way, validate here (churned specs against a churn-stripped build on the sample
     // instance) so user input fails with a message instead of panicking mid-trial.
     let churned = spec.fault_plan().and_then(|plan| plan.churn).is_some();
+    if churned && options.threads.is_some() {
+        eprintln!(
+            "error: {spec} carries a churn clause, which re-instantiates the graph mid-run \
+             and has no per-vertex stream path; drop --threads or the churn clause"
+        );
+        return ExitCode::FAILURE;
+    }
     let validation_spec = if churned { spec.clone().with_churn(None) } else { spec.clone() };
     if let Err(error) = validation_spec.build(&graph) {
         eprintln!("error: cannot run {spec} on {family}: {error}");
@@ -229,6 +260,16 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
             &label,
             TrialConfig::parallel(trials),
         )
+    } else if let Some(threads) = options.threads {
+        driver::run_parallel_spec_trials(
+            &graph,
+            spec,
+            &runner,
+            &seq,
+            &label,
+            TrialConfig::parallel(trials),
+            threads,
+        )
     } else {
         driver::run_spec_trials(&graph, spec, &runner, &seq, &label, TrialConfig::parallel(trials))
     };
@@ -237,10 +278,14 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
     let summary: cobra_stats::summary::Summary = completed.iter().copied().collect();
 
     println!("# ad-hoc run — seed {}\n", options.seed);
+    let engine_note = match options.threads {
+        Some(threads) => format!(" [stream engine, {threads} thread(s)]"),
+        None if churned => " [fresh instance per trial + churn]".to_string(),
+        None => String::new(),
+    };
     let mut table = Table::with_headers(
         format!(
-            "{spec} on {family}{} ({} vertices, {trials} trials, budget {max_rounds})",
-            if churned { " [fresh instance per trial + churn]" } else { "" },
+            "{spec} on {family}{engine_note} ({} vertices, {trials} trials, budget {max_rounds})",
             graph.num_vertices()
         ),
         &["completed", "mean rounds", "p50", "p95", "min", "max"],
@@ -260,20 +305,32 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
 
 fn run_bench(options: &Options) -> ExitCode {
     let full = options.preset == Preset::Full;
+    // `--threads N` narrows the stream sweep to one worker count; the default sweep
+    // measures 1/2/4/8.
+    let sweep: Vec<usize> = match options.threads {
+        Some(threads) => vec![threads],
+        None => cobra_bench::bench::DEFAULT_THREAD_SWEEP.to_vec(),
+    };
     eprintln!(
-        "# repro bench — {} matrix, seed {} (frontier vs dense engine)",
+        "# repro bench — {} matrix, seed {} (frontier vs dense, stream sweep {:?})",
         if full { "full" } else { "quick" },
-        options.seed
+        options.seed,
+        sweep
     );
-    let report = cobra_bench::bench::run_matrix(full, options.seed, |record| {
+    let report = cobra_bench::bench::run_matrix(full, options.seed, &sweep, |record| {
+        let engine = match record.threads {
+            Some(threads) => format!("{} t={threads}", record.engine),
+            None => record.engine.clone(),
+        };
         eprintln!(
-            "  measured {} on {} [{}] ({} trials): {:.1}ms frontier vs {:.1}ms dense ({:.1}x)",
+            "  measured {} on {} [{}] ({} trials): {:.1}ms {engine} vs {:.1}ms {} ({:.1}x)",
             record.process,
             record.graph,
             record.goal,
             record.trials,
-            record.frontier_ms,
-            record.dense_ms,
+            record.engine_ms,
+            record.baseline_ms,
+            record.baseline,
             record.speedup
         );
     });
@@ -379,9 +436,35 @@ mod tests {
             .is_ok());
         assert!(conflict(&["--process", "cobra:k=2", "--trials", "3"]).is_ok());
         assert!(conflict(&["--process", "cobra:k=2+drop=0.1", "--graph", "star:n=16"]).is_ok());
+        assert!(conflict(&["--process", "cobra:k=2", "--threads", "4"]).is_ok());
+        assert!(
+            conflict(&["--process", "push+drop=0.1", "--threads", "8", "--trials", "3"]).is_ok()
+        );
         assert!(conflict(&["bench", "--quick", "--json", "out.json"]).is_ok());
+        assert!(conflict(&["bench", "--full", "--threads", "4"]).is_ok());
         assert!(conflict(&["--list"]).is_ok());
         assert!(conflict(&["--list-processes"]).is_ok());
+    }
+
+    #[test]
+    fn threads_require_a_mode_with_a_stream_path() {
+        // Experiment mode always runs the bit-equivalence-checked sequential engine.
+        let error = conflict(&["--threads", "2"]).unwrap_err();
+        assert!(error.contains("--threads"), "{error}");
+        let error = conflict(&["--exp", "e4", "--threads", "2"]).unwrap_err();
+        assert!(error.contains("--threads"), "{error}");
+        assert!(conflict(&["--list", "--threads", "2"]).is_err());
+        assert!(conflict(&["--list-processes", "--threads", "2"]).is_err());
+    }
+
+    #[test]
+    fn zero_and_malformed_thread_counts_fail_at_the_parse_boundary() {
+        let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let error = parse(&["--threads", "0"]).err().expect("--threads 0 must fail");
+        assert!(error.contains("--threads 0"), "{error}");
+        assert!(parse(&["--threads", "many"]).is_err());
+        assert!(parse(&["--threads", "-1"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
     }
 
     #[test]

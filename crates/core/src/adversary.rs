@@ -785,6 +785,56 @@ impl SpreadingProcess for AdversarialProcess<'_> {
         self.inner.step_faulted(rng, &faults);
     }
 
+    // Stream mode: the policy's observation draws (crash-set sampling, the one-time
+    // spectral sweep) come from the reserved ADVERSARY_ENTITY stream at the current round;
+    // the fault-composition logic is the same as step_faulted's.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(
+        &mut self,
+        engine: &crate::parallel::ParallelFrontier,
+        outer: &StepFaults<'_>,
+    ) -> Result<()> {
+        let mut rng = engine.stream(crate::parallel::ADVERSARY_ENTITY, self.inner.round() as u64);
+        self.policy.observe(&ProcessView::new(self.inner.as_ref(), self.graph), &mut rng);
+        let own = self.policy.faults();
+        if outer.is_benign() {
+            return self.inner.step_streams(engine, &own);
+        }
+        let drop = 1.0 - (1.0 - own.drop_probability()) * (1.0 - outer.drop_probability());
+        let (scratch, dirty) = (&mut self.merged_crashes, &mut self.merged_dirty);
+        let crashed = match (own.crashed_set(), outer.crashed_set()) {
+            (None, None) => None,
+            (Some(set), None) | (None, Some(set)) => Some(set),
+            (Some(a), Some(b)) => {
+                scratch.clear_list(dirty);
+                dirty.clear();
+                for set in [a, b] {
+                    set.for_each(&mut |v| {
+                        if scratch.insert(v) {
+                            dirty.push(v);
+                        }
+                    });
+                }
+                Some(&*scratch)
+            }
+        };
+        let (targeted_drop, targeted) = if own.targeted_set().is_some() {
+            (own.targeted_drop_probability(), own.targeted_set())
+        } else {
+            (outer.targeted_drop_probability(), outer.targeted_set())
+        };
+        let severed = own.severed_side().or(outer.severed_side());
+        let faults = StepFaults::new(drop, crashed)
+            .with_targeted(targeted_drop, targeted)
+            .with_partition(severed);
+        self.inner.step_streams(engine, &faults)
+    }
+
+    fn supports_streams(&self) -> bool {
+        self.inner.supports_streams()
+    }
+
     fn round(&self) -> usize {
         self.inner.round()
     }

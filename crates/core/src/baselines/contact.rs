@@ -15,6 +15,7 @@ use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::{Rng, RngCore};
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -163,6 +164,70 @@ impl SpreadingProcess for ContactProcess<'_> {
         self.frontier.clear();
         self.infected.collect_into(&mut self.frontier);
         self.round += 1;
+    }
+
+    // Stream mode: sender `u` draws one Bernoulli per neighbour plus its recovery from its
+    // own `(vertex, round)` stream. The sequential engine's `next_infected.contains`
+    // short-circuit (skipping draws for already-claimed targets) is deliberately absent —
+    // it reads cross-sender state mid-round, which would make draw counts depend on the
+    // schedule. Drawing every neighbour independently is distribution-identical (the
+    // skipped draws were independent Bernoullis whose outcome could not matter) and makes
+    // each sender's draw count a pure function of its degree.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.newly.clear();
+        let transmit = self.parameters.infection_probability;
+        let recovery = self.parameters.recovery_probability;
+        let graph = self.graph;
+        let source = self.source;
+        let persistent_source = self.persistent_source;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        // Each shard emits its inserts in sequential-scan order (per sender: infected
+        // neighbours, then the sender's own survival), so the shard-order merge reproduces
+        // one fixed insertion order at every thread count.
+        let shards = engine.fan_out(&self.frontier, |_, chunk| {
+            let mut inserts: Vec<VertexId> = Vec::new();
+            for &u in chunk {
+                let mut rng = streams.stream(u as u64, round);
+                if !faults.is_crashed(u) {
+                    let transmit = transmit * (1.0 - faults.sender_drop(u));
+                    for v in graph.neighbor_iter(u) {
+                        if !faults.severs(u, v) && transmit > 0.0 && rng.gen_bool(transmit) {
+                            inserts.push(v);
+                        }
+                    }
+                }
+                let recovers =
+                    (!persistent_source || u != source) && recovery > 0.0 && rng.gen_bool(recovery);
+                if !recovers {
+                    inserts.push(u);
+                }
+            }
+            inserts
+        });
+        for w in shards.into_iter().flatten() {
+            if self.next_infected.insert(w) && !self.infected.contains(w) {
+                self.newly.push(w);
+            }
+        }
+        if self.persistent_source
+            && self.next_infected.insert(self.source)
+            && !self.infected.contains(self.source)
+        {
+            self.newly.push(self.source);
+        }
+        self.infected.clear_list(&self.frontier);
+        std::mem::swap(&mut self.infected, &mut self.next_infected);
+        self.frontier.clear();
+        self.infected.collect_into(&mut self.frontier);
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

@@ -4,6 +4,7 @@ use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -128,6 +129,56 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         std::mem::swap(&mut self.active, &mut self.next_active);
         std::mem::swap(&mut self.active_list, &mut self.next_list);
         self.round += 1;
+    }
+
+    // Stream mode: walker `i` owns the entity id `i` (keying by *position* would weld
+    // co-located walkers together — they would share every draw and never separate), so
+    // the position vector shards cleanly and merges back in walker order.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.next_active.clear_list(&self.next_list);
+        self.next_list.clear();
+        self.newly.clear();
+        let graph = self.graph;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        let shards = engine.fan_out(&self.positions, |base, chunk| {
+            let mut moved: Vec<VertexId> = Vec::with_capacity(chunk.len());
+            for (offset, &position) in chunk.iter().enumerate() {
+                let mut rng = streams.stream((base + offset) as u64, round);
+                let mut landed = position;
+                if !faults.is_crashed(position) && !faults.drops_from(&mut rng, position) {
+                    if let Some(next) = graph.sample_neighbor(position, &mut rng) {
+                        if !faults.severs(position, next) {
+                            landed = next;
+                        }
+                    }
+                }
+                moved.push(landed);
+            }
+            moved
+        });
+        for (walker, landed) in shards.into_iter().flatten().enumerate() {
+            self.positions[walker] = landed;
+            if self.next_active.insert(landed) {
+                self.next_list.push(landed);
+                if !self.active.contains(landed) {
+                    self.newly.push(landed);
+                }
+                if self.visited.insert(landed) {
+                    self.num_visited += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        std::mem::swap(&mut self.active_list, &mut self.next_list);
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

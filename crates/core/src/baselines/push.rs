@@ -17,6 +17,7 @@ use cobra_graph::{sample, Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -123,6 +124,60 @@ impl SpreadingProcess for PushProcess<'_> {
             self.informed.collect_into(&mut self.informed_list);
         }
         self.round += 1;
+    }
+
+    // Stream mode: each informed sender's drop and target draws come from its own
+    // `(vertex, round)` stream; shard merges preserve sender-ascending order.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.newly.clear();
+        let graph = self.graph;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        let shards = engine.fan_out(&self.informed_list, |_, chunk| {
+            let mut targets: Vec<VertexId> = Vec::new();
+            let mut messages = 0u64;
+            for &u in chunk {
+                if faults.is_crashed(u) {
+                    continue;
+                }
+                let neighbors = graph.neighbors(u);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                messages += 1;
+                let mut rng = streams.stream(u as u64, round);
+                if faults.drops_from(&mut rng, u) {
+                    continue;
+                }
+                let target = *sample::sample_slice(neighbors, &mut rng)
+                    .expect("neighbour slice is non-empty");
+                if faults.severs(u, target) {
+                    continue;
+                }
+                targets.push(target);
+            }
+            (targets, messages)
+        });
+        for (targets, messages) in shards {
+            self.messages_sent += messages;
+            for target in targets {
+                if self.informed.insert(target) {
+                    self.newly.push(target);
+                }
+            }
+        }
+        if !self.newly.is_empty() {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {
@@ -287,6 +342,69 @@ impl SpreadingProcess for PushPullProcess<'_> {
             self.informed.collect_into(&mut self.informed_list);
         }
         self.round += 1;
+    }
+
+    // Stream mode: vertex `u` initiates both its push and its pull request, so its partner
+    // draw and the drop draw of either direction come from `u`'s `(vertex, round)` stream;
+    // the deferred contact application keeps the start-of-round semantics.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        let n = self.graph.num_vertices();
+        self.contacts.clear();
+        let graph = self.graph;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        let informed = &self.informed;
+        let shards = engine.fan_out_ranges(n, |range| {
+            let mut contacts: Vec<VertexId> = Vec::new();
+            let mut messages = 0u64;
+            for u in range {
+                let neighbors = graph.neighbors(u);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                messages += 1;
+                let mut rng = streams.stream(u as u64, round);
+                let partner = *sample::sample_slice(neighbors, &mut rng)
+                    .expect("neighbour slice is non-empty");
+                if informed.contains(u) && !informed.contains(partner) {
+                    if !faults.is_crashed(u)
+                        && !faults.severs(u, partner)
+                        && !faults.drops_from(&mut rng, u)
+                    {
+                        contacts.push(partner);
+                    }
+                } else if !informed.contains(u)
+                    && informed.contains(partner)
+                    && !faults.is_crashed(partner)
+                    && !faults.severs(partner, u)
+                    && !faults.drops_from(&mut rng, partner)
+                {
+                    contacts.push(u);
+                }
+            }
+            (contacts, messages)
+        });
+        self.newly.clear();
+        for (contacts, messages) in shards {
+            self.messages_sent += messages;
+            for v in contacts {
+                if self.informed.insert(v) {
+                    self.newly.push(v);
+                }
+            }
+        }
+        if !self.newly.is_empty() {
+            self.informed_list.clear();
+            self.informed.collect_into(&mut self.informed_list);
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

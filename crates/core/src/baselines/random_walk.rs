@@ -4,6 +4,7 @@ use cobra_graph::{Graph, VertexBitset, VertexId};
 use rand::RngCore;
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -98,6 +99,37 @@ impl SpreadingProcess for RandomWalk<'_> {
             }
         }
         self.round += 1;
+    }
+
+    // Stream mode: a single walker has nothing to shard — it simply draws from the stream
+    // of its *current position* at this round, so the trajectory is a pure function of the
+    // trial key and the walk composes with the sharded processes under one contract.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.newly.clear();
+        let mut rng = engine.stream(self.position as u64, self.round as u64);
+        if faults.is_crashed(self.position) || faults.drops_from(&mut rng, self.position) {
+            self.round += 1;
+            return Ok(());
+        }
+        if let Some(next) = self.graph.sample_neighbor(self.position, &mut rng) {
+            if !faults.severs(self.position, next) {
+                self.active.remove(self.position);
+                self.position = next;
+                self.active.insert(next);
+                self.newly.push(next);
+                if self.visited.insert(next) {
+                    self.num_visited += 1;
+                }
+            }
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

@@ -28,6 +28,7 @@ use rand::RngCore;
 
 use crate::cobra::Branching;
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -201,6 +202,76 @@ impl SpreadingProcess for BipsProcess<'_> {
         std::mem::swap(&mut self.infected, &mut self.next_infected);
         std::mem::swap(&mut self.infected_list, &mut self.next_list);
         self.round += 1;
+    }
+
+    // Stream mode: every vertex's `k` probes (and the drop draw of any would-be-successful
+    // pull) come from its own `(vertex, round)` stream, so the Θ(n) scan shards cleanly.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        let n = self.graph.num_vertices();
+        self.next_infected.clear_list(&self.next_list);
+        self.next_list.clear();
+        self.newly.clear();
+        let graph = self.graph;
+        let source = self.source;
+        let branching = self.branching;
+        let boost = self.boost;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        let infected = &self.infected;
+        // Contiguous index shards merged in shard order keep the hit list ascending — the
+        // same order the sequential 0..n scan produces — at every thread count.
+        let shards = engine.fan_out_ranges(n, |range| {
+            let mut hits: Vec<VertexId> = Vec::new();
+            for u in range {
+                if u == source {
+                    hits.push(u);
+                    continue;
+                }
+                let neighbors = graph.neighbors(u);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let mut rng = streams.stream(u as u64, round);
+                let samples = branching.sample_pushes(&mut rng) * boost;
+                let mut hit = false;
+                for _ in 0..samples {
+                    let w = *sample::sample_slice(neighbors, &mut rng)
+                        .expect("neighbour slice non-empty");
+                    if infected.contains(w)
+                        && !faults.is_crashed(w)
+                        && !faults.severs(w, u)
+                        && !faults.drops_from(&mut rng, w)
+                    {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    hits.push(u);
+                }
+            }
+            hits
+        });
+        for u in shards.into_iter().flatten() {
+            self.next_infected.insert(u);
+            self.next_list.push(u);
+            if u != source {
+                if !self.infected.contains(u) {
+                    self.newly.push(u);
+                }
+                self.ever_infected.insert(u);
+            }
+        }
+        std::mem::swap(&mut self.infected, &mut self.next_infected);
+        std::mem::swap(&mut self.infected_list, &mut self.next_list);
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

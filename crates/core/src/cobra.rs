@@ -27,6 +27,7 @@ use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::process::SpreadingProcess;
 use crate::{CoreError, Result};
 
@@ -281,6 +282,69 @@ impl SpreadingProcess for CobraProcess<'_> {
         self.frontier.clear();
         self.active.collect_into(&mut self.frontier);
         self.round += 1;
+    }
+
+    // Stream mode: each frontier member draws pushes, drops and targets from its own
+    // `(vertex, round)` stream, so the shard fan-out below can split the frontier anywhere
+    // without changing a single draw.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.newly.clear();
+        let graph = self.graph;
+        let branching = self.branching;
+        let boost = self.boost;
+        let round = self.round as u64;
+        let streams = engine.streams();
+        // Shards are contiguous and merged in shard order, so proposals arrive in
+        // sender-ascending order at every thread count — insertion order (hence `newly`,
+        // `visited` and the next frontier) is thread-invariant.
+        let shards = engine.fan_out(&self.frontier, |_, chunk| {
+            let mut proposals: Vec<VertexId> = Vec::with_capacity(chunk.len() * 2);
+            for &u in chunk {
+                if faults.is_crashed(u) {
+                    continue;
+                }
+                let neighbors = graph.neighbors(u);
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let mut rng = streams.stream(u as u64, round);
+                let pushes = branching.sample_pushes(&mut rng) * boost;
+                for _ in 0..pushes {
+                    if faults.drops_from(&mut rng, u) {
+                        continue;
+                    }
+                    let target = *sample::sample_slice(neighbors, &mut rng)
+                        .expect("neighbour slice is non-empty");
+                    if faults.severs(u, target) {
+                        continue;
+                    }
+                    proposals.push(target);
+                }
+            }
+            proposals
+        });
+        for target in shards.into_iter().flatten() {
+            if self.next_active.insert(target) {
+                if !self.active.contains(target) {
+                    self.newly.push(target);
+                }
+                if self.visited.insert(target) {
+                    self.num_visited += 1;
+                }
+            }
+        }
+        self.active.clear_list(&self.frontier);
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        self.frontier.clear();
+        self.active.collect_into(&mut self.frontier);
+        self.round += 1;
+        Ok(())
+    }
+
+    fn supports_streams(&self) -> bool {
+        true
     }
 
     fn round(&self) -> usize {

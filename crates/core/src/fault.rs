@@ -1027,6 +1027,29 @@ impl SpreadingProcess for FaultedProcess<'_> {
         self.inner.step_faulted(rng, &faults);
     }
 
+    // Stream mode: the plan's own dynamics (crash resolution, repair sweeps, the
+    // Gilbert–Elliott channel) draw from the reserved FAULT_ENTITY stream at the current
+    // round, so crash evolution is identical at every thread count.
+    // cobra-lint: par
+    // cobra-lint: draws(bounded)
+    fn step_streams(
+        &mut self,
+        engine: &crate::parallel::ParallelFrontier,
+        outer: &StepFaults<'_>,
+    ) -> Result<()> {
+        let mut rng = engine.stream(crate::parallel::FAULT_ENTITY, self.inner.round() as u64);
+        let own = self.dynamics.begin_round(&mut rng, outer.crashed_set());
+        let drop = 1.0 - (1.0 - own) * (1.0 - outer.drop_probability());
+        let faults = StepFaults::new(drop, self.dynamics.crashed())
+            .with_targeted(outer.targeted_drop_probability(), outer.targeted_set())
+            .with_partition(outer.severed_side());
+        self.inner.step_streams(engine, &faults)
+    }
+
+    fn supports_streams(&self) -> bool {
+        self.inner.supports_streams()
+    }
+
     fn round(&self) -> usize {
         self.inner.round()
     }

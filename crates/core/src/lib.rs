@@ -129,6 +129,7 @@ pub mod duality;
 pub mod fault;
 pub mod growth;
 pub mod infection;
+pub mod parallel;
 pub mod process;
 pub mod reference;
 pub mod sim;
@@ -146,6 +147,7 @@ pub use counting::CountingRng;
 pub use defense::{DefendedProcess, DefenseActions, DefensePolicy, DefenseSpec, DefenseStats};
 pub use error::CoreError;
 pub use fault::{CrashSpec, DropModel, FaultPlan, FaultedProcess, StepFaults};
+pub use parallel::{ParallelFrontier, ParallelProcess};
 pub use process::SpreadingProcess;
 pub use sim::{RunOutcome, Runner};
 pub use spec::ProcessSpec;

@@ -4,6 +4,7 @@ use cobra_graph::{VertexBitset, VertexId};
 use rand::RngCore;
 
 use crate::fault::StepFaults;
+use crate::parallel::ParallelFrontier;
 use crate::{CoreError, Result};
 
 /// A synchronous, round-based process spreading information (or infection) over a fixed graph.
@@ -54,6 +55,40 @@ pub trait SpreadingProcess {
     /// wrapper stays bit-identical to the bare process (see
     /// [`fault`](crate::fault)).
     fn step_faulted(&mut self, rng: &mut dyn RngCore, faults: &StepFaults<'_>);
+
+    /// Advances the process by one round in **stream mode**: every entity (vertex or
+    /// walker) draws from its own counter-based RNG stream
+    /// ([`VertexStreams`](cobra_graph::sample::VertexStreams)) instead of a shared
+    /// sequential stream, and frontier iteration may be sharded across the threads of
+    /// `engine`. Because the streams are keyed by `(entity, round)` — never by execution
+    /// schedule — the resulting trajectory is **identical for every thread count**,
+    /// including `threads = 1`.
+    ///
+    /// Fault semantics match [`step_faulted`](Self::step_faulted) exactly, except that
+    /// per-transmission drop draws come from the *initiating* entity's stream, and wrapper
+    /// dynamics draw from reserved entities (see [`crate::parallel`]); a benign view must
+    /// leave every vertex stream untouched beyond the process's own draws.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`CoreError::InvalidParameters`]: stream mode is opt-in per
+    /// process, gated by [`supports_streams`](Self::supports_streams). Implementations
+    /// return `Ok(())` after stepping.
+    // cobra-lint: par
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        let _ = (engine, faults);
+        Err(CoreError::InvalidParameters {
+            reason: "process does not implement per-vertex stream stepping".to_string(),
+        })
+    }
+
+    /// Whether [`step_streams`](Self::step_streams) is implemented (including by every
+    /// layer of a wrapper stack). [`crate::parallel::ParallelProcess`] refuses at
+    /// construction when this is false, so stream mode can never silently fall back to the
+    /// sequential draw order.
+    fn supports_streams(&self) -> bool {
+        false
+    }
 
     /// Number of rounds performed so far (0 for a freshly constructed process).
     fn round(&self) -> usize;

@@ -347,6 +347,28 @@ impl ProcessSpec {
         })
     }
 
+    /// Instantiates the process against `graph` in **stream mode**, wrapped in a
+    /// [`ParallelProcess`](crate::parallel::ParallelProcess) that shards frontier
+    /// iteration across `threads` worker threads. The per-trial stream key is drawn from
+    /// `rng`, so the usual `(master, label, index)` seeding path carries over unchanged —
+    /// and the resulting trajectory is bit-identical for every `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build), plus rejection of `threads == 0` and of specs whose
+    /// wrapper stack does not support stream stepping (churn plans, which re-instantiate
+    /// the graph mid-run, are already rejected by `build` itself outside
+    /// [`fault::run_churned`](crate::fault::run_churned)).
+    // cobra-lint: draws(bounded)
+    pub fn build_parallel<'g>(
+        &self,
+        graph: &'g Graph,
+        threads: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Box<dyn SpreadingProcess + Send + 'g>> {
+        Ok(Box::new(crate::parallel::build_parallel(self, graph, threads, rng)?))
+    }
+
     /// One representative spec per process kind (used by tests and `repro --list-processes`).
     pub fn examples() -> Vec<ProcessSpec> {
         vec![

@@ -39,6 +39,39 @@ pub fn run_spec_trials(
     })
 }
 
+/// [`run_spec_trials`] on the sharded stream engine: every trial builds its process through
+/// [`ProcessSpec::build_parallel`], deriving the trial's per-vertex stream key from the trial
+/// RNG and stepping the round loop across `threads` scoped worker threads.
+///
+/// The contract (equivalence v2) is that `threads` is *not observable*: trajectories are
+/// bit-identical for any `threads >= 1`, because vertex streams are keyed by
+/// `(entity, round)` and shard results merge in ascending-sender order. Churned specs are
+/// rejected (the churn wrapper re-instantiates the graph mid-run and has no stream path).
+///
+/// # Panics
+///
+/// Panics if the spec cannot be instantiated in stream mode (invalid spec, churn clause, or
+/// `threads == 0`) — same code-not-user-input policy as [`run_spec_trials`].
+pub fn run_parallel_spec_trials(
+    graph: &Graph,
+    spec: &ProcessSpec,
+    runner: &Runner,
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+    threads: usize,
+) -> Vec<RunOutcome> {
+    // Validate once, loudly, before fanning out (a throwaway RNG: only the per-trial
+    // builds below feed real stream keys).
+    let mut probe = seq.trial_rng(label, u64::MAX);
+    spec.build_parallel(graph, threads, &mut probe)
+        .unwrap_or_else(|e| panic!("invalid stream-mode spec {spec} for {label}: {e}"));
+    run_trials(seq, label, config, |_, rng| {
+        let mut process = spec.build_parallel(graph, threads, rng).expect("spec validated above");
+        runner.run(process.as_mut(), rng)
+    })
+}
+
 /// Runs trials of `spec` and aggregates the completion rounds into a [`Summary`], returning
 /// the raw per-trial values too (`NaN` for trials that exhausted the budget, mirroring the
 /// historical per-experiment loops).
@@ -133,6 +166,53 @@ mod tests {
         let sequential =
             run_spec_trials(&graph, &spec, &runner, &seq, "unit", TrialConfig::sequential(16));
         assert_eq!(outcomes, sequential);
+    }
+
+    #[test]
+    fn parallel_spec_trials_are_thread_count_invariant() {
+        let graph = generators::complete(32).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let runner = Runner::new(10_000);
+        let seq = SeedSequence::new(5);
+        let base = run_parallel_spec_trials(
+            &graph,
+            &spec,
+            &runner,
+            &seq,
+            "unit",
+            TrialConfig::parallel(8),
+            1,
+        );
+        assert_eq!(base.len(), 8);
+        assert!(base.iter().all(|o| o.reason == StopReason::Completed));
+        for threads in [2, 4] {
+            let other = run_parallel_spec_trials(
+                &graph,
+                &spec,
+                &runner,
+                &seq,
+                "unit",
+                TrialConfig::parallel(8),
+                threads,
+            );
+            assert_eq!(base, other, "trial outcomes diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stream-mode spec")]
+    fn parallel_spec_trials_reject_churned_specs_loudly() {
+        let graph = generators::complete(16).unwrap();
+        let spec: ProcessSpec = "cobra:k=2+churn=8".parse().unwrap();
+        let _ = run_parallel_spec_trials(
+            &graph,
+            &spec,
+            &Runner::new(10),
+            &SeedSequence::new(1),
+            "churny",
+            TrialConfig::sequential(1),
+            2,
+        );
     }
 
     #[test]

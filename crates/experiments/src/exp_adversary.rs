@@ -67,15 +67,23 @@ impl Config {
         }
     }
 
-    /// Full preset used by the `repro` binary.
+    /// Full preset used by the `repro` binary. PR 8 raises the instances from
+    /// `n = 4096` to `n = 10^5`; `er_p` is rescaled to keep the Erdős–Rényi mean
+    /// degree near 25, comfortably above the `ln n ≈ 11.5` connectivity threshold
+    /// (the old `p = 0.004` was tuned for 4096 vertices and would produce a dense
+    /// 400-neighbour graph here). The round budget is the censoring value for
+    /// assassinated runs: `10^4` is still ~300× the fault-free cover time (≈ 33
+    /// rounds at this `n`), and it bounds the dominant cost of the preset — a
+    /// censored non-completing trial whose frontier stays saturated burns
+    /// `Θ(n)` draws for every round of the budget.
     pub fn full() -> Self {
         Config {
-            n: 4096,
+            n: 100_000,
             degree: 8,
-            er_p: 0.004,
+            er_p: 0.000_25,
             budgets: vec![1.0, 2.0, 5.0, 10.0],
             trials: 30,
-            max_rounds: 200_000,
+            max_rounds: 10_000,
             partition_window: 128,
         }
     }

@@ -70,14 +70,17 @@ impl Config {
         }
     }
 
-    /// Full preset used by the `repro` binary.
+    /// Full preset used by the `repro` binary. The ladder tops out at `n = 10^5`
+    /// (PR 8 scale-up from the historical 4096); the round budget is sized for a
+    /// single-host run — cover at `n = 10^5` sits near `40` rounds, so `10^5` rounds
+    /// of headroom still flags a stalled process three orders of magnitude out.
     pub fn full() -> Self {
         Config {
-            sizes: vec![256, 512, 1024, 2048, 4096],
+            sizes: vec![1024, 4096, 16_384, 100_000],
             degree: 8,
             drops: vec![0.0, 0.05, 0.1, 0.25, 0.4],
             trials: 30,
-            max_rounds: 1_000_000,
+            max_rounds: 100_000,
         }
     }
 }
@@ -315,18 +318,18 @@ impl BurstyConfig {
     /// Full preset used by the `repro` binary.
     pub fn full() -> Self {
         BurstyConfig {
-            sizes: vec![256, 512, 1024, 2048, 4096],
+            sizes: vec![1024, 4096, 16_384, 100_000],
             degree: 8,
             losses: vec![0.05, 0.1, 0.25],
             bursts: vec![1, 8, 32, 128],
             f_bad: 0.45,
             trials: 30,
-            max_rounds: 1_000_000,
+            max_rounds: 100_000,
             crash_percent: 10.0,
             repairs: vec![0.02, 0.1, 0.5],
-            // grid_n = 1024 in the full preset: sweep from the historical n/8 epoch down
-            // to a fresh graph every round.
-            churn_epochs: vec![128, 16, 4, 1],
+            // grid_n = 16384 in the full preset: sweep from the historical n/8 epoch
+            // down to a fresh graph every round.
+            churn_epochs: vec![2048, 256, 16, 1],
         }
     }
 }

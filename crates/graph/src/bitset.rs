@@ -137,7 +137,9 @@ impl VertexBitset {
 
     /// Appends the members in ascending order to `out` (`O(n/64 + |set|)`), without clearing
     /// `out` first. This is how the frontier engine materialises the next round's frontier.
+    /// Reserves the exact popcount up front so per-shard merges never re-allocate mid-push.
     pub fn collect_into(&self, out: &mut Vec<VertexId>) {
+        out.reserve(self.count());
         for (i, &word) in self.words.iter().enumerate() {
             let mut w = word;
             while w != 0 {

@@ -9,10 +9,22 @@
 //! the identical reduction).
 
 use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
 
 use crate::VertexId;
 
 /// Draws a uniform index in `0..bound` from one `next_u64` via widening multiply.
+///
+/// # Behaviour at `u64::MAX`-adjacent bounds
+///
+/// The widening multiply `(x * bound) >> 64` stays exact for every `bound` representable as
+/// `usize`, including `u64::MAX as usize` on 64-bit targets: the product fits in 128 bits
+/// (both factors are below 2⁶⁴), the shift keeps the high word, and the result is strictly
+/// below `bound` because `x ≤ 2⁶⁴ − 1` gives `x · bound < 2⁶⁴ · bound`. The only caveat at
+/// that scale is statistical, not correctness: with `bound` near 2⁶⁴ the per-index bias is
+/// on the order of `bound / 2⁶⁴` rather than the `< 2⁻⁶⁴` enjoyed by realistic degrees.
+/// Graph degrees never approach this; the edge is documented and tested so the primitive is
+/// safe to reuse outside the degree regime.
 ///
 /// # Panics
 ///
@@ -37,6 +49,79 @@ pub fn sample_slice<'a, R: RngCore + ?Sized>(
         None
     } else {
         Some(&slice[uniform_index(rng, slice.len())])
+    }
+}
+
+/// Per-entity counter-based RNG streams for one trial — determinism v2's sampling substrate.
+///
+/// A `VertexStreams` holds one 32-byte trial key; [`stream`](VertexStreams::stream) derives
+/// the independent ChaCha8 stream for any `(entity, round)` pair via
+/// [`ChaCha8Rng::stream_for`]. Because each stream is keyed by *who draws* (a vertex or
+/// walker id) and *when* (the round), not by the global order draws happen to execute in,
+/// trajectories are identical no matter how frontier iteration is scheduled across threads.
+///
+/// The entity space is `u64`; vertex ids embed directly, and engine wrappers reserve ids
+/// near `u64::MAX` (see `cobra_core::parallel`) for their own dynamics so they can never
+/// collide with a vertex.
+#[derive(Debug, Clone)]
+pub struct VertexStreams {
+    key: [u8; 32],
+}
+
+impl VertexStreams {
+    /// Wraps an explicit 32-byte trial key.
+    pub fn new(key: [u8; 32]) -> Self {
+        VertexStreams { key }
+    }
+
+    /// Draws a fresh 32-byte trial key from `rng` (one draw of 4 × `next_u64`).
+    ///
+    /// Deriving the key *from the trial RNG* keeps the per-trial seeding path unchanged:
+    /// the same `(master, label, index)` triple yields the same key, hence the same
+    /// per-vertex streams, independent of thread count.
+    pub fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        VertexStreams { key }
+    }
+
+    /// The trial key (exposed so equivalence tests can re-derive individual streams).
+    pub fn key(&self) -> &[u8; 32] {
+        &self.key
+    }
+
+    /// The independent stream owned by `entity` at `round`.
+    #[inline]
+    pub fn stream(&self, entity: u64, round: u64) -> ChaCha8Rng {
+        ChaCha8Rng::stream_for(&self.key, entity, round)
+    }
+
+    /// Batches `count` Lemire draws from `slice` on `entity`'s stream at `round`,
+    /// appending the sampled elements to `out`.
+    ///
+    /// This is the per-frontier-chunk fast path: the stream is derived once, the neighbour
+    /// slice length is hoisted, and each draw is the same one-`next_u64` widening multiply
+    /// as [`uniform_index`] — so a `CountingRng` wrapped around the stream observes exactly
+    /// `count` words.
+    #[inline]
+    pub fn sample_slice_into(
+        &self,
+        entity: u64,
+        round: u64,
+        slice: &[VertexId],
+        count: usize,
+        out: &mut Vec<VertexId>,
+    ) {
+        if slice.is_empty() || count == 0 {
+            return;
+        }
+        let mut rng = self.stream(entity, round);
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(slice[uniform_index(&mut rng, slice.len())]);
+        }
     }
 }
 
@@ -91,5 +176,76 @@ mod tests {
     #[should_panic(expected = "cannot sample")]
     fn zero_bound_panics() {
         uniform_index(&mut Fixed(1), 0);
+    }
+
+    /// An RNG that replays a fixed word sequence — used to probe exact reduction outputs.
+    struct Script(Vec<u64>, usize);
+    impl RngCore for Script {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let w = self.0[self.1];
+            self.1 += 1;
+            w
+        }
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn umax_adjacent_bounds_stay_exact() {
+        // The widening multiply must stay in-bounds and hit both endpoints for bounds at
+        // the top of the u64 range: x = MAX maps to bound-1, x = 0 maps to 0, and a draw
+        // just below the bound's reciprocal boundary maps to the expected index.
+        for bound in [u64::MAX as usize, (u64::MAX - 1) as usize, (1u64 << 63) as usize] {
+            let mut top = Script(vec![u64::MAX, 0], 0);
+            let hi = uniform_index(&mut top, bound);
+            assert!(hi < bound);
+            assert_eq!(hi, bound - 1, "x = MAX must map to the last index of {bound}");
+            assert_eq!(uniform_index(&mut top, bound), 0, "x = 0 must map to index 0");
+        }
+        // For bound = 2^63, index i is produced by exactly the draws [2i, 2i+2): check the
+        // boundary between indices 0 and 1.
+        let bound = (1u64 << 63) as usize;
+        let mut edge = Script(vec![1, 2], 0);
+        assert_eq!(uniform_index(&mut edge, bound), 0);
+        assert_eq!(uniform_index(&mut edge, bound), 1);
+    }
+
+    #[test]
+    fn vertex_streams_replay_identically() {
+        let streams = VertexStreams::new([7u8; 32]);
+        let mut a = streams.stream(42, 3);
+        let mut b = streams.stream(42, 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut other = streams.stream(43, 3);
+        assert_ne!(a.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn from_rng_is_a_pure_function_of_the_trial_rng() {
+        let mut r1 = Fixed(99);
+        let mut r2 = Fixed(99);
+        let s1 = VertexStreams::from_rng(&mut r1);
+        let s2 = VertexStreams::from_rng(&mut r2);
+        assert_eq!(s1.key(), s2.key());
+    }
+
+    #[test]
+    fn sample_slice_into_matches_single_draws() {
+        let streams = VertexStreams::new([5u8; 32]);
+        let slice: Vec<VertexId> = (100..140).collect();
+        let mut batched = Vec::new();
+        streams.sample_slice_into(9, 2, &slice, 6, &mut batched);
+        let mut rng = streams.stream(9, 2);
+        let singles: Vec<VertexId> =
+            (0..6).map(|_| *sample_slice(&slice, &mut rng).unwrap()).collect();
+        assert_eq!(batched, singles);
+        // Empty slice and zero count are no-ops.
+        streams.sample_slice_into(9, 2, &[], 6, &mut batched);
+        streams.sample_slice_into(9, 2, &slice, 0, &mut batched);
+        assert_eq!(batched.len(), 6);
     }
 }

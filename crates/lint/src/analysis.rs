@@ -3,7 +3,7 @@
 //! Turns the flat token stream from [`crate::lexer`] into the facts the rules consume:
 //!
 //! * the **directive table** — every `// cobra-lint: …` comment, parsed against the grammar
-//!   `hot` | `draws(0)` | `draws(bounded)` | `allow(RULE, reason…)`;
+//!   `hot` | `par` | `draws(0)` | `draws(bounded)` | `allow(RULE, reason…)`;
 //! * the **function table** — each `fn` with its body extent (token indices), the directives
 //!   attached to it, and whether it lies in a test region;
 //! * **test regions** — items covered by an attribute mentioning `test` (`#[test]`,
@@ -25,6 +25,9 @@ use crate::lexer::{Token, TokenKind};
 pub enum Directive {
     /// `hot` — the next function is a hot path: R3 bans allocation inside it.
     Hot,
+    /// `par` — the next function runs inside sharded scoped threads: R5 bans
+    /// single-threaded interior mutability (`RefCell`/`Cell`/`Rc`/`static mut`) inside it.
+    Par,
     /// `draws(0)` — the next function performs no RNG draws on this path.
     DrawsZero,
     /// `draws(bounded)` — the next function draws a bounded, accounted number of times.
@@ -66,6 +69,8 @@ pub struct FnInfo {
     pub body: Option<(usize, usize)>,
     /// `// cobra-lint: hot` attached.
     pub hot: bool,
+    /// `// cobra-lint: par` attached.
+    pub par: bool,
     /// Attached draw contract, if any.
     pub draws: Option<DrawContract>,
     /// Whether this function sits inside a `#[test]` / `#[cfg(test)]` region.
@@ -163,6 +168,9 @@ fn parse_directive(text: &str) -> Result<Option<Directive>, String> {
     if body == "hot" {
         return Ok(Some(Directive::Hot));
     }
+    if body == "par" {
+        return Ok(Some(Directive::Par));
+    }
     if let Some(args) = body.strip_prefix("draws") {
         let args = args.trim();
         let inner = args
@@ -186,8 +194,8 @@ fn parse_directive(text: &str) -> Result<Option<Directive>, String> {
             .ok_or_else(|| "allow needs a reason: `allow(RULE, reason)`".to_string())?;
         let rule = rule.trim();
         let reason = reason.trim();
-        if !matches!(rule, "R1" | "R2" | "R3" | "R4") {
-            return Err(format!("unknown rule `{rule}` in allow (expected R1..R4)"));
+        if !matches!(rule, "R1" | "R2" | "R3" | "R4" | "R5") {
+            return Err(format!("unknown rule `{rule}` in allow (expected R1..R5)"));
         }
         if reason.is_empty() {
             return Err("allow reason must not be empty".to_string());
@@ -380,6 +388,7 @@ pub fn analyze(tokens: Vec<Token>) -> FileAnalysis {
             fn_token: i,
             body,
             hot: false,
+            par: false,
             draws: None,
             in_test: false,
         });
@@ -425,6 +434,10 @@ pub fn analyze(tokens: Vec<Token>) -> FileAnalysis {
                     f.hot = true;
                     d.consumed = true;
                 }
+                Directive::Par => {
+                    f.par = true;
+                    d.consumed = true;
+                }
                 Directive::DrawsZero => {
                     f.draws = Some(DrawContract::Zero);
                     d.consumed = true;
@@ -463,6 +476,18 @@ pub(crate) fn step_faulted(&mut self) {}
         assert_eq!(a.fns.len(), 1);
         assert!(a.fns[0].hot);
         assert_eq!(a.fns[0].draws, Some(DrawContract::Bounded));
+        assert!(a.directives.iter().all(|d| d.consumed));
+    }
+
+    #[test]
+    fn par_attaches_alongside_hot() {
+        let src = "\
+// cobra-lint: hot
+// cobra-lint: par
+fn step_streams(&mut self) {}
+";
+        let a = analyze_src(src);
+        assert!(a.fns[0].hot && a.fns[0].par);
         assert!(a.directives.iter().all(|d| d.consumed));
     }
 

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use cobra_lint::{lint_source, lint_workspace, Report};
 
 const USAGE: &str = "\
-cobra-lint: determinism & RNG-discipline static analysis (rules R0-R4)
+cobra-lint: determinism & RNG-discipline static analysis (rules R0-R5)
 
 USAGE:
     cobra-lint --workspace [--root PATH] [--json PATH]

@@ -6,7 +6,7 @@
 //! ```json
 //! {
 //!   "violations": [{"rule": "R1", "file": "crates/x/src/y.rs", "line": 12, "message": "…"}],
-//!   "summary": {"R0": 0, "R1": 1, "R2": 0, "R3": 0, "R4": 0},
+//!   "summary": {"R0": 0, "R1": 1, "R2": 0, "R3": 0, "R4": 0, "R5": 0},
 //!   "files_scanned": 57,
 //!   "clean": false
 //! }
@@ -17,7 +17,7 @@ use std::fmt;
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule ID (`R0`–`R4`).
+    /// Rule ID (`R0`–`R5`).
     pub rule: String,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -41,7 +41,7 @@ impl fmt::Display for Violation {
 }
 
 /// The known rule IDs, in display order.
-pub const RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4"];
+pub const RULES: &[&str] = &["R0", "R1", "R2", "R3", "R4", "R5"];
 
 /// A whole run's results.
 #[derive(Debug, Default)]

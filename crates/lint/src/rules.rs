@@ -1,4 +1,4 @@
-//! The determinism rules R0–R4.
+//! The determinism rules R0–R5.
 //!
 //! Every rule is a pure function over one file's [`FileAnalysis`] plus its workspace-relative
 //! path; rules append [`Violation`]s and never abort. Scope decisions (which crates a rule
@@ -11,8 +11,9 @@
 //! | R2 | `crates/core`, `crates/graph` | `HashMap`/`HashSet` (default `RandomState`) outside `use` decls |
 //! | R3 | everywhere | allocation inside a `hot` fn; an unannotated `step_faulted`/adversary `observe` |
 //! | R4 | `crates/core` | RNG use inside a fn with no `draws(0)`/`draws(bounded)` contract |
+//! | R5 | everywhere | single-threaded shared state (`RefCell`/`Cell`/`Rc`/`static mut`) inside a `par` fn; an unannotated `step_streams` |
 //!
-//! Test regions (`#[test]`, `#[cfg(test)]`) are exempt from R1–R4 everywhere; R0 still fires
+//! Test regions (`#[test]`, `#[cfg(test)]`) are exempt from R1–R5 everywhere; R0 still fires
 //! inside them because a typoed directive is a bug wherever it sits.
 
 use crate::analysis::{Directive, FileAnalysis};
@@ -38,6 +39,7 @@ pub fn check_file(rel_path: &str, analysis: &FileAnalysis, out: &mut Vec<Violati
     r2_hash_order(rel_path, analysis, out);
     r3_hot_path_alloc(rel_path, analysis, out);
     r4_draw_registry(rel_path, analysis, out);
+    r5_parallel_discipline(rel_path, analysis, out);
 }
 
 /// R0 — the meta-rule: the annotation grammar itself must be well-formed, and a
@@ -256,6 +258,63 @@ fn r4_draw_registry(rel_path: &str, a: &FileAnalysis, out: &mut Vec<Violation>) 
     }
 }
 
+// Single-threaded interior-mutability and shared-ownership types: sound under `&self` on
+// one thread, data races (or compile failures surfacing as contorted workarounds) inside
+// sharded scoped-thread closures. `Cell` is only flagged at a `Cell::`/`Cell<` use site so
+// `UnsafeCell` (caught separately) and idents like `OnceCell` don't double-fire.
+const R5_BANNED_TYPES: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "Rc"];
+
+/// R5 — parallel discipline. Functions annotated `// cobra-lint: par` execute inside the
+/// sharded stream engine's scoped threads; they may not touch single-threaded shared state:
+/// `RefCell`/`Cell`/`UnsafeCell`/`OnceCell`/`Rc` or `static mut`. The annotation is
+/// *mandatory* on every `step_streams` impl in `crates/core`, so a new sharded step path
+/// cannot silently opt out of the check (mirroring R3's `hot` obligation).
+fn r5_parallel_discipline(rel_path: &str, a: &FileAnalysis, out: &mut Vec<Violation>) {
+    // Part 1: every stream-mode step path must be annotated.
+    for f in &a.fns {
+        if f.in_test || f.body.is_none() {
+            continue;
+        }
+        if in_crate(rel_path, "core") && f.name == "step_streams" && !f.par {
+            out.push(Violation::new(
+                "R5",
+                rel_path,
+                f.line,
+                "`step_streams` runs inside sharded scoped threads: annotate it \
+                 `// cobra-lint: par`"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // Part 2: no single-threaded shared state inside par bodies.
+    for f in a.fns.iter().filter(|f| f.par && !f.in_test) {
+        let Some((start, end)) = f.body else { continue };
+        let toks = &a.tokens;
+        for i in start..=end.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            let Some(name) = t.ident() else { continue };
+            let banned = (R5_BANNED_TYPES.contains(&name)
+                && toks.get(i + 1).is_some_and(|t| {
+                    t.is_punct(':') || t.is_punct('<') || t.is_punct('>') || t.is_punct(',')
+                }))
+                || (name == "static" && toks.get(i + 1).and_then(|t| t.ident()) == Some("mut"));
+            if banned && !a.line_allowed("R5", t.line) {
+                out.push(Violation::new(
+                    "R5",
+                    rel_path,
+                    t.line,
+                    format!(
+                        "`{name}` is single-threaded shared state inside par fn `{}`; shard \
+                         results must flow through the engine's merge, not shared cells",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +384,32 @@ mod tests {
         // Passing rng onward is also a use.
         let v = run("crates/core/src/x.rs", "fn g(rng: &mut R) { helper(rng, 3); }");
         assert_eq!(rules(&v), vec!["R4"]);
+    }
+
+    #[test]
+    fn r5_requires_par_on_step_streams_and_bans_interior_mutability() {
+        // Unannotated stream-mode step path in core.
+        let v = run("crates/core/src/cobra.rs", "fn step_streams(&mut self) {}");
+        assert!(rules(&v).contains(&"R5"), "{v:?}");
+        // Annotated but touching a RefCell.
+        let bad = "// cobra-lint: par\nfn step_streams(&mut self) { let c = RefCell::new(0); }";
+        let v = run("crates/core/src/cobra.rs", bad);
+        assert_eq!(rules(&v), vec!["R5"], "{v:?}");
+        assert!(v[0].message.contains("RefCell"), "{v:?}");
+        // static mut is shared state too.
+        let bad = "// cobra-lint: par\nfn step_streams(&mut self) { static mut N: u32 = 0; }";
+        assert_eq!(rules(&run("crates/core/src/cobra.rs", bad)), vec!["R5"]);
+        // Clean par fn: shard-local buffers only.
+        let ok = "// cobra-lint: par\nfn step_streams(&mut self) { self.scratch.clear(); }";
+        assert!(run("crates/core/src/cobra.rs", ok).is_empty());
+        // A documented exception is honoured.
+        let allowed = "// cobra-lint: par\nfn step_streams(&mut self) {\n    \
+             let c = Cell::new(0); // cobra-lint: allow(R5, never crosses a shard)\n}";
+        assert!(run("crates/core/src/cobra.rs", allowed).is_empty());
+        // The obligation is scoped to core; the ban follows the annotation anywhere.
+        assert!(run("crates/stats/src/x.rs", "fn step_streams(&mut self) {}").is_empty());
+        let bad = "// cobra-lint: par\nfn shard(&self) { let r: Rc<u8> = Rc::new(1); }";
+        assert!(rules(&run("crates/stats/src/x.rs", bad)).contains(&"R5"));
     }
 
     #[test]

@@ -93,6 +93,39 @@ fn r4_ok_fixture_is_clean_with_draw_contracts() {
 }
 
 #[test]
+fn r5_bad_fixture_fires_on_missing_par_and_shared_state() {
+    let v = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/r5_bad.rs"));
+    let r5: Vec<_> = v.iter().filter(|v| v.rule == "R5").collect();
+    // Unannotated step_streams + RefCell + Rc (twice: annotation and construction) +
+    // static mut inside the par fn.
+    assert!(r5.len() >= 4, "{v:?}");
+    assert!(
+        r5.iter().any(|v| v.message.contains("annotate it")),
+        "missing-par diagnostic expected: {v:?}"
+    );
+    assert!(
+        r5.iter().any(|v| v.message.contains("RefCell")),
+        "shared-state diagnostic expected: {v:?}"
+    );
+    assert!(
+        r5.iter().any(|v| v.message.contains("static")),
+        "static-mut diagnostic expected: {v:?}"
+    );
+    // The step_streams obligation is scoped to crates/core.
+    let elsewhere = lint_source("crates/stats/src/fixture.rs", include_str!("fixtures/r5_bad.rs"));
+    assert!(
+        !elsewhere.iter().any(|v| v.message.contains("annotate it")),
+        "no obligation outside core: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn r5_ok_fixture_is_clean_with_par_annotation_and_ordered_merge() {
+    let v = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/r5_ok.rs"));
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
 fn r0_bad_fixture_fires_on_typo_and_unattached_directive() {
     let v = lint_source("src/fixture.rs", include_str!("fixtures/r0_bad.rs"));
     let r0: Vec<_> = v.iter().filter(|v| v.rule == "R0").collect();

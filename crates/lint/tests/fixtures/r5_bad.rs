@@ -1,0 +1,18 @@
+// R5 fixture: an unannotated step_streams (mandatory par path) and a par fn that routes
+// shard results through single-threaded shared state instead of the engine's merge.
+impl SpreadingProcess for Demo {
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.advance(engine, faults)
+    }
+}
+
+// cobra-lint: par
+fn shard(&self, engine: &ParallelFrontier) {
+    let hits = RefCell::new(Vec::new());
+    let shared: Rc<Scratch> = Rc::new(Scratch::default());
+    static mut ROUND: u64 = 0;
+    engine.fan_out(&self.frontier, |_, chunk| {
+        hits.borrow_mut().extend_from_slice(chunk);
+        shared.observe(chunk);
+    });
+}

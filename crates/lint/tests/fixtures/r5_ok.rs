@@ -1,0 +1,26 @@
+// R5 fixture: the sharded step path annotated par, shard results flowing back through the
+// engine's ordered merge — no shared cells, plus one documented membership-only exception.
+impl SpreadingProcess for Demo {
+    // cobra-lint: par
+    fn step_streams(&mut self, engine: &ParallelFrontier, faults: &StepFaults<'_>) -> Result<()> {
+        self.newly.clear();
+        let graph = self.graph;
+        let shards = engine.fan_out(&self.frontier, |_, chunk| {
+            let mut proposals = Vec::with_capacity(chunk.len());
+            for &u in chunk {
+                proposals.extend(graph.neighbors(u));
+            }
+            proposals
+        });
+        for target in shards.into_iter().flatten() {
+            self.next_active.insert(target);
+        }
+        Ok(())
+    }
+}
+
+// cobra-lint: par
+fn shard_probe(&self) -> usize {
+    let seen = Cell::new(0usize); // cobra-lint: allow(R5, shard-local counter, never shared)
+    seen.get()
+}

@@ -52,6 +52,14 @@ pub struct SweepCut {
 /// Finds the minimum-conductance prefix cut of the ordering induced by `scores`
 /// (the classical spectral-partitioning sweep).
 ///
+/// The sweep is incremental — `vol(S)` and `|∂S|` are updated in `O(deg v)` as each
+/// vertex joins the prefix, so the whole sweep costs `O(n log n + m)` rather than the
+/// `O(n·(n+m))` of re-scanning the graph per prefix. The counts are the same integers
+/// [`cut_conductance`] would compute, so the selected cut is bit-identical to the naive
+/// sweep (property-tested below); at `n = 10^5` this is the difference between
+/// milliseconds and minutes, and it is what makes the E10 `adv=partition` rows feasible
+/// at the full-preset scale.
+///
 /// # Errors
 ///
 /// Returns [`SpectralError::InvalidGraph`] if the graph has fewer than two vertices or no
@@ -67,11 +75,25 @@ pub fn sweep_cut(g: &Graph, scores: &[f64]) -> Result<SweepCut> {
     let mut order: Vec<VertexId> = (0..n).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
 
+    let total_vol = 2 * g.num_edges();
     let mut in_set = vec![false; n];
+    let mut vol_s = 0usize;
+    let mut boundary = 0usize;
     let mut best: Option<(f64, usize)> = None;
     for (prefix_len, &v) in order.iter().enumerate().take(n - 1) {
         in_set[v] = true;
-        if let Some(phi) = cut_conductance(g, &in_set) {
+        vol_s += g.degree(v);
+        // Edges to members stop crossing the cut; edges to non-members start.
+        for w in g.neighbor_iter(v) {
+            if in_set[w] {
+                boundary -= 1;
+            } else {
+                boundary += 1;
+            }
+        }
+        let denom = vol_s.min(total_vol - vol_s);
+        if denom > 0 {
+            let phi = boundary as f64 / denom as f64;
             if best.is_none_or(|(b, _)| phi < b) {
                 best = Some((phi, prefix_len + 1));
             }
@@ -142,6 +164,44 @@ mod tests {
             cut.conductance
         );
         assert_eq!(cut.side.len(), 8, "the small side should be one clique");
+    }
+
+    /// The naive reference sweep: re-score every prefix with [`cut_conductance`].
+    fn naive_sweep(g: &Graph, scores: &[f64]) -> SweepCut {
+        let n = g.num_vertices();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut in_set = vec![false; n];
+        let mut best: Option<(f64, usize)> = None;
+        for (prefix_len, &v) in order.iter().enumerate().take(n - 1) {
+            in_set[v] = true;
+            if let Some(phi) = cut_conductance(g, &in_set) {
+                if best.is_none_or(|(b, _)| phi < b) {
+                    best = Some((phi, prefix_len + 1));
+                }
+            }
+        }
+        let (conductance, len) = best.expect("non-trivial cut");
+        SweepCut { conductance, side: order[..len].to_vec() }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_the_naive_prefix_rescan() {
+        let mut r = rng();
+        for g in [
+            generators::barbell(7).unwrap(),
+            generators::random_regular(64, 6, &mut r).unwrap(),
+            generators::lollipop(9, 12).unwrap(),
+        ] {
+            let scores: Vec<f64> = (0..g.num_vertices()).map(|_| r.gen::<f64>() - 0.5).collect();
+            let fast = sweep_cut(&g, &scores).unwrap();
+            let slow = naive_sweep(&g, &scores);
+            // Same integer boundary/volume arithmetic, so exactly the same cut.
+            assert_eq!(fast.conductance.to_bits(), slow.conductance.to_bits());
+            assert_eq!(fast.side, slow.side);
+        }
     }
 
     #[test]

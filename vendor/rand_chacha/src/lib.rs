@@ -40,6 +40,60 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    /// Builds the independent, deterministic stream for one `(entity, round)` pair under a
+    /// shared 32-byte trial key.
+    ///
+    /// The split is counter-based, keyed into the ChaCha block counter and nonce words:
+    ///
+    /// | state word | content                                            |
+    /// |-----------:|----------------------------------------------------|
+    /// | 12         | in-stream block counter, starts at 0 (**seekable**) |
+    /// | 13         | `round` (low 32 bits)                              |
+    /// | 14–15      | `entity` (little-endian 64-bit)                    |
+    ///
+    /// Every `(key, entity, round)` triple therefore selects a disjoint region of the ChaCha
+    /// keystream: two streams differing in entity or round never overlap, and the same
+    /// triple always replays the identical word sequence regardless of what any other
+    /// stream consumed. A stream holds 2³² blocks (2³⁶ bytes) before the word-12 counter
+    /// would carry into the round word; no caller comes near that.
+    ///
+    /// Rounds at or above 2³² are not representable in this layout and are rejected.
+    pub fn stream_for(key: &[u8; 32], entity: u64, round: u64) -> Self {
+        assert!(round < (1 << 32), "stream_for supports rounds below 2^32 (got {round})");
+        let mut rng = Self::from_seed(*key);
+        rng.state[12] = 0;
+        rng.state[13] = round as u32;
+        rng.state[14] = entity as u32;
+        rng.state[15] = (entity >> 32) as u32;
+        rng
+    }
+
+    /// Seeks to an absolute word position in this stream's keystream.
+    ///
+    /// Position `p` is the index of the next 32-bit word [`RngCore::next_u32`] will return,
+    /// counted from the stream's origin: `set_word_pos(0)` rewinds to the first word. The
+    /// position must stay below the stream's 2³⁶-word capacity so the in-stream counter
+    /// (word 12) cannot carry into the round word.
+    pub fn set_word_pos(&mut self, word_pos: u64) {
+        let block = word_pos / 16;
+        assert!(block < u64::from(u32::MAX), "word position beyond the 2^36-word stream");
+        self.state[12] = block as u32;
+        self.refill();
+        self.index = (word_pos % 16) as usize;
+    }
+
+    /// The absolute word position the next [`RngCore::next_u32`] call will read.
+    pub fn word_pos(&self) -> u64 {
+        // `refill` advances the counter past the buffered block, so the buffered block's
+        // index is one behind the live counter — except before the first refill, where the
+        // exhausted-buffer sentinel (`index == 16`) marks position 0 of the live block.
+        if self.index >= 16 {
+            u64::from(self.state[12]) * 16
+        } else {
+            (u64::from(self.state[12]) - 1) * 16 + self.index as u64
+        }
+    }
+
     fn refill(&mut self) {
         let mut working = self.state;
         for _ in 0..ROUNDS / 2 {
@@ -148,5 +202,65 @@ mod tests {
         for _ in 0..40 {
             assert_eq!(rng.next_u64(), copy.next_u64());
         }
+    }
+
+    #[test]
+    fn stream_for_is_deterministic_per_triple() {
+        let key = [9u8; 32];
+        let mut a = ChaCha8Rng::stream_for(&key, 17, 3);
+        let mut b = ChaCha8Rng::stream_for(&key, 17, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_entity_round_and_key() {
+        let key = [1u8; 32];
+        let other_key = [2u8; 32];
+        let base: Vec<u64> =
+            (0..8).map(|_| ChaCha8Rng::stream_for(&key, 5, 2).next_u64()).collect();
+        let mut by_entity = ChaCha8Rng::stream_for(&key, 6, 2);
+        let mut by_round = ChaCha8Rng::stream_for(&key, 5, 3);
+        let mut by_key = ChaCha8Rng::stream_for(&other_key, 5, 2);
+        assert_ne!(base[0], by_entity.next_u64());
+        assert_ne!(base[0], by_round.next_u64());
+        assert_ne!(base[0], by_key.next_u64());
+    }
+
+    #[test]
+    fn stream_words_are_independent_of_interleaving() {
+        // Reading stream (7, 1) must not perturb stream (8, 1): replay one of them alone
+        // and against interleaved consumption of the other.
+        let key = [3u8; 32];
+        let mut alone = ChaCha8Rng::stream_for(&key, 8, 1);
+        let expected: Vec<u64> = (0..50).map(|_| alone.next_u64()).collect();
+        let mut a = ChaCha8Rng::stream_for(&key, 7, 1);
+        let mut b = ChaCha8Rng::stream_for(&key, 8, 1);
+        for want in expected {
+            let _ = a.next_u64();
+            let _ = a.next_u64();
+            assert_eq!(b.next_u64(), want);
+        }
+    }
+
+    #[test]
+    fn set_word_pos_seeks_and_reports_position() {
+        let key = [4u8; 32];
+        let mut rng = ChaCha8Rng::stream_for(&key, 12, 0);
+        assert_eq!(rng.word_pos(), 0);
+        let words: Vec<u32> = (0..100).map(|_| rng.next_u32()).collect();
+        assert_eq!(rng.word_pos(), 100);
+        for pos in [0u64, 1, 15, 16, 17, 31, 63, 99] {
+            rng.set_word_pos(pos);
+            assert_eq!(rng.word_pos(), pos);
+            assert_eq!(rng.next_u32(), words[pos as usize], "seek to {pos}");
+        }
+    }
+
+    #[test]
+    fn high_rounds_are_rejected() {
+        let result = std::panic::catch_unwind(|| ChaCha8Rng::stream_for(&[0u8; 32], 0, 1 << 32));
+        assert!(result.is_err());
     }
 }

@@ -79,6 +79,91 @@ impl<T> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// Runs `op` over contiguous chunks of `items` on scoped OS threads — the sharded-round
+/// primitive of the parallel frontier engine.
+///
+/// `items` is split into at most `threads` contiguous chunks of near-equal size; each chunk
+/// runs `op(start_offset, chunk)` on its own scoped thread (the first chunk runs on the
+/// calling thread), and the per-chunk results come back **in chunk order**, so callers can
+/// merge shard outputs deterministically regardless of which thread finished first.
+///
+/// With `threads == 1` or a single chunk this degrades to a plain sequential call with zero
+/// thread spawns, which is what makes `--threads 1` bit-identical to higher thread counts
+/// *and* cheap.
+pub fn par_chunks<T, R, F>(items: &[T], threads: usize, op: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return vec![op(0, items)];
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len().div_ceil(chunk), || None);
+    std::thread::scope(|scope| {
+        let mut rest = &mut slots[..];
+        for (index, part) in items.chunks(chunk).enumerate() {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            let base = index * chunk;
+            if rest.is_empty() {
+                // Last chunk: run on the calling thread instead of spawning one more.
+                *slot = Some(op(base, part));
+            } else {
+                let op = &op;
+                scope.spawn(move || {
+                    *slot = Some(op(base, part));
+                });
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every chunk was computed")).collect()
+}
+
+/// Range analogue of [`par_chunks`] for processes that scan `0..len` instead of a frontier
+/// slice (BIPS, PUSH–PULL): splits the index range into at most `threads` contiguous
+/// sub-ranges and runs `op` on each, returning the results in range order.
+pub fn par_ranges<R, F>(len: usize, threads: usize, op: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(len);
+    if threads == 1 {
+        return vec![op(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let starts: Vec<usize> = (0..len).step_by(chunk).collect();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(starts.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest = &mut slots[..];
+        for &start in &starts {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per range");
+            rest = tail;
+            let range = start..(start + chunk).min(len);
+            if rest.is_empty() {
+                *slot = Some(op(range));
+            } else {
+                let op = &op;
+                scope.spawn(move || {
+                    *slot = Some(op(range));
+                });
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every range was computed")).collect()
+}
+
 /// The number of worker threads to use.
 fn thread_count(jobs: usize) -> usize {
     let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
@@ -127,5 +212,37 @@ mod tests {
     fn empty_range_collects_empty() {
         let out: Vec<u8> = (5..5).into_par_iter().map(|_| 1u8).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 3, 4, 8, 200] {
+            let shards = crate::par_chunks(&items, threads, |base, chunk| (base, chunk.to_vec()));
+            let mut rebuilt = Vec::new();
+            let mut expected_base = 0;
+            for (base, chunk) in shards {
+                assert_eq!(base, expected_base, "chunk offsets must be contiguous");
+                expected_base += chunk.len();
+                rebuilt.extend(chunk);
+            }
+            assert_eq!(rebuilt, items, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty_input_yields_no_chunks() {
+        let shards = crate::par_chunks::<u8, u8, _>(&[], 4, |_, _| 0);
+        assert!(shards.is_empty());
+    }
+
+    #[test]
+    fn par_ranges_partitions_the_index_space() {
+        for threads in [1, 2, 3, 5, 64] {
+            let shards = crate::par_ranges(97, threads, |range| range.collect::<Vec<_>>());
+            let rebuilt: Vec<usize> = shards.into_iter().flatten().collect();
+            assert_eq!(rebuilt, (0..97).collect::<Vec<_>>(), "threads = {threads}");
+        }
+        assert!(crate::par_ranges::<u8, _>(0, 4, |_| 0).is_empty());
     }
 }
