@@ -77,7 +77,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             "--list" => options.list = true,
             "--list-processes" => options.list_processes = true,
             "--exp" => {
-                let value = args.next().ok_or("--exp requires an experiment id (e1..e11)")?;
+                let value = args.next().ok_or("--exp requires an experiment id (e1..e12)")?;
                 options.only = Some(
                     ExperimentId::parse(&value)
                         .ok_or_else(|| format!("unknown experiment id {value:?}"))?,
@@ -121,7 +121,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--full|--quick] [--exp e1..e11] [--seed N] [--list]\n\
+                    "usage: repro [--full|--quick] [--exp e1..e12] [--seed N] [--list]\n\
                      \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
                      \x20              [--threads N]\n\
                      \x20      repro bench [--full|--quick] [--json PATH] [--seed N] [--threads N]\n\
@@ -130,11 +130,14 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                      measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
                      contact:p=0.5,q=0.2, with optional fault clauses like\n\
                      cobra:k=2+drop=0.1+crash=5%+churn=64, adaptive adversaries like\n\
-                     cobra:k=2+adv=topdeg:budget=5% and defense policies like\n\
-                     cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4)\n\
+                     cobra:k=2+adv=topdeg:budget=5%, defense policies like\n\
+                     cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4,\n\
+                     degree budgets like cobra:k=deg:cap=4 and per-edge channels like\n\
+                     cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge)\n\
                      on one graph spec\n\
                      (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
-                     barbell:k=32), or — with `bench` — wall-clocks the sparse-frontier engine\n\
+                     barbell:k=32, chung-lu:n=1024,gamma=3,d=8, file:path=nets/topo.edges),\n\
+                     or — with `bench` — wall-clocks the sparse-frontier engine\n\
                      against the dense reference engine per (process, graph) pair, sweeps the\n\
                      sharded stream engine across worker threads, and writes the JSON perf\n\
                      trajectory. --threads N runs ad-hoc trials on the per-vertex stream\n\
@@ -509,7 +512,8 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_arguments() {
         let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
-        assert!(parse(&["--exp", "e12"]).is_err());
+        assert!(parse(&["--exp", "e12"]).is_ok(), "E12 joined the registry in PR 9");
+        assert!(parse(&["--exp", "e13"]).is_err());
         assert!(parse(&["--process", "frisbee"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+drop=2"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+gedrop=0.1"]).is_err());
@@ -525,6 +529,20 @@ mod tests {
         assert!(parse(&["--process", "cobra:k=2+def=passive+def=boostk"]).is_err());
         assert!(parse(&["--process", "cobra:k=2+def=reseed:m=200%"]).is_err());
         assert!(parse(&["--graph", "mystery:n=2"]).is_err());
+        // PR 9 heterogeneous-workload specs: nonsense combos die at the CLI boundary.
+        assert!(parse(&["--graph", "file:"]).is_err(), "file: needs a path");
+        assert!(parse(&["--graph", "file:lenient"]).is_err(), "file: needs path=");
+        assert!(parse(&["--graph", "chung-lu:n=256"]).is_err(), "chung-lu needs gamma and d");
+        assert!(parse(&["--process", "bips:k=deg"]).is_err(), "budgets are a COBRA feature");
+        assert!(parse(&["--process", "push:k=deg"]).is_err());
+        assert!(parse(&["--process", "cobra:k=deg:cap=0"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+gedrop=0.1,0.25,0.5:scope=lane"]).is_err());
+        assert!(parse(&["--process", "cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge+drop=0.1"]).is_err());
+        // The well-formed PR 9 shapes parse.
+        assert!(parse(&["--process", "cobra:k=deg:cap=4"]).is_ok());
+        assert!(parse(&["--process", "cobra:k=deg+gedrop=0.1,0.25,0.5:scope=edge"]).is_ok());
+        assert!(parse(&["--graph", "chung-lu:n=256,gamma=3,d=8"]).is_ok());
+        assert!(parse(&["--graph", "file:path=nets/topo.edges,lenient=true"]).is_ok());
         assert!(parse(&["--trials", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--exp"]).is_err());

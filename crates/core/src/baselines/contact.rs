@@ -69,7 +69,10 @@ impl<'g> ContactProcess<'g> {
     ///
     /// # Errors
     ///
-    /// Returns the usual graph/vertex validation errors.
+    /// Returns [`CoreError::UnsuitableGraph`] if the graph is empty or (for `n > 1`) has an
+    /// isolated vertex — infection only travels along edges, so an isolated vertex can
+    /// never be infected and every full-infection run would exhaust its budget — and the
+    /// usual vertex validation errors.
     pub fn new(
         graph: &'g Graph,
         source: VertexId,
@@ -82,6 +85,13 @@ impl<'g> ContactProcess<'g> {
         }
         if source >= n {
             return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
+        }
+        if n > 1 {
+            if let Some(isolated) = graph.vertices().find(|&v| graph.degree(v) == 0) {
+                return Err(CoreError::UnsuitableGraph {
+                    reason: format!("vertex {isolated} is isolated and can never be infected"),
+                });
+            }
         }
         let mut infected = VertexBitset::new(n);
         infected.insert(source);
@@ -130,6 +140,9 @@ impl SpreadingProcess for ContactProcess<'_> {
             if !faults.is_crashed(u) {
                 let transmit = transmit * (1.0 - faults.sender_drop(u));
                 for v in self.graph.neighbor_iter(u) {
+                    // Per-edge channel loss folds into the per-neighbour Bernoulli too
+                    // (the edge identity is known here); 1 - 0 with no bank active.
+                    let transmit = transmit * (1.0 - faults.edge_drop_probability(u, v));
                     if !self.next_infected.contains(v)
                         && !faults.severs(u, v)
                         && transmit > 0.0
@@ -194,6 +207,7 @@ impl SpreadingProcess for ContactProcess<'_> {
                 if !faults.is_crashed(u) {
                     let transmit = transmit * (1.0 - faults.sender_drop(u));
                     for v in graph.neighbor_iter(u) {
+                        let transmit = transmit * (1.0 - faults.edge_drop_probability(u, v));
                         if !faults.severs(u, v) && transmit > 0.0 && rng.gen_bool(transmit) {
                             inserts.push(v);
                         }
@@ -324,6 +338,22 @@ mod tests {
         let params = ContactParameters::new(0.5, 0.5).unwrap();
         assert!(ContactProcess::new(&g, 9, params, true).is_err());
         assert!(ContactProcess::new(&cobra_graph::Graph::default(), 0, params, true).is_err());
+    }
+
+    #[test]
+    fn isolated_vertices_are_rejected_like_the_other_processes() {
+        // Regression: the contact process accepted graphs with isolated vertices and then
+        // ran to its round budget on every trial (the infection can never reach them).
+        let isolated = cobra_graph::Graph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let params = ContactParameters::new(0.5, 0.5).unwrap();
+        let err = ContactProcess::new(&isolated, 0, params, true).unwrap_err();
+        assert!(
+            matches!(err, crate::CoreError::UnsuitableGraph { ref reason } if reason.contains("3")),
+            "must name the isolated vertex: {err}"
+        );
+        // The single-vertex graph stays fine: its only vertex is the source.
+        let singleton = cobra_graph::Graph::from_edges(1, &[]).unwrap();
+        assert!(ContactProcess::new(&singleton, 0, params, true).is_ok());
     }
 
     #[test]

@@ -107,10 +107,13 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
         self.newly.clear();
         for i in 0..self.positions.len() {
             // A walker on a crashed vertex is stuck; a dropped move stays in place; a
-            // severed cut blocks the traversal after the target draw.
+            // severed cut (or a bad per-edge channel on the chosen link) blocks the
+            // traversal after the target draw.
             if !faults.is_crashed(self.positions[i]) && !faults.drops_from(rng, self.positions[i]) {
                 if let Some(next) = self.graph.sample_neighbor(self.positions[i], rng) {
-                    if !faults.severs(self.positions[i], next) {
+                    if !faults.severs(self.positions[i], next)
+                        && !faults.drops_on_edge(rng, self.positions[i], next)
+                    {
                         self.positions[i] = next;
                     }
                 }
@@ -150,7 +153,9 @@ impl SpreadingProcess for MultipleRandomWalks<'_> {
                 let mut landed = position;
                 if !faults.is_crashed(position) && !faults.drops_from(&mut rng, position) {
                     if let Some(next) = graph.sample_neighbor(position, &mut rng) {
-                        if !faults.severs(position, next) {
+                        if !faults.severs(position, next)
+                            && !faults.drops_on_edge(&mut rng, position, next)
+                        {
                             landed = next;
                         }
                     }

@@ -111,8 +111,9 @@ impl SpreadingProcess for PushProcess<'_> {
             }
             let target =
                 *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
-            // A severed cut blocks the (sent and counted) message after the target draw.
-            if faults.severs(u, target) {
+            // A severed cut blocks the (sent and counted) message after the target draw;
+            // a per-edge channel may then lose it on the chosen link.
+            if faults.severs(u, target) || faults.drops_on_edge(rng, u, target) {
                 continue;
             }
             if self.informed.insert(target) {
@@ -153,7 +154,7 @@ impl SpreadingProcess for PushProcess<'_> {
                 }
                 let target = *sample::sample_slice(neighbors, &mut rng)
                     .expect("neighbour slice is non-empty");
-                if faults.severs(u, target) {
+                if faults.severs(u, target) || faults.drops_on_edge(&mut rng, u, target) {
                     continue;
                 }
                 targets.push(target);
@@ -318,7 +319,10 @@ impl SpreadingProcess for PushPullProcess<'_> {
             // nor answers a pull, but it can still receive and still request. A severed
             // cut blocks the contact in both directions before any drop draw.
             if self.informed.contains(u) && !self.informed.contains(partner) {
-                if !faults.is_crashed(u) && !faults.severs(u, partner) && !faults.drops_from(rng, u)
+                if !faults.is_crashed(u)
+                    && !faults.severs(u, partner)
+                    && !faults.drops_from(rng, u)
+                    && !faults.drops_on_edge(rng, u, partner)
                 {
                     self.contacts.push(partner);
                 }
@@ -327,6 +331,7 @@ impl SpreadingProcess for PushPullProcess<'_> {
                 && !faults.is_crashed(partner)
                 && !faults.severs(partner, u)
                 && !faults.drops_from(rng, partner)
+                && !faults.drops_on_edge(rng, partner, u)
             {
                 self.contacts.push(u);
             }
@@ -372,6 +377,7 @@ impl SpreadingProcess for PushPullProcess<'_> {
                     if !faults.is_crashed(u)
                         && !faults.severs(u, partner)
                         && !faults.drops_from(&mut rng, u)
+                        && !faults.drops_on_edge(&mut rng, u, partner)
                     {
                         contacts.push(partner);
                     }
@@ -380,6 +386,7 @@ impl SpreadingProcess for PushPullProcess<'_> {
                     && !faults.is_crashed(partner)
                     && !faults.severs(partner, u)
                     && !faults.drops_from(&mut rng, partner)
+                    && !faults.drops_on_edge(&mut rng, partner, u)
                 {
                     contacts.push(u);
                 }

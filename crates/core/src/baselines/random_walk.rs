@@ -86,9 +86,12 @@ impl SpreadingProcess for RandomWalk<'_> {
             return;
         }
         if let Some(next) = self.graph.sample_neighbor(self.position, rng) {
-            // A severed cut blocks the traversal (the target draw is already consumed);
-            // otherwise the walker always moves — simple graphs have no self-loops.
-            if !faults.severs(self.position, next) {
+            // A severed cut blocks the traversal (the target draw is already consumed), as
+            // does a bad per-edge channel on the chosen link; otherwise the walker always
+            // moves — simple graphs have no self-loops.
+            if !faults.severs(self.position, next)
+                && !faults.drops_on_edge(rng, self.position, next)
+            {
                 self.active.remove(self.position);
                 self.position = next;
                 self.active.insert(next);
@@ -114,7 +117,9 @@ impl SpreadingProcess for RandomWalk<'_> {
             return Ok(());
         }
         if let Some(next) = self.graph.sample_neighbor(self.position, &mut rng) {
-            if !faults.severs(self.position, next) {
+            if !faults.severs(self.position, next)
+                && !faults.drops_on_edge(&mut rng, self.position, next)
+            {
                 self.active.remove(self.position);
                 self.position = next;
                 self.active.insert(next);

@@ -81,13 +81,22 @@ impl<'g> BipsProcess<'g> {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::VertexOutOfRange`] if `source` is not a vertex of `graph`, and
+    /// Returns [`CoreError::VertexOutOfRange`] if `source` is not a vertex of `graph`,
     /// [`CoreError::UnsuitableGraph`] if the graph is empty or (for `n > 1`) has an isolated
-    /// vertex, which could never be infected.
+    /// vertex, which could never be infected, and [`CoreError::InvalidParameters`] for
+    /// [`Branching::PerVertex`] — BIPS *pulls* `k` samples at every vertex, so a sender-side
+    /// degree budget has no meaning here.
     pub fn new(graph: &'g Graph, source: VertexId, branching: Branching) -> Result<Self> {
         let n = graph.num_vertices();
         if n == 0 {
             return Err(CoreError::UnsuitableGraph { reason: "empty graph".to_string() });
+        }
+        if matches!(branching, Branching::PerVertex { .. }) {
+            return Err(CoreError::InvalidParameters {
+                reason: "k=deg budgets are a COBRA (push) feature; BIPS pulls k samples at \
+                         every vertex, so a per-sender degree budget has no meaning"
+                    .to_string(),
+            });
         }
         if source >= n {
             return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
@@ -185,6 +194,7 @@ impl SpreadingProcess for BipsProcess<'_> {
                     && !faults.is_crashed(w)
                     && !faults.severs(w, u)
                     && !faults.drops_from(rng, w)
+                    && !faults.drops_on_edge(rng, w, u)
                 {
                     hit = true;
                     break;
@@ -243,6 +253,7 @@ impl SpreadingProcess for BipsProcess<'_> {
                         && !faults.is_crashed(w)
                         && !faults.severs(w, u)
                         && !faults.drops_from(&mut rng, w)
+                        && !faults.drops_on_edge(&mut rng, w, u)
                     {
                         hit = true;
                         break;

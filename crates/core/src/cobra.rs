@@ -46,6 +46,18 @@ pub enum Branching {
         /// Probability of the additional second push, in `[0, 1]`.
         rho: f64,
     },
+    /// Degree-proportional budgets (spec syntax `k=deg` / `k=deg:cap=8`): vertex `v`
+    /// pushes `min(deg(v), cap)` times per active round, so hubs of a heterogeneous
+    /// network fan out harder than leaves — the uniform-`k` ↔ degree-budget comparison of
+    /// experiment E12. Budgets are resolved *once at construction* from the graph's degree
+    /// sequence and consume zero RNG words per round, exactly like [`Branching::Fixed`].
+    /// COBRA-only: BIPS pulls instead of pushing, so a sender-side budget has no meaning
+    /// there and [`BipsProcess::new`](crate::bips::BipsProcess::new) rejects this variant.
+    PerVertex {
+        /// Upper cap on the per-vertex budget; `u32::MAX` leaves budgets uncapped
+        /// (`k = deg(v)` exactly).
+        cap: u32,
+    },
 }
 
 impl Branching {
@@ -77,15 +89,40 @@ impl Branching {
         Ok(Branching::Fractional { rho })
     }
 
-    /// Expected number of pushes per active vertex per round.
+    /// Degree-proportional budgets `min(deg(v), cap)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if `cap == 0` (a vertex must push at least
+    /// once). Use `u32::MAX` for uncapped `k = deg(v)`.
+    pub fn per_vertex(cap: u32) -> Result<Self> {
+        if cap == 0 {
+            return Err(CoreError::InvalidParameters {
+                reason: "per-vertex budget cap must be at least 1".to_string(),
+            });
+        }
+        Ok(Branching::PerVertex { cap })
+    }
+
+    /// Expected number of pushes per active vertex per round. For [`Branching::PerVertex`]
+    /// the true value depends on the graph's degree sequence, which this configuration
+    /// object cannot see; the returned `cap` is an upper bound, and graph-aware callers
+    /// (the defense cost ledger) use the resolved budgets instead.
     pub fn expected_factor(&self) -> f64 {
         match self {
             Branching::Fixed { k } => f64::from(*k),
             Branching::Fractional { rho } => 1.0 + rho,
+            Branching::PerVertex { cap } => f64::from(*cap),
         }
     }
 
     /// Samples the number of pushes an active vertex performs this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Branching::PerVertex`]: per-vertex budgets depend on which vertex is
+    /// pushing, so processes supporting them resolve a budget table from the graph at
+    /// construction instead of sampling here.
     // cobra-lint: draws(bounded)
     pub fn sample_pushes<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         match self {
@@ -96,6 +133,9 @@ impl Branching {
                 } else {
                     1
                 }
+            }
+            Branching::PerVertex { .. } => {
+                unreachable!("per-vertex budgets are resolved from the graph at construction")
             }
         }
     }
@@ -144,6 +184,9 @@ pub struct CobraProcess<'g> {
     round: usize,
     /// Defense-layer branching multiplier; 1 (the inert value) unless a defense boosts `k`.
     boost: u32,
+    /// Resolved per-vertex push budgets (`Branching::PerVertex` or explicit budgets);
+    /// `None` for the uniform branching modes.
+    budgets: Option<Vec<u32>>,
 }
 
 impl<'g> CobraProcess<'g> {
@@ -188,6 +231,18 @@ impl<'g> CobraProcess<'g> {
                 });
             }
         }
+        // Degree-proportional budgets are resolved once, here, from the degree sequence —
+        // the per-round step paths then read a table entry exactly like a Fixed `k` (zero
+        // RNG words either way).
+        let budgets = match branching {
+            Branching::PerVertex { cap } => Some(
+                graph
+                    .vertices()
+                    .map(|v| u32::try_from(graph.degree(v)).unwrap_or(u32::MAX).min(cap))
+                    .collect(),
+            ),
+            _ => None,
+        };
         let mut process = CobraProcess {
             graph,
             starts: starts.to_vec(),
@@ -200,8 +255,39 @@ impl<'g> CobraProcess<'g> {
             num_visited: 0,
             round: 0,
             boost: 1,
+            budgets,
         };
         process.reset();
+        Ok(process)
+    }
+
+    /// Creates a COBRA process with an **explicit** per-vertex budget table: vertex `v`
+    /// pushes `budgets[v]` times per active round. The table must name every vertex and
+    /// every budget must be at least 1. [`CobraProcess::branching`] reports the uncapped
+    /// [`Branching::PerVertex`] marker for such a process.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CobraProcess::with_start_set`], plus [`CoreError::InvalidParameters`] if
+    /// the table's length is not the vertex count or any budget is 0.
+    pub fn with_budgets(graph: &'g Graph, starts: &[VertexId], budgets: Vec<u32>) -> Result<Self> {
+        if budgets.len() != graph.num_vertices() {
+            return Err(CoreError::InvalidParameters {
+                reason: format!(
+                    "budget table has {} entries for a graph with {} vertices",
+                    budgets.len(),
+                    graph.num_vertices()
+                ),
+            });
+        }
+        if let Some(zero) = budgets.iter().position(|&k| k == 0) {
+            return Err(CoreError::InvalidParameters {
+                reason: format!("vertex {zero} has budget 0; every vertex must push at least once"),
+            });
+        }
+        let mut process =
+            Self::with_start_set(graph, starts, Branching::PerVertex { cap: u32::MAX })?;
+        process.budgets = Some(budgets);
         Ok(process)
     }
 
@@ -252,8 +338,12 @@ impl SpreadingProcess for CobraProcess<'_> {
                 continue;
             }
             // `boost` is 1 unless a defense raised it, so the inert path is exactly the
-            // original draw arithmetic (Fixed k consumes zero words either way).
-            let pushes = self.branching.sample_pushes(rng) * self.boost;
+            // original draw arithmetic (Fixed k and budget-table lookups consume zero
+            // words either way).
+            let pushes = match &self.budgets {
+                Some(budgets) => budgets[u],
+                None => self.branching.sample_pushes(rng),
+            } * self.boost;
             for _ in 0..pushes {
                 // The drop decision precedes the target draw: a lost push samples nothing.
                 if faults.drops_from(rng, u) {
@@ -261,8 +351,9 @@ impl SpreadingProcess for CobraProcess<'_> {
                 }
                 let target =
                     *sample::sample_slice(neighbors, rng).expect("neighbour slice is non-empty");
-                // A severed cut blocks the push after the (already consumed) target draw.
-                if faults.severs(u, target) {
+                // A severed cut blocks the push after the (already consumed) target draw;
+                // a per-edge channel may then drop it on the specific link chosen.
+                if faults.severs(u, target) || faults.drops_on_edge(rng, u, target) {
                     continue;
                 }
                 if self.next_active.insert(target) {
@@ -294,6 +385,7 @@ impl SpreadingProcess for CobraProcess<'_> {
         let graph = self.graph;
         let branching = self.branching;
         let boost = self.boost;
+        let budgets = self.budgets.as_deref();
         let round = self.round as u64;
         let streams = engine.streams();
         // Shards are contiguous and merged in shard order, so proposals arrive in
@@ -310,14 +402,17 @@ impl SpreadingProcess for CobraProcess<'_> {
                     continue;
                 }
                 let mut rng = streams.stream(u as u64, round);
-                let pushes = branching.sample_pushes(&mut rng) * boost;
+                let pushes = match budgets {
+                    Some(budgets) => budgets[u],
+                    None => branching.sample_pushes(&mut rng),
+                } * boost;
                 for _ in 0..pushes {
                     if faults.drops_from(&mut rng, u) {
                         continue;
                     }
                     let target = *sample::sample_slice(neighbors, &mut rng)
                         .expect("neighbour slice is non-empty");
-                    if faults.severs(u, target) {
+                    if faults.severs(u, target) || faults.drops_on_edge(&mut rng, u, target) {
                         continue;
                     }
                     proposals.push(target);
@@ -406,8 +501,16 @@ impl SpreadingProcess for CobraProcess<'_> {
     fn set_branching_boost(&mut self, multiplier: u32) -> f64 {
         let multiplier = multiplier.max(1);
         self.boost = multiplier;
-        // Each frontier member pushes `boost · E[pushes]` instead of `E[pushes]` next round.
-        f64::from(multiplier - 1) * self.branching.expected_factor() * self.frontier.len() as f64
+        // Each frontier member pushes `boost · E[pushes]` instead of `E[pushes]` next
+        // round. Under a budget table the per-vertex factor is the table's mean (the
+        // graph-resolved value `Branching::expected_factor` cannot see).
+        let per_vertex = match &self.budgets {
+            Some(budgets) => {
+                budgets.iter().map(|&k| f64::from(k)).sum::<f64>() / budgets.len() as f64
+            }
+            None => self.branching.expected_factor(),
+        };
+        f64::from(multiplier - 1) * per_vertex * self.frontier.len() as f64
     }
 
     fn reseed(&mut self, vertices: &[VertexId]) -> usize {

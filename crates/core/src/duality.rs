@@ -103,6 +103,16 @@ fn choice_set_distribution(
             }
             dist
         }
+        // Degree-proportional budgets resolve to the fixed factor min(deg(u), cap) at
+        // each vertex — exactly what `CobraProcess` resolves at construction.
+        Branching::PerVertex { cap } => {
+            let k = u32::try_from(degree).unwrap_or(u32::MAX).min(cap);
+            let mut dist = one_sample();
+            for _ in 1..k {
+                dist = convolve_one(&dist);
+            }
+            dist
+        }
         Branching::Fractional { rho } => {
             // With probability 1-rho a single sample, with probability rho two samples.
             let single = one_sample();
@@ -208,6 +218,12 @@ pub fn exact_bips_avoidance(
     t_max: usize,
 ) -> Result<Vec<f64>> {
     validate_exact(graph)?;
+    if matches!(branching, Branching::PerVertex { .. }) {
+        // Mirrors `BipsProcess::new`: a per-sender degree budget has no meaning for pulls.
+        return Err(CoreError::InvalidParameters {
+            reason: "k=deg budgets are a COBRA (push) feature and undefined for BIPS".to_string(),
+        });
+    }
     let n = graph.num_vertices();
     if source >= n {
         return Err(CoreError::VertexOutOfRange { vertex: source, num_vertices: n });
@@ -237,6 +253,7 @@ pub fn exact_bips_avoidance(
         match branching {
             Branching::Fixed { k } => 1.0 - (1.0 - q).powi(k as i32),
             Branching::Fractional { rho } => 1.0 - (1.0 - q) * (1.0 - rho * q),
+            Branching::PerVertex { .. } => unreachable!("rejected at entry"),
         }
     };
 

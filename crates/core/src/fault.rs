@@ -126,6 +126,22 @@ pub enum DropModel {
         /// Per-transmission loss probability while the channel is good (`fg`, default 0).
         f_good: f64,
     },
+    /// Per-**edge** Gilbert–Elliott loss (spec clause `gedrop=pb,pg,fb[,fg]:scope=edge`):
+    /// every edge of the graph runs its *own* independent two-state channel with these
+    /// parameters, so bursts hit individual links instead of silencing the whole network
+    /// at once — the loss geography of real radio meshes. The state vector is sparse
+    /// (only currently-bad edges are materialised, see `EdgeChannels`), all channels start
+    /// good, and a round in which every edge is good draws **zero** RNG words.
+    EdgeGilbertElliott {
+        /// Per-round probability of an edge leaving its good state (`pb`), in `[0, 1]`.
+        p_bad: f64,
+        /// Per-round probability of an edge leaving its bad state (`pg`), in `[0, 1]`.
+        p_good: f64,
+        /// Per-transmission loss probability on a bad edge (`fb`), in `[0, 1]`.
+        f_bad: f64,
+        /// Per-transmission loss probability on a good edge (`fg`, default 0).
+        f_good: f64,
+    },
 }
 
 impl Default for DropModel {
@@ -145,7 +161,10 @@ impl DropModel {
     pub fn is_lossless(&self) -> bool {
         match self {
             DropModel::Iid { f } => *f == 0.0,
-            DropModel::GilbertElliott { f_bad, f_good, .. } => *f_bad == 0.0 && *f_good == 0.0,
+            DropModel::GilbertElliott { f_bad, f_good, .. }
+            | DropModel::EdgeGilbertElliott { f_bad, f_good, .. } => {
+                *f_bad == 0.0 && *f_good == 0.0
+            }
         }
     }
 
@@ -156,7 +175,8 @@ impl DropModel {
     pub fn stationary_loss(&self) -> f64 {
         match *self {
             DropModel::Iid { f } => f,
-            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good }
+            | DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good } => {
                 if p_bad + p_good == 0.0 {
                     // The chain never moves; it starts (and stays) good.
                     f_good
@@ -179,7 +199,8 @@ impl DropModel {
         };
         match *self {
             DropModel::Iid { f } => probability("drop probability", f),
-            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
+            DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good }
+            | DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good } => {
                 probability("gedrop transition P(good->bad)", p_bad)?;
                 probability("gedrop transition P(bad->good)", p_good)?;
                 probability("gedrop bad-state loss", f_bad)?;
@@ -373,7 +394,22 @@ impl FaultPlan {
                         return Err(invalid("only one drop=/gedrop= clause allowed".to_string()));
                     }
                     seen_drop = true;
-                    let fields: Vec<f64> = value
+                    // An optional `:scope=edge` suffix selects the per-edge channel bank;
+                    // peel it off before splitting the probability fields on commas.
+                    let (fields_text, per_edge) = match value.split_once(":scope=") {
+                        None => (value, false),
+                        Some((head, scope)) => match scope.trim() {
+                            "edge" => (head, true),
+                            "global" => (head, false),
+                            other => {
+                                return Err(invalid(format!(
+                                    "unknown gedrop scope `{other}` in {value:?} \
+                                     (expected scope=edge or scope=global)"
+                                )))
+                            }
+                        },
+                    };
+                    let fields: Vec<f64> = fields_text
                         .split(',')
                         .map(|token| {
                             token.trim().parse().map_err(|_| {
@@ -391,7 +427,11 @@ impl FaultPlan {
                             )))
                         }
                     };
-                    plan.drop = DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good };
+                    plan.drop = if per_edge {
+                        DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good }
+                    } else {
+                        DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good }
+                    };
                 }
                 "crash" => {
                     if seen_crash {
@@ -492,6 +532,13 @@ impl fmt::Display for FaultPlan {
                     parts.push(format!("gedrop={p_bad},{p_good},{f_bad},{f_good}"));
                 }
             }
+            DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good } => {
+                if f_good == 0.0 {
+                    parts.push(format!("gedrop={p_bad},{p_good},{f_bad}:scope=edge"));
+                } else {
+                    parts.push(format!("gedrop={p_bad},{p_good},{f_bad},{f_good}:scope=edge"));
+                }
+            }
         }
         match &self.crash {
             CrashSpec::None => {}
@@ -547,17 +594,38 @@ pub struct StepFaults<'a> {
     targeted: Option<&'a VertexBitset>,
     /// Side-A membership of a severed cut; transmissions crossing sides are blocked.
     severed: Option<&'a VertexBitset>,
+    /// Per-edge channel bank (scope=edge loss), consulted per transmission target.
+    edge: Option<&'a EdgeChannels>,
 }
 
 impl<'a> StepFaults<'a> {
     /// The fault-free view used by the default [`SpreadingProcess::step`].
-    pub const NONE: StepFaults<'static> =
-        StepFaults { drop: 0.0, crashed: None, targeted_drop: 0.0, targeted: None, severed: None };
+    pub const NONE: StepFaults<'static> = StepFaults {
+        drop: 0.0,
+        crashed: None,
+        targeted_drop: 0.0,
+        targeted: None,
+        severed: None,
+        edge: None,
+    };
 
     /// A view with the given global drop probability and crashed set (no targeted drop, no
-    /// partition).
+    /// partition, no per-edge channels).
     pub fn new(drop: f64, crashed: Option<&'a VertexBitset>) -> Self {
-        StepFaults { drop, crashed, targeted_drop: 0.0, targeted: None, severed: None }
+        StepFaults { drop, crashed, targeted_drop: 0.0, targeted: None, severed: None, edge: None }
+    }
+
+    /// The same view with a per-edge Gilbert–Elliott channel bank: each transmission is
+    /// additionally lost with the current loss probability of its *edge*'s channel.
+    #[must_use]
+    pub(crate) fn with_edge_channels(mut self, channels: Option<&'a EdgeChannels>) -> Self {
+        self.edge = channels;
+        self
+    }
+
+    /// The per-edge channel bank, if one is active (outer-wrapper pass-through).
+    pub(crate) fn edge_channels(&self) -> Option<&'a EdgeChannels> {
+        self.edge
     }
 
     /// The same view with a targeted drop: transmissions leaving a vertex of `senders` are
@@ -609,6 +677,7 @@ impl<'a> StepFaults<'a> {
             && self.crashed.is_none()
             && (self.targeted_drop == 0.0 || self.targeted.is_none())
             && self.severed.is_none()
+            && self.edge.is_none()
     }
 
     /// Whether vertex `v` has crashed (never relays).
@@ -650,6 +719,31 @@ impl<'a> StepFaults<'a> {
     #[inline]
     pub fn severs(&self, from: VertexId, to: VertexId) -> bool {
         self.severed.is_some_and(|side| side.contains(from) != side.contains(to))
+    }
+
+    /// The per-transmission loss probability of edge `{from, to}`'s own channel this round
+    /// (0 when no per-edge channel bank is active). Deterministic — never touches the RNG —
+    /// so processes that fold loss into a transmission probability (the contact process)
+    /// can use it directly.
+    #[inline]
+    pub fn edge_drop_probability(&self, from: VertexId, to: VertexId) -> f64 {
+        match self.edge {
+            None => 0.0,
+            Some(channels) => channels.loss(from, to),
+        }
+    }
+
+    /// Samples whether one transmission on edge `{from, to}` is lost to the edge's own
+    /// channel. Draws from `rng` only when the edge's current loss probability is positive
+    /// — with no per-edge bank, or on a good edge with `fg = 0`, the RNG is untouched.
+    /// Processes consult this *after* sampling the transmission target (the edge identity
+    /// is the whole point), unlike [`drops_from`](StepFaults::drops_from) which fires
+    /// before target selection.
+    // cobra-lint: draws(bounded)
+    #[inline]
+    pub fn drops_on_edge(&self, rng: &mut dyn RngCore, from: VertexId, to: VertexId) -> bool {
+        let f = self.edge_drop_probability(from, to);
+        f > 0.0 && rng.gen_bool(f)
     }
 }
 
@@ -733,6 +827,250 @@ impl GeChannel {
             }
         }
         bad_now
+    }
+}
+
+/// Packs an undirected edge into one sortable key (smaller endpoint in the high half).
+#[inline]
+fn pack_edge(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// A bank of independent per-edge Gilbert–Elliott channels over one graph instance,
+/// advanced once per round — the state behind [`DropModel::EdgeGilbertElliott`].
+///
+/// The representation is **sparse**: only currently-bad edges are materialised (as a
+/// key-sorted vector of `(edge, remaining bad rounds)`), and the good population shares one
+/// aggregate onset clock. The clock's sojourn is geometric with per-round rate
+/// `q = 1 − (1 − pb)^G` over `G` good edges — the distribution of the first round in which
+/// *any* good edge flips — and when it fires, the flip set is the i.i.d. `Bernoulli(pb)`
+/// set conditioned on being non-empty, sampled positionally (truncated-geometric first
+/// index, geometric gaps). Because geometric sojourns are memoryless, re-sampling the clock
+/// whenever the good population changes (a heal or a flip) is *exact*, not an
+/// approximation. Consequences:
+///
+/// - every channel starts good and round 1 is always loss-free on every edge, mirroring
+///   the global [`GeChannel`];
+/// - a round in which every edge is good and the onset clock is already scheduled draws
+///   **zero** RNG words, and with `pb = 0` no round ever draws — the per-edge analogue of
+///   the lossless-channel zero-draw contract;
+/// - the degenerate `gedrop=1,1,fb,fg:scope=edge` alternates all edges good/bad in
+///   lockstep with zero channel draws, matching the global channel round for round.
+#[derive(Debug)]
+pub(crate) struct EdgeChannels {
+    /// Every edge of the instance as a packed key, ascending.
+    edges: Vec<u64>,
+    p_bad: f64,
+    p_good: f64,
+    f_bad: f64,
+    f_good: f64,
+    /// Currently-bad edges `(key, rounds remaining including the current one)`, key-sorted.
+    bad: Vec<(u64, u64)>,
+    /// Rounds remaining of the good population's onset clock, counting the current round;
+    /// 0 = not sampled yet, `u64::MAX` = never fires (`pb = 0` or no good edges).
+    until_onset: u64,
+    /// Whether `advance` has run at least once (end-of-round transitions apply only then).
+    round_started: bool,
+    /// Scratch: keys flipping good→bad this transition (kept allocated across rounds).
+    flips: Vec<u64>,
+    /// Scratch: merge buffer for `bad` (kept allocated across rounds).
+    merged: Vec<(u64, u64)>,
+}
+
+impl EdgeChannels {
+    /// Builds the bank over every edge of `graph` with the given channel parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameters`] if a vertex id exceeds 32 bits (the packed
+    /// edge key reserves one half per endpoint).
+    pub(crate) fn new(
+        graph: &cobra_graph::Graph,
+        p_bad: f64,
+        p_good: f64,
+        f_bad: f64,
+        f_good: f64,
+    ) -> Result<Self> {
+        if graph.num_vertices() > u32::MAX as usize {
+            return Err(CoreError::InvalidParameters {
+                reason: format!(
+                    "per-edge channels pack endpoints into 32 bits each; graph has {} vertices",
+                    graph.num_vertices()
+                ),
+            });
+        }
+        // `Graph::edges` yields each undirected edge once with u < v, ascending — exactly
+        // the packed-key order.
+        let edges: Vec<u64> = graph.edges().map(|(u, v)| pack_edge(u, v)).collect();
+        Ok(EdgeChannels {
+            edges,
+            p_bad,
+            p_good,
+            f_bad,
+            f_good,
+            bad: Vec::new(),
+            until_onset: 0,
+            round_started: false,
+            flips: Vec::new(),
+            merged: Vec::new(),
+        })
+    }
+
+    /// Restores the pre-trial state: all channels good, the onset clock unsampled.
+    pub(crate) fn reset(&mut self) {
+        self.bad.clear();
+        self.until_onset = 0;
+        self.round_started = false;
+    }
+
+    /// Number of edges currently in the bad state.
+    pub(crate) fn num_bad(&self) -> usize {
+        self.bad.len()
+    }
+
+    /// The per-transmission loss probability on edge `{from, to}` this round.
+    #[inline]
+    pub(crate) fn loss(&self, from: VertexId, to: VertexId) -> f64 {
+        if self.bad.is_empty() {
+            return self.f_good;
+        }
+        let key = pack_edge(from, to);
+        if self.bad.binary_search_by_key(&key, |&(k, _)| k).is_ok() {
+            self.f_bad
+        } else {
+            self.f_good
+        }
+    }
+
+    /// Advances every channel by one round: applies the previous round's end-of-round
+    /// transitions (onset flips among the good edges, then heals among the bad ones, then
+    /// an exact memoryless re-schedule of the onset clock) so that `bad` describes the
+    /// round now beginning. Draw order is the contract: onset-clock sample, flip positions,
+    /// per-flip bad sojourns — and an all-good round with a scheduled clock draws nothing.
+    // cobra-lint: draws(bounded)
+    pub(crate) fn advance(&mut self, rng: &mut dyn RngCore) {
+        if self.round_started {
+            // End-of-previous-round transitions. Each edge makes one transition per round,
+            // so the onset flip set is chosen among edges good *during* the previous round
+            // — i.e. before the heals below remove entries from `bad`.
+            let good_prev = (self.edges.len() - self.bad.len()) as u64;
+            let mut flipped = false;
+            if self.until_onset != u64::MAX {
+                self.until_onset -= 1;
+                if self.until_onset == 0 {
+                    self.sample_flips(good_prev, rng);
+                    flipped = !self.flips.is_empty();
+                }
+            }
+            let before = self.bad.len();
+            for entry in &mut self.bad {
+                entry.1 -= 1;
+            }
+            self.bad.retain(|&(_, remaining)| remaining > 0);
+            let healed = before != self.bad.len();
+            if flipped {
+                self.admit_flips(rng);
+            }
+            // The good population changed, so the clock's rate changed; geometric
+            // memorylessness makes re-sampling it (next block) exact.
+            if healed || flipped {
+                self.until_onset = 0;
+            }
+        }
+        self.round_started = true;
+        if self.until_onset == 0 {
+            let good = (self.edges.len() - self.bad.len()) as u64;
+            self.until_onset = self.onset_sojourn(good, rng);
+        }
+    }
+
+    /// Samples the onset clock: rounds until any of `good` good edges turns bad, geometric
+    /// with per-round rate `1 − (1 − pb)^good`. Deterministic ends draw nothing.
+    // cobra-lint: draws(bounded)
+    fn onset_sojourn(&self, good: u64, rng: &mut dyn RngCore) -> u64 {
+        if good == 0 || self.p_bad <= 0.0 {
+            return u64::MAX;
+        }
+        if self.p_bad >= 1.0 {
+            return 1;
+        }
+        let q = 1.0 - (1.0 - self.p_bad).powf(good as f64);
+        sample_sojourn(q, rng)
+    }
+
+    /// Fills `self.flips` (ascending keys) with the flip set among the `good` currently
+    /// good edges: i.i.d. `Bernoulli(pb)` conditioned on at least one success. The first
+    /// position comes from the truncated-geometric inverse CDF, later ones from geometric
+    /// gaps; positions translate to keys through one merge scan against `self.bad`, which
+    /// still holds the previous round's membership.
+    // cobra-lint: draws(bounded)
+    fn sample_flips(&mut self, good: u64, rng: &mut dyn RngCore) {
+        self.flips.clear();
+        if good == 0 || self.p_bad <= 0.0 {
+            return;
+        }
+        let mut position = if self.p_bad >= 1.0 {
+            // Every good edge flips; the gap loop below emits 1-gaps without draws.
+            0
+        } else {
+            // P(first flip at position i | ≥1 flip among `good`) ∝ (1 − pb)^i · pb.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let denom = 1.0 - (1.0 - self.p_bad).powf(good as f64);
+            let first = ((1.0 - u * denom).ln() / (1.0 - self.p_bad).ln()).floor();
+            if first.is_finite() && first >= 0.0 {
+                (first as u64).min(good - 1)
+            } else {
+                0
+            }
+        };
+        let mut edge_idx = 0usize;
+        let mut bad_idx = 0usize;
+        let mut seen_good = 0u64;
+        loop {
+            // Continue the scan up to the `position`-th (0-based) good edge.
+            let key = loop {
+                let key = self.edges[edge_idx];
+                edge_idx += 1;
+                while bad_idx < self.bad.len() && self.bad[bad_idx].0 < key {
+                    bad_idx += 1;
+                }
+                if bad_idx < self.bad.len() && self.bad[bad_idx].0 == key {
+                    continue; // bad during the previous round: not eligible to flip
+                }
+                seen_good += 1;
+                if seen_good == position + 1 {
+                    break key;
+                }
+            };
+            self.flips.push(key);
+            let gap = sample_sojourn(self.p_bad, rng);
+            match (gap != u64::MAX).then(|| position.checked_add(gap)).flatten() {
+                Some(next) if next < good => position = next,
+                _ => break,
+            }
+        }
+    }
+
+    /// Merges `self.flips` into `self.bad` (both ascending, disjoint), drawing each new bad
+    /// edge's geometric sojourn.
+    // cobra-lint: draws(bounded)
+    fn admit_flips(&mut self, rng: &mut dyn RngCore) {
+        self.merged.clear();
+        let mut old = 0usize;
+        for i in 0..self.flips.len() {
+            let key = self.flips[i];
+            while old < self.bad.len() && self.bad[old].0 < key {
+                self.merged.push(self.bad[old]);
+                old += 1;
+            }
+            self.merged.push((key, sample_sojourn(self.p_good, rng)));
+        }
+        while old < self.bad.len() {
+            self.merged.push(self.bad[old]);
+            old += 1;
+        }
+        std::mem::swap(&mut self.bad, &mut self.merged);
     }
 }
 
@@ -846,6 +1184,9 @@ impl PlanDynamics {
         }
         match self.drop {
             DropModel::Iid { f } => f,
+            // Per-edge channels live in `EdgeChannels` on the faulted wrapper (they need
+            // the graph); the *global* per-round loss they contribute is zero.
+            DropModel::EdgeGilbertElliott { .. } => 0.0,
             DropModel::GilbertElliott { p_bad, p_good, f_bad, f_good } => {
                 if f_bad == 0.0 && f_good == 0.0 {
                     // A lossless channel never touches the RNG.
@@ -948,6 +1289,9 @@ impl PlanDynamics {
 pub struct FaultedProcess<'g> {
     inner: Box<dyn SpreadingProcess + Send + 'g>,
     dynamics: PlanDynamics,
+    /// Per-edge channel bank for [`DropModel::EdgeGilbertElliott`] plans; built only by
+    /// [`FaultedProcess::with_graph`] (the wrapper alone cannot see the edge set).
+    edges: Option<EdgeChannels>,
 }
 
 impl fmt::Debug for FaultedProcess<'_> {
@@ -963,14 +1307,24 @@ impl<'g> FaultedProcess<'g> {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameters`] for an invalid plan, one with `churn=`
-    /// (see [`run_churned`]) or one with an `adv=` policy (see
-    /// [`adversary`](crate::adversary)), and [`CoreError::VertexOutOfRange`] if an explicit
+    /// (see [`run_churned`]), one with an `adv=` policy (see
+    /// [`adversary`](crate::adversary)), or one with per-edge channels
+    /// (`gedrop=…:scope=edge` needs the graph's edge set; use
+    /// [`FaultedProcess::with_graph`]), and [`CoreError::VertexOutOfRange`] if an explicit
     /// crash list names a vertex outside the graph.
     pub fn new(
         inner: Box<dyn SpreadingProcess + Send + 'g>,
         plan: &FaultPlan,
         protect: VertexId,
     ) -> Result<Self> {
+        if matches!(plan.drop, DropModel::EdgeGilbertElliott { .. }) && !plan.drop.is_lossless() {
+            return Err(CoreError::InvalidParameters {
+                reason: "gedrop=…:scope=edge runs one channel per graph edge and needs the \
+                         graph; build the spec via ProcessSpec::build, or wrap it with \
+                         FaultedProcess::with_graph"
+                    .to_string(),
+            });
+        }
         if plan.churn.is_some() {
             return Err(CoreError::InvalidParameters {
                 reason: "churn= re-instantiates the graph and cannot run on a fixed instance; \
@@ -997,12 +1351,54 @@ impl<'g> FaultedProcess<'g> {
         }
         let n = inner.num_vertices();
         let dynamics = PlanDynamics::new(plan, protect, n)?;
-        Ok(FaultedProcess { inner, dynamics })
+        Ok(FaultedProcess { inner, dynamics, edges: None })
+    }
+
+    /// [`FaultedProcess::new`] for plans that may carry per-edge channels
+    /// (`gedrop=…:scope=edge`): builds the sparse `EdgeChannels` bank over `graph`'s
+    /// edge set. For every other plan this is exactly `new` — including lossless edge
+    /// plans, which skip the bank entirely. The bank advances once per round on the same
+    /// RNG (or the reserved fault stream, in stream mode) right after the plan dynamics,
+    /// so `--threads N` stays bit-identical.
+    ///
+    /// Nested fault wrappers do not *compose* edge banks: when both this wrapper and an
+    /// outer caller carry one, the inner bank wins (the spec grammar's one-loss-model rule
+    /// means no parsed spec can produce that shape).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FaultedProcess::new`] rejects except the edge-scope plan itself, plus
+    /// [`CoreError::InvalidParameters`] if a vertex id exceeds the packed 32-bit edge key.
+    pub fn with_graph(
+        inner: Box<dyn SpreadingProcess + Send + 'g>,
+        plan: &FaultPlan,
+        protect: VertexId,
+        graph: &cobra_graph::Graph,
+    ) -> Result<Self> {
+        let DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good } = plan.drop else {
+            return FaultedProcess::new(inner, plan, protect);
+        };
+        if plan.drop.is_lossless() {
+            // A lossless bank could never drop anything; run the plain wrapper.
+            let global = FaultPlan { drop: DropModel::iid(0.0), ..plan.clone() };
+            return FaultedProcess::new(inner, &global, protect);
+        }
+        // Route the non-drop clauses through `new`'s validation (churn/adv/def rejection,
+        // crash-list checks) with the drop model neutralised, then attach the bank.
+        let rest = FaultPlan { drop: DropModel::iid(0.0), ..plan.clone() };
+        let mut wrapper = FaultedProcess::new(inner, &rest, protect)?;
+        wrapper.edges = Some(EdgeChannels::new(graph, p_bad, p_good, f_bad, f_good)?);
+        Ok(wrapper)
     }
 
     /// The resolved crashed set (`None` until a sampled set is drawn at the first step).
     pub fn crashed(&self) -> Option<&VertexBitset> {
         self.dynamics.crashed()
+    }
+
+    /// Number of edges whose per-edge channel is currently bad (0 without a bank).
+    pub fn num_bad_edges(&self) -> usize {
+        self.edges.as_ref().map_or(0, EdgeChannels::num_bad)
     }
 
     /// The wrapped process.
@@ -1020,10 +1416,14 @@ impl SpreadingProcess for FaultedProcess<'_> {
         // and the outer's targeted drop / severed partition pass through unchanged (the
         // plan itself never emits those shapes).
         let own = self.dynamics.begin_round(rng, outer.crashed_set());
+        if let Some(channels) = self.edges.as_mut() {
+            channels.advance(rng);
+        }
         let drop = 1.0 - (1.0 - own) * (1.0 - outer.drop_probability());
         let faults = StepFaults::new(drop, self.dynamics.crashed())
             .with_targeted(outer.targeted_drop_probability(), outer.targeted_set())
-            .with_partition(outer.severed_side());
+            .with_partition(outer.severed_side())
+            .with_edge_channels(self.edges.as_ref().or(outer.edge_channels()));
         self.inner.step_faulted(rng, &faults);
     }
 
@@ -1039,10 +1439,14 @@ impl SpreadingProcess for FaultedProcess<'_> {
     ) -> Result<()> {
         let mut rng = engine.stream(crate::parallel::FAULT_ENTITY, self.inner.round() as u64);
         let own = self.dynamics.begin_round(&mut rng, outer.crashed_set());
+        if let Some(channels) = self.edges.as_mut() {
+            channels.advance(&mut rng);
+        }
         let drop = 1.0 - (1.0 - own) * (1.0 - outer.drop_probability());
         let faults = StepFaults::new(drop, self.dynamics.crashed())
             .with_targeted(outer.targeted_drop_probability(), outer.targeted_set())
-            .with_partition(outer.severed_side());
+            .with_partition(outer.severed_side())
+            .with_edge_channels(self.edges.as_ref().or(outer.edge_channels()));
         self.inner.step_streams(engine, &faults)
     }
 
@@ -1101,6 +1505,9 @@ impl SpreadingProcess for FaultedProcess<'_> {
     fn reset(&mut self) {
         self.inner.reset();
         self.dynamics.reset();
+        if let Some(channels) = self.edges.as_mut() {
+            channels.reset();
+        }
     }
 }
 
@@ -1745,5 +2152,199 @@ mod tests {
         let b = run_churned(&spec, &family, &runner, &mut rng(13)).unwrap();
         assert_eq!(a, b, "adverse churned runs stay deterministic");
         assert!(a.rounds > 0);
+    }
+
+    fn edge_plan(p_bad: f64, p_good: f64, f_bad: f64, f_good: f64) -> FaultPlan {
+        FaultPlan {
+            drop: DropModel::EdgeGilbertElliott { p_bad, p_good, f_bad, f_good },
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn edge_scope_parses_and_displays() {
+        let plan = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5:scope=edge").unwrap();
+        assert_eq!(
+            plan.drop,
+            DropModel::EdgeGilbertElliott { p_bad: 0.1, p_good: 0.25, f_bad: 0.5, f_good: 0.0 }
+        );
+        assert_eq!(plan.to_string(), "gedrop=0.1,0.25,0.5:scope=edge");
+        // The four-field form keeps its good-state loss.
+        let four = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5,0.05:scope=edge").unwrap();
+        assert_eq!(four.to_string(), "gedrop=0.1,0.25,0.5,0.05:scope=edge");
+        // scope=global is the explicit spelling of the PR-6 aggregate channel.
+        let global = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5:scope=global").unwrap();
+        assert_eq!(
+            global.drop,
+            DropModel::GilbertElliott { p_bad: 0.1, p_good: 0.25, f_bad: 0.5, f_good: 0.0 }
+        );
+        let err = FaultPlan::parse_clauses("gedrop=0.1,0.25,0.5:scope=vertex").unwrap_err();
+        assert!(err.to_string().contains("scope"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn edge_channels_draw_nothing_while_all_edges_are_good() {
+        // The ISSUE's zero-draw acceptance criterion, asserted with the CountingRng
+        // sanitizer: one word schedules the aggregate onset clock, and every later
+        // all-good round costs zero words until that clock fires.
+        let graph = generators::complete(12).unwrap();
+        let mut channels = EdgeChannels::new(&graph, 0.001, 0.25, 0.5, 0.0).unwrap();
+        let mut counting = crate::CountingRng::new(rng(3));
+        channels.advance(&mut counting);
+        assert_eq!(counting.take_count(), 1, "round 1 draws exactly the onset-clock word");
+        assert_eq!(channels.num_bad(), 0, "channels start good");
+        let scheduled = channels.until_onset;
+        assert!(scheduled > 1, "seed chosen so the clock does not fire immediately");
+        for _ in 1..scheduled {
+            channels.advance(&mut counting);
+        }
+        assert_eq!(counting.count(), 0, "all-good rounds before the onset cost zero words");
+        // pb = 0 never schedules anything at all.
+        let mut frozen = EdgeChannels::new(&graph, 0.0, 0.25, 0.5, 0.0).unwrap();
+        for _ in 0..64 {
+            frozen.advance(&mut counting);
+        }
+        assert_eq!(counting.count(), 0, "pb=0 draws nothing, ever");
+        assert_eq!(frozen.until_onset, u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_edge_channels_alternate_in_lockstep_without_draws() {
+        // pb = pg = 1 flips every channel every round: all-good, all-bad, all-good, … —
+        // the same state sequence as the degenerate global channel — and every transition
+        // is deterministic, so the bank draws zero words throughout.
+        let graph = generators::cycle(9).unwrap();
+        let m = graph.num_edges();
+        let mut channels = EdgeChannels::new(&graph, 1.0, 1.0, 0.7, 0.0).unwrap();
+        let mut counting = crate::CountingRng::new(rng(5));
+        let mut states = Vec::new();
+        for _ in 0..6 {
+            channels.advance(&mut counting);
+            states.push(channels.num_bad());
+        }
+        assert_eq!(states, vec![0, m, 0, m, 0, m]);
+        assert_eq!(counting.count(), 0, "deterministic transitions draw nothing");
+        // Loss queries see the state the round is in.
+        channels.reset();
+        channels.advance(&mut counting);
+        assert_eq!(channels.loss(0, 1), 0.0, "good round: f_good");
+        channels.advance(&mut counting);
+        assert_eq!(channels.loss(0, 1), 0.7, "bad round: f_bad");
+        assert_eq!(channels.loss(1, 0), 0.7, "loss is orientation-independent");
+    }
+
+    #[test]
+    fn edge_channel_sojourns_scatter_bad_state_per_edge() {
+        // With pg well below 1 the bank holds a proper mix: after enough rounds some
+        // edges are bad while others are good — the state the global channel cannot
+        // represent. Run until a round shows a strict mix.
+        let graph = generators::complete(10).unwrap();
+        let m = graph.num_edges();
+        let mut channels = EdgeChannels::new(&graph, 0.3, 0.2, 0.9, 0.0).unwrap();
+        let mut r = rng(17);
+        let mut saw_mixed = false;
+        for _ in 0..200 {
+            channels.advance(&mut r);
+            let bad = channels.num_bad();
+            if bad > 0 && bad < m {
+                saw_mixed = true;
+                break;
+            }
+        }
+        assert!(saw_mixed, "per-edge channels must de-synchronise");
+        // And the loss query distinguishes the two populations within one round.
+        let (mut bad_seen, mut good_seen) = (false, false);
+        for (u, v) in graph.edges() {
+            let loss = channels.loss(u, v);
+            if loss == 0.9 {
+                bad_seen = true;
+            } else if loss == 0.0 {
+                good_seen = true;
+            } else {
+                panic!("loss must be one of the state losses, got {loss}");
+            }
+        }
+        assert!(bad_seen && good_seen);
+    }
+
+    #[test]
+    fn faulted_new_rejects_edge_scope_and_with_graph_accepts_it() {
+        let graph = generators::complete(16).unwrap();
+        let spec = ProcessSpec::push();
+        let plan = edge_plan(0.1, 0.25, 0.5, 0.0);
+        let err =
+            FaultedProcess::new(spec.build(&graph).unwrap(), &plan, 0).unwrap_err().to_string();
+        assert!(err.contains("with_graph"), "must point at the graph-aware constructor: {err}");
+        let faulted =
+            FaultedProcess::with_graph(spec.build(&graph).unwrap(), &plan, 0, &graph).unwrap();
+        assert_eq!(faulted.num_bad_edges(), 0, "channels start good");
+        // A lossless edge plan needs no bank and behaves as a benign wrapper.
+        let lossless = edge_plan(0.3, 0.7, 0.0, 0.0);
+        let benign =
+            FaultedProcess::with_graph(spec.build(&graph).unwrap(), &lossless, 0, &graph).unwrap();
+        assert_eq!(benign.num_bad_edges(), 0);
+    }
+
+    #[test]
+    fn edge_scope_drop_slows_cover_but_still_completes() {
+        // The monotone-process argument again, now against the per-edge bank.
+        let graph = generators::complete(64).unwrap();
+        let spec = ProcessSpec::push();
+        let plan = edge_plan(0.1875, 0.125, 0.8, 0.0);
+        let mut totals = [0usize; 2];
+        for seed in 0..5u64 {
+            let mut bare = spec.build(&graph).unwrap();
+            totals[0] += run_until_complete(bare.as_mut(), &mut rng(seed), 100_000).unwrap();
+            let mut faulted =
+                FaultedProcess::with_graph(spec.build(&graph).unwrap(), &plan, 0, &graph).unwrap();
+            totals[1] += run_until_complete(&mut faulted, &mut rng(seed), 100_000).unwrap();
+        }
+        assert!(
+            totals[1] > totals[0],
+            "per-edge bursty loss must slow covering: bare {} vs faulted {}",
+            totals[0],
+            totals[1]
+        );
+    }
+
+    #[test]
+    fn edge_scope_runs_are_deterministic_and_reset_replays() {
+        let graph = generators::complete(24).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let plan = edge_plan(0.2, 0.3, 0.6, 0.0);
+        let run = |seed: u64| {
+            let mut faulted =
+                FaultedProcess::with_graph(spec.build(&graph).unwrap(), &plan, 0, &graph).unwrap();
+            run_until_complete(&mut faulted, &mut rng(seed), 100_000)
+        };
+        assert_eq!(run(23), run(23), "same seed, same trajectory");
+        // reset() restores the bank to all-good so a rebuilt RNG replays identically.
+        let mut faulted =
+            FaultedProcess::with_graph(spec.build(&graph).unwrap(), &plan, 0, &graph).unwrap();
+        let first = run_until_complete(&mut faulted, &mut rng(23), 100_000);
+        faulted.reset();
+        assert_eq!(faulted.num_bad_edges(), 0, "reset restores all-good channels");
+        let second = run_until_complete(&mut faulted, &mut rng(23), 100_000);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn step_faults_consult_the_edge_bank_only_when_present() {
+        let graph = generators::cycle(6).unwrap();
+        let mut channels = EdgeChannels::new(&graph, 1.0, 1.0, 0.75, 0.0).unwrap();
+        let mut r = rng(1);
+        channels.advance(&mut r); // round 1: all good
+        channels.advance(&mut r); // round 2: all bad
+        let faults = StepFaults::NONE.with_edge_channels(Some(&channels));
+        assert_eq!(faults.edge_drop_probability(0, 1), 0.75);
+        let mut counting = crate::CountingRng::new(rng(2));
+        let _ = faults.drops_on_edge(&mut counting, 0, 1);
+        assert_eq!(counting.take_count(), 1, "a lossy edge costs one gen_bool word");
+        // Without a bank the query is free and never drops.
+        assert_eq!(StepFaults::NONE.edge_drop_probability(0, 1), 0.0);
+        assert!(!StepFaults::NONE.drops_on_edge(&mut counting, 0, 1));
+        assert_eq!(counting.count(), 0, "no bank, no draw");
+        assert!(StepFaults::NONE.is_benign());
+        assert!(!faults.is_benign(), "an attached bank is not benign");
     }
 }

@@ -49,6 +49,12 @@ pub fn exact_expected_next_size(
             reason: "the persistent source must belong to the infected set".to_string(),
         });
     }
+    if matches!(branching, Branching::PerVertex { .. }) {
+        // Mirrors `BipsProcess::new`: a per-sender degree budget has no meaning for pulls.
+        return Err(CoreError::InvalidParameters {
+            reason: "k=deg budgets are a COBRA (push) feature and undefined for BIPS".to_string(),
+        });
+    }
     let mut is_infected = vec![false; n];
     for &v in infected {
         is_infected[v] = true;
@@ -67,6 +73,7 @@ pub fn exact_expected_next_size(
         let p = match branching {
             Branching::Fixed { k } => 1.0 - (1.0 - q).powi(k as i32),
             Branching::Fractional { rho } => 1.0 - (1.0 - q) * (1.0 - rho * q),
+            Branching::PerVertex { .. } => unreachable!("rejected at entry"),
         };
         expectation += p;
     }
@@ -92,6 +99,9 @@ pub fn growth_lower_bound(set_size: usize, n: usize, lambda: f64, branching: Bra
             }
         }
         Branching::Fractional { rho } => a * (1.0 + rho * slack),
+        // A degree budget guarantees only one push on degree-1 vertices, so (without the
+        // graph's degree sequence in hand) only the trivial bound |A| is safe.
+        Branching::PerVertex { .. } => a,
     }
 }
 

@@ -96,6 +96,7 @@ pub fn build_dense<'g>(
 pub struct DenseCobra<'g> {
     graph: &'g Graph,
     branching: Branching,
+    budgets: Option<Vec<u32>>,
     active: Vec<bool>,
     next_active: Vec<bool>,
     num_active: usize,
@@ -113,9 +114,20 @@ impl<'g> DenseCobra<'g> {
         active[start] = true;
         let mut visited = vec![false; n];
         visited[start] = true;
+        // Resolve degree budgets up front, exactly as `CobraProcess` does.
+        let budgets = match branching {
+            Branching::PerVertex { cap } => Some(
+                graph
+                    .vertices()
+                    .map(|v| u32::try_from(graph.degree(v)).unwrap_or(u32::MAX).min(cap))
+                    .collect(),
+            ),
+            _ => None,
+        };
         DenseCobra {
             graph,
             branching,
+            budgets,
             active,
             next_active: vec![false; n],
             num_active: 1,
@@ -140,7 +152,10 @@ impl DenseProcess for DenseCobra<'_> {
             if degree == 0 {
                 continue;
             }
-            let pushes = self.branching.sample_pushes(rng);
+            let pushes = match &self.budgets {
+                Some(budgets) => budgets[u],
+                None => self.branching.sample_pushes(rng),
+            };
             for _ in 0..pushes {
                 let target = self.graph.neighbor(u, rng.gen_range(0..degree));
                 if !self.next_active[target] {

@@ -330,6 +330,19 @@ impl ProcessSpec {
                 )?)
             }
             ProcessSpec::Faulted { ref inner, ref plan } => {
+                if matches!(plan.drop, crate::fault::DropModel::EdgeGilbertElliott { .. })
+                    && (plan.adversary.is_some() || plan.defense.is_some())
+                {
+                    // The adversary/defense engines run the oblivious clauses through
+                    // graph-blind PlanDynamics layers that cannot carry an edge bank.
+                    return Err(CoreError::InvalidSpec {
+                        spec: self.to_string(),
+                        reason: "gedrop=…:scope=edge cannot be combined with adv=/def= \
+                                 policies; use the global gedrop channel (no :scope=edge) \
+                                 alongside state-aware policies"
+                            .to_string(),
+                    });
+                }
                 if plan.defense.is_some() {
                     // Defended plans wrap outermost: the defense engine builds the
                     // adversarial/faulted interior itself.
@@ -342,7 +355,9 @@ impl ProcessSpec {
                     return crate::adversary::build_adversarial(inner, plan, graph);
                 }
                 let process = inner.build(graph)?;
-                Box::new(FaultedProcess::new(process, plan, inner.start())?)
+                // `with_graph` is `new` for every plan except `scope=edge` ones, whose
+                // per-edge channel bank needs the instance's edge set.
+                Box::new(FaultedProcess::with_graph(process, plan, inner.start(), graph)?)
             }
         })
     }
@@ -426,6 +441,21 @@ impl ProcessSpec {
                 defense: Some(crate::defense::DefenseSpec::BoostK { window: 8, cap: 4 }),
                 ..FaultPlan::default()
             }),
+            // Heterogeneous workloads (E12): degree-proportional budgets, capped at 4,
+            // under per-edge Gilbert–Elliott bursts — loss hits individual links.
+            ProcessSpec::Cobra { branching: Branching::PerVertex { cap: 4 }, start: 0 }.faulted(
+                FaultPlan {
+                    drop: crate::fault::DropModel::EdgeGilbertElliott {
+                        p_bad: 0.1,
+                        p_good: 0.25,
+                        f_bad: 0.5,
+                        f_good: 0.0,
+                    },
+                    ..FaultPlan::default()
+                },
+            ),
+            // Uncapped k=deg budgets on the bare process.
+            ProcessSpec::Cobra { branching: Branching::PerVertex { cap: u32::MAX }, start: 0 },
         ]
     }
 }
@@ -441,6 +471,12 @@ impl fmt::Display for ProcessSpec {
                 match branching {
                     Branching::Fixed { k } => parts.push(format!("k={k}")),
                     Branching::Fractional { rho } => parts.push(format!("rho={rho}")),
+                    // No comma inside the value: `deg:cap=8` must survive the
+                    // comma-splitting argument parser on the way back in.
+                    Branching::PerVertex { cap } if *cap == u32::MAX => {
+                        parts.push("k=deg".to_string())
+                    }
+                    Branching::PerVertex { cap } => parts.push(format!("k=deg:cap={cap}")),
                 }
             }
             ProcessSpec::MultipleWalks { walkers, .. } => parts.push(format!("w={walkers}")),
@@ -569,20 +605,47 @@ fn parse_spec(text: &str) -> Result<ProcessSpec> {
     let mut args = SpecArgs::parse(rest)?;
     let start: VertexId = args.take_aliased("start", "source")?.unwrap_or(0);
     let branching = |args: &mut SpecArgs| -> Result<Branching> {
-        let k: Option<u32> = args.take_parsed("k")?;
+        let k: Option<String> = args.take("k");
         let rho: Option<f64> = args.take_parsed("rho")?;
         match (k, rho) {
             (Some(_), Some(_)) => Err(CoreError::InvalidParameters {
                 reason: "specify either k= or rho=, not both".to_string(),
             }),
-            (Some(k), None) => Branching::fixed(k),
+            (Some(raw), None) => {
+                if raw == "deg" {
+                    Branching::per_vertex(u32::MAX)
+                } else if let Some(cap) = raw.strip_prefix("deg:cap=") {
+                    Branching::per_vertex(cap.parse().map_err(|_| {
+                        CoreError::InvalidParameters {
+                            reason: format!("invalid budget cap in `k={raw}`"),
+                        }
+                    })?)
+                } else {
+                    Branching::fixed(raw.parse().map_err(|_| CoreError::InvalidParameters {
+                        reason: format!(
+                            "invalid value {raw:?} for `k` (expected an integer, `deg`, or \
+                             `deg:cap=N`)"
+                        ),
+                    })?)
+                }
+            }
             (None, Some(rho)) => Branching::fractional(rho),
             (None, None) => Branching::fixed(2),
         }
     };
     let spec = match name.to_ascii_lowercase().as_str() {
         "cobra" => ProcessSpec::Cobra { branching: branching(&mut args)?, start },
-        "bips" => ProcessSpec::Bips { branching: branching(&mut args)?, start },
+        "bips" => {
+            let branching = branching(&mut args)?;
+            if matches!(branching, Branching::PerVertex { .. }) {
+                return Err(CoreError::InvalidParameters {
+                    reason: "k=deg budgets are a COBRA (push) feature; BIPS pulls k samples \
+                             at every vertex, so a per-sender degree budget has no meaning"
+                        .to_string(),
+                });
+            }
+            ProcessSpec::Bips { branching, start }
+        }
         "walk" | "rw" | "random-walk" => ProcessSpec::RandomWalk { start },
         "multiwalk" | "walks" | "multi-walk" => {
             let walkers =
@@ -732,6 +795,90 @@ mod tests {
             let rounds = run_until_complete(process.as_mut(), &mut rng, 100_000);
             assert!(rounds.is_some(), "{spec} failed to complete on K_16");
         }
+    }
+
+    #[test]
+    fn every_process_rejects_isolated_vertices() {
+        // Regression for the contact process (which used to run to its round budget on
+        // such graphs), pinned for every process the spec grammar can build: vertex 3
+        // has no edges, so nothing can ever reach it.
+        let isolated = cobra_graph::Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        for spec in ProcessSpec::examples() {
+            match spec.build(&isolated) {
+                Err(CoreError::UnsuitableGraph { reason }) => {
+                    assert!(reason.contains("isolated"), "{spec}: {reason}");
+                }
+                Err(other) => panic!("{spec}: expected UnsuitableGraph, got {other:?}"),
+                Ok(_) => panic!("{spec}: must not build on a graph with an isolated vertex"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_vertex_budget_specs_parse_display_and_reject_misuse() {
+        // `k=deg` and `k=deg:cap=N` round-trip (the cap spelling uses `:` precisely so it
+        // survives the comma-splitting argument parser).
+        let deg: ProcessSpec = "cobra:k=deg".parse().unwrap();
+        assert_eq!(
+            deg,
+            ProcessSpec::Cobra { branching: Branching::PerVertex { cap: u32::MAX }, start: 0 }
+        );
+        assert_eq!(deg.to_string(), "cobra:k=deg");
+        let capped: ProcessSpec = "cobra:k=deg:cap=8".parse().unwrap();
+        assert_eq!(
+            capped,
+            ProcessSpec::Cobra { branching: Branching::PerVertex { cap: 8 }, start: 0 }
+        );
+        assert_eq!(capped.to_string(), "cobra:k=deg:cap=8");
+        // Budgets are a push-side feature: BIPS rejects them at parse with the full spec.
+        match "bips:k=deg".parse::<ProcessSpec>() {
+            Err(CoreError::InvalidSpec { spec, reason }) => {
+                assert_eq!(spec, "bips:k=deg");
+                assert!(reason.contains("COBRA"), "{reason}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert!("bips:k=deg:cap=4".parse::<ProcessSpec>().is_err());
+        assert!("cobra:k=deg:cap=0".parse::<ProcessSpec>().is_err(), "cap=0 pushes nothing");
+        assert!("cobra:k=deg:cap=".parse::<ProcessSpec>().is_err());
+        // And `k=deg` means nothing to the non-branching processes.
+        assert!("push:k=deg".parse::<ProcessSpec>().is_err());
+        assert!("rw:k=deg".parse::<ProcessSpec>().is_err());
+    }
+
+    #[test]
+    fn edge_scope_channels_reject_policy_combos_and_double_loss() {
+        // One loss model per plan: the existing drop=/gedrop= exclusion covers the new
+        // scope spelling too.
+        match "cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge+drop=0.2".parse::<ProcessSpec>() {
+            Err(CoreError::InvalidSpec { spec, .. }) => {
+                assert_eq!(spec, "cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge+drop=0.2");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        // Per-edge channels and state-aware policies are rejected at build (the policies
+        // run through engines that see only the global channel).
+        let graph = generators::complete(8).unwrap();
+        for text in [
+            "cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge+adv=dropfront:f=0.5",
+            "cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge+def=boostk",
+        ] {
+            let spec: ProcessSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            let canonical = spec.to_string();
+            match spec.build(&graph) {
+                Err(CoreError::InvalidSpec { spec: full, reason }) => {
+                    assert_eq!(full, canonical, "the error must echo the full spec");
+                    assert!(reason.contains("scope=edge"), "{reason}");
+                }
+                Err(other) => panic!("{text}: expected InvalidSpec, got {other:?}"),
+                Ok(_) => panic!("{text}: edge channels must not combine with policies"),
+            }
+        }
+        // The happy path builds and completes (monotone PUSH so completion is sure).
+        let spec: ProcessSpec = "push+gedrop=0.1,0.25,0.5:scope=edge".parse().unwrap();
+        let mut process = spec.build(&graph).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(77);
+        assert!(run_until_complete(process.as_mut(), &mut rng, 100_000).is_some());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | E9b | Adversity v2 — bursty Gilbert–Elliott drop at matched stationary loss, transient crash/repair | [`exp_faults`] |
 //! | E10 | Adaptive adversity — frontier-aware crash/drop/partition policies vs matched-budget oblivious rows | [`exp_adversary`] |
 //! | E11 | Defense policies — recovery from the adaptive adversary, `budget= × rate=` lethality phase boundary | [`exp_defense`] |
+//! | E12 | Heterogeneous networks — power-law (Chung–Lu) topology, per-edge Gilbert–Elliott channels, degree-proportional budgets | [`exp_hetero`] |
 //!
 //! Every experiment is deterministic given a master seed and comes in a `quick` preset (used
 //! by unit tests and `cargo bench` smoke runs) and a `full` preset (used by the `repro`
@@ -46,6 +47,7 @@ pub mod exp_duality;
 pub mod exp_faults;
 pub mod exp_gap;
 pub mod exp_growth;
+pub mod exp_hetero;
 pub mod exp_infection;
 pub mod exp_phases;
 pub mod instances;

@@ -5,7 +5,7 @@ use cobra_stats::rng::SeedSequence;
 use crate::result::ExperimentResult;
 use crate::{
     exp_adversary, exp_baselines, exp_branching, exp_cover, exp_defense, exp_duality, exp_faults,
-    exp_gap, exp_growth, exp_infection, exp_phases,
+    exp_gap, exp_growth, exp_hetero, exp_infection, exp_phases,
 };
 
 /// Identifiers of the experiments, matching the per-experiment index in `DESIGN.md`.
@@ -35,11 +35,13 @@ pub enum ExperimentId {
     E10,
     /// Defense policies: recovery from the adaptive adversary and the lethality boundary.
     E11,
+    /// Heterogeneous networks: power-law topology, per-edge channels, degree budgets.
+    E12,
 }
 
 impl ExperimentId {
     /// All experiments in index order.
-    pub fn all() -> [ExperimentId; 12] {
+    pub fn all() -> [ExperimentId; 13] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -53,6 +55,7 @@ impl ExperimentId {
             ExperimentId::E9b,
             ExperimentId::E10,
             ExperimentId::E11,
+            ExperimentId::E12,
         ]
     }
 
@@ -71,6 +74,7 @@ impl ExperimentId {
             "e9b" => Some(ExperimentId::E9b),
             "e10" => Some(ExperimentId::E10),
             "e11" => Some(ExperimentId::E11),
+            "e12" => Some(ExperimentId::E12),
             _ => None,
         }
     }
@@ -97,6 +101,10 @@ impl ExperimentId {
             ExperimentId::E11 => {
                 "Defense policies: recovery from the adaptive adversary and the \
                  budget x rate lethality boundary"
+            }
+            ExperimentId::E12 => {
+                "Heterogeneous networks: power-law (Chung-Lu) topology, per-edge \
+                 Gilbert-Elliott channels and degree-proportional budgets"
             }
         }
     }
@@ -159,6 +167,8 @@ pub fn run_experiment(id: ExperimentId, preset: Preset, seed: u64) -> Experiment
         }
         (ExperimentId::E11, Preset::Quick) => exp_defense::run(&exp_defense::Config::quick(), &seq),
         (ExperimentId::E11, Preset::Full) => exp_defense::run(&exp_defense::Config::full(), &seq),
+        (ExperimentId::E12, Preset::Quick) => exp_hetero::run(&exp_hetero::Config::quick(), &seq),
+        (ExperimentId::E12, Preset::Full) => exp_hetero::run(&exp_hetero::Config::full(), &seq),
     }
 }
 
@@ -177,8 +187,10 @@ mod tests {
         assert_eq!(ExperimentId::parse("E10"), Some(ExperimentId::E10));
         assert_eq!(ExperimentId::parse("e11"), Some(ExperimentId::E11));
         assert_eq!(ExperimentId::parse("E11"), Some(ExperimentId::E11));
-        assert_eq!(ExperimentId::parse("e12"), None);
-        assert_eq!(ExperimentId::all().len(), 12);
+        assert_eq!(ExperimentId::parse("e12"), Some(ExperimentId::E12));
+        assert_eq!(ExperimentId::parse("E12"), Some(ExperimentId::E12));
+        assert_eq!(ExperimentId::parse("e13"), None);
+        assert_eq!(ExperimentId::all().len(), 13);
         for id in ExperimentId::all() {
             assert!(!id.description().is_empty());
         }

@@ -132,6 +132,67 @@ impl Graph {
         Ok(graph)
     }
 
+    /// Rebuilds a graph from raw CSR arrays, validating every structural invariant.
+    ///
+    /// This is the decode path of the binary CSR cache (see
+    /// [`io::load_edge_list_file`](crate::io::load_edge_list_file)): the arrays come from
+    /// disk, so nothing is trusted. Validation is `O(m log Δ)` — monotone offsets, strictly
+    /// ascending loop-free adjacency rows, in-range endpoints, and full symmetry (every arc
+    /// `(u, v)` must have its mirror `(v, u)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] for malformed offsets or asymmetry, and the
+    /// same per-edge errors as [`Graph::from_edges`] for bad rows.
+    pub fn from_raw_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self> {
+        let structural = |reason: String| GraphError::InvalidParameters { reason };
+        if offsets.first() != Some(&0) {
+            return Err(structural("CSR offsets must start with 0".to_string()));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(structural("CSR offsets must be non-decreasing".to_string()));
+        }
+        if *offsets.last().expect("checked non-empty above") != neighbors.len() {
+            return Err(structural(format!(
+                "CSR offsets end at {} but there are {} arcs",
+                offsets.last().expect("checked non-empty above"),
+                neighbors.len()
+            )));
+        }
+        let n = offsets.len() - 1;
+        let graph = Graph { offsets, neighbors };
+        for u in 0..n {
+            let row = graph.neighbors(u);
+            for (i, &v) in row.iter().enumerate() {
+                if v >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: n });
+                }
+                if v == u {
+                    return Err(GraphError::SelfLoop { vertex: u });
+                }
+                if i > 0 && row[i - 1] == v {
+                    return Err(GraphError::DuplicateEdge { u: u.min(v), v: u.max(v) });
+                }
+                if i > 0 && row[i - 1] > v {
+                    return Err(structural(format!(
+                        "CSR adjacency row of vertex {u} is not sorted"
+                    )));
+                }
+                if graph.neighbors(v).binary_search(&u).is_err() {
+                    return Err(structural(format!(
+                        "CSR rows are not symmetric: arc ({u}, {v}) has no mirror"
+                    )));
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// The raw CSR arrays `(offsets, neighbors)` — the encode path of the binary cache.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// Number of vertices `n`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -443,6 +504,43 @@ mod tests {
         let dbg = format!("{g:?}");
         assert!(dbg.contains("num_vertices"));
         assert!(dbg.contains('3'));
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let (offsets, neighbors) = g.raw_parts();
+        let g2 = Graph::from_raw_parts(offsets.to_vec(), neighbors.to_vec()).unwrap();
+        assert_eq!(g, g2);
+        let empty = Graph::from_raw_parts(vec![0], Vec::new()).unwrap();
+        assert_eq!(empty, Graph::default());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_arrays() {
+        // Empty offsets.
+        assert!(Graph::from_raw_parts(Vec::new(), Vec::new()).is_err());
+        // Offsets not starting at 0.
+        assert!(Graph::from_raw_parts(vec![1, 2], vec![0, 0]).is_err());
+        // Decreasing offsets.
+        assert!(Graph::from_raw_parts(vec![0, 2, 1], vec![1, 0]).is_err());
+        // Offsets not covering the arc array.
+        assert!(Graph::from_raw_parts(vec![0, 1, 2], vec![1, 0, 1]).is_err());
+        // Out-of-range endpoint.
+        let err = Graph::from_raw_parts(vec![0, 1, 2], vec![5, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+        // Self-loop.
+        let err = Graph::from_raw_parts(vec![0, 1, 1], vec![0]).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+        // Duplicate arc in a row.
+        let err = Graph::from_raw_parts(vec![0, 2, 4], vec![1, 1, 0, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+        // Unsorted row.
+        let err = Graph::from_raw_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
+        // Missing mirror arc.
+        let err = Graph::from_raw_parts(vec![0, 1, 1], vec![1]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
     }
 
     #[test]

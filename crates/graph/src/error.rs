@@ -45,6 +45,13 @@ pub enum GraphError {
         /// Description of the problem.
         reason: String,
     },
+    /// A file-backed graph could not be read from disk.
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// Description of the underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -68,6 +75,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, reason } => {
                 write!(f, "parse error on line {line}: {reason}")
+            }
+            GraphError::Io { path, reason } => {
+                write!(f, "cannot read graph file {path:?}: {reason}")
             }
         }
     }
@@ -97,6 +107,10 @@ mod tests {
                 "graph generation failed",
             ),
             (GraphError::Parse { line: 4, reason: "bad token".into() }, "parse error on line 4"),
+            (
+                GraphError::Io { path: "net.edges".into(), reason: "not found".into() },
+                "cannot read graph file",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

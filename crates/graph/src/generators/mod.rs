@@ -28,7 +28,10 @@ pub use circulant::{circulant, cycle_power};
 pub use composite::{barbell, lollipop, ring_of_cliques};
 pub use hypercube::hypercube;
 pub use named::{bull, diamond, petersen, triangle};
-pub use random::{configuration_model, connected_random_regular, erdos_renyi_gnp, random_regular};
+pub use random::{
+    chung_lu, configuration_model, connected_chung_lu, connected_random_regular, erdos_renyi_gnp,
+    random_regular,
+};
 pub use torus::{grid_2d, torus, torus_2d};
 pub use trees::{balanced_tree, binary_tree, caterpillar};
 
@@ -125,6 +128,27 @@ pub enum GraphFamily {
         /// Height (a single root at height 0).
         height: u32,
     },
+    /// Chung–Lu expected-degree power-law graph with exponent `gamma` and target mean
+    /// degree `d`, resampled until connected (isolated vertices would otherwise be rejected
+    /// loudly by every process).
+    ChungLu {
+        /// Number of vertices.
+        n: usize,
+        /// Power-law exponent (`> 2`).
+        gamma: f64,
+        /// Target mean degree.
+        d: f64,
+    },
+    /// An edge list loaded from disk (SNAP-style text, with a binary CSR cache beside it).
+    /// `lenient` tolerates real-world quirks: unordered/1-indexed/duplicate edges,
+    /// self-loops, and no `n m` header. See
+    /// [`io::load_edge_list_file`](crate::io::load_edge_list_file).
+    File {
+        /// Path of the edge-list file.
+        path: String,
+        /// Tolerate headerless real-world exports instead of the strict `n m` format.
+        lenient: bool,
+    },
 }
 
 impl GraphFamily {
@@ -148,6 +172,8 @@ impl GraphFamily {
             GraphFamily::Star { n } => star(*n),
             GraphFamily::CompleteBipartite { a, b } => complete_bipartite(*a, *b),
             GraphFamily::BalancedTree { branching, height } => balanced_tree(*branching, *height),
+            GraphFamily::ChungLu { n, gamma, d } => connected_chung_lu(*n, *gamma, *d, rng),
+            GraphFamily::File { path, lenient } => crate::io::load_edge_list_file(path, *lenient),
         }
     }
 
@@ -174,10 +200,19 @@ impl GraphFamily {
             GraphFamily::BalancedTree { branching, height } => {
                 format!("balanced-tree-b{branching}-h{height}")
             }
+            GraphFamily::ChungLu { n, gamma, d } => format!("chung-lu-n{n}-g{gamma}-d{d}"),
+            GraphFamily::File { path, .. } => {
+                let stem =
+                    std::path::Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path);
+                format!("file-{stem}")
+            }
         }
     }
 
     /// Number of vertices the instantiated graph will have.
+    ///
+    /// For [`GraphFamily::File`] the count is unknown until the file is read, so this
+    /// returns `0`; call [`instantiate`](Self::instantiate) and ask the graph instead.
     pub fn num_vertices(&self) -> usize {
         match self {
             GraphFamily::Complete { n } | GraphFamily::Cycle { n } => *n,
@@ -200,6 +235,8 @@ impl GraphFamily {
                 }
                 total
             }
+            GraphFamily::ChungLu { n, .. } => *n,
+            GraphFamily::File { .. } => 0,
         }
     }
 }
@@ -221,6 +258,8 @@ impl GraphFamily {
 /// | star | `star:n=64` |
 /// | complete bipartite | `complete-bipartite:a=8,b=8` |
 /// | balanced tree | `balanced-tree:b=3,h=4` (aliases `branching=`, `height=`) |
+/// | Chung–Lu power law | `chung-lu:n=256,gamma=2.5,d=8` (`d` optional, default 8; alias `cl`) |
+/// | edge-list file | `file:path=nets/topo.edges` (`lenient=true` for SNAP-style exports) |
 impl fmt::Display for GraphFamily {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -243,6 +282,16 @@ impl fmt::Display for GraphFamily {
             GraphFamily::CompleteBipartite { a, b } => write!(f, "complete-bipartite:a={a},b={b}"),
             GraphFamily::BalancedTree { branching, height } => {
                 write!(f, "balanced-tree:b={branching},h={height}")
+            }
+            GraphFamily::ChungLu { n, gamma, d } => {
+                write!(f, "chung-lu:n={n},gamma={gamma},d={d}")
+            }
+            GraphFamily::File { path, lenient } => {
+                write!(f, "file:path={path}")?;
+                if *lenient {
+                    write!(f, ",lenient=true")?;
+                }
+                Ok(())
             }
         }
     }
@@ -336,11 +385,42 @@ impl std::str::FromStr for GraphFamily {
                     .map_err(|_| invalid(format!("invalid value {raw:?} for `h`")))?;
                 GraphFamily::BalancedTree { branching, height }
             }
+            "chung-lu" | "chunglu" | "cl" => {
+                let raw = require("gamma", take("gamma").or_else(|| take("g")))?;
+                let gamma = raw
+                    .parse::<f64>()
+                    .map_err(|_| invalid(format!("invalid value {raw:?} for `gamma`")))?;
+                let d = match take("d") {
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .map_err(|_| invalid(format!("invalid value {raw:?} for `d`")))?,
+                    None => 8.0,
+                };
+                GraphFamily::ChungLu { n: parse_usize("n", &require("n", take("n"))?)?, gamma, d }
+            }
+            "file" => {
+                let path = require("path", take("path"))?;
+                if path.is_empty() {
+                    return Err(invalid(format!("graph spec {text:?} requires a non-empty path")));
+                }
+                let lenient = match take("lenient") {
+                    None => false,
+                    Some("true") | Some("1") | Some("yes") => true,
+                    Some("false") | Some("0") | Some("no") => false,
+                    Some(other) => {
+                        return Err(invalid(format!(
+                            "invalid value {other:?} for `lenient` (expected true or false)"
+                        )))
+                    }
+                };
+                GraphFamily::File { path, lenient }
+            }
             other => {
                 return Err(invalid(format!(
                     "unknown graph family {other:?} (expected complete, cycle, hypercube, \
                      random-regular, torus, cycle-power, ring-of-cliques, erdos-renyi, \
-                     barbell, lollipop, star, complete-bipartite or balanced-tree)"
+                     barbell, lollipop, star, complete-bipartite, balanced-tree, chung-lu \
+                     or file)"
                 )))
             }
         };
@@ -375,6 +455,7 @@ mod tests {
             GraphFamily::Star { n: 11 },
             GraphFamily::CompleteBipartite { a: 4, b: 7 },
             GraphFamily::BalancedTree { branching: 3, height: 3 },
+            GraphFamily::ChungLu { n: 64, gamma: 3.0, d: 8.0 },
         ];
         for family in families {
             let g = family.instantiate(&mut rng).unwrap();
@@ -382,6 +463,25 @@ mod tests {
             assert!(crate::ops::is_connected(&g), "family {family:?} should be connected");
             assert!(!family.label().is_empty());
         }
+    }
+
+    #[test]
+    fn file_family_loads_from_disk() {
+        let g = crate::generators::petersen().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join("cobra_family_file_test.edges");
+        let path_str = path.to_str().unwrap().to_string();
+        std::fs::write(&path, crate::io::to_edge_list(&g)).unwrap();
+        let family = GraphFamily::File { path: path_str.clone(), lenient: false };
+        assert_eq!(family.num_vertices(), 0, "vertex count unknown before the file is read");
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let loaded = family.instantiate(&mut rng).unwrap();
+        assert_eq!(loaded, g);
+        assert!(family.label().starts_with("file-"));
+        let missing = GraphFamily::File { path: "/no/such/file.edges".into(), lenient: false };
+        assert!(missing.instantiate(&mut rng).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{path_str}.csrcache"));
     }
 
     #[test]
@@ -416,6 +516,9 @@ mod tests {
             GraphFamily::Star { n: 64 },
             GraphFamily::CompleteBipartite { a: 8, b: 9 },
             GraphFamily::BalancedTree { branching: 3, height: 4 },
+            GraphFamily::ChungLu { n: 256, gamma: 2.5, d: 8.0 },
+            GraphFamily::File { path: "nets/topo.edges".into(), lenient: false },
+            GraphFamily::File { path: "nets/topo.edges".into(), lenient: true },
         ];
         for family in families {
             let text = family.to_string();
@@ -450,6 +553,23 @@ mod tests {
             "lollipop:k=8,p=4".parse::<GraphFamily>().unwrap(),
             GraphFamily::Lollipop { k: 8, path: 4 }
         );
+        assert_eq!(
+            "cl:n=128,gamma=2.5".parse::<GraphFamily>().unwrap(),
+            GraphFamily::ChungLu { n: 128, gamma: 2.5, d: 8.0 }
+        );
+        assert_eq!(
+            "chung-lu:n=128,g=3,d=6".parse::<GraphFamily>().unwrap(),
+            GraphFamily::ChungLu { n: 128, gamma: 3.0, d: 6.0 }
+        );
+        assert_eq!(
+            "file:path=a/b.edges,lenient=yes".parse::<GraphFamily>().unwrap(),
+            GraphFamily::File { path: "a/b.edges".into(), lenient: true }
+        );
+        assert!("file".parse::<GraphFamily>().is_err()); // missing path
+        assert!("file:path=".parse::<GraphFamily>().is_err()); // empty path
+        assert!("file:path=x,lenient=maybe".parse::<GraphFamily>().is_err());
+        assert!("chung-lu:n=128".parse::<GraphFamily>().is_err()); // missing gamma
+        assert!("chung-lu:n=128,gamma=abc".parse::<GraphFamily>().is_err());
         assert!("mystery:n=3".parse::<GraphFamily>().is_err());
         assert!("complete".parse::<GraphFamily>().is_err());
         assert!("complete:n=abc".parse::<GraphFamily>().is_err());

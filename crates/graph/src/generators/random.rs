@@ -215,6 +215,90 @@ pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
     Graph::from_edges(n, &edges)
 }
 
+/// The Chung–Lu expected-degree power-law graph: vertex `i` gets weight
+/// `w_i ∝ (n / (i + 1))^{1/(γ-1)}`, weights are rescaled so the mean expected degree is
+/// `mean_degree`, and each edge `{i, j}` is present independently with probability
+/// `min(1, w_i · w_j / Σw)`.
+///
+/// This is the heterogeneous-degree workload family: the realised degree sequence follows a
+/// power law with exponent `γ`, so a handful of hubs coexist with many low-degree vertices —
+/// the regime of the AMI-mesh and relay networks the COBRA robustness experiments target.
+/// Like [`erdos_renyi_gnp`], the output is **not** resampled for connectivity and may contain
+/// isolated vertices (the processes reject those loudly); use [`connected_chung_lu`] for
+/// experiment instances.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < 2`, `γ <= 2` (infinite-mean regime), or
+/// `mean_degree` is not in `(0, n)`.
+pub fn chung_lu<R: Rng>(n: usize, gamma: f64, mean_degree: f64, rng: &mut R) -> Result<Graph> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("chung-lu graph needs at least 2 vertices, got n = {n}"),
+        });
+    }
+    if !gamma.is_finite() || gamma <= 2.0 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("power-law exponent gamma = {gamma} must be finite and > 2"),
+        });
+    }
+    if !mean_degree.is_finite() || mean_degree <= 0.0 || mean_degree >= n as f64 {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("mean degree d = {mean_degree} must be in (0, n = {n})"),
+        });
+    }
+    let exponent = 1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> =
+        (0..n).map(|i| (n as f64 / (i + 1) as f64).powf(exponent)).collect();
+    let raw_mean = weights.iter().sum::<f64>() / n as f64;
+    for w in &mut weights {
+        *w *= mean_degree / raw_mean;
+    }
+    let total: f64 = weights.iter().sum();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Generates a **connected** Chung–Lu graph, resampling until connected.
+///
+/// The minimum expected degree is `mean_degree` scaled down by the weight spread, so for
+/// small `mean_degree` a given sample frequently has isolated vertices; the attempt budget
+/// absorbs that, and exhausting it reports loudly instead of handing an unusable instance to
+/// an experiment.
+///
+/// # Errors
+///
+/// Same parameter errors as [`chung_lu`], plus [`GraphError::GenerationFailed`] if no
+/// connected instance is found within the attempt budget.
+pub fn connected_chung_lu<R: Rng>(
+    n: usize,
+    gamma: f64,
+    mean_degree: f64,
+    rng: &mut R,
+) -> Result<Graph> {
+    const ATTEMPTS: usize = 200;
+    for _ in 0..ATTEMPTS {
+        let g = chung_lu(n, gamma, mean_degree, rng)?;
+        if ops::is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        reason: format!(
+            "no connected chung-lu graph (n = {n}, gamma = {gamma}, d = {mean_degree}) \
+             found in {ATTEMPTS} attempts"
+        ),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +391,52 @@ mod tests {
         assert_eq!(full, crate::generators::complete(10).unwrap());
         assert!(erdos_renyi_gnp(10, 1.5, &mut r).is_err());
         assert!(erdos_renyi_gnp(10, f64::NAN, &mut r).is_err());
+    }
+
+    #[test]
+    fn chung_lu_rejects_invalid_parameters() {
+        let mut r = rng(10);
+        assert!(chung_lu(1, 2.5, 0.5, &mut r).is_err()); // n too small
+        assert!(chung_lu(64, 2.0, 8.0, &mut r).is_err()); // gamma <= 2
+        assert!(chung_lu(64, f64::NAN, 8.0, &mut r).is_err());
+        assert!(chung_lu(64, 2.5, 0.0, &mut r).is_err()); // d out of range
+        assert!(chung_lu(64, 2.5, 64.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn chung_lu_mean_degree_is_near_target() {
+        let mut r = rng(11);
+        let n = 400usize;
+        let d = 8.0;
+        let g = chung_lu(n, 2.5, d, &mut r).unwrap();
+        let measured = g.average_degree().unwrap();
+        // min(1, ·) capping on the hub pairs pulls the mean slightly below target.
+        assert!((measured - d).abs() < 1.5, "average degree {measured} too far from target {d}");
+    }
+
+    #[test]
+    fn chung_lu_degrees_are_heterogeneous() {
+        let mut r = rng(12);
+        let g = chung_lu(400, 2.5, 8.0, &mut r).unwrap();
+        let max = g.max_degree().unwrap();
+        let min = g.min_degree().unwrap();
+        assert!(max >= 4 * min.max(1), "power-law spread expected, got {min}..{max}");
+    }
+
+    #[test]
+    fn chung_lu_is_deterministic_given_seed() {
+        let g1 = chung_lu(100, 2.8, 6.0, &mut rng(42)).unwrap();
+        let g2 = chung_lu(100, 2.8, 6.0, &mut rng(42)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn connected_chung_lu_is_connected() {
+        let mut r = rng(13);
+        let g = connected_chung_lu(256, 3.0, 8.0, &mut r).unwrap();
+        assert!(ops::is_connected(&g));
+        assert!(g.min_degree().unwrap() >= 1);
+        assert_eq!(g.num_vertices(), 256);
     }
 
     #[test]

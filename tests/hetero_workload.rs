@@ -1,0 +1,208 @@
+//! PR-9 heterogeneous-workload acceptance: per-edge Gilbert–Elliott channels, the `file:`
+//! loader with its binary CSR cache, and degree-proportional budgets.
+//!
+//! Three contracts are pinned here, at the integration level:
+//!
+//! 1. **Degenerate distributional equivalence** — the burst-length-1 per-edge channel
+//!    (`gedrop=1,1,f,f:scope=edge`) makes every edge's channel alternate deterministically
+//!    in lockstep with equal state losses, so each transmission is lost i.i.d. with
+//!    probability `f`, exactly like `drop=f`. Unlike the *global* degenerate channel this
+//!    is **not** bit-identical (edge losses are consulted per transmission after target
+//!    sampling, a different draw order), so the property is distributional: matched means
+//!    over a trial population.
+//! 2. **File round-trips are bit-identical** — a generated Chung–Lu instance written as an
+//!    edge list, loaded from text, and re-loaded through the binary CSR cache is the same
+//!    graph object producing the same trajectories.
+//! 3. **Thread invariance on the full PR-9 stack** — `--threads 1..8` trajectories are
+//!    bit-identical on a file-loaded Chung–Lu instance driven with degree budgets *and*
+//!    per-edge channels (the bank advances on the reserved fault stream, so worker count
+//!    is unobservable).
+
+use std::path::PathBuf;
+
+use cobra::core::sim::Runner;
+use cobra::core::spec::ProcessSpec;
+use cobra::core::CountingRng;
+use cobra::experiments::driver;
+use cobra::graph::generators::{self, GraphFamily};
+use cobra::graph::io;
+use cobra::stats::parallel::TrialConfig;
+use cobra::stats::rng::SeedSequence;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Mean completion rounds of `spec` on `graph` over `trials` seeded runs (the spec must
+/// complete within the budget on every trial — monotone processes only).
+fn mean_cover(graph: &cobra::graph::Graph, spec: &ProcessSpec, trials: u64, salt: u64) -> f64 {
+    let mut total = 0usize;
+    for seed in 0..trials {
+        let mut process = spec.build(graph).expect("spec builds");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ salt);
+        total += cobra::core::process::run_until_complete(process.as_mut(), &mut rng, 100_000)
+            .expect("monotone process completes");
+    }
+    total as f64 / trials as f64
+}
+
+fn assert_degenerate_edge_scope_matches_iid(graph: &cobra::graph::Graph, f: f64, salt: u64) {
+    let iid: ProcessSpec = format!("push+drop={f}").parse().expect("iid spec parses");
+    let edge: ProcessSpec =
+        format!("push+gedrop=1,1,{f},{f}:scope=edge").parse().expect("edge spec parses");
+    let trials = 150;
+    let iid_mean = mean_cover(graph, &iid, trials, salt);
+    let edge_mean = mean_cover(graph, &edge, trials, salt.rotate_left(17));
+    let ratio = edge_mean / iid_mean;
+    assert!(
+        (0.75..=1.33).contains(&ratio),
+        "f={f}: degenerate scope=edge must match drop=f distributionally, \
+         iid {iid_mean:.2} vs edge {edge_mean:.2} (ratio {ratio:.3})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The degenerate per-edge channel is distributionally equivalent to i.i.d. drop
+    /// across loss rates (monotone PUSH, so every trial completes and the mean is a
+    /// complete-sample statistic).
+    #[test]
+    fn degenerate_edge_scope_matches_iid_drop(f in 0.05f64..0.4, salt in 0u64..1_000) {
+        let graph = generators::complete(48).unwrap();
+        assert_degenerate_edge_scope_matches_iid(&graph, f, salt);
+    }
+}
+
+/// Fixed, deterministic smoke version at the E9/E12 acceptance loss rates.
+#[test]
+fn degenerate_edge_scope_matches_iid_drop_at_fixed_rates() {
+    let graph = generators::complete(48).unwrap();
+    for (f, salt) in [(0.1, 7u64), (0.25, 11)] {
+        assert_degenerate_edge_scope_matches_iid(&graph, f, salt);
+    }
+}
+
+/// A unique temp path per test (the cache lives next to the file, so tests must not
+/// share paths).
+fn temp_edge_file(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("cobra-hetero-{}-{name}.edges", std::process::id()));
+    path
+}
+
+#[test]
+fn file_loaded_graphs_are_bit_identical_through_text_and_cache() {
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let source = generators::connected_chung_lu(128, 3.0, 8.0, &mut gen_rng).unwrap();
+    let path = temp_edge_file("roundtrip");
+    let cache = PathBuf::from(format!("{}.csrcache", path.display()));
+    let _ = std::fs::remove_file(&cache);
+    std::fs::write(&path, io::to_edge_list(&source)).expect("temp dir is writable");
+
+    let family = GraphFamily::File { path: path.display().to_string(), lenient: false };
+    // First load parses the text and writes the cache; the second decodes the cache.
+    let from_text = family.instantiate(&mut ChaCha12Rng::seed_from_u64(0)).unwrap();
+    assert!(cache.exists(), "first load must write the CSR cache next to the source");
+    let from_cache = family.instantiate(&mut ChaCha12Rng::seed_from_u64(1)).unwrap();
+    assert_eq!(source, from_text, "text round-trip must be exact");
+    assert_eq!(source, from_cache, "cache round-trip must be exact");
+
+    // Same graph bits => same trajectory bits, through the full PR-9 spec stack.
+    let spec: ProcessSpec = "cobra:k=deg:cap=4+gedrop=0.1,0.25,0.5:scope=edge".parse().unwrap();
+    let run = |graph: &cobra::graph::Graph| {
+        let mut process = spec.build(graph).expect("spec builds");
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        Runner::new(100_000).run(process.as_mut(), &mut rng)
+    };
+    let reference = run(&source);
+    assert_eq!(run(&from_text), reference);
+    assert_eq!(run(&from_cache), reference);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn thread_count_is_invisible_on_a_file_loaded_chung_lu_instance() {
+    // The ISSUE's acceptance criterion, end to end: generate a Chung-Lu instance, ship it
+    // through the file: loader, and drive degree budgets + per-edge channels through the
+    // sharded stream engine at every worker count. Trajectories must be bit-identical.
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(99);
+    let source = generators::connected_chung_lu(96, 3.0, 8.0, &mut gen_rng).unwrap();
+    let path = temp_edge_file("threads");
+    let cache = PathBuf::from(format!("{}.csrcache", path.display()));
+    let _ = std::fs::remove_file(&cache);
+    std::fs::write(&path, io::to_edge_list(&source)).expect("temp dir is writable");
+    let graph = GraphFamily::File { path: path.display().to_string(), lenient: false }
+        .instantiate(&mut ChaCha12Rng::seed_from_u64(0))
+        .unwrap();
+
+    let spec: ProcessSpec = "cobra:k=deg:cap=8+gedrop=0.1,0.25,0.5:scope=edge".parse().unwrap();
+    let runner = Runner::new(100_000);
+    let seq = SeedSequence::new(2016);
+    let reference = driver::run_parallel_spec_trials(
+        &graph,
+        &spec,
+        &runner,
+        &seq,
+        "hetero-threads",
+        TrialConfig::sequential(6),
+        1,
+    );
+    for threads in 2..=8 {
+        let outcomes = driver::run_parallel_spec_trials(
+            &graph,
+            &spec,
+            &runner,
+            &seq,
+            "hetero-threads",
+            TrialConfig::sequential(6),
+            threads,
+        );
+        assert_eq!(
+            outcomes, reference,
+            "trajectories must be bit-identical at {threads} worker threads"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn edge_bank_draws_zero_words_while_every_channel_is_good() {
+    // `gedrop=0,…:scope=edge` attaches a real (lossy-parameter) bank whose channels can
+    // never leave the good state: the wrapped process must draw exactly as many words per
+    // round as the bare one — the bank costs zero RNG words while all edges are good, and
+    // good-state transmissions consult it for free.
+    let mut gen_rng = ChaCha12Rng::seed_from_u64(2016);
+    let graph = generators::connected_random_regular(64, 4, &mut gen_rng).unwrap();
+    for (bare_spec, wrapped_spec) in [
+        ("push", "push+gedrop=0,0.25,0.5:scope=edge"),
+        ("cobra:k=2", "cobra:k=2+gedrop=0,0.25,0.5:scope=edge"),
+        ("cobra:k=deg:cap=3", "cobra:k=deg:cap=3+gedrop=0,0.25,0.5:scope=edge"),
+    ] {
+        let bare_spec: ProcessSpec = bare_spec.parse().unwrap();
+        let wrapped_spec: ProcessSpec = wrapped_spec.parse().unwrap();
+        for seed in 0..3u64 {
+            let mut bare = bare_spec.build(&graph).expect("bare spec builds");
+            let mut wrapped = wrapped_spec.build(&graph).expect("wrapped spec builds");
+            let mut bare_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+            let mut wrapped_rng = CountingRng::new(ChaCha12Rng::seed_from_u64(seed));
+            for round in 1..=60 {
+                bare.step(&mut bare_rng);
+                wrapped.step(&mut wrapped_rng);
+                let expected = bare_rng.take_count();
+                assert_eq!(
+                    wrapped_rng.take_count(),
+                    expected,
+                    "{wrapped_spec} seed {seed}: the all-good bank must be draw-free at \
+                     round {round} (bare drew {expected})"
+                );
+                if bare.is_complete() {
+                    break;
+                }
+            }
+        }
+    }
+}
