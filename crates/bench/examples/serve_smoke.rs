@@ -1,0 +1,167 @@
+//! CI smoke client for the `repro serve` NDJSON protocol.
+//!
+//! Spawns the serving engine in-process (the same [`cobra_experiments::serve::spawn`] the
+//! `repro serve` CLI mode wraps), drives it over a real TCP socket — one quick COBRA job
+//! plus a batch of four — and asserts every served `summary` record is **byte-identical**
+//! to the CLI-path recomputation (`driver::run_spec_trials` rendered through the same
+//! `protocol::summary_event`). The full wire transcript is written to `SERVE_smoke.txt`
+//! so CI can upload it as an artifact.
+
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::net::TcpStream;
+
+use cobra_core::sim::Runner;
+use cobra_experiments::driver;
+use cobra_experiments::serve::protocol::{self, JobParams};
+use cobra_experiments::serve::{spawn, ServeConfig};
+use cobra_stats::parallel::TrialConfig;
+use cobra_stats::rng::SeedSequence;
+
+struct Client {
+    sock: TcpStream,
+    lines: Lines<BufReader<TcpStream>>,
+    transcript: String,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let sock = TcpStream::connect(addr).expect("connect to served port");
+        let lines = BufReader::new(sock.try_clone().expect("clone socket")).lines();
+        Client { sock, lines, transcript: String::new() }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.sock.write_all(line.as_bytes()).expect("send request");
+        self.sock.write_all(b"\n").expect("send newline");
+        self.transcript.push_str("-> ");
+        self.transcript.push_str(line);
+        self.transcript.push('\n');
+    }
+
+    fn recv(&mut self) -> String {
+        let line = self.lines.next().expect("server closed early").expect("read reply");
+        self.transcript.push_str("<- ");
+        self.transcript.push_str(&line);
+        self.transcript.push('\n');
+        line
+    }
+
+    /// Streams a job's results; returns its terminal record (the `summary` line).
+    fn stream_to_summary(&mut self, job: u64) -> String {
+        self.send(&format!("{{\"cmd\":\"results\",\"job\":{job}}}"));
+        loop {
+            let line = self.recv();
+            if line.contains("\"event\":\"summary\"") {
+                return line;
+            }
+            assert!(
+                line.contains("\"event\":\"trial\""),
+                "unexpected record in the results stream: {line}"
+            );
+        }
+    }
+}
+
+fn field_u64(line: &str, name: &str) -> u64 {
+    let pattern = format!("\"{name}\":");
+    let start = line.find(&pattern).unwrap_or_else(|| panic!("no field {name:?} in {line}"));
+    let digits: String =
+        line[start + pattern.len()..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or_else(|_| panic!("field {name:?} is not an integer in {line}"))
+}
+
+fn job_params(spec: &str, graph: &str) -> JobParams {
+    JobParams {
+        spec: spec.parse().expect("smoke spec parses"),
+        family: graph.parse().expect("smoke graph parses"),
+        trials: 5,
+        seed: 2016,
+        max_rounds: 10_000,
+        trace: false,
+    }
+}
+
+/// The CLI-path recomputation: same seed-sequence derivation as `repro --process`, same
+/// aggregation (`protocol::summary_event` is the single source of truth for both sides).
+fn expected_summary(job: u64, params: &JobParams) -> String {
+    let seq = SeedSequence::new(params.seed).child("ad-hoc");
+    let graph = params.family.instantiate(&mut seq.trial_rng("instance", 0)).expect("instantiate");
+    let label = format!("{}@{}", params.spec, params.family);
+    let outcomes = driver::run_spec_trials(
+        &graph,
+        &params.spec,
+        &Runner::new(params.max_rounds),
+        &seq,
+        &label,
+        TrialConfig::parallel(params.trials),
+    );
+    protocol::summary_event(job, params, &outcomes)
+}
+
+fn main() {
+    let server = spawn(&ServeConfig { port: 0, workers: 2, ..ServeConfig::default() })
+        .expect("spawn serving engine");
+    println!("serve smoke: serving on {}", server.addr());
+    let mut client = Client::connect(server.addr());
+
+    // One quick COBRA job, submitted twice: the second submission must hit the graph cache
+    // and still stream a byte-identical summary.
+    let single = job_params("cobra:k=2", "complete:n=32");
+    let mut checked = 0;
+    for round in 0..2 {
+        client.send(
+            "{\"cmd\":\"submit\",\"spec\":\"cobra:k=2\",\"graph\":\"complete:n=32\",\
+             \"trials\":5,\"seed\":2016,\"max_rounds\":10000}",
+        );
+        let accepted = client.recv();
+        assert!(accepted.contains("\"event\":\"accepted\""), "{accepted}");
+        let job = field_u64(&accepted, "job");
+        let summary = client.stream_to_summary(job);
+        assert_eq!(summary, expected_summary(job, &single), "submission {round} diverged");
+        checked += 1;
+    }
+
+    // A batch of four (2 specs x 2 graphs), every summary checked the same way.
+    client.send(
+        "{\"cmd\":\"batch\",\"specs\":[\"cobra:k=2\",\"push\"],\
+         \"graphs\":[\"complete:n=32\",\"complete:n=24\"],\
+         \"trials\":5,\"seed\":2016,\"max_rounds\":10000}",
+    );
+    let accepted = client.recv();
+    assert!(accepted.contains("\"event\":\"batch-accepted\""), "{accepted}");
+    let ids: Vec<u64> = accepted
+        .split_once('[')
+        .and_then(|(_, rest)| rest.split_once(']'))
+        .expect("jobs array")
+        .0
+        .split(',')
+        .map(|id| id.parse().expect("job id"))
+        .collect();
+    let matrix = [
+        ("cobra:k=2", "complete:n=32"),
+        ("cobra:k=2", "complete:n=24"),
+        ("push", "complete:n=32"),
+        ("push", "complete:n=24"),
+    ];
+    assert_eq!(ids.len(), matrix.len(), "{accepted}");
+    for (&job, &(spec, graph)) in ids.iter().zip(&matrix) {
+        let summary = client.stream_to_summary(job);
+        assert_eq!(
+            summary,
+            expected_summary(job, &job_params(spec, graph)),
+            "batch job {spec}@{graph} diverged"
+        );
+        checked += 1;
+    }
+
+    // The repeated (family, seed) pairs above must have produced cache hits.
+    client.send("{\"cmd\":\"stats\"}");
+    let stats = client.recv();
+    assert!(field_u64(&stats, "cache_hits") > 0, "expected cache hits: {stats}");
+    assert_eq!(field_u64(&stats, "done"), 6, "{stats}");
+
+    std::fs::write("SERVE_smoke.txt", &client.transcript).expect("write SERVE_smoke.txt");
+    println!("serve smoke: {checked} summaries byte-identical to the CLI recomputation");
+    println!("serve smoke: transcript written to SERVE_smoke.txt");
+    server.shutdown();
+}

@@ -20,6 +20,10 @@
 //! # the numbers in BENCH_cover.json (the --full matrix reaches 10^6-vertex instances).
 //! repro bench --quick --json BENCH_cover.json
 //! repro bench --full --json BENCH_cover.json --seed 2016
+//!
+//! # Serve mode: the same ad-hoc measurements over a TCP socket speaking NDJSON
+//! # (submit/batch/status/results/cancel/stats), bit-identical to the --process path.
+//! repro serve --port 7016 --workers 4 --cache-mb 64 --queue 64
 //! ```
 
 use std::process::ExitCode;
@@ -36,7 +40,7 @@ use cobra_stats::table::{fmt_float, Table};
 
 struct Options {
     preset: Preset,
-    seed: u64,
+    seed: Option<u64>,
     only: Option<ExperimentId>,
     list: bool,
     list_processes: bool,
@@ -47,12 +51,62 @@ struct Options {
     trials: Option<usize>,
     max_rounds: Option<usize>,
     threads: Option<usize>,
+    serve: bool,
+    port: Option<u16>,
+    workers: Option<usize>,
+    cache_mb: Option<usize>,
+    queue: Option<usize>,
 }
+
+impl Options {
+    /// The master seed for experiment/ad-hoc/bench modes (`--seed`, default 2016). Serve
+    /// mode rejects `--seed` instead: every submitted job carries its own seed field.
+    fn master_seed(&self) -> u64 {
+        self.seed.unwrap_or(2016)
+    }
+}
+
+const HELP_TEXT: &str = "usage: repro [--full|--quick] [--exp e1..e12] [--seed N] [--list]\n\
+     \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
+     \x20              [--threads N]\n\
+     \x20      repro bench [--full|--quick] [--json PATH] [--seed N] [--threads N]\n\
+     \x20      repro serve [--port N] [--workers N] [--cache-mb N] [--queue N]\n\
+     \x20      repro --list-processes\n\
+     regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
+     measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
+     contact:p=0.5,q=0.2, with optional fault clauses like\n\
+     cobra:k=2+drop=0.1+crash=5%+churn=64, adaptive adversaries like\n\
+     cobra:k=2+adv=topdeg:budget=5%, defense policies like\n\
+     cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4,\n\
+     degree budgets like cobra:k=deg:cap=4 and per-edge channels like\n\
+     cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge)\n\
+     on one graph spec\n\
+     (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
+     barbell:k=32, chung-lu:n=1024,gamma=3,d=8, file:path=nets/topo.edges),\n\
+     or — with `bench` — wall-clocks the sparse-frontier engine\n\
+     against the dense reference engine per (process, graph) pair, sweeps the\n\
+     sharded stream engine across worker threads, and writes the JSON perf\n\
+     trajectory. --threads N runs ad-hoc trials on the per-vertex stream\n\
+     engine (trajectories are identical for any N >= 1) or narrows the bench\n\
+     sweep to one worker count.\n\
+     \n\
+     `repro serve` exposes the ad-hoc path as a TCP service on 127.0.0.1 speaking\n\
+     newline-delimited JSON: requests are one-line objects with a \"cmd\" field\n\
+     (submit, batch, status, results, cancel, stats), responses are one-line\n\
+     objects with an \"event\" field. `submit` takes {\"spec\", \"graph\", \"trials\",\n\
+     \"seed\", \"max_rounds\", \"trace\"} (defaults mirror `--process --quick`) and\n\
+     answers {\"event\":\"accepted\",\"job\":N}; `batch` fans a specs x graphs matrix\n\
+     out atomically; `results` streams one \"trial\" event per trial and ends with\n\
+     a \"summary\" (or \"job-failed\"/\"job-cancelled\") record bit-identical to the\n\
+     `--process` table inputs. --workers sizes the thread pool, --cache-mb bounds\n\
+     the shared LRU graph-instance cache, --queue bounds the job queue (submits\n\
+     beyond it get {\"event\":\"error\",\"code\":\"queue-full\"}), and --port 0 picks an\n\
+     ephemeral port (printed on stdout as `serving on ADDR`)";
 
 fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
     let mut options = Options {
         preset: Preset::Quick,
-        seed: 2016,
+        seed: None,
         only: None,
         list: false,
         list_processes: false,
@@ -63,11 +117,50 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
         trials: None,
         max_rounds: None,
         threads: None,
+        serve: false,
+        port: None,
+        workers: None,
+        cache_mb: None,
+        queue: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "bench" => options.bench = true,
+            "serve" => options.serve = true,
+            "--port" => {
+                let value = args.next().ok_or("--port requires a TCP port (0 for ephemeral)")?;
+                options.port = Some(value.parse().map_err(|_| format!("invalid port {value:?}"))?);
+            }
+            "--workers" => {
+                let value = args.next().ok_or("--workers requires a worker count >= 1")?;
+                let workers: usize =
+                    value.parse().map_err(|_| format!("invalid worker count {value:?}"))?;
+                if workers == 0 {
+                    return Err("--workers 0 is rejected: a server with no worker threads \
+                         would accept jobs and never run them (use --workers 1 for a \
+                         single-worker server)"
+                        .to_string());
+                }
+                options.workers = Some(workers);
+            }
+            "--cache-mb" => {
+                let value =
+                    args.next().ok_or("--cache-mb requires a size in MiB (0 disables caching)")?;
+                options.cache_mb =
+                    Some(value.parse().map_err(|_| format!("invalid cache size {value:?}"))?);
+            }
+            "--queue" => {
+                let value = args.next().ok_or("--queue requires a capacity >= 1")?;
+                let queue: usize =
+                    value.parse().map_err(|_| format!("invalid queue capacity {value:?}"))?;
+                if queue == 0 {
+                    return Err("--queue 0 is rejected: a zero-capacity queue refuses every \
+                         submission"
+                        .to_string());
+                }
+                options.queue = Some(queue);
+            }
             "--json" => {
                 let value = args.next().ok_or("--json requires an output path")?;
                 options.json = Some(value);
@@ -85,7 +178,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
             }
             "--seed" => {
                 let value = args.next().ok_or("--seed requires an integer")?;
-                options.seed = value.parse().map_err(|_| format!("invalid seed {value:?}"))?;
+                options.seed = Some(value.parse().map_err(|_| format!("invalid seed {value:?}"))?);
             }
             "--process" => {
                 let value = args.next().ok_or("--process requires a spec like cobra:k=2")?;
@@ -120,30 +213,7 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
                 options.threads = Some(threads);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--full|--quick] [--exp e1..e12] [--seed N] [--list]\n\
-                     \x20      repro --process <spec> [--graph <spec>] [--trials N] [--max-rounds N]\n\
-                     \x20              [--threads N]\n\
-                     \x20      repro bench [--full|--quick] [--json PATH] [--seed N] [--threads N]\n\
-                     \x20      repro --list-processes\n\
-                     regenerates the experiment tables of the COBRA/BIPS reproduction,\n\
-                     measures one process spec (e.g. cobra:k=2, bips:rho=0.5, push,\n\
-                     contact:p=0.5,q=0.2, with optional fault clauses like\n\
-                     cobra:k=2+drop=0.1+crash=5%+churn=64, adaptive adversaries like\n\
-                     cobra:k=2+adv=topdeg:budget=5%, defense policies like\n\
-                     cobra:k=2+adv=topdeg:budget=5%+def=boostk:trigger=stall,w=8,cap=4,\n\
-                     degree budgets like cobra:k=deg:cap=4 and per-edge channels like\n\
-                     cobra:k=2+gedrop=0.1,0.25,0.5:scope=edge)\n\
-                     on one graph spec\n\
-                     (e.g. random-regular:n=256,r=4, torus:sides=32x32, erdos-renyi:n=256,p=0.05,\n\
-                     barbell:k=32, chung-lu:n=1024,gamma=3,d=8, file:path=nets/topo.edges),\n\
-                     or — with `bench` — wall-clocks the sparse-frontier engine\n\
-                     against the dense reference engine per (process, graph) pair, sweeps the\n\
-                     sharded stream engine across worker threads, and writes the JSON perf\n\
-                     trajectory. --threads N runs ad-hoc trials on the per-vertex stream\n\
-                     engine (trajectories are identical for any N >= 1) or narrows the bench\n\
-                     sweep to one worker count"
-                );
+                println!("{HELP_TEXT}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -155,6 +225,41 @@ fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Options, String>
 /// Rejects flag combinations where a flag would otherwise be silently ignored — every mode
 /// (bench / ad-hoc `--process` / experiment) accepts a different subset.
 fn mode_conflicts(options: &Options) -> Result<(), String> {
+    if options.serve {
+        if options.bench {
+            return Err("`repro serve` and `repro bench` are separate modes; pick one".to_string());
+        }
+        if options.process.is_some() || options.only.is_some() {
+            return Err("`repro serve` takes jobs over the socket, not from flags; drop \
+                 --process/--exp (submit {\"cmd\":\"submit\",\"spec\":...} instead)"
+                .to_string());
+        }
+        if options.graph.is_some()
+            || options.trials.is_some()
+            || options.max_rounds.is_some()
+            || options.threads.is_some()
+            || options.seed.is_some()
+            || options.preset == Preset::Full
+            || options.json.is_some()
+            || options.list
+            || options.list_processes
+        {
+            return Err("`repro serve` only accepts --port/--workers/--cache-mb/--queue; \
+                 per-job settings (graph, trials, seed, max_rounds) travel in each submit \
+                 request"
+                .to_string());
+        }
+        return Ok(());
+    }
+    if options.port.is_some()
+        || options.workers.is_some()
+        || options.cache_mb.is_some()
+        || options.queue.is_some()
+    {
+        return Err("--port/--workers/--cache-mb/--queue configure `repro serve`; add the \
+             serve subcommand"
+            .to_string());
+    }
     if options.bench {
         // The bench matrix is fixed so its JSON trajectory stays comparable across runs.
         if options.process.is_some()
@@ -225,7 +330,7 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
     let trials = options.trials.unwrap_or(default_trials);
     let max_rounds = options.max_rounds.unwrap_or(default_rounds);
 
-    let seq = SeedSequence::new(options.seed).child("ad-hoc");
+    let seq = SeedSequence::new(options.master_seed()).child("ad-hoc");
     let mut rng = seq.trial_rng("instance", 0);
     let graph = match family.instantiate(&mut rng) {
         Ok(graph) => graph,
@@ -280,7 +385,7 @@ fn run_ad_hoc(options: &Options, spec: &ProcessSpec) -> ExitCode {
         outcomes.iter().filter_map(|o| o.completion_rounds()).map(|rounds| rounds as f64).collect();
     let summary: cobra_stats::summary::Summary = completed.iter().copied().collect();
 
-    println!("# ad-hoc run — seed {}\n", options.seed);
+    println!("# ad-hoc run — seed {}\n", options.master_seed());
     let engine_note = match options.threads {
         Some(threads) => format!(" [stream engine, {threads} thread(s)]"),
         None if churned => " [fresh instance per trial + churn]".to_string(),
@@ -317,10 +422,10 @@ fn run_bench(options: &Options) -> ExitCode {
     eprintln!(
         "# repro bench — {} matrix, seed {} (frontier vs dense, stream sweep {:?})",
         if full { "full" } else { "quick" },
-        options.seed,
+        options.master_seed(),
         sweep
     );
-    let report = cobra_bench::bench::run_matrix(full, options.seed, &sweep, |record| {
+    let report = cobra_bench::bench::run_matrix(full, options.master_seed(), &sweep, |record| {
         let engine = match record.threads {
             Some(threads) => format!("{} t={threads}", record.engine),
             None => record.engine.clone(),
@@ -355,6 +460,32 @@ fn run_bench(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_serve(options: &Options) -> ExitCode {
+    let config = cobra_experiments::serve::ServeConfig {
+        port: options.port.unwrap_or(0),
+        workers: options.workers.unwrap_or(2),
+        cache_bytes: options.cache_mb.unwrap_or(64) << 20,
+        queue_capacity: options.queue.unwrap_or(64),
+    };
+    let handle = match cobra_experiments::serve::spawn(&config) {
+        Ok(handle) => handle,
+        Err(error) => {
+            eprintln!("error: cannot start server on port {}: {error}", config.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripted clients grab the (possibly ephemeral) address from this line.
+    println!("serving on {}", handle.addr());
+    eprintln!(
+        "# repro serve — {} worker(s), {} MiB graph cache, queue capacity {}",
+        config.workers,
+        config.cache_bytes >> 20,
+        config.queue_capacity
+    );
+    handle.wait();
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
@@ -368,6 +499,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if options.serve {
+        return run_serve(&options);
+    }
     if options.bench {
         return run_bench(&options);
     }
@@ -398,10 +532,10 @@ fn main() -> ExitCode {
             Preset::Quick => "quick",
             Preset::Full => "full",
         },
-        options.seed
+        options.master_seed()
     );
     for id in ids {
-        let result = run_experiment(id, options.preset, options.seed);
+        let result = run_experiment(id, options.preset, options.master_seed());
         println!("{}", result.render());
     }
     ExitCode::SUCCESS
@@ -507,6 +641,94 @@ mod tests {
         assert!(conflict(&["bench", "--process", "cobra:k=2"]).is_err());
         assert!(conflict(&["bench", "--trials", "4"]).is_err());
         assert!(conflict(&["--json", "out.json"]).is_err());
+    }
+
+    #[test]
+    fn serve_flag_sets_pass() {
+        assert!(conflict(&["serve"]).is_ok());
+        assert!(conflict(&[
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "4",
+            "--cache-mb",
+            "8",
+            "--queue",
+            "2"
+        ])
+        .is_ok());
+        assert!(conflict(&["serve", "--cache-mb", "0"]).is_ok(), "0 MiB = caching disabled");
+    }
+
+    #[test]
+    fn serve_rejects_zero_and_malformed_pool_sizes_at_the_parse_boundary() {
+        let parse = |args: &[&str]| parse_args(args.iter().map(|s| s.to_string()));
+        let error = parse(&["serve", "--workers", "0"]).err().expect("--workers 0 must fail");
+        assert!(error.contains("--workers 0"), "{error}");
+        assert!(parse(&["serve", "--workers", "many"]).is_err());
+        assert!(parse(&["serve", "--workers"]).is_err());
+        let error = parse(&["serve", "--queue", "0"]).err().expect("--queue 0 must fail");
+        assert!(error.contains("--queue 0"), "{error}");
+        assert!(parse(&["serve", "--port", "70000"]).is_err(), "ports are u16");
+        assert!(parse(&["serve", "--port", "-1"]).is_err());
+        assert!(parse(&["serve", "--cache-mb", "lots"]).is_err());
+    }
+
+    #[test]
+    fn serve_conflicts_loudly_with_every_other_mode() {
+        // Jobs travel over the socket: flag-driven work is a separate mode.
+        let error = conflict(&["serve", "--process", "cobra:k=2"]).unwrap_err();
+        assert!(error.contains("--process"), "{error}");
+        let error = conflict(&["serve", "--exp", "e4"]).unwrap_err();
+        assert!(error.contains("--exp") || error.contains("--process"), "{error}");
+        assert!(conflict(&["serve", "bench"]).is_err());
+        // Per-job settings belong in the submit request, not on the server command line.
+        for args in [
+            &["serve", "--graph", "star:n=16"][..],
+            &["serve", "--trials", "4"][..],
+            &["serve", "--max-rounds", "100"][..],
+            &["serve", "--threads", "2"][..],
+            &["serve", "--seed", "7"][..],
+            &["serve", "--full"][..],
+            &["serve", "--list"][..],
+            &["serve", "--json", "out.json"][..],
+        ] {
+            assert!(conflict(args).is_err(), "{args:?} must conflict");
+        }
+        // And the serve-only flags require the serve subcommand.
+        for args in [
+            &["--port", "0"][..],
+            &["--workers", "2"][..],
+            &["--cache-mb", "8"][..],
+            &["--queue", "4"][..],
+            &["--process", "cobra:k=2", "--workers", "2"][..],
+        ] {
+            let error = conflict(args).unwrap_err();
+            assert!(error.contains("serve"), "{args:?}: {error}");
+        }
+    }
+
+    #[test]
+    fn help_text_covers_the_serve_protocol() {
+        for needle in [
+            "repro serve",
+            "--workers",
+            "--cache-mb",
+            "--queue",
+            "newline-delimited JSON",
+            "submit",
+            "batch",
+            "status",
+            "results",
+            "cancel",
+            "stats",
+            "queue-full",
+            "accepted",
+            "summary",
+        ] {
+            assert!(HELP_TEXT.contains(needle), "help text must mention {needle:?}");
+        }
     }
 
     #[test]

@@ -349,6 +349,18 @@ impl CoverageTrace {
     pub fn into_trace(self) -> Vec<usize> {
         self.trace
     }
+
+    /// The per-round coverage *increments*: `deltas()[t]` = number of vertices first
+    /// covered in round `t` (`deltas()[0]` = `|A_0|`). This is the `O(|delta|)` wire
+    /// encoding the serving layer streams — cumulative curves re-sum on the client, so a
+    /// result stream never re-sends the monotone prefix.
+    pub fn deltas(&self) -> Vec<usize> {
+        self.trace
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| if t == 0 { c } else { c - self.trace[t - 1] })
+            .collect()
+    }
 }
 
 impl Observer for CoverageTrace {
@@ -579,6 +591,25 @@ mod tests {
         let quarter = fractions.times()[0].unwrap();
         let three_quarters = fractions.times()[1].unwrap();
         assert!(quarter <= three_quarters);
+    }
+
+    #[test]
+    fn coverage_deltas_resum_to_the_cumulative_trace() {
+        let graph = generators::hypercube(5).unwrap();
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let mut process = spec.build(&graph).unwrap();
+        let mut coverage = CoverageTrace::new();
+        let outcome =
+            Runner::new(100_000).run_observed(process.as_mut(), &mut rng(9), &mut [&mut coverage]);
+        assert!(outcome.completed());
+        let deltas = coverage.deltas();
+        assert_eq!(deltas.len(), coverage.trace().len());
+        assert_eq!(deltas[0], 1, "delta 0 is |A_0|");
+        let mut resummed = 0usize;
+        for (t, &d) in deltas.iter().enumerate() {
+            resummed += d;
+            assert_eq!(resummed, coverage.trace()[t], "prefix sums rebuild the curve");
+        }
     }
 
     #[test]

@@ -31,12 +31,34 @@ pub fn run_spec_trials(
     label: &str,
     config: TrialConfig,
 ) -> Vec<RunOutcome> {
-    // Validate once, loudly, before fanning out.
-    spec.build(graph).unwrap_or_else(|e| panic!("invalid process spec {spec} for {label}: {e}"));
-    run_trials(seq, label, config, |_, rng| {
+    try_run_spec_trials(graph, spec, runner, seq, label, config)
+        .unwrap_or_else(|e| panic!("invalid process spec {spec} for {label}: {e}"))
+}
+
+/// [`run_spec_trials`] for callers whose specs are *user input*, not experiment code: a
+/// spec that parses but fails [`ProcessSpec::build`] (bad start vertex, unsuitable graph,
+/// clause combinations rejected at build time) comes back as a structured
+/// [`CoreError`](cobra_core::CoreError) instead of a panic. The serving layer routes every
+/// job through this, so one bad request can never kill a worker thread.
+///
+/// # Errors
+///
+/// Propagates the [`ProcessSpec::build`] validation error, before any trial runs.
+pub fn try_run_spec_trials(
+    graph: &Graph,
+    spec: &ProcessSpec,
+    runner: &Runner,
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+) -> cobra_core::Result<Vec<RunOutcome>> {
+    // Validate once before fanning out: `build` is deterministic for a fixed graph, so a
+    // spec that builds here builds in every trial.
+    spec.build(graph)?;
+    Ok(run_trials(seq, label, config, |_, rng| {
         let mut process = spec.build(graph).expect("spec validated above");
         runner.run(process.as_mut(), rng)
-    })
+    }))
 }
 
 /// [`run_spec_trials`] on the sharded stream engine: every trial builds its process through
@@ -112,10 +134,31 @@ pub fn run_adverse_trials(
     label: &str,
     config: TrialConfig,
 ) -> Vec<RunOutcome> {
-    run_trials(seq, label, config, |_, rng| {
-        fault::run_churned(spec, family, runner, rng)
-            .unwrap_or_else(|e| panic!("invalid adverse run {spec} on {family} for {label}: {e}"))
-    })
+    try_run_adverse_trials(family, spec, runner, seq, label, config)
+        .unwrap_or_else(|e| panic!("invalid adverse run {spec} on {family} for {label}: {e}"))
+}
+
+/// [`run_adverse_trials`] with build/instantiation failures surfaced as a structured
+/// [`CoreError`](cobra_core::CoreError) — the user-input-tolerant twin, mirroring
+/// [`try_run_spec_trials`]. Trials that *did* run before the error are discarded; the
+/// failure is deterministic (same spec, family and seeds ⇒ same error), so callers can
+/// report it as the job's single outcome.
+///
+/// # Errors
+///
+/// Propagates the first per-trial [`fault::run_churned`] error (invalid spec, family that
+/// cannot instantiate, unsuitable instance).
+pub fn try_run_adverse_trials(
+    family: &GraphFamily,
+    spec: &ProcessSpec,
+    runner: &Runner,
+    seq: &SeedSequence,
+    label: &str,
+    config: TrialConfig,
+) -> cobra_core::Result<Vec<RunOutcome>> {
+    run_trials(seq, label, config, |_, rng| fault::run_churned(spec, family, runner, rng))
+        .into_iter()
+        .collect()
 }
 
 /// [`run_adverse_trials`] with the completion rounds aggregated like
@@ -275,6 +318,50 @@ mod tests {
         let sequential =
             run_adverse_trials(&family, &spec, &runner, &seq, "bursty", TrialConfig::sequential(6));
         assert_eq!(outcomes, sequential, "adverse v2 trials stay deterministic");
+    }
+
+    #[test]
+    fn try_variants_return_structured_errors_instead_of_panicking() {
+        use cobra_core::CoreError;
+        let graph = generators::complete(16).unwrap();
+        let runner = Runner::new(10);
+        let seq = SeedSequence::new(3);
+        // A start vertex past the instance: VertexOutOfRange, not a worker-killing panic.
+        let spec = ProcessSpec::cobra(2).unwrap().with_start(99);
+        let error =
+            try_run_spec_trials(&graph, &spec, &runner, &seq, "bad", TrialConfig::sequential(2))
+                .unwrap_err();
+        assert!(matches!(error, CoreError::VertexOutOfRange { vertex: 99, .. }), "{error}");
+        // A clause combination rejected at build time (scope=edge with a policy layer).
+        let spec: ProcessSpec =
+            "cobra:k=2+gedrop=0.05,0.2,0.4:scope=edge+adv=topdeg:budget=5%".parse().unwrap();
+        let error =
+            try_run_spec_trials(&graph, &spec, &runner, &seq, "bad", TrialConfig::sequential(2))
+                .unwrap_err();
+        assert!(matches!(error, CoreError::InvalidSpec { .. }), "{error}");
+        // The adverse path surfaces the same class of error through churned runs.
+        let family = GraphFamily::RandomRegular { n: 32, r: 4 };
+        let churned: ProcessSpec = "cobra:k=2+churn=8".parse().unwrap();
+        let churned = churned.with_start(99);
+        let error = try_run_adverse_trials(
+            &family,
+            &churned,
+            &runner,
+            &seq,
+            "bad",
+            TrialConfig::sequential(2),
+        )
+        .unwrap_err();
+        assert!(matches!(error, CoreError::VertexOutOfRange { vertex: 99, .. }), "{error}");
+        // And the happy paths agree with the panicking wrappers.
+        let spec = ProcessSpec::cobra(2).unwrap();
+        let ok =
+            try_run_spec_trials(&graph, &spec, &runner, &seq, "ok", TrialConfig::sequential(3))
+                .unwrap();
+        assert_eq!(
+            ok,
+            run_spec_trials(&graph, &spec, &runner, &seq, "ok", TrialConfig::sequential(3))
+        );
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //! hand them to [`driver`], which instantiates one `Box<dyn SpreadingProcess>` per trial and
 //! drives it through the shared [`cobra_core::sim::Runner`] under
 //! `cobra_stats::parallel::run_trials`.
+//!
+//! The same ad-hoc measurements are available as a service: [`serve`] runs a TCP server
+//! speaking newline-delimited JSON (`repro serve`), with a bounded job queue, a worker-thread
+//! pool and a shared LRU graph cache — and a bit-identity guarantee against the CLI path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +57,7 @@ pub mod exp_phases;
 pub mod instances;
 pub mod registry;
 pub mod result;
+pub mod serve;
 
 pub use registry::{run_experiment, ExperimentId};
 pub use result::{ExperimentResult, Finding};

@@ -1,0 +1,275 @@
+//! Size-bounded LRU cache of instantiated graphs, shared across serving jobs.
+//!
+//! Two jobs that name the same `(GraphFamily, seed)` pair deterministically build the same
+//! CSR instance — the instance RNG derives from the job seed alone (see
+//! [`crate::serve`] on the seeding contract) — so the server keeps one copy behind an
+//! [`Arc`] and hands it to every worker that asks. The cache cannot perturb results: a hit
+//! returns a graph bit-identical to what the build closure would have produced, and
+//! per-trial RNG streams are never keyed by cache state.
+//!
+//! The budget is in **bytes** ([`Graph::heap_bytes`]), not entries, because instances range
+//! from a 16-vertex toy to a 10^6-vertex expander. Eviction is least-recently-used; an
+//! instance larger than the whole budget bypasses the cache rather than flushing it.
+
+use std::sync::{Arc, Mutex};
+
+use cobra_graph::generators::GraphFamily;
+use cobra_graph::Graph;
+
+/// Counters exposed through the `stats` endpoint, captured under one lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the instance.
+    pub misses: u64,
+    /// Entries removed to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (sum of [`Graph::heap_bytes`]).
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub capacity: usize,
+}
+
+struct CacheEntry {
+    key: String,
+    graph: Arc<Graph>,
+    bytes: usize,
+    last_use: u64,
+}
+
+struct CacheInner {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe `(GraphFamily, seed) -> Arc<Graph>` cache with LRU byte-budget eviction.
+pub struct GraphCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for GraphCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("GraphCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+/// Finds `key` and stamps its recency, returning the entry index.
+// cobra-lint: hot
+fn lookup(entries: &mut [CacheEntry], key: &str, tick: u64) -> Option<usize> {
+    let index = entries.iter().position(|entry| entry.key == key)?;
+    entries[index].last_use = tick;
+    Some(index)
+}
+
+impl GraphCache {
+    /// Creates a cache holding at most `capacity` bytes of graph storage.
+    ///
+    /// A capacity of `0` disables caching entirely: every lookup builds.
+    pub fn new(capacity: usize) -> Self {
+        GraphCache {
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Returns the cached instance for `(family, seed)`, or runs `build` and caches the
+    /// result. The build runs **outside** the lock, so a slow 10^6-vertex instantiation
+    /// never blocks hits on other keys; if two workers race on the same key the second
+    /// build's result is discarded in favour of the resident entry (both are bit-identical
+    /// by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build closure's error; failed builds are never cached.
+    pub fn get_or_build<E>(
+        &self,
+        family: &GraphFamily,
+        seed: u64,
+        build: impl FnOnce() -> Result<Graph, E>,
+    ) -> Result<Arc<Graph>, E> {
+        let key = family.cache_key(seed);
+        {
+            let mut inner = self.inner.lock().expect("graph cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(index) = lookup(&mut inner.entries, &key, tick) {
+                inner.hits += 1;
+                return Ok(Arc::clone(&inner.entries[index].graph));
+            }
+            inner.misses += 1;
+        }
+        let graph = Arc::new(build()?);
+        let bytes = graph.heap_bytes();
+        let mut inner = self.inner.lock().expect("graph cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(index) = lookup(&mut inner.entries, &key, tick) {
+            // Another worker built and inserted the same key while we were building.
+            return Ok(Arc::clone(&inner.entries[index].graph));
+        }
+        if bytes > self.capacity {
+            // Too large to ever fit: hand it out uncached instead of flushing everything.
+            return Ok(graph);
+        }
+        inner.entries.push(CacheEntry { key, graph: Arc::clone(&graph), bytes, last_use: tick });
+        let mut resident: usize = inner.entries.iter().map(|entry| entry.bytes).sum();
+        while resident > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, entry)| entry.last_use)
+                .map(|(index, _)| index)
+                .expect("resident > 0 implies at least one entry");
+            resident -= inner.entries[oldest].bytes;
+            inner.entries.swap_remove(oldest);
+            inner.evictions += 1;
+        }
+        Ok(graph)
+    }
+
+    /// A consistent snapshot of the hit/miss/eviction counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("graph cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.entries.iter().map(|entry| entry.bytes).sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_graph::generators;
+
+    fn family(n: usize) -> GraphFamily {
+        GraphFamily::Complete { n }
+    }
+
+    fn build(n: usize) -> Result<Graph, ()> {
+        Ok(generators::complete(n).expect("complete graph builds"))
+    }
+
+    #[test]
+    fn hits_share_one_instance_and_never_rebuild() {
+        let cache = GraphCache::new(1 << 20);
+        let mut builds = 0;
+        let first = cache
+            .get_or_build(&family(16), 7, || {
+                builds += 1;
+                build(16)
+            })
+            .unwrap();
+        let second = cache
+            .get_or_build(&family(16), 7, || {
+                builds += 1;
+                build(16)
+            })
+            .unwrap();
+        assert_eq!(builds, 1, "second lookup must be a hit");
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes, first.heap_bytes());
+    }
+
+    #[test]
+    fn distinct_seeds_and_families_miss() {
+        let cache = GraphCache::new(1 << 20);
+        cache.get_or_build(&family(16), 1, || build(16)).unwrap();
+        cache.get_or_build(&family(16), 2, || build(16)).unwrap();
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let bytes_16 = build(16).unwrap().heap_bytes();
+        // Room for exactly two 16-vertex instances.
+        let cache = GraphCache::new(2 * bytes_16);
+        cache.get_or_build(&family(16), 1, || build(16)).unwrap();
+        cache.get_or_build(&family(16), 2, || build(16)).unwrap();
+        // Touch seed 1 so seed 2 is the LRU victim when seed 3 arrives.
+        cache.get_or_build(&family(16), 1, || build(16)).unwrap();
+        cache.get_or_build(&family(16), 3, || build(16)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= stats.capacity);
+        // Seed 1 survived (hit), seed 2 was evicted (miss + rebuild).
+        let mut rebuilt = false;
+        cache
+            .get_or_build(&family(16), 1, || {
+                rebuilt = true;
+                build(16)
+            })
+            .unwrap();
+        assert!(!rebuilt, "recently-used entry must survive eviction");
+        cache
+            .get_or_build(&family(16), 2, || {
+                rebuilt = true;
+                build(16)
+            })
+            .unwrap();
+        assert!(rebuilt, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn oversized_instances_bypass_without_flushing() {
+        let bytes_8 = build(8).unwrap().heap_bytes();
+        let cache = GraphCache::new(bytes_8);
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        // A 64-vertex instance exceeds the whole budget: built, returned, not cached.
+        cache.get_or_build(&family(64), 1, || build(64)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "oversized build must not evict the resident entry");
+        assert_eq!(stats.evictions, 0);
+        // The resident small entry still hits.
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = GraphCache::new(0);
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn build_failures_propagate_and_are_not_cached() {
+        let cache = GraphCache::new(1 << 20);
+        let failed: Result<Arc<Graph>, &str> =
+            cache.get_or_build(&family(8), 1, || Err("instantiation failed"));
+        assert_eq!(failed.unwrap_err(), "instantiation failed");
+        assert_eq!(cache.stats().entries, 0);
+        // A later successful build for the same key proceeds normally.
+        cache.get_or_build(&family(8), 1, || build(8)).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

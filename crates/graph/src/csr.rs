@@ -211,6 +211,15 @@ impl Graph {
         self.num_vertices() == 0
     }
 
+    /// Heap footprint of the CSR arrays in bytes: `(n + 1)` offsets plus `2m` neighbour
+    /// entries. This is the accounting unit of size-bounded instance caches (the serving
+    /// layer's `--cache-mb` budget); it deliberately ignores constant per-`Vec` overhead.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
     /// Degree of vertex `v`.
     ///
     /// # Panics
@@ -479,6 +488,15 @@ mod tests {
         assert_eq!(g.regular_degree(), None);
         assert_eq!(g.min_degree(), None);
         assert_eq!(g.average_degree(), None);
+    }
+
+    #[test]
+    fn heap_bytes_counts_offsets_and_neighbor_entries() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let word = std::mem::size_of::<usize>();
+        // 4 offsets + 2·2 directed neighbour entries.
+        assert_eq!(g.heap_bytes(), 4 * word + 4 * std::mem::size_of::<VertexId>());
+        assert_eq!(Graph::default().heap_bytes(), word);
     }
 
     #[test]

@@ -239,6 +239,20 @@ impl GraphFamily {
             GraphFamily::File { .. } => 0,
         }
     }
+
+    /// The canonical identity of the instance this family produces under master seed
+    /// `seed` — the key of shared graph-instance caches.
+    ///
+    /// Two `(family, seed)` pairs map to the same key **iff** they instantiate the same
+    /// graph: the family half is the canonical [`Display`](fmt::Display) form (which
+    /// round-trips through [`FromStr`](std::str::FromStr), so equivalent spellings like
+    /// `er:` / `erdos-renyi:` normalise to one key), and the seed half pins the RNG stream
+    /// randomised generators draw from. Deterministic families (`complete:`, `torus:`, …)
+    /// ignore their RNG but still key per-seed, which only costs duplicate cache entries,
+    /// never a wrong hit.
+    pub fn cache_key(&self, seed: u64) -> String {
+        format!("{self}#{seed}")
+    }
 }
 
 /// Canonical CLI syntax for graph families (`Display` emits it, `FromStr` parses it):
@@ -482,6 +496,22 @@ mod tests {
         assert!(missing.instantiate(&mut rng).is_err());
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(format!("{path_str}.csrcache"));
+    }
+
+    #[test]
+    fn cache_keys_normalise_spellings_and_separate_seeds() {
+        let canonical: GraphFamily = "random-regular:n=256,r=4".parse().unwrap();
+        let aliased: GraphFamily = "er:n=64,p=0.25".parse().unwrap();
+        let spelled_out: GraphFamily = "erdos-renyi:n=64,p=0.25".parse().unwrap();
+        // Equivalent spellings agree; different families and seeds never collide.
+        assert_eq!(aliased.cache_key(7), spelled_out.cache_key(7));
+        assert_ne!(canonical.cache_key(7), spelled_out.cache_key(7));
+        assert_ne!(canonical.cache_key(7), canonical.cache_key(8));
+        // The family half is the canonical Display form, so the key parses back.
+        let key = canonical.cache_key(7);
+        let (family_text, seed_text) = key.rsplit_once('#').unwrap();
+        assert_eq!(family_text.parse::<GraphFamily>().unwrap(), canonical);
+        assert_eq!(seed_text, "7");
     }
 
     #[test]

@@ -280,6 +280,18 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn serialize(&self) -> Value {
         Value::Array(vec![self.0.serialize(), self.1.serialize()])
@@ -318,6 +330,16 @@ mod tests {
         assert!(u8::deserialize(&Value::Number(300.0)).is_err());
         assert!(u32::deserialize(&Value::Number(-1.0)).is_err());
         assert!(usize::deserialize(&Value::Number(1.5)).is_err());
+    }
+
+    #[test]
+    fn value_round_trips_as_itself() {
+        let value = Value::Object(vec![
+            ("a".to_string(), Value::Number(1.0)),
+            ("b".to_string(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+        ]);
+        assert_eq!(value.serialize(), value);
+        assert_eq!(Value::deserialize(&value).unwrap(), value);
     }
 
     #[test]
